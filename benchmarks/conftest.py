@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper's evaluation section; each benchmark prints its
+table after timing the generator once.
+"""
+
+import pytest
+
+
+def print_block(title: str, body: str) -> None:
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

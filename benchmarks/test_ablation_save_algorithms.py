@@ -1,0 +1,36 @@
+"""§2.1 ablation — the revised St/Sf placement against the simple S[E]
+algorithm it replaced.
+
+The simple algorithm is "too lazy": it cannot see that a call is
+inevitable through short-circuit booleans nested in tests, so its saves
+sink into branches and repeat along multi-call paths.
+"""
+
+from repro.benchsuite import tables
+from benchmarks.conftest import print_block
+
+
+def test_simple_vs_revised(benchmark):
+    names = (*tables.FAST_NAMES, "shortcircuit")
+    rows = benchmark.pedantic(
+        tables.save_placement_ablation,
+        kwargs={"names": names},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{r['benchmark']:12s} revised: refs={r['revised-refs']:>9d} "
+        f"saves={r['revised-saves']:>8d} | simple: refs={r['simple-refs']:>9d} "
+        f"saves={r['simple-saves']:>8d}"
+        for r in rows
+    ]
+    print_block("§2.1 ablation: revised vs simple save placement", "\n".join(lines))
+    total_revised = sum(r["revised-refs"] for r in rows)
+    total_simple = sum(r["simple-refs"] for r in rows)
+    # The revised algorithm never does worse overall...
+    assert total_revised <= total_simple * 1.01
+    # ...and strictly wins on the short-circuit microbenchmark, the
+    # §2.1.2 pattern the revised algorithm exists for.
+    sc = next(r for r in rows if r["benchmark"] == "shortcircuit")
+    assert sc["revised-saves"] < sc["simple-saves"]
+    assert sc["revised-refs"] < sc["simple-refs"]

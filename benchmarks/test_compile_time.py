@@ -1,0 +1,33 @@
+"""§4 — compile-time profile.
+
+Paper: "register allocation accounts for an average of 7% of overall
+compile time."  We report our own pipeline's allocator share and
+assert it stays a modest fraction.
+"""
+
+from repro.benchsuite import tables
+from benchmarks.conftest import print_block
+
+
+def test_compile_time_profile(benchmark):
+    profile = benchmark.pedantic(
+        tables.compile_time_profile,
+        kwargs={"names": tables.FAST_NAMES, "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{phase:12s} {seconds:8.4f}s"
+        for phase, seconds in profile["phases"].items()
+    ]
+    lines.append(
+        f"register allocation fraction: "
+        f"{profile['register-allocation-fraction']:.1%} (paper: ~7%)"
+    )
+    print_block("§4: compile-time profile", "\n".join(lines))
+    frac = profile["register-allocation-fraction"]
+    # Wall-clock fractions wobble run to run; our allocator is roughly
+    # half of this (deliberately small) pipeline — far above the
+    # paper's 7%-of-all-of-Chez for a structural reason recorded in
+    # EXPERIMENTS.md.
+    assert 0.0 < frac < 0.75, "allocation should not dominate compilation"

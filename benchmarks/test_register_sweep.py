@@ -1,0 +1,42 @@
+"""§4 — performance vs number of registers, with and without greedy
+shuffling.
+
+Paper: "Performance increases monotonically from zero through six
+registers, although the difference between five and six registers is
+minimal.  Our greedy shuffling algorithm becomes important as the
+number of argument registers increases.  Before we installed this
+algorithm, the performance actually decreased after two argument
+registers."
+"""
+
+from repro.benchsuite import tables
+from benchmarks.conftest import print_block
+
+
+def test_register_sweep(benchmark):
+    rows = benchmark.pedantic(
+        tables.register_sweep,
+        kwargs={
+            "names": tables.FAST_NAMES,
+            "shuffle_strategies": ("greedy", "naive", "none"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_block(
+        "§4: cycles vs register count (subset of benchmarks)",
+        tables.format_register_sweep(rows),
+    )
+    greedy = [r["greedy-cycles"] for r in rows]
+    # Broadly monotone improvement 0 -> 6 registers.
+    assert greedy[0] > greedy[-1]
+    assert greedy[0] > greedy[3]
+    # 5 -> 6 registers changes little (under 5%).
+    assert abs(greedy[-1] - greedy[-2]) / greedy[-2] < 0.05
+    # greedy shuffling never loses to naive order at high register counts
+    assert rows[-1]["greedy-cycles"] <= rows[-1]["naive-cycles"]
+    # shuffling grows in importance with the register count: the gap
+    # between greedy and no-shuffle widens from 0 to 6 registers
+    gap0 = rows[0]["none-cycles"] / rows[0]["greedy-cycles"]
+    gap6 = rows[-1]["none-cycles"] / rows[-1]["greedy-cycles"]
+    assert gap6 > gap0

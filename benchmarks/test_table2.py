@@ -1,0 +1,20 @@
+"""Table 2 — dynamic call graph summary.
+
+Paper: syntactic leaves average just under one third of activations;
+effective leaves (activations that made no call) average over two
+thirds.
+"""
+
+from repro.benchsuite import tables
+from benchmarks.conftest import print_block
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(tables.table2, rounds=1, iterations=1)
+    print_block("Table 2: dynamic call graph summary", tables.format_table2(rows))
+    avg = rows[-1]
+    assert avg["benchmark"] == "AVERAGE"
+    # The paper's headline numbers.
+    assert avg["effective-leaf"] > 0.5, "effective leaves should dominate"
+    assert avg["syntactic-leaf"] < 0.5, "syntactic leaves are the minority"
+    assert avg["effective-leaf"] > avg["syntactic-leaf"]

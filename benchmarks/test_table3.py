@@ -1,0 +1,29 @@
+"""Table 3 — stack-reference reduction and speedup for the three save
+strategies with six argument registers, relative to the no-register
+baseline.
+
+Paper averages: lazy 72%/43%, early 58%/32%, late 65%/36%.  We assert
+the *shape*: every strategy improves on the baseline, and lazy beats
+both early and late on both metrics.
+"""
+
+from repro.benchsuite import tables
+from benchmarks.conftest import print_block
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(tables.table3, rounds=1, iterations=1)
+    print_block(
+        "Table 3: save strategies vs no-register baseline",
+        tables.format_table3(rows),
+    )
+    avg = rows[-1]
+    assert avg["benchmark"] == "AVERAGE"
+    for strategy in ("lazy", "early", "late"):
+        assert avg[f"{strategy}-ref-reduction"] > 0.0
+        assert avg[f"{strategy}-speedup"] > 0.0
+    # lazy wins on both metrics (the paper's central result)
+    assert avg["lazy-ref-reduction"] > avg["early-ref-reduction"]
+    assert avg["lazy-ref-reduction"] > avg["late-ref-reduction"]
+    assert avg["lazy-speedup"] > avg["early-speedup"]
+    assert avg["lazy-speedup"] > avg["late-speedup"]

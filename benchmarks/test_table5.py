@@ -1,0 +1,25 @@
+"""Table 5 — tak: early vs lazy save placement for callee-save
+registers, plus caller-save lazy (the paper's hand-coded assembly).
+
+Paper: lazy callee-save is 55-91% faster than early callee-save and
+"brings the performance of the callee-save C code within range of the
+caller-save code".
+"""
+
+from repro.benchsuite import tables
+from benchmarks.conftest import print_block
+
+
+def test_table5(benchmark):
+    rows = benchmark.pedantic(tables.table5, rounds=1, iterations=1)
+    print_block(
+        "Table 5: tak — callee-save early vs lazy, and caller-save lazy",
+        tables.format_table45(rows, "speedup-vs-early"),
+    )
+    by_name = {r["configuration"]: r for r in rows}
+    lazy = by_name["callee-save lazy"]
+    caller = by_name["caller-save lazy"]
+    assert lazy["speedup-vs-early"] > 0.0
+    assert caller["speedup-vs-early"] > 0.0
+    # lazy callee-save within range of the caller-save configuration
+    assert 0.75 < lazy["cycles"] / caller["cycles"] < 1.33

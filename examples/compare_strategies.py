@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare save/restore/shuffle strategies on a program of your choice.
+
+    python examples/compare_strategies.py [benchmark-name]
+
+Runs the named benchmark (default: tak) under the paper's main
+configurations and prints a Table-3-style comparison.
+"""
+
+import sys
+
+from repro.benchsuite import BENCHMARKS
+from repro.benchsuite.runner import run_benchmark
+from repro.config import CompilerConfig
+
+CONFIGS = [
+    ("baseline (no registers)", CompilerConfig.baseline()),
+    ("lazy save (paper)", CompilerConfig()),
+    ("early save", CompilerConfig(save_strategy="early")),
+    ("late save", CompilerConfig(save_strategy="late")),
+    ("lazy-simple save", CompilerConfig(save_strategy="lazy-simple")),
+    ("lazy restore", CompilerConfig(restore_strategy="lazy")),
+    ("naive shuffle", CompilerConfig(shuffle_strategy="naive")),
+    ("callee-save early (cc)", CompilerConfig(save_convention="callee", save_strategy="early")),
+    ("callee-save lazy", CompilerConfig(save_convention="callee", save_strategy="lazy")),
+    ("lambda lifting (§6)", CompilerConfig(lambda_lift=True)),
+]
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "tak"
+    if name not in BENCHMARKS:
+        print(f"unknown benchmark {name!r}; available: {', '.join(sorted(BENCHMARKS))}")
+        raise SystemExit(1)
+    bench = BENCHMARKS[name]
+    print(f"benchmark: {name} — {bench.description}")
+    print(f"scaling  : {bench.scaling}\n")
+
+    baseline = None
+    header = (
+        f"{'configuration':26s} {'stack refs':>11s} {'cycles':>12s} "
+        f"{'saves':>9s} {'restores':>9s} {'ref-cut':>8s} {'speedup':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, config in CONFIGS:
+        run = run_benchmark(name, config)
+        if baseline is None:
+            baseline = run
+        refcut = 1 - run.stack_refs / baseline.stack_refs if baseline.stack_refs else 0
+        speedup = baseline.cycles / run.cycles - 1
+        print(
+            f"{label:26s} {run.stack_refs:>11,} {run.cycles:>12,} "
+            f"{run.counters.saves:>9,} {run.counters.restores:>9,} "
+            f"{refcut:>8.1%} {speedup:>8.1%}"
+        )
+    print("\n(all rows validated against the reference interpreter)")
+
+
+if __name__ == "__main__":
+    main()

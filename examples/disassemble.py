@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""See the allocator's decisions: save regions, restores, shuffles.
+
+    python examples/disassemble.py
+
+Compiles the paper's running example under each save strategy and
+prints the annotated intermediate form plus the generated code, so you
+can watch the `(save (x ...) ...)` regions move.
+"""
+
+from repro.astnodes import Call, Save, pretty, walk
+from repro.backend.isa import format_code
+from repro.config import CompilerConfig
+from repro.pipeline import compile_source
+
+# tak: the paper's favourite — one call-free path, one call-heavy path.
+SOURCE = """
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(tak 18 12 6)
+"""
+
+
+def show(strategy: str) -> None:
+    config = CompilerConfig(save_strategy=strategy)
+    compiled = compile_source(SOURCE, config, prelude=False)
+    tak = next(c for c in compiled.codes if c.name == "tak")
+    print(f"--- save strategy: {strategy} " + "-" * 40)
+    print("annotated body:")
+    print(" ", pretty(tak.body))
+    saves = [n for n in walk(tak.body) if isinstance(n, Save)]
+    print(f"save regions: {len(saves)}")
+    for s in saves:
+        print(f"  save {{{', '.join(v.name for v in s.vars)}}}")
+    calls = [n for n in walk(tak.body) if isinstance(n, Call) and not n.tail]
+    for c in calls:
+        print(
+            f"  call restores {{{', '.join(v.name for v in (c.restores or []))}}}"
+        )
+    print("\ngenerated code:")
+    print(format_code(tak, [r.name for r in compiled.regfile.all]))
+    print()
+
+
+def main() -> None:
+    for strategy in ("lazy", "early", "late"):
+        show(strategy)
+    print(
+        "Note how 'lazy' keeps the x<=y leaf path save-free, 'early'\n"
+        "saves at entry on every activation, and 'late' repeats the\n"
+        "saves at each of the three non-tail calls."
+    )
+
+
+if __name__ == "__main__":
+    main()

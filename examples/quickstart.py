@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and run a Scheme program, inspect the counters.
+
+    python examples/quickstart.py
+"""
+
+from repro import CompilerConfig, run_source
+
+SOURCE = """
+(define (fib n)
+  (if (< n 2)
+      n
+      (+ (fib (- n 1)) (fib (- n 2)))))
+(fib 20)
+"""
+
+
+def main() -> None:
+    # The paper's configuration: 6 argument registers, 6 user
+    # registers, lazy saves, eager restores, greedy shuffling.
+    result = run_source(SOURCE)
+    print(f"value             : {result.value}")
+    print(f"instructions      : {result.counters.instructions:,}")
+    print(f"cycles            : {result.counters.cycles:,}")
+    print(f"stack references  : {result.counters.total_stack_refs:,}")
+    print(f"  saves           : {result.counters.saves:,}")
+    print(f"  restores        : {result.counters.restores:,}")
+    print(f"calls             : {result.counters.calls:,}")
+    print(f"tail calls        : {result.counters.tail_calls:,}")
+
+    # The Table 2 classification for this run:
+    print("\nactivation classes (Table 2):")
+    for category, fraction in result.classifier.fractions().items():
+        print(f"  {category:24s} {fraction:6.1%}")
+    print(
+        f"  -> effective leaves: "
+        f"{result.classifier.effective_leaf_fraction:.1%} "
+        "(the paper's observation: usually over two thirds)"
+    )
+
+    # Compare with the no-register baseline of Table 3:
+    baseline = run_source(SOURCE, CompilerConfig.baseline())
+    reduction = 1 - result.counters.total_stack_refs / baseline.counters.total_stack_refs
+    speedup = baseline.counters.cycles / result.counters.cycles - 1
+    print(f"\nvs baseline (0 registers):")
+    print(f"  stack-ref reduction : {reduction:.1%}")
+    print(f"  cycle speedup       : {speedup:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a reproduction of Burger, Waddell & Dybvig,
+"Register Allocation Using Lazy Saves, Eager Restores, and Greedy
+Shuffling" (PLDI 1995).
+
+A whole-program compiler for a Scheme subset whose register allocator
+implements the paper's three techniques, plus a simulating back end
+that measures exactly what the paper measures: dynamic stack
+references, cycle-model run time, and activation classifications.
+
+Quick start::
+
+    from repro import run_source, CompilerConfig
+
+    result = run_source("(define (f x) (* x x)) (f 21)")
+    print(result.value)                       # 441
+    print(result.counters.total_stack_refs)   # stack traffic
+"""
+
+from repro.config import CompilerConfig, CostModel
+from repro.errors import CompilerError
+from repro.pipeline import (
+    CompileTimes,
+    ExecutionResult,
+    compile_source,
+    expand_source,
+    run_compiled,
+    run_source,
+)
+from repro.runtime.values import SchemeError
+from repro.interp.interpreter import Interpreter, interpret_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerConfig",
+    "CostModel",
+    "CompilerError",
+    "SchemeError",
+    "CompileTimes",
+    "ExecutionResult",
+    "compile_source",
+    "expand_source",
+    "run_compiled",
+    "run_source",
+    "Interpreter",
+    "interpret_source",
+    "__version__",
+]

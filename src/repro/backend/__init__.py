@@ -1,0 +1,12 @@
+"""Back end: linear ISA and the code generator."""
+
+from repro.backend.isa import OPCODES, format_instruction, format_code
+from repro.backend.codegen import generate_program, CompiledProgram
+
+__all__ = [
+    "OPCODES",
+    "format_instruction",
+    "format_code",
+    "generate_program",
+    "CompiledProgram",
+]

@@ -1,0 +1,122 @@
+"""The virtual machine's instruction set.
+
+A deliberately RISC-like, load/store ISA: stack traffic is visible as
+explicit ``ld``/``st`` instructions (each tagged with *why* it
+happened), which is how the paper's "reduction in stack references"
+metric is measured exactly.
+
+Instructions are Python lists ``[op, ...operands]`` (lists, not tuples,
+so the code generator can patch frame sizes after layout is final).
+Registers are integer indices into the register file.
+
+============  =========================================  =============
+op            operands                                   effect
+============  =========================================  =============
+``li``        dst, value                                 dst <- constant
+``mov``       dst, src                                   dst <- src
+``ld``        dst, slot, kind                            dst <- stack[sp+slot]
+``st``        slot, src, kind                            stack[sp+slot] <- src
+``st_out``    offset, src, kind                          stack[sp+frame+offset] <- src
+``prim``      dst, name, srcs                            dst <- prim(srcs); a src is a
+                                                         register index or ``("imm", v)``
+``closure``   dst, code, srcs                            dst <- closure(code, values)
+``clo_alloc`` dst, code, nslots                          dst <- empty closure
+``clo_set``   clo_src, index, src                        closure slot write
+``clo_ref``   dst, index                                 dst <- cp-closure slot
+``jmp``       pc                                         goto pc
+``brf``       src, pc, prediction                        if src is #f goto pc
+``call``      nargs, frame_size                          call closure in cp
+``tailcall``  nargs                                      jump to closure in cp
+``callcc``    frame_size                                 capture; call closure in cp
+``return``    —                                          jump through ret
+``halt``      —                                          stop; result in rv
+============  =========================================  =============
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+OPCODES = (
+    "li",
+    "mov",
+    "ld",
+    "st",
+    "st_out",
+    "prim",
+    "closure",
+    "clo_alloc",
+    "clo_set",
+    "clo_ref",
+    "jmp",
+    "brf",
+    "brt",
+    "call",
+    "tailcall",
+    "callcc",
+    "return",
+    "halt",
+)
+
+# Stack-reference kinds, for the Table 3 accounting.
+STACK_KINDS = (
+    "save",      # register save (the paper's save expressions)
+    "restore",   # register restore after a call
+    "spill",     # variable without a register: its every access
+    "arg",       # argument passed/read on the stack
+    "temp",      # shuffle/complex-argument temporaries
+)
+
+
+def format_instruction(instr: List[Any], regnames: List[str]) -> str:
+    """Human-readable rendering of one instruction (for tests/docs)."""
+    op = instr[0]
+    def reg(i: int) -> str:
+        return "%" + regnames[i]
+
+    if op == "li":
+        return f"li {reg(instr[1])}, {instr[2]!r}"
+    if op == "mov":
+        return f"mov {reg(instr[1])}, {reg(instr[2])}"
+    if op == "ld":
+        return f"ld {reg(instr[1])}, fv{instr[2]}  ; {instr[3]}"
+    if op == "st":
+        return f"st fv{instr[1]}, {reg(instr[2])}  ; {instr[3]}"
+    if op == "st_out":
+        return f"st out+{instr[1]}, {reg(instr[2])}  ; {instr[3]}"
+    if op == "prim":
+        srcs = ", ".join(
+            repr(s[1]) if isinstance(s, tuple) else reg(s) for s in instr[3]
+        )
+        return f"prim {reg(instr[1])}, {instr[2]}({srcs})"
+    if op == "closure":
+        srcs = ", ".join(reg(s) for s in instr[3])
+        return f"closure {reg(instr[1])}, {instr[2].label}({srcs})"
+    if op == "clo_alloc":
+        return f"clo_alloc {reg(instr[1])}, {instr[2].label}, {instr[3]}"
+    if op == "clo_set":
+        return f"clo_set {reg(instr[1])}[{instr[2]}], {reg(instr[3])}"
+    if op == "clo_ref":
+        return f"clo_ref {reg(instr[1])}, cp[{instr[2]}]"
+    if op == "jmp":
+        return f"jmp {instr[1]}"
+    if op in ("brf", "brt"):
+        pred = f"  ; predict {instr[3]}" if instr[3] else ""
+        return f"{op} {reg(instr[1])}, {instr[2]}{pred}"
+    if op == "call":
+        return f"call nargs={instr[1]}"
+    if op == "tailcall":
+        return f"tailcall nargs={instr[1]}"
+    if op == "callcc":
+        return "callcc"
+    if op in ("return", "halt"):
+        return op
+    return repr(instr)
+
+
+def format_code(code, regnames: List[str]) -> str:
+    """Disassemble a compiled code object."""
+    lines = [f"{code.label}: params={len(code.params)} frame={code.frame_size}"]
+    for pc, instr in enumerate(code.instructions or []):
+        lines.append(f"  {pc:4d}  {format_instruction(instr, regnames)}")
+    return "\n".join(lines)

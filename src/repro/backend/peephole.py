@@ -1,0 +1,105 @@
+"""Peephole optimization over the linear instruction stream.
+
+Run after code generation (the paper's backend similarly cleans up the
+straightforward translation).  Three rewrites, iterated to fixpoint:
+
+* **jump threading** — a branch or jump whose target is a ``jmp``
+  follows it to the final destination;
+* **jump-to-next elimination** — ``jmp`` to the fall-through address is
+  deleted;
+* **return threading** — a ``jmp`` to a ``return`` becomes the
+  ``return`` itself (saves the indirection on branchy epilogues).
+
+None of these touch stack references, so the Table 3 metric is
+unaffected; they shave pure control-flow overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.astnodes import CodeObject
+
+_BRANCH_OPS = {"jmp": 1, "brf": 2, "brt": 2}
+
+
+def peephole_code(code: CodeObject) -> int:
+    """Optimize one code object in place; returns instructions removed."""
+    instrs = code.instructions
+    if not instrs:
+        return 0
+    before = len(instrs)
+    changed = True
+    while changed:
+        changed = False
+        changed |= _thread_jumps(instrs)
+        changed |= _drop_dead_jumps(instrs)
+    code.instructions = instrs
+    return before - len(code.instructions)
+
+
+def _final_target(instrs: List[List[Any]], pc: int, fuel: int = 64) -> int:
+    """Follow chains of unconditional jumps from *pc*."""
+    while fuel > 0 and pc < len(instrs) and instrs[pc][0] == "jmp":
+        nxt = instrs[pc][1]
+        if nxt == pc:  # pragma: no cover - self loop, leave alone
+            break
+        pc = nxt
+        fuel -= 1
+    return pc
+
+
+def _thread_jumps(instrs: List[List[Any]]) -> bool:
+    changed = False
+    for pc, instr in enumerate(instrs):
+        op = instr[0]
+        slot = _BRANCH_OPS.get(op)
+        if slot is None:
+            continue
+        target = instr[slot]
+        final = _final_target(instrs, target)
+        if final != target:
+            instr[slot] = final
+            changed = True
+        # jmp -> return becomes return
+        if (
+            op == "jmp"
+            and instr[1] < len(instrs)
+            and instrs[instr[1]][0] == "return"
+        ):
+            instrs[pc] = ["return"]
+            changed = True
+    return changed
+
+
+def _drop_dead_jumps(instrs: List[List[Any]]) -> bool:
+    """Delete ``jmp`` instructions to the immediately following pc and
+    renumber every branch target."""
+    dead = [
+        pc
+        for pc, instr in enumerate(instrs)
+        if instr[0] == "jmp" and instr[1] == pc + 1
+    ]
+    if not dead:
+        return False
+    remap: Dict[int, int] = {}
+    removed = 0
+    dead_set = set(dead)
+    for pc in range(len(instrs) + 1):
+        remap[pc] = pc - removed
+        if pc in dead_set:
+            removed += 1
+    new_instrs = [
+        instr for pc, instr in enumerate(instrs) if pc not in dead_set
+    ]
+    for instr in new_instrs:
+        slot = _BRANCH_OPS.get(instr[0])
+        if slot is not None:
+            instr[slot] = remap[instr[slot]]
+    instrs[:] = new_instrs
+    return True
+
+
+def peephole_program(codes: List[CodeObject]) -> int:
+    """Optimize every code object; returns total instructions removed."""
+    return sum(peephole_code(code) for code in codes)

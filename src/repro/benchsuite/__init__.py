@@ -1,0 +1,12 @@
+"""The benchmark suite: programs, runner, and table generators."""
+
+from repro.benchsuite.programs import BENCHMARKS, Benchmark, get_benchmark
+from repro.benchsuite.runner import BenchmarkRun, run_benchmark
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "get_benchmark",
+    "BenchmarkRun",
+    "run_benchmark",
+]

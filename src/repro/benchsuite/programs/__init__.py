@@ -1,0 +1,74 @@
+"""Benchmark registry.
+
+The Gabriel benchmarks (Table 1 / Table 2 of the paper) rewritten in
+the compiler's Scheme subset, plus two application-scale substitutes
+for the paper's proprietary workloads (see DESIGN.md).  Inputs are
+scaled down so a Python-hosted simulator finishes each run in seconds;
+every entry records its scaling relative to the paper's version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.benchsuite.programs import apps, gabriel, micro
+
+
+class Benchmark:
+    """One benchmark program.
+
+    ``expected`` is the ``write``-rendering of the program's value,
+    used to validate every configuration's run.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        expected: str,
+        description: str,
+        scaling: str = "unscaled",
+        heavy: bool = False,
+        paper: bool = True,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.expected = expected
+        self.description = description
+        self.scaling = scaling
+        self.heavy = heavy
+        # Whether the benchmark corresponds to a row of the paper's
+        # tables (the Gabriel suite + application substitutes) or is a
+        # local microbenchmark.
+        self.paper = paper
+
+    def __repr__(self) -> str:
+        return f"<Benchmark {self.name}>"
+
+
+BENCHMARKS: Dict[str, Benchmark] = {}
+
+
+def _register(bench: Benchmark) -> None:
+    assert bench.name not in BENCHMARKS, bench.name
+    BENCHMARKS[bench.name] = bench
+
+
+for _b in gabriel.all_benchmarks():
+    _register(_b)
+for _b in apps.all_benchmarks():
+    _register(_b)
+for _b in micro.all_benchmarks():
+    _register(_b)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    return BENCHMARKS[name]
+
+
+def benchmark_names(include_heavy: bool = True) -> List[str]:
+    return [
+        name
+        for name, b in BENCHMARKS.items()
+        if include_heavy or not b.heavy
+    ]

@@ -1,0 +1,232 @@
+"""Application-scale benchmark substitutes.
+
+The paper's four large benchmarks (Chez recompiling itself, DDD,
+Similix, SoftScheme) are proprietary or unavailable; these two programs
+stand in for them (see DESIGN.md): like the originals they are
+call-dense, higher-order, data-structure heavy symbolic programs rather
+than arithmetic kernels.
+
+* ``meta``    — a meta-circular Scheme evaluator interpreting a small
+  program suite (the "compiler running on itself" flavour).
+* ``matcher`` — a unification-based term rewriter normalizing a batch
+  of terms (the Similix/SoftScheme flavour: traversal + environments).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def all_benchmarks() -> List["Benchmark"]:
+    from repro.benchsuite.programs import Benchmark
+
+    return [
+        Benchmark(
+            name="meta",
+            source=META,
+            expected=None,
+            description="meta-circular evaluator running a program suite",
+            scaling="substitute for the paper's Compiler/DDD workloads",
+        ),
+        Benchmark(
+            name="matcher",
+            source=MATCHER,
+            expected=None,
+            description="unification-based term rewriting to normal form",
+            scaling="substitute for the paper's Similix/SoftScheme workloads",
+        ),
+    ]
+
+
+META = """
+;; A meta-circular evaluator for a first-order-ish Scheme subset,
+;; itself running three little programs.
+
+(define (lookup var env)
+  (cond ((null? env) (error "unbound" var))
+        ((eq? (caar env) var) (cdar env))
+        (else (lookup var (cdr env)))))
+
+(define (extend env vars vals)
+  (if (null? vars)
+      env
+      (extend (cons (cons (car vars) (car vals)) env)
+              (cdr vars) (cdr vals))))
+
+(define (evaluate expr env)
+  (cond ((symbol? expr) (lookup expr env))
+        ((number? expr) expr)
+        ((eq? (car expr) 'quote) (cadr expr))
+        ((eq? (car expr) 'if)
+         (if (evaluate (cadr expr) env)
+             (evaluate (caddr expr) env)
+             (evaluate (cadddr expr) env)))
+        ((eq? (car expr) 'lambda)
+         (list 'closure (cadr expr) (caddr expr) env))
+        ((eq? (car expr) 'letrec)
+         (evaluate-letrec (cadr expr) (caddr expr) env))
+        (else
+         (apply-proc (evaluate (car expr) env)
+                     (evaluate-list (cdr expr) env)))))
+
+(define (evaluate-list exprs env)
+  (if (null? exprs)
+      '()
+      (cons (evaluate (car exprs) env)
+            (evaluate-list (cdr exprs) env))))
+
+(define (evaluate-letrec bindings body env)
+  ;; letrec via a mutable rib
+  (let ((rib (map (lambda (b) (cons (car b) 'undefined)) bindings)))
+    (let ((env2 (append rib env)))
+      (for-each (lambda (b)
+                  (let ((cell (assq (car b) rib)))
+                    (set-cdr! cell (evaluate (cadr b) env2))))
+                bindings)
+      (evaluate body env2))))
+
+(define (apply-proc proc args)
+  (cond ((and (pair? proc) (eq? (car proc) 'closure))
+         (evaluate (caddr proc)
+                   (extend (cadddr proc) (cadr proc) args)))
+        ((eq? proc 'prim+) (+ (car args) (cadr args)))
+        ((eq? proc 'prim-) (- (car args) (cadr args)))
+        ((eq? proc 'prim*) (* (car args) (cadr args)))
+        ((eq? proc 'prim<) (< (car args) (cadr args)))
+        ((eq? proc 'prim=) (= (car args) (cadr args)))
+        ((eq? proc 'primcons) (cons (car args) (cadr args)))
+        ((eq? proc 'primcar) (car (car args)))
+        ((eq? proc 'primcdr) (cdr (car args)))
+        ((eq? proc 'primnull?) (null? (car args)))
+        (else (error "bad procedure" proc))))
+
+(define global-env
+  '((+ . prim+) (- . prim-) (* . prim*) (< . prim<) (= . prim=)
+    (cons . primcons) (car . primcar) (cdr . primcdr)
+    (null? . primnull?)))
+
+(define fib-program
+  '(letrec ((fib (lambda (n)
+                   (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))))
+     (fib 11)))
+
+(define map-program
+  '(letrec ((mymap (lambda (f ls)
+                     (if (null? ls)
+                         (quote ())
+                         (cons (f (car ls)) (mymap f (cdr ls))))))
+            (build (lambda (n)
+                     (if (= n 0) (quote ()) (cons n (build (- n 1)))))))
+     (mymap (lambda (x) (* x x)) (build 20))))
+
+(define tak-program
+  '(letrec ((tak (lambda (x y z)
+                   (if (< y x)
+                       (tak (tak (- x 1) y z)
+                            (tak (- y 1) z x)
+                            (tak (- z 1) x y))
+                       z))))
+     (tak 8 4 0)))
+
+(define (run-suite n)
+  (let loop ((i n) (acc 0))
+    (if (zero? i)
+        acc
+        (loop (- i 1)
+              (+ acc
+                 (+ (evaluate fib-program global-env)
+                    (+ (length (evaluate map-program global-env))
+                       (evaluate tak-program global-env))))))))
+(run-suite 2)
+"""
+
+MATCHER = """
+;; A unification-based rewriter: normalizes arithmetic/logic terms with
+;; a rule database, using substitution environments throughout.
+
+(define (variable? x)
+  (and (symbol? x)
+       (char=? (string-ref (symbol->string x) 0) #\\?)))
+
+(define (unify pat term subst)
+  (cond ((eq? subst 'fail) 'fail)
+        ((variable? pat)
+         (let ((bound (assq pat subst)))
+           (cond (bound (if (equal? (cdr bound) term) subst 'fail))
+                 (else (cons (cons pat term) subst)))))
+        ((and (pair? pat) (pair? term))
+         (unify (cdr pat) (cdr term) (unify (car pat) (car term) subst)))
+        ((equal? pat term) subst)
+        (else 'fail)))
+
+(define (substitute term subst)
+  (cond ((variable? term)
+         (let ((bound (assq term subst)))
+           (if bound (cdr bound) term)))
+        ((pair? term)
+         (cons (substitute (car term) subst)
+               (substitute (cdr term) subst)))
+        (else term)))
+
+(define rules
+  '(((+ ?x 0) ?x)
+    ((+ 0 ?x) ?x)
+    ((* ?x 1) ?x)
+    ((* 1 ?x) ?x)
+    ((* ?x 0) 0)
+    ((* 0 ?x) 0)
+    ((- ?x 0) ?x)
+    ((- ?x ?x) 0)
+    ((+ ?x ?x) (* 2 ?x))
+    ((and true ?x) ?x)
+    ((and ?x true) ?x)
+    ((and false ?x) false)
+    ((or false ?x) ?x)
+    ((or ?x false) ?x)
+    ((or true ?x) true)
+    ((not (not ?x)) ?x)
+    ((if true ?a ?b) ?a)
+    ((if false ?a ?b) ?b)
+    ((* ?x (+ ?y ?z)) (+ (* ?x ?y) (* ?x ?z)))))
+
+(define (rewrite-once term)
+  (let loop ((rs rules))
+    (if (null? rs)
+        #f
+        (let ((subst (unify (caar rs) term '())))
+          (if (eq? subst 'fail)
+              (loop (cdr rs))
+              (substitute (cadr (car rs)) subst))))))
+
+(define (normalize term)
+  (let ((term2 (if (pair? term)
+                   (cons (car term) (map normalize (cdr term)))
+                   term)))
+    (let ((next (rewrite-once term2)))
+      (if next (normalize next) term2))))
+
+(define (term-size x)
+  (if (pair? x)
+      (+ 1 (+ (term-size (car x)) (term-size (cdr x))))
+      1))
+
+(define test-terms
+  '((+ (* a 1) 0)
+    (* (+ x 0) (+ y (* z 0)))
+    (if (and true (or false true)) (+ b b) (* c 0))
+    (* (+ p q) (+ r 1))
+    (- (+ m 0) (+ m 0))
+    (not (not (and true (or false x))))
+    (* 2 (* (+ u 0) (+ v v)))
+    (if (not (not false)) yes (+ no 0))))
+
+(define (matcher-run n)
+  (let loop ((i n) (acc 0))
+    (if (zero? i)
+        acc
+        (loop (- i 1)
+              (fold-left (lambda (a t) (+ a (term-size (normalize t))))
+                         acc
+                         test-terms)))))
+(matcher-run 40)
+"""

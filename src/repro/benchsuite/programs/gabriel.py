@@ -1,0 +1,1128 @@
+"""The Gabriel benchmarks (paper Tables 1–3), in the compiler's subset.
+
+Inputs are scaled down so that the Python-hosted VM finishes each run
+in a few seconds; the ``scaling`` field of every benchmark records the
+deviation from the original.  Each program is a straightforward port of
+the classic Scheme version, restructured only where the subset requires
+it (fixed arity, no ``apply``, property lists as association lists).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def all_benchmarks() -> List["Benchmark"]:
+    from repro.benchsuite.programs import Benchmark
+
+    out = []
+    for spec in _SPECS:
+        out.append(Benchmark(**spec))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# tak family
+# ---------------------------------------------------------------------------
+
+TAK = """
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(tak 18 12 6)
+"""
+
+FXTAK = """
+(define (fxtak x y z)
+  (if (not (fx< y x))
+      z
+      (fxtak (fxtak (fx- x 1) y z)
+             (fxtak (fx- y 1) z x)
+             (fxtak (fx- z 1) x y))))
+(fxtak 18 12 6)
+"""
+
+TAKL = """
+(define (listn n)
+  (if (zero? n) '() (cons n (listn (- n 1)))))
+(define (shorterp x y)
+  (and (not (null? y))
+       (or (null? x)
+           (shorterp (cdr x) (cdr y)))))
+(define (mas x y z)
+  (if (not (shorterp y x))
+      z
+      (mas (mas (cdr x) y z)
+           (mas (cdr y) z x)
+           (mas (cdr z) x y))))
+(mas (listn 16) (listn 10) (listn 5))
+"""
+
+CPSTAK = """
+(define (cpstak x y z)
+  (define (tak x y z k)
+    (if (not (< y x))
+        (k z)
+        (tak (- x 1) y z
+             (lambda (v1)
+               (tak (- y 1) z x
+                    (lambda (v2)
+                      (tak (- z 1) x y
+                           (lambda (v3)
+                             (tak v1 v2 v3 k)))))))))
+  (tak x y z (lambda (a) a)))
+(cpstak 15 10 5)
+"""
+
+CTAK = """
+(define (ctak x y z)
+  (call/cc (lambda (k) (ctak-aux k x y z))))
+(define (ctak-aux k x y z)
+  (if (not (< y x))
+      (k z)
+      (call/cc
+        (lambda (k2)
+          (ctak-aux
+            k2
+            (call/cc (lambda (k3) (ctak-aux k3 (- x 1) y z)))
+            (call/cc (lambda (k4) (ctak-aux k4 (- y 1) z x)))
+            (call/cc (lambda (k5) (ctak-aux k5 (- z 1) x y))))))))
+(ctak 12 8 4)
+"""
+
+
+def _takr_source(copies: int = 20) -> str:
+    """tak spread over many mutually recursive copies (the original
+    uses 100 copies to defeat the instruction cache)."""
+    names = [f"tak{i}" for i in range(copies)]
+    parts = []
+    for i, name in enumerate(names):
+        n1 = names[(3 * i + 1) % copies]
+        n2 = names[(3 * i + 2) % copies]
+        n3 = names[(3 * i + 3) % copies]
+        n4 = names[(3 * i + 4) % copies]
+        parts.append(
+            f"(define ({name} x y z)\n"
+            f"  (if (not (< y x))\n"
+            f"      z\n"
+            f"      ({n1} ({n2} (- x 1) y z)\n"
+            f"            ({n3} (- y 1) z x)\n"
+            f"            ({n4} (- z 1) x y))))"
+        )
+    parts.append("(tak0 14 10 4)")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# deriv / dderiv
+# ---------------------------------------------------------------------------
+
+DERIV = """
+(define (deriv-aux a) (list '/ (deriv a) a))
+(define (deriv a)
+  (cond
+    ((atom? a) (if (eq? a 'x) 1 0))
+    ((eq? (car a) '+) (cons '+ (map deriv (cdr a))))
+    ((eq? (car a) '-) (cons '- (map deriv (cdr a))))
+    ((eq? (car a) '*)
+     (list '* a (cons '+ (map deriv-aux (cdr a)))))
+    ((eq? (car a) '/)
+     (list '-
+           (list '/ (deriv (cadr a)) (caddr a))
+           (list '/ (cadr a)
+                 (list '* (caddr a) (caddr a) (deriv (caddr a))))))
+    (else 'error)))
+(define (deriv-run n)
+  (let loop ((i n) (last '()))
+    (if (zero? i)
+        last
+        (loop (- i 1)
+              (deriv '(+ (* 3 x x) (* a x x) (* b x) 5))))))
+(deriv-run 300)
+"""
+
+DDERIV = """
+(define derivations '())
+(define (put-deriv name f)
+  (set! derivations (cons (cons name f) derivations)))
+(define (get-deriv name)
+  (let ((hit (assq name derivations)))
+    (if hit (cdr hit) #f)))
+(define (dderiv-aux a) (list '/ (dderiv a) a))
+(define (dderiv a)
+  (if (atom? a)
+      (if (eq? a 'x) 1 0)
+      (let ((f (get-deriv (car a))))
+        (if f (f a) 'error))))
+(define (dderiv-run n)
+  (put-deriv '+ (lambda (a) (cons '+ (map dderiv (cdr a)))))
+  (put-deriv '- (lambda (a) (cons '- (map dderiv (cdr a)))))
+  (put-deriv '* (lambda (a) (list '* a (cons '+ (map dderiv-aux (cdr a))))))
+  (put-deriv '/ (lambda (a)
+                  (list '-
+                        (list '/ (dderiv (cadr a)) (caddr a))
+                        (list '/ (cadr a)
+                              (list '* (caddr a) (caddr a)
+                                    (dderiv (caddr a)))))))
+  (let loop ((i n) (last '()))
+    (if (zero? i)
+        last
+        (loop (- i 1)
+              (dderiv '(+ (* 3 x x) (* a x x) (* b x) 5))))))
+(dderiv-run 300)
+"""
+
+# ---------------------------------------------------------------------------
+# destruct / div
+# ---------------------------------------------------------------------------
+
+DESTRUCT = """
+(define (append-to-tail! x y)
+  (if (null? x)
+      y
+      (let loop ((a x) (b (cdr x)))
+        (if (null? b)
+            (begin (set-cdr! a y) x)
+            (loop b (cdr b))))))
+(define (destructive n m)
+  (let ((l (do ((i 10 (- i 1)) (a '() (cons '() a)))
+               ((= i 0) a))))
+    (do ((i n (- i 1)))
+        ((= i 0) l)
+      (cond ((null? (car l))
+             (do ((l l (cdr l)))
+                 ((null? l))
+               (if (null? (car l)) (set-car! l (cons '() '())))
+               (append-to-tail! (car l)
+                                (do ((j m (- j 1)) (a '() (cons '() a)))
+                                    ((= j 0) a)))))
+            (else
+             (do ((l1 l (cdr l1)) (l2 (cdr l) (cdr l2)))
+                 ((null? l2))
+               (set-cdr! (do ((j (quotient (length (car l2)) 2) (- j 1))
+                              (a (car l2) (cdr a)))
+                             ((zero? j) a)
+                           (set-car! a i))
+                         (let ((n (quotient (length (car l1)) 2)))
+                           (cond ((= n 0)
+                                  (set-car! l1 '())
+                                  (car l1))
+                                 (else
+                                  (do ((j n (- j 1)) (a (car l1) (cdr a)))
+                                      ((= j 1)
+                                       (let ((x (cdr a)))
+                                         (set-cdr! a '())
+                                         x))
+                                    '())))))))))
+    (length (car (last-pair l)))))
+(destructive 600 50)
+"""
+
+DIV_ITER = """
+(define (create-n n)
+  (do ((n n (- n 1)) (a '() (cons '() a)))
+      ((= n 0) a)))
+(define (iterative-div2 l)
+  (do ((l l (cddr l)) (a '() (cons (car l) a)))
+      ((null? l) a)))
+(define (div-iter-run outer size)
+  (let ((ll (create-n size)))
+    (let loop ((i outer) (result '()))
+      (if (zero? i)
+          (length result)
+          (loop (- i 1) (iterative-div2 ll))))))
+(div-iter-run 400 200)
+"""
+
+DIV_REC = """
+(define (create-n n)
+  (do ((n n (- n 1)) (a '() (cons '() a)))
+      ((= n 0) a)))
+(define (recursive-div2 l)
+  (if (null? l)
+      '()
+      (cons (car l) (recursive-div2 (cddr l)))))
+(define (div-rec-run outer size)
+  (let ((ll (create-n size)))
+    (let loop ((i outer) (result '()))
+      (if (zero? i)
+          (length result)
+          (loop (- i 1) (recursive-div2 ll))))))
+(div-rec-run 400 200)
+"""
+
+# ---------------------------------------------------------------------------
+# browse
+# ---------------------------------------------------------------------------
+
+BROWSE = """
+(define *properties* '())
+(define (get-prop sym prop)
+  (let ((cell (assq sym *properties*)))
+    (if cell
+        (let ((hit (assq prop (cdr cell))))
+          (if hit (cdr hit) #f))
+        #f)))
+(define (put-prop sym prop val)
+  (let ((cell (assq sym *properties*)))
+    (if cell
+        (let ((hit (assq prop (cdr cell))))
+          (if hit
+              (set-cdr! hit val)
+              (set-cdr! cell (cons (cons prop val) (cdr cell)))))
+        (set! *properties*
+              (cons (cons sym (cons (cons prop val) '())) *properties*)))))
+
+(define *rand* 21)
+(define (init-rand) (set! *rand* 21))
+(define (next-rand)
+  (set! *rand* (remainder (* *rand* 17) 251))
+  *rand*)
+
+(define *symbol-count* 0)
+(define (generate-symbol)
+  (set! *symbol-count* (+ *symbol-count* 1))
+  (string->symbol (string-append "g" (number->string *symbol-count*))))
+
+(define (match pat dat alist)
+  (cond ((null? pat) (null? dat))
+        ((null? dat) #f)
+        ((or (eq? (car pat) '?) (eq? (car pat) (car dat)))
+         (match (cdr pat) (cdr dat) alist))
+        ((eq? (car pat) '*)
+         (or (match (cdr pat) dat alist)
+             (match (cdr pat) (cdr dat) alist)
+             (match pat (cdr dat) alist)))
+        ((atom? (car pat))
+         (if (atom? (car dat))
+             #f
+             (match (cdr pat) (cdr dat) alist)))
+        ((and (not (atom? (car pat))) (not (atom? (car dat))))
+         (and (match (car pat) (car dat) alist)
+              (match (cdr pat) (cdr dat) alist)))
+        (else #f)))
+
+(define (init-database n m npats ipats)
+  (let loop ((n n) (acc '()))
+    (if (zero? n)
+        acc
+        (let ((name (generate-symbol)))
+          (put-prop name 'pattern
+            (let inner ((i npats) (pats ipats) (acc '()))
+              (if (zero? i)
+                  acc
+                  (inner (- i 1)
+                         (if (null? (cdr pats)) ipats (cdr pats))
+                         (cons (car pats) acc)))))
+          (let fill ((i (remainder (next-rand) m)) (acc2 '()))
+            (if (zero? i)
+                (put-prop name 'filler acc2)
+                (fill (- i 1) (cons '(a b) acc2))))
+          (loop (- n 1) (cons name acc))))))
+
+(define (browse-run)
+  (init-rand)
+  (let ((patterns '((a a a b b b b a a a a a b b a a a)
+                    (a a b b b b a a (a a) (b b))
+                    (a a a b (b a) b a b a)))
+        (db (init-database 40 8 4
+                           '((a a b b (a a) (b b))
+                             (? ? * (b a) * ? ?)
+                             (a (? ?) b * a)))))
+    (let loop ((ps patterns) (hits 0))
+      (if (null? ps)
+          hits
+          (loop (cdr ps)
+                (+ hits
+                   (fold-left
+                     (lambda (acc name)
+                       (fold-left
+                         (lambda (acc2 pat)
+                           (if (match (car ps) pat '()) (+ acc2 1) acc2))
+                         acc
+                         (get-prop name 'pattern)))
+                     0
+                     db)))))))
+(browse-run)
+"""
+
+# ---------------------------------------------------------------------------
+# boyer (reduced rule set, same algorithm)
+# ---------------------------------------------------------------------------
+
+BOYER = """
+(define *rules* '())
+(define (get-rules op)
+  (let ((hit (assq op *rules*)))
+    (if hit (cdr hit) '())))
+(define (add-lemma term)
+  (let ((op (car (cadr term))))
+    (let ((hit (assq op *rules*)))
+      (if hit
+          (set-cdr! hit (cons term (cdr hit)))
+          (set! *rules* (cons (cons op (cons term '())) *rules*))))))
+
+(define unify-subst '())
+
+(define (one-way-unify term1 term2)
+  (set! unify-subst '())
+  (one-way-unify1 term1 term2))
+(define (one-way-unify1 term1 term2)
+  (cond ((atom? term2)
+         (let ((temp (assq term2 unify-subst)))
+           (cond (temp (equal? term1 (cdr temp)))
+                 (else
+                  (set! unify-subst (cons (cons term2 term1) unify-subst))
+                  #t))))
+        ((atom? term1) #f)
+        ((eq? (car term1) (car term2))
+         (one-way-unify1-lst (cdr term1) (cdr term2)))
+        (else #f)))
+(define (one-way-unify1-lst lst1 lst2)
+  (cond ((null? lst1) (null? lst2))
+        ((null? lst2) #f)
+        ((one-way-unify1 (car lst1) (car lst2))
+         (one-way-unify1-lst (cdr lst1) (cdr lst2)))
+        (else #f)))
+
+(define (apply-subst alist term)
+  (cond ((atom? term)
+         (let ((temp (assq term alist)))
+           (if temp (cdr temp) term)))
+        (else (cons (car term) (apply-subst-lst alist (cdr term))))))
+(define (apply-subst-lst alist lst)
+  (if (null? lst)
+      '()
+      (cons (apply-subst alist (car lst))
+            (apply-subst-lst alist (cdr lst)))))
+
+(define (rewrite term)
+  (cond ((atom? term) term)
+        (else
+         (rewrite-with-lemmas
+           (cons (car term) (rewrite-args (cdr term)))
+           (get-rules (car term))))))
+(define (rewrite-args lst)
+  (if (null? lst)
+      '()
+      (cons (rewrite (car lst)) (rewrite-args (cdr lst)))))
+(define (rewrite-with-lemmas term lst)
+  (cond ((null? lst) term)
+        ((one-way-unify term (cadr (car lst)))
+         (rewrite (apply-subst unify-subst (caddr (car lst)))))
+        (else (rewrite-with-lemmas term (cdr lst)))))
+
+(define (truep x lst)
+  (or (equal? x '(t)) (member x lst)))
+(define (falsep x lst)
+  (or (equal? x '(f)) (member x lst)))
+
+(define (tautologyp x true-lst false-lst)
+  (cond ((truep x true-lst) #t)
+        ((falsep x false-lst) #f)
+        ((atom? x) #f)
+        ((eq? (car x) 'if)
+         (cond ((truep (cadr x) true-lst)
+                (tautologyp (caddr x) true-lst false-lst))
+               ((falsep (cadr x) false-lst)
+                (tautologyp (cadddr x) true-lst false-lst))
+               (else
+                (and (tautologyp (caddr x)
+                                 (cons (cadr x) true-lst)
+                                 false-lst)
+                     (tautologyp (cadddr x)
+                                 true-lst
+                                 (cons (cadr x) false-lst))))))
+        (else #f)))
+
+(define (tautp x) (tautologyp (rewrite x) '() '()))
+
+(define (setup)
+  (add-lemma '(equal (compile form)
+                     (reverse (codegen (optimize form) (nil)))))
+  (add-lemma '(equal (eqp x y) (equal (fix x) (fix y))))
+  (add-lemma '(equal (greaterp x y) (lessp y x)))
+  (add-lemma '(equal (lesseqp x y) (not (lessp y x))))
+  (add-lemma '(equal (greatereqp x y) (not (lessp x y))))
+  (add-lemma '(equal (boolean x) (or (equal x (t)) (equal x (f)))))
+  (add-lemma '(equal (iff x y) (and (implies x y) (implies y x))))
+  (add-lemma '(equal (even1 x) (if (zerop x) (t) (odd (sub1 x)))))
+  (add-lemma '(equal (countps- l pred) (countps-loop l pred (zero))))
+  (add-lemma '(equal (fact- i) (fact-loop i 1)))
+  (add-lemma '(equal (reverse- x) (reverse-loop x (nil))))
+  (add-lemma '(equal (divides x y) (zerop (remainder y x))))
+  (add-lemma '(equal (assume-true var alist) (cons (cons var (t)) alist)))
+  (add-lemma '(equal (assume-false var alist) (cons (cons var (f)) alist)))
+  (add-lemma '(equal (tautology-checker x) (tautologyp (normalize x) (nil))))
+  (add-lemma '(equal (falsify x) (falsify1 (normalize x) (nil))))
+  (add-lemma '(equal (prime x) (and (not (zerop x))
+                                    (not (equal x (add1 (zero))))
+                                    (prime1 x (sub1 x)))))
+  (add-lemma '(equal (and p q) (if p (if q (t) (f)) (f))))
+  (add-lemma '(equal (or p q) (if p (t) (if q (t) (f)))))
+  (add-lemma '(equal (not p) (if p (f) (t))))
+  (add-lemma '(equal (implies p q) (if p (if q (t) (f)) (t))))
+  (add-lemma '(equal (plus (plus x y) z) (plus x (plus y z))))
+  (add-lemma '(equal (equal (plus a b) (zero)) (and (zerop a) (zerop b))))
+  (add-lemma '(equal (difference x x) (zero)))
+  (add-lemma '(equal (equal (plus a b) (plus a c)) (equal b c)))
+  (add-lemma '(equal (equal (zero) (difference x y)) (not (lessp y x))))
+  (add-lemma '(equal (equal x (difference x y))
+                     (and (numberp x) (or (equal x (zero)) (zerop y)))))
+  (add-lemma '(equal (equal (times a b) (zero)) (or (zerop a) (zerop b))))
+  (add-lemma '(equal (lessp (remainder x y) y) (not (zerop y))))
+  (add-lemma '(equal (remainder x x) (zero)))
+  (add-lemma '(equal (times x (plus y z)) (plus (times x y) (times x z))))
+  (add-lemma '(equal (times (times x y) z) (times x (times y z))))
+  (add-lemma '(equal (equal (times x y) (zero)) (or (zerop x) (zerop y))))
+  (add-lemma '(equal (length (reverse x)) (length x)))
+  (add-lemma '(equal (member x (append a b)) (or (member x a) (member x b))))
+  (add-lemma '(equal (member x (reverse y)) (member x y)))
+  (add-lemma '(equal (nth (zero) i) (zero)))
+  (add-lemma '(equal (exp i (plus j k)) (times (exp i j) (exp i k))))
+  (add-lemma '(equal (flatten (cdr (gopher x)))
+                     (if (listp x) (cdr (flatten x)) (cons (zero) (nil))))))
+
+(define (boyer-test)
+  (tautp
+    (apply-subst
+      '((x f (plus (plus a b) (plus c (zero))))
+        (y f (times (times a b) (plus c d)))
+        (z f (reverse (append (append a b) (nil))))
+        (u equal (plus a b) (difference x y))
+        (w lessp (remainder a b) (member a (length b))))
+      '(implies (and (implies x y)
+                     (and (implies y z)
+                          (and (implies z u) (implies u w))))
+                (implies x w)))))
+
+(define (boyer-run n)
+  (setup)
+  (let loop ((i n) (r #f))
+    (if (zero? i) r (loop (- i 1) (boyer-test)))))
+(boyer-run 3)
+"""
+
+# ---------------------------------------------------------------------------
+# puzzle (reduced board, same code structure)
+# ---------------------------------------------------------------------------
+
+PUZZLE = """
+(define size 131)
+(define classmax 3)
+(define typemax 12)
+
+(define *iii* 0)
+(define *kount* 0)
+(define *d* 5)
+
+(define piececount (make-vector (+ classmax 1) 0))
+(define class (make-vector (+ typemax 1) 0))
+(define piecemax (make-vector (+ typemax 1) 0))
+(define puzzle (make-vector (+ size 140) #t))
+(define p (make-vector (+ typemax 1) #f))
+
+(define (fit i j)
+  (let ((end (vector-ref piecemax i)))
+    (let loop ((k 0))
+      (cond ((> k end) #t)
+            ((and (vector-ref (vector-ref p i) k)
+                  (vector-ref puzzle (+ j k)))
+             #f)
+            (else (loop (+ k 1)))))))
+
+(define (place i j)
+  (let ((end (vector-ref piecemax i)))
+    (do ((k 0 (+ k 1)))
+        ((> k end))
+      (if (vector-ref (vector-ref p i) k)
+          (vector-set! puzzle (+ j k) #t)))
+    (vector-set! piececount (vector-ref class i)
+                 (- (vector-ref piececount (vector-ref class i)) 1))
+    (let loop ((k j))
+      (cond ((> k size) (set! *iii* 0) 0)
+            ((vector-ref puzzle k) (loop (+ k 1)))
+            (else (set! *iii* k) k)))))
+
+(define (puzzle-remove i j)
+  (let ((end (vector-ref piecemax i)))
+    (do ((k 0 (+ k 1)))
+        ((> k end))
+      (if (vector-ref (vector-ref p i) k)
+          (vector-set! puzzle (+ j k) #f)))
+    (vector-set! piececount (vector-ref class i)
+                 (+ (vector-ref piececount (vector-ref class i)) 1))))
+
+(define (trial j)
+  (let ((k 0))
+    (call/cc
+      (lambda (return)
+        (do ((i 0 (+ i 1)))
+            ((> i typemax) (set! *kount* (+ *kount* 1)) (return #f))
+          (if (not (zero? (vector-ref piececount (vector-ref class i))))
+              (if (fit i j)
+                  (begin
+                    (set! k (place i j))
+                    (if (or (trial k) (zero? k))
+                        (begin
+                          (set! *kount* (+ *kount* 1))
+                          (return #t))
+                        (puzzle-remove i j))))))))))
+
+(define (definepiece iclass ii jj kk)
+  (let ((index 0))
+    (do ((i 0 (+ i 1)))
+        ((> i ii))
+      (do ((j 0 (+ j 1)))
+          ((> j jj))
+        (do ((k 0 (+ k 1)))
+            ((> k kk))
+          (set! index (+ i (* *d* (+ j (* *d* k)))))
+          (vector-set! (vector-ref p *iii*) index #t))))
+    (vector-set! class *iii* iclass)
+    (vector-set! piecemax *iii* index)
+    (if (not (= *iii* typemax))
+        (set! *iii* (+ *iii* 1)))))
+
+(define (start)
+  (do ((m 0 (+ m 1)))
+      ((> m size))
+    (vector-set! puzzle m #t))
+  (do ((i 1 (+ i 1)))
+      ((> i 4))
+    (do ((j 1 (+ j 1)))
+        ((> j 4))
+      (do ((k 1 (+ k 1)))
+          ((> k 4))
+        (vector-set! puzzle (+ i (* *d* (+ j (* *d* k)))) #f))))
+  (do ((i 0 (+ i 1)))
+      ((> i typemax))
+    (vector-set! p i (make-vector (+ size 1) #f)))
+  (do ((i 0 (+ i 1)))
+      ((> i classmax))
+    (vector-set! piececount i 0))
+  (set! *iii* 0)
+  (definepiece 0 3 1 0)
+  (definepiece 0 1 0 3)
+  (definepiece 0 0 3 1)
+  (definepiece 0 1 3 0)
+  (definepiece 0 3 0 1)
+  (definepiece 0 0 1 3)
+  (definepiece 1 1 0 0)
+  (definepiece 1 0 1 0)
+  (definepiece 1 0 0 1)
+  (definepiece 2 1 1 0)
+  (definepiece 2 1 0 1)
+  (definepiece 2 0 1 1)
+  (definepiece 3 1 1 1)
+  (vector-set! piececount 0 6)
+  (vector-set! piececount 1 4)
+  (vector-set! piececount 2 1)
+  (vector-set! piececount 3 1)
+  (let ((n (+ 1 (* *d* (+ 1 *d*)))))
+    (if (fit 0 n)
+        (set! n (place 0 n))
+        (display "error"))
+    (if (trial n)
+        *kount*
+        (- 0 *kount*))))
+(start)
+"""
+
+# ---------------------------------------------------------------------------
+# triang (fuel-limited search, same code)
+# ---------------------------------------------------------------------------
+
+TRIANG = """
+(define board (make-vector 16 1))
+(define sequence (make-vector 14 0))
+(define a '#(1 2 4 3 5 6 1 3 6 2 5 4 11 12 13 7 8 4 4 7 11 8 12 13 6 10
+             15 9 14 13 13 14 15 9 10 6 6))
+(define b '#(2 4 7 5 8 9 3 6 10 5 9 8 12 13 14 8 9 5 2 4 7 5 8 9 3 6 10
+             5 9 8 12 13 14 8 9 5 5))
+(define c '#(4 7 11 8 12 13 6 10 15 9 14 13 13 14 15 9 10 6 1 2 4 3 5 6 1
+             3 6 2 5 4 11 12 13 7 8 4 4))
+(define *answer* 0)
+(define *final* 0)
+(define *fuel* 45000)
+
+(define (attempt i depth)
+  (set! *fuel* (- *fuel* 1))
+  (cond ((< *fuel* 0) #f)
+        ((= depth 14)
+         (set! *answer* (+ *answer* 1))
+         #f)
+        ((and (= 1 (vector-ref board (vector-ref a i)))
+              (= 1 (vector-ref board (vector-ref b i)))
+              (= 0 (vector-ref board (vector-ref c i))))
+         (vector-set! board (vector-ref a i) 0)
+         (vector-set! board (vector-ref b i) 0)
+         (vector-set! board (vector-ref c i) 1)
+         (vector-set! sequence depth i)
+         (do ((j 0 (+ j 1)))
+             ((or (= j 36) (= depth 13)) #f)
+           (attempt j (+ depth 1)))
+         (vector-set! board (vector-ref a i) 1)
+         (vector-set! board (vector-ref b i) 1)
+         (vector-set! board (vector-ref c i) 0)
+         (set! *final* (+ *final* 1))
+         #f)
+        (else #f)))
+
+(define (triang-run)
+  (vector-set! board 5 0)
+  (do ((i 0 (+ i 1)))
+      ((= i 36))
+    (attempt i 0))
+  (list *answer* *final*))
+(triang-run)
+"""
+
+# ---------------------------------------------------------------------------
+# fft
+# ---------------------------------------------------------------------------
+
+FFT = """
+(define *pi* 3.141592653589793)
+
+(define (fft areal aimag)
+  (let ((n (- (vector-length areal) 1)))
+    (let ((nv2 (quotient n 2)) (m 0))
+      ;; compute m = log2 n
+      (let loop ((i 1))
+        (if (< i n)
+            (begin (set! m (+ m 1)) (loop (* i 2)))))
+      ;; bit-reversal permutation
+      (let ((j 1))
+        (do ((i 1 (+ i 1)))
+            ((>= i n))
+          (if (< i j)
+              (let ((tr (vector-ref areal j)) (ti (vector-ref aimag j)))
+                (vector-set! areal j (vector-ref areal i))
+                (vector-set! aimag j (vector-ref aimag i))
+                (vector-set! areal i tr)
+                (vector-set! aimag i ti)))
+          (let dec ((k nv2))
+            (if (< k j)
+                (begin (set! j (- j k)) (dec (quotient k 2)))
+                (set! j (+ j k))))))
+      ;; butterflies
+      (let loop ((le 2))
+        (if (<= le n)
+            (let ((le1 (quotient le 2)))
+              (let ((ur (vector 1.0)) (ui (vector 0.0))
+                    (wr (cos (/ *pi* le1)))
+                    (wi (- 0.0 (sin (/ *pi* le1)))))
+                (do ((j 1 (+ j 1)))
+                    ((> j le1))
+                  (do ((i j (+ i le)))
+                      ((> i n))
+                    (let ((ip (+ i le1)))
+                      (let ((tr (- (* (vector-ref areal ip) (vector-ref ur 0))
+                                   (* (vector-ref aimag ip) (vector-ref ui 0))))
+                            (ti (+ (* (vector-ref areal ip) (vector-ref ui 0))
+                                   (* (vector-ref aimag ip) (vector-ref ur 0)))))
+                        (vector-set! areal ip (- (vector-ref areal i) tr))
+                        (vector-set! aimag ip (- (vector-ref aimag i) ti))
+                        (vector-set! areal i (+ (vector-ref areal i) tr))
+                        (vector-set! aimag i (+ (vector-ref aimag i) ti)))))
+                  (let ((saved (vector-ref ur 0)))
+                    (vector-set! ur 0 (- (* saved wr) (* (vector-ref ui 0) wi)))
+                    (vector-set! ui 0 (+ (* saved wi) (* (vector-ref ui 0) wr))))))
+              (loop (* le 2))))))
+    areal))
+
+(define (fft-run times n)
+  (let ((re (make-vector (+ n 1) 0.0))
+        (im (make-vector (+ n 1) 0.0)))
+    (let loop ((t times) (checksum 0.0))
+      (if (zero? t)
+          (inexact->exact (floor (* 1000.0 checksum)))
+          (begin
+            (do ((i 1 (+ i 1)))
+                ((> i n))
+              (vector-set! re i (exact->inexact (remainder (* i 7) 10)))
+              (vector-set! im i 0.0))
+            (fft re im)
+            (loop (- t 1)
+                  (+ checksum (abs (vector-ref re 3)))))))))
+(fft-run 4 64)
+"""
+
+# ---------------------------------------------------------------------------
+# printer / reader benchmarks (string-port substitutes, see DESIGN.md)
+# ---------------------------------------------------------------------------
+
+FPRINT = """
+(define test-datum
+  '(define (compiler x)
+     (cond ((atom? x) (list 'const x))
+           ((eq? (car x) 'lambda) (list 'closure (cadr x) (caddr x)))
+           (else (cons 'call (map compiler x)))
+           (1 2 3 4 5 6 7 8 9 10 (a b c (d e (f g))) "done"))))
+
+(define (write-datum x)
+  (cond ((null? x) "()")
+        ((pair? x) (string-append "(" (write-tail x)))
+        ((symbol? x) (symbol->string x))
+        ((number? x) (number->string x))
+        ((string? x) (string-append "\\"" (string-append x "\\"")))
+        ((eq? x #t) "#t")
+        ((eq? x #f) "#f")
+        (else "#<other>")))
+(define (write-tail x)
+  (cond ((null? x) ")")
+        ((and (pair? x) (null? (cdr x)))
+         (string-append (write-datum (car x)) ")"))
+        ((pair? x)
+         (string-append (write-datum (car x))
+                        (string-append " " (write-tail (cdr x)))))
+        (else (string-append ". " (string-append (write-datum x) ")")))))
+
+(define (fprint-run n)
+  (let loop ((i n) (len 0))
+    (if (zero? i)
+        len
+        (loop (- i 1) (string-length (write-datum test-datum))))))
+(fprint-run 60)
+"""
+
+FREAD = """
+(define input
+  "(define (foo x y) (cons x (list 12 34 (bar (baz x 99)) (quux) y)))")
+
+(define (skip-spaces s i)
+  (if (and (< i (string-length s))
+           (char=? (string-ref s i) #\\space))
+      (skip-spaces s (+ i 1))
+      i))
+
+(define (read-atom s i)
+  (let loop ((j i))
+    (if (or (>= j (string-length s))
+            (char=? (string-ref s j) #\\space)
+            (char=? (string-ref s j) #\\()
+            (char=? (string-ref s j) #\\)))
+        (cons (string->symbol (substring s i j)) j)
+        (loop (+ j 1)))))
+
+(define (read-list s i)
+  (let ((i (skip-spaces s i)))
+    (if (char=? (string-ref s i) #\\))
+        (cons '() (+ i 1))
+        (let ((first (read-expr s i)))
+          (let ((rest (read-list s (cdr first))))
+            (cons (cons (car first) (car rest)) (cdr rest)))))))
+
+(define (read-expr s i)
+  (let ((i (skip-spaces s i)))
+    (if (char=? (string-ref s i) #\\()
+        (read-list s (+ i 1))
+        (read-atom s i))))
+
+(define (count-atoms x)
+  (cond ((null? x) 0)
+        ((pair? x) (+ (count-atoms (car x)) (count-atoms (cdr x))))
+        (else 1)))
+
+(define (fread-run n)
+  (let loop ((i n) (count 0))
+    (if (zero? i)
+        count
+        (loop (- i 1) (count-atoms (car (read-expr input 0)))))))
+(fread-run 40)
+"""
+
+TPRINT = """
+(define test-datum
+  '((a b c d e f g h i j k l m)
+    (1 2 3 4 5 6 7 8 9 10 11 12 13)
+    (a 1 b 2 c 3 d 4 e 5 f 6)
+    ("one" "two" "three")
+    (#t #f #t #f)))
+
+(define (tprint-run n)
+  (let loop ((i n))
+    (if (zero? i)
+        'done
+        (begin
+          (for-each (lambda (row) (display row) (newline)) test-datum)
+          (loop (- i 1))))))
+(tprint-run 120)
+"""
+
+# ---------------------------------------------------------------------------
+# fxtriang: triang with explicit fixnum operators
+# ---------------------------------------------------------------------------
+
+FXTRIANG = TRIANG.replace("(+ ", "(fx+ ").replace("(- ", "(fx- ").replace(
+    "(= ", "(fx= ").replace("(< ", "(fx< ")
+
+# ---------------------------------------------------------------------------
+# traverse
+# ---------------------------------------------------------------------------
+
+TRAVERSE = """
+;; Nodes are 6-slot vectors: 0 mark, 1 id, 2 sons, 3 parents, 4 entry, 5 extra
+(define *count* 0)
+(define *marker* 0)
+(define *root* '())
+
+(define (make-node id)
+  (let ((v (make-vector 6 0)))
+    (vector-set! v 0 #f)
+    (vector-set! v 1 id)
+    (vector-set! v 2 '())
+    (vector-set! v 3 '())
+    v))
+
+(define *rand* 21)
+(define (next-rand n)
+  (set! *rand* (remainder (+ (* *rand* 17) 7) 251))
+  (remainder *rand* n))
+
+(define (create-structure n)
+  (let ((nodes (make-vector n #f)))
+    (do ((i 0 (+ i 1)))
+        ((= i n))
+      (vector-set! nodes i (make-node i)))
+    ;; connect each node to a handful of pseudo-random others
+    (do ((i 0 (+ i 1)))
+        ((= i n))
+      (do ((j 0 (+ j 1)))
+          ((= j 3))
+        (let ((target (vector-ref nodes (next-rand n)))
+              (node (vector-ref nodes i)))
+          (vector-set! node 2 (cons target (vector-ref node 2)))
+          (vector-set! target 3 (cons node (vector-ref target 3))))))
+    (vector-ref nodes 0)))
+
+(define (traverse-node node mark)
+  (if (eqv? (vector-ref node 0) mark)
+      0
+      (begin
+        (vector-set! node 0 mark)
+        (set! *count* (+ *count* 1))
+        (fold-left (lambda (acc son) (+ acc (traverse-node son mark)))
+                   1
+                   (vector-ref node 2)))))
+
+(define (traverse-init-run n)
+  (set! *root* (create-structure n))
+  (vector-ref *root* 1))
+
+(define (traverse-run iters)
+  (set! *count* 0)
+  (let loop ((i iters))
+    (if (zero? i)
+        *count*
+        (begin
+          (set! *marker* (+ *marker* 1))
+          (traverse-node *root* *marker*)
+          (loop (- i 1))))))
+
+(traverse-init-run 120)
+(traverse-run 60)
+"""
+
+TRAVERSE_INIT = """
+;; Just the structure-creation half of traverse.
+(define (make-node id)
+  (let ((v (make-vector 6 0)))
+    (vector-set! v 0 #f)
+    (vector-set! v 1 id)
+    (vector-set! v 2 '())
+    (vector-set! v 3 '())
+    v))
+
+(define *rand* 21)
+(define (next-rand n)
+  (set! *rand* (remainder (+ (* *rand* 17) 7) 251))
+  (remainder *rand* n))
+
+(define (create-structure n)
+  (let ((nodes (make-vector n #f)))
+    (do ((i 0 (+ i 1)))
+        ((= i n))
+      (vector-set! nodes i (make-node i)))
+    (do ((i 0 (+ i 1)))
+        ((= i n))
+      (do ((j 0 (+ j 1)))
+          ((= j 3))
+        (let ((target (vector-ref nodes (next-rand n)))
+              (node (vector-ref nodes i)))
+          (vector-set! node 2 (cons target (vector-ref node 2)))
+          (vector-set! target 3 (cons node (vector-ref target 3))))))
+    n))
+
+(define (init-run times n)
+  (let loop ((i times) (total 0))
+    (if (zero? i)
+        total
+        (loop (- i 1) (+ total (create-structure n))))))
+(init-run 12 100)
+"""
+
+
+_SPECS = [
+    dict(
+        name="tak",
+        source=TAK,
+        expected="7",
+        description="Gabriel tak(18,12,6): call-intensive, effective-leaf heavy",
+        scaling="unscaled",
+    ),
+    dict(
+        name="fxtak",
+        source=FXTAK,
+        expected="7",
+        description="tak with explicit fixnum operators",
+        scaling="unscaled",
+    ),
+    dict(
+        name="takl",
+        source=TAKL,
+        expected=None,
+        description="tak on unary (list) numbers",
+        scaling="(16 10 5) instead of (18 12 6)",
+    ),
+    dict(
+        name="takr",
+        source=_takr_source(),
+        expected=None,
+        description="tak over 20 mutually recursive copies (cache-buster)",
+        scaling="20 copies of (14 10 4) instead of 100 copies of (18 12 6)",
+    ),
+    dict(
+        name="cpstak",
+        source=CPSTAK,
+        expected=None,
+        description="tak in continuation-passing style (closure-heavy)",
+        scaling="(15 10 5) instead of (18 12 6)",
+    ),
+    dict(
+        name="ctak",
+        source=CTAK,
+        expected=None,
+        description="tak via call/cc at every call",
+        scaling="(12 8 4) instead of (18 12 6)",
+        heavy=True,
+    ),
+    dict(
+        name="deriv",
+        source=DERIV,
+        expected=None,
+        description="symbolic differentiation",
+        scaling="300 iterations instead of 5000",
+    ),
+    dict(
+        name="dderiv",
+        source=DDERIV,
+        expected=None,
+        description="table-driven symbolic differentiation",
+        scaling="300 iterations instead of 5000",
+    ),
+    dict(
+        name="destruct",
+        source=DESTRUCT,
+        expected=None,
+        description="destructive list surgery (set-car!/set-cdr!)",
+        scaling="600x50 instead of 600x50x(outer repeat)",
+    ),
+    dict(
+        name="div-iter",
+        source=DIV_ITER,
+        expected="100",
+        description="iterative list halving",
+        scaling="400 iterations on a 200-list",
+    ),
+    dict(
+        name="div-rec",
+        source=DIV_REC,
+        expected="100",
+        description="recursive list halving",
+        scaling="400 iterations on a 200-list",
+    ),
+    dict(
+        name="browse",
+        source=BROWSE,
+        expected=None,
+        description="AI-database pattern matching on property lists",
+        scaling="40 units instead of 100; fewer iterations",
+    ),
+    dict(
+        name="boyer",
+        source=BOYER,
+        expected=None,
+        description="Boyer rewrite-based tautology checker",
+        scaling="~40 of the 106 lemmas; 3 repeats",
+    ),
+    dict(
+        name="puzzle",
+        source=PUZZLE,
+        expected=None,
+        description="Baskett's 3-D packing puzzle",
+        scaling="5x5x5 board with 4x4x4 cavity and a reduced piece set (original is 8x8x8 with 4 classes)",
+    ),
+    dict(
+        name="triang",
+        source=TRIANG,
+        expected=None,
+        description="triangular peg-board solitaire search",
+        scaling="fuel-limited to 45k descents (original explores fully)",
+        heavy=True,
+    ),
+    dict(
+        name="fxtriang",
+        source=FXTRIANG,
+        expected=None,
+        description="triang with explicit fixnum operators",
+        scaling="fuel-limited to 45k descents",
+        heavy=True,
+    ),
+    dict(
+        name="fft",
+        source=FFT,
+        expected=None,
+        description="64-point complex FFT over flonum vectors",
+        scaling="4 x 64-point instead of 10 x 1024-point",
+    ),
+    dict(
+        name="fprint",
+        source=FPRINT,
+        expected=None,
+        description="datum printer into strings (file-print substitute)",
+        scaling="in-memory strings instead of file I/O",
+    ),
+    dict(
+        name="fread",
+        source=FREAD,
+        expected=None,
+        description="s-expression reader over a string (file-read substitute)",
+        scaling="in-memory string instead of file I/O",
+    ),
+    dict(
+        name="tprint",
+        source=TPRINT,
+        expected=None,
+        description="terminal printing via the output port",
+        scaling="120 repetitions into an in-memory port",
+    ),
+    dict(
+        name="traverse-init",
+        source=TRAVERSE_INIT,
+        expected=None,
+        description="graph-structure creation",
+        scaling="100-node graphs, 12 repeats",
+    ),
+    dict(
+        name="traverse",
+        source=TRAVERSE,
+        expected=None,
+        description="marked graph traversal",
+        scaling="120-node graph, 60 traversals",
+    ),
+]

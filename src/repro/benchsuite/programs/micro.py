@@ -1,0 +1,82 @@
+"""Targeted microbenchmarks for individual allocator mechanisms.
+
+The Gabriel programs rarely exercise some of the paper's corner cases
+dynamically; these micros isolate them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def all_benchmarks() -> List["Benchmark"]:
+    from repro.benchsuite.programs import Benchmark
+
+    return [
+        Benchmark(
+            name="shortcircuit",
+            source=SHORTCIRCUIT,
+            expected=None,
+            description=(
+                "calls reached through short-circuit tests: the §2.1.2 "
+                "pattern where the revised St/Sf algorithm saves once "
+                "but the simple algorithm saves per call"
+            ),
+            scaling="synthetic microbenchmark (not in the paper's suite)",
+            paper=False,
+        ),
+        Benchmark(
+            name="shuffle-cycles",
+            source=SHUFFLE_CYCLES,
+            expected=None,
+            description=(
+                "argument-register permutations at every call site: "
+                "worst case for the §2.3 shuffler"
+            ),
+            scaling="synthetic microbenchmark (not in the paper's suite)",
+            paper=False,
+        ),
+    ]
+
+
+SHORTCIRCUIT = """
+;; Every f activation takes the path through BOTH the call inside the
+;; test and the call in the else arm, the §3.2 worked example's shape:
+;; the simple algorithm saves the live registers around each call,
+;; the revised algorithm hoists a single save.
+(define (h n) (even? n))
+(define (k n) (+ n 1))
+(define (f x y)
+  (+ 0 (if (if x (h y) #f)
+           y
+           (k y))))
+(define (g p q r)
+  (if (and p (h q))
+      (k r)
+      (+ 1 (k (+ q r)))))
+(let loop ((i 0) (acc 0))
+  (if (= i 3000)
+      acc
+      (loop (+ i 1)
+            (remainder (+ acc (+ (f #t i) (g (odd? i) i 7))) 1000003))))
+"""
+
+SHUFFLE_CYCLES = """
+;; Each call permutes its six argument registers with long cycles.
+(define (sink a b c d e f) (+ a (+ b (+ c (+ d (+ e f))))))
+(define (rot6 a b c d e f n)
+  (if (zero? n)
+      (sink a b c d e f)
+      (rot6 b c d e f a (- n 1))))
+(define (swapper a b c d e f n)
+  (if (zero? n)
+      (sink a b c d e f)
+      (swapper b a d c f e (- n 1))))
+(define (crossover a b c d e f n)
+  (if (zero? n)
+      (sink a b c d e f)
+      (crossover f e d c b a (- n 1))))
+(+ (rot6 1 2 3 4 5 6 2000)
+   (+ (swapper 1 2 3 4 5 6 2000)
+      (crossover 1 2 3 4 5 6 2000)))
+"""

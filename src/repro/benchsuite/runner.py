@@ -1,0 +1,90 @@
+"""Compile-run-validate machinery for the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.benchsuite.programs import Benchmark, get_benchmark
+from repro.config import CompilerConfig
+from repro.interp.interpreter import Interpreter
+from repro.pipeline import compile_source, run_compiled
+from repro.sexp.writer import write_datum
+from repro.vm.callgraph import CATEGORIES
+
+_expected_cache: Dict[str, str] = {}
+
+
+class BenchmarkRun:
+    """Results of one benchmark under one configuration."""
+
+    def __init__(self, benchmark: Benchmark, config: CompilerConfig, result) -> None:
+        self.benchmark = benchmark
+        self.config = config
+        self.result = result
+        self.counters = result.counters
+        self.classifier = result.classifier
+
+    @property
+    def value_text(self) -> str:
+        return write_datum(self.result.value)
+
+    @property
+    def stack_refs(self) -> int:
+        return self.counters.total_stack_refs
+
+    @property
+    def cycles(self) -> int:
+        return self.counters.cycles
+
+    def __repr__(self) -> str:
+        return (
+            f"<BenchmarkRun {self.benchmark.name} refs={self.stack_refs} "
+            f"cycles={self.cycles}>"
+        )
+
+
+def expected_value(benchmark: Benchmark) -> Optional[str]:
+    """The oracle value: either baked into the registry or computed
+    once with the reference interpreter and cached."""
+    if benchmark.expected is not None:
+        return benchmark.expected
+    if benchmark.name in _expected_cache:
+        return _expected_cache[benchmark.name]
+    try:
+        value = Interpreter().run_source(benchmark.source)
+    except RecursionError:  # pragma: no cover - interpreter depth limit
+        return None
+    text = write_datum(value)
+    _expected_cache[benchmark.name] = text
+    return text
+
+
+def run_benchmark(
+    name_or_bench,
+    config: Optional[CompilerConfig] = None,
+    validate: bool = True,
+    debug: bool = False,
+) -> BenchmarkRun:
+    """Compile and execute one benchmark, checking its value against
+    the reference interpreter."""
+    bench = (
+        name_or_bench
+        if isinstance(name_or_bench, Benchmark)
+        else get_benchmark(name_or_bench)
+    )
+    config = config or CompilerConfig()
+    compiled = compile_source(bench.source, config)
+    result = run_compiled(compiled, debug=debug)
+    if validate:
+        expect = expected_value(bench)
+        got = write_datum(result.value)
+        if expect is not None and got != expect:
+            raise AssertionError(
+                f"{bench.name} under {config}: produced {got}, expected {expect}"
+            )
+    return BenchmarkRun(bench, config, result)
+
+
+def classification_row(run: BenchmarkRun) -> Tuple[int, Dict[str, float]]:
+    """Table 2 row: total activations and per-category fractions."""
+    return run.classifier.total, run.classifier.fractions()

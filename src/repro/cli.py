@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+    python -m repro run program.scm --save-strategy late
+    python -m repro disasm program.scm --proc tak
+    python -m repro expand program.scm
+    python -m repro bench tak deriv --baseline
+    python -m repro table 3
+    python -m repro list
+
+Every subcommand accepts the configuration flags, so any point in the
+paper's design space can be explored from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.astnodes import pretty
+from repro.backend.isa import format_code
+from repro.config import (
+    BRANCH_PREDICTION_MODES,
+    CompilerConfig,
+    RESTORE_STRATEGIES,
+    SAVE_CONVENTIONS,
+    SAVE_STRATEGIES,
+    SHUFFLE_STRATEGIES,
+)
+from repro.pipeline import compile_source, expand_source, run_compiled
+from repro.sexp.writer import write_datum
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("allocator configuration")
+    group.add_argument(
+        "--save-strategy", choices=SAVE_STRATEGIES, default="lazy"
+    )
+    group.add_argument(
+        "--restore-strategy", choices=RESTORE_STRATEGIES, default="eager"
+    )
+    group.add_argument(
+        "--shuffle", choices=SHUFFLE_STRATEGIES, default="greedy"
+    )
+    group.add_argument(
+        "--convention", choices=SAVE_CONVENTIONS, default="caller"
+    )
+    group.add_argument("--arg-regs", type=int, default=6, metavar="N")
+    group.add_argument("--temp-regs", type=int, default=6, metavar="N")
+    group.add_argument(
+        "--baseline",
+        action="store_true",
+        help="shorthand for --arg-regs 0 --temp-regs 0",
+    )
+    group.add_argument(
+        "--lift", action="store_true", help="enable lambda lifting (§6)"
+    )
+    group.add_argument(
+        "--predict",
+        choices=[m for m in BRANCH_PREDICTION_MODES if m],
+        default=None,
+        help="branch prediction cost modelling",
+    )
+    group.add_argument("--no-prelude", action="store_true")
+    group.add_argument(
+        "--vm-debug", action="store_true", help="poison-checking VM mode"
+    )
+
+
+def _config_from(args: argparse.Namespace) -> CompilerConfig:
+    arg_regs = 0 if args.baseline else args.arg_regs
+    temp_regs = 0 if args.baseline else args.temp_regs
+    return CompilerConfig(
+        num_arg_regs=arg_regs,
+        num_temp_regs=temp_regs,
+        save_strategy=args.save_strategy,
+        restore_strategy=args.restore_strategy,
+        shuffle_strategy=args.shuffle,
+        save_convention=args.convention,
+        branch_prediction=args.predict,
+        lambda_lift=args.lift,
+    )
+
+
+def _read_program(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = _read_program(args.file)
+    config = _config_from(args)
+    compiled = compile_source(source, config, prelude=not args.no_prelude)
+    result = run_compiled(compiled, debug=args.vm_debug)
+    if result.output:
+        sys.stdout.write(result.output)
+        if not result.output.endswith("\n"):
+            sys.stdout.write("\n")
+    print(write_datum(result.value))
+    if args.counters:
+        c = result.counters
+        print(f"; instructions {c.instructions}", file=sys.stderr)
+        print(f"; cycles       {c.cycles}", file=sys.stderr)
+        print(f"; stack refs   {c.total_stack_refs}", file=sys.stderr)
+        print(f"; saves        {c.saves}", file=sys.stderr)
+        print(f"; restores     {c.restores}", file=sys.stderr)
+        print(f"; calls        {c.calls} (+{c.tail_calls} tail)", file=sys.stderr)
+        f = result.classifier.effective_leaf_fraction
+        print(f"; eff. leaves  {f:.1%}", file=sys.stderr)
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    source = _read_program(args.file)
+    config = _config_from(args)
+    compiled = compile_source(source, config, prelude=not args.no_prelude)
+    names = [r.name for r in compiled.regfile.all]
+    for code in compiled.codes:
+        if args.proc and code.name != args.proc:
+            continue
+        print(format_code(code, names))
+        print()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import allocation_report
+
+    source = _read_program(args.file)
+    config = _config_from(args)
+    compiled = compile_source(source, config, prelude=not args.no_prelude)
+    print(allocation_report(compiled, proc=args.proc))
+    return 0
+
+
+def cmd_expand(args: argparse.Namespace) -> int:
+    source = _read_program(args.file)
+    expr = expand_source(source, prelude=not args.no_prelude)
+    print(pretty(expr))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchsuite import BENCHMARKS
+    from repro.benchsuite.runner import run_benchmark
+
+    names = args.names or sorted(BENCHMARKS)
+    config = _config_from(args)
+    header = (
+        f"{'benchmark':16s} {'value':>12s} {'instrs':>11s} {'cycles':>11s} "
+        f"{'stack refs':>11s} {'eff-leaf':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        if name not in BENCHMARKS:
+            print(f"unknown benchmark {name!r}", file=sys.stderr)
+            return 1
+        run = run_benchmark(name, config, debug=args.vm_debug)
+        c = run.counters
+        print(
+            f"{name:16s} {run.value_text[:12]:>12s} {c.instructions:>11,} "
+            f"{c.cycles:>11,} {c.total_stack_refs:>11,} "
+            f"{run.classifier.effective_leaf_fraction:>9.1%}"
+        )
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    from repro.benchsuite import tables
+
+    which = args.which
+    names = args.names or None
+    if which == "2":
+        print(tables.format_table2(tables.table2(names)))
+    elif which == "3":
+        print(tables.format_table3(tables.table3(names)))
+    elif which == "4":
+        print(tables.format_table45(tables.table4(), "speedup-vs-cc"))
+    elif which == "5":
+        print(tables.format_table45(tables.table5(), "speedup-vs-early"))
+    elif which == "shuffle":
+        for key, value in tables.shuffle_stats(names).items():
+            print(f"{key:26s} {value}")
+    elif which == "sweep":
+        rows = tables.register_sweep(names or tables.FAST_NAMES)
+        print(tables.format_register_sweep(rows))
+    elif which == "restores":
+        for r in tables.restore_comparison(names or tables.FAST_NAMES):
+            print(
+                f"latency={r['latency']} {r['strategy']:5s} "
+                f"cycles={r['cycles']:,} restores={r['restores']:,}"
+            )
+    else:  # pragma: no cover - argparse restricts choices
+        return 1
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.benchsuite import BENCHMARKS
+
+    for name, bench in sorted(BENCHMARKS.items()):
+        print(f"{name:16s} {bench.description}")
+        print(f"{'':16s}   scaling: {bench.scaling}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Lazy saves, eager restores, greedy shuffling — a "
+            "reproduction of Burger, Waddell & Dybvig (PLDI 1995)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and execute a program")
+    p_run.add_argument("file", help="Scheme source file, or - for stdin")
+    p_run.add_argument(
+        "--counters", action="store_true", help="print counters to stderr"
+    )
+    _add_config_flags(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_dis = sub.add_parser("disasm", help="show generated code")
+    p_dis.add_argument("file")
+    p_dis.add_argument("--proc", help="only this procedure")
+    _add_config_flags(p_dis)
+    p_dis.set_defaults(fn=cmd_disasm)
+
+    p_rep = sub.add_parser("report", help="show the allocator's decisions")
+    p_rep.add_argument("file")
+    p_rep.add_argument("--proc", help="only this procedure")
+    _add_config_flags(p_rep)
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_exp = sub.add_parser("expand", help="show the expanded core form")
+    p_exp.add_argument("file")
+    p_exp.add_argument("--no-prelude", action="store_true")
+    p_exp.set_defaults(fn=cmd_expand)
+
+    p_bench = sub.add_parser("bench", help="run benchmarks")
+    p_bench.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    _add_config_flags(p_bench)
+    p_bench.set_defaults(fn=cmd_bench)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument(
+        "which", choices=["2", "3", "4", "5", "shuffle", "sweep", "restores"]
+    )
+    p_table.add_argument("--names", nargs="*", help="benchmark subset")
+    p_table.set_defaults(fn=cmd_table)
+
+    p_list = sub.add_parser("list", help="list benchmarks")
+    p_list.set_defaults(fn=cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

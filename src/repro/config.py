@@ -1,0 +1,132 @@
+"""Compiler and simulator configuration.
+
+A :class:`CompilerConfig` selects one point in the paper's design
+space.  The paper's headline configuration is the default: six argument
+registers, six user/temporary registers, lazy saves, eager restores,
+greedy shuffling, caller-save registers.  The baseline of Table 3 is
+:func:`CompilerConfig.baseline` — "no argument registers": every
+parameter and user variable lives on the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+SAVE_STRATEGIES = ("lazy", "lazy-simple", "early", "late")
+RESTORE_STRATEGIES = ("eager", "lazy")
+SHUFFLE_STRATEGIES = ("greedy", "naive", "spill-all", "optimal", "none")
+SAVE_CONVENTIONS = ("caller", "callee")
+BRANCH_PREDICTION_MODES = (None, "static-calls", "fallthrough")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle cost parameters for the VM.
+
+    ``load_latency`` is the number of cycles before a loaded value is
+    usable; a use before that stalls the (single-issue, in-order)
+    pipeline.  This is the mechanism behind the paper's observation
+    that eager restores hide memory latency (§2.2).
+    """
+
+    load_latency: int = 3
+    store_cost: int = 1
+    call_overhead: int = 2
+    branch_mispredict_penalty: int = 3
+
+    def validate(self) -> None:
+        if self.load_latency < 1:
+            raise ValueError("load_latency must be >= 1")
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """One register-allocation configuration.
+
+    Parameters
+    ----------
+    num_arg_regs:
+        The paper's ``c`` — how many leading actual parameters are
+        passed in registers.  The rest go on the stack.
+    num_temp_regs:
+        The paper's ``l`` — registers for user variables and compiler
+        temporaries.
+    save_strategy:
+        ``lazy`` — the paper's revised St/Sf algorithm (§2.1.3);
+        ``lazy-simple`` — the deficient simple algorithm (§2.1.1),
+        kept for the ablation study;
+        ``early`` — save on procedure entry everything any call needs;
+        ``late`` — save immediately before each call.
+    restore_strategy:
+        ``eager`` — restore right after each call everything possibly
+        referenced before the next call (§2.2); ``lazy`` — restore at
+        first use / save-region exit.
+    shuffle_strategy:
+        ``greedy`` — the paper's algorithm (§2.3, §3.1); ``naive`` —
+        fixed left-to-right evaluation with temporaries on conflict;
+        ``spill-all`` — Clinger/Hansen-style: any cycle spills every
+        argument; ``optimal`` — exhaustive-search minimum temporaries
+        (exponential; used for the §3.1 optimality statistics);
+        ``none`` — every register operand goes through a temporary
+        (the paper's pre-shuffling compiler, whose performance
+        *decreased* past two argument registers, §4).
+    save_convention:
+        ``caller`` — registers are caller-save (the paper's primary
+        model); ``callee`` — user registers are callee-save and saved
+        by the callee per ``save_strategy`` (``early`` = on entry like
+        a C compiler, ``lazy`` = inside inevitable-call regions, §2.4).
+    branch_prediction:
+        ``None`` — no prediction cost modelling; ``"static-calls"`` —
+        the §6 heuristic (call-free paths predicted likely);
+        ``"fallthrough"`` — predict not-taken everywhere (baseline).
+    lambda_lift:
+        Enable the §6 future-work pass: known procedures' free
+        variables become extra (register) arguments, bounded by
+        ``lambda_lift_max_params``.
+    """
+
+    num_arg_regs: int = 6
+    num_temp_regs: int = 6
+    lambda_lift: bool = False
+    lambda_lift_max_params: int = 6
+    peephole: bool = True
+    save_strategy: str = "lazy"
+    restore_strategy: str = "eager"
+    shuffle_strategy: str = "greedy"
+    save_convention: str = "caller"
+    branch_prediction: Optional[str] = None
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.save_strategy not in SAVE_STRATEGIES:
+            raise ValueError(f"unknown save strategy: {self.save_strategy}")
+        if self.restore_strategy not in RESTORE_STRATEGIES:
+            raise ValueError(f"unknown restore strategy: {self.restore_strategy}")
+        if self.shuffle_strategy not in SHUFFLE_STRATEGIES:
+            raise ValueError(f"unknown shuffle strategy: {self.shuffle_strategy}")
+        if self.save_convention not in SAVE_CONVENTIONS:
+            raise ValueError(f"unknown save convention: {self.save_convention}")
+        if self.branch_prediction not in BRANCH_PREDICTION_MODES:
+            raise ValueError(
+                f"unknown branch prediction mode: {self.branch_prediction}"
+            )
+        if self.num_arg_regs < 0 or self.num_temp_regs < 0:
+            raise ValueError("register counts must be non-negative")
+        if self.lambda_lift_max_params < 0:
+            raise ValueError("lambda_lift_max_params must be non-negative")
+        self.cost_model.validate()
+
+    @staticmethod
+    def paper_default() -> "CompilerConfig":
+        """The configuration behind Table 3's "Lazy Save" column."""
+        return CompilerConfig()
+
+    @staticmethod
+    def baseline() -> "CompilerConfig":
+        """Table 3's baseline: no argument or user-variable registers."""
+        return CompilerConfig(num_arg_regs=0, num_temp_regs=0)
+
+    def with_(self, **changes) -> "CompilerConfig":
+        """A copy of this configuration with the given fields replaced."""
+        return replace(self, **changes)

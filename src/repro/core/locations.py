@@ -1,0 +1,62 @@
+"""Run-time locations for variables, and per-procedure frame layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.registers import Register
+
+
+class FrameSlot:
+    """A stack-frame slot (index relative to the frame base)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"fv{self.index}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FrameSlot) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("FrameSlot", self.index))
+
+
+Location = Union[Register, FrameSlot]
+
+
+class FrameLayout:
+    """Allocates the frame slots of one procedure.
+
+    Layout, from the frame base:
+
+    * slots ``0 .. n-1``     — incoming stack-passed arguments
+    * everything after       — in allocation order: spilled variables,
+      register save homes (one per saved variable, incl. ``ret``),
+      shuffle/complex-argument temporaries, and scratch slots
+
+    Outgoing stack arguments of non-tail calls are written past the
+    frame (at ``sp + frame_size + i``), becoming the callee's incoming
+    slots after ``sp`` is advanced.
+    """
+
+    def __init__(self, incoming_stack_args: int) -> None:
+        self.incoming_stack_args = incoming_stack_args
+        self._next = incoming_stack_args
+        self.purposes: List[str] = ["incoming-arg"] * incoming_stack_args
+
+    def alloc(self, purpose: str) -> FrameSlot:
+        slot = FrameSlot(self._next)
+        self._next += 1
+        self.purposes.append(purpose)
+        return slot
+
+    @property
+    def size(self) -> int:
+        return self._next
+
+    def __repr__(self) -> str:
+        return f"<FrameLayout {self.size} slots>"

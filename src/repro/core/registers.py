@@ -1,0 +1,132 @@
+"""The register file.
+
+Mirrors the paper's run-time model (§1, §3): a set of registers is
+dedicated to procedure arguments (``a0..a{c-1}``), a set to user
+variables and compiler temporaries (``t0..t{l-1}``), plus the special
+``ret`` (return address), ``cp`` (closure pointer) and ``rv`` (return
+value) registers.  All of them are caller-save — destroyed by a call —
+unless the callee-save configuration marks the ``t`` registers
+callee-save (§2.4 / Table 5).
+
+"Liveness information is collected using a bit vector for the
+registers, implemented as an n-bit integer" (§3.1): register sets here
+are plain Python ints used as bit vectors, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class Register:
+    """One machine register."""
+
+    __slots__ = ("name", "index", "kind", "callee_save")
+
+    def __init__(self, name: str, index: int, kind: str, callee_save: bool = False) -> None:
+        self.name = name
+        self.index = index  # position in the register file and bit vector
+        self.kind = kind  # 'arg' | 'temp' | 'special'
+        self.callee_save = callee_save
+
+    @property
+    def mask(self) -> int:
+        """Singleton bit-vector for this register (a 1-bit integer)."""
+        return 1 << self.index
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+class RegisterFile:
+    """The full register file for one compiler configuration.
+
+    Register indices are stable: ``ret`` = 0, ``cp`` = 1, ``rv`` = 2,
+    argument registers next, then user/temporary registers.
+    """
+
+    def __init__(
+        self,
+        num_arg_regs: int,
+        num_temp_regs: int,
+        callee_save_temps: bool = False,
+    ) -> None:
+        if num_arg_regs < 0 or num_temp_regs < 0:
+            raise ValueError("register counts must be non-negative")
+        self.num_arg_regs = num_arg_regs
+        self.num_temp_regs = num_temp_regs
+        self.callee_save_temps = callee_save_temps
+
+        self.ret = Register("ret", 0, "special")
+        self.cp = Register("cp", 1, "special")
+        self.rv = Register("rv", 2, "special")
+        # Local-allocation scratch registers: "Other registers are used
+        # for local register allocation" (§1).  Present in every
+        # configuration — including the no-argument-register baseline,
+        # whose code generator still does local register allocation —
+        # and never assigned to variables, so they are never live
+        # across a call and need no saves.
+        self.scratch_regs: List[Register] = [
+            Register(f"s{i}", 3 + i, "scratch") for i in range(3)
+        ]
+        base = 3 + len(self.scratch_regs)
+        self.arg_regs: List[Register] = [
+            Register(f"a{i}", base + i, "arg") for i in range(num_arg_regs)
+        ]
+        self.temp_regs: List[Register] = [
+            Register(
+                f"t{i}",
+                base + num_arg_regs + i,
+                "temp",
+                callee_save=callee_save_temps,
+            )
+            for i in range(num_temp_regs)
+        ]
+        self.all: List[Register] = [
+            self.ret,
+            self.cp,
+            self.rv,
+            *self.scratch_regs,
+            *self.arg_regs,
+            *self.temp_regs,
+        ]
+        self._by_name: Dict[str, Register] = {r.name: r for r in self.all}
+
+    def __len__(self) -> int:
+        return len(self.all)
+
+    def __iter__(self) -> Iterator[Register]:
+        return iter(self.all)
+
+    def by_name(self, name: str) -> Register:
+        return self._by_name[name]
+
+    def by_index(self, index: int) -> Register:
+        return self.all[index]
+
+    @property
+    def all_mask(self) -> int:
+        """Bit vector with every register set — the paper's ``R``."""
+        return (1 << len(self.all)) - 1
+
+    def mask_to_registers(self, mask: int) -> List[Register]:
+        """Decode a bit vector into the registers it names."""
+        out = []
+        for reg in self.all:
+            if mask & reg.mask:
+                out.append(reg)
+        return out
+
+    def caller_save_mask(self) -> int:
+        """Bit vector of registers destroyed by a procedure call."""
+        mask = 0
+        for reg in self.all:
+            if not reg.callee_save:
+                mask |= reg.mask
+        return mask
+
+    def __repr__(self) -> str:
+        return (
+            f"<RegisterFile args={self.num_arg_regs} temps={self.num_temp_regs}"
+            f"{' callee-save-temps' if self.callee_save_temps else ''}>"
+        )

@@ -1,0 +1,262 @@
+"""Pass 2: redundant-save elimination and restore placement (§3.2).
+
+Two cooperating analyses over the Save-annotated tree:
+
+* **Possibly-referenced sets** (backward): for each non-tail call, the
+  variables possibly referenced after it but before the next call.
+  With the eager strategy (§2.2) these are restored immediately after
+  the call, trading occasional unnecessary loads for early issue that
+  hides memory latency.  The ``ret`` pseudo-variable is referenced at
+  every frame exit, so a call followed by a possible return restores
+  the return address eagerly too.
+
+* **Save-set threading** (forward): "When a save that is already in the
+  save set is encountered, it is eliminated."  Assignment conversion
+  guarantees a variable's home slot never goes stale, so one save per
+  path suffices.  Elimination is disabled for the ``late`` strategy —
+  its whole point is that saves sit at each call (§4).
+
+The lazy restore strategy keeps the same analysis but defers the loads
+to the code generator, which tracks stale registers per path and
+reloads at first use (and at save-region exits for variables referenced
+beyond the region — the paper's Figure 2c case).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+from repro.astnodes import (
+    Call,
+    ClosureRef,
+    Expr,
+    Fix,
+    If,
+    Let,
+    MakeClosure,
+    PrimCall,
+    Quote,
+    Ref,
+    Save,
+    Seq,
+    Var,
+)
+from repro.config import CompilerConfig
+from repro.core.liveness import (
+    CodeAllocation,
+    _referenced_vars,
+    _split_prim_operands,
+)
+from repro.core.registers import Register
+from repro.errors import CompilerError
+
+EMPTY: FrozenSet[Var] = frozenset()
+
+
+def place_restores(alloc: CodeAllocation, config: CompilerConfig) -> None:
+    """Annotate calls with their eager restore sets and eliminate
+    redundant saves in ``alloc.code.body``."""
+    body = alloc.code.body
+    _possibly_referenced(body, frozenset([alloc.ret_var]), alloc, config)
+    if config.save_strategy != "late":
+        body, _ = _eliminate(body, EMPTY)
+        alloc.code.body = body
+
+
+# ---------------------------------------------------------------------------
+# Backward: possibly-referenced-before-the-next-call
+# ---------------------------------------------------------------------------
+
+
+def _restorable(var: Var, alloc: CodeAllocation, config: CompilerConfig) -> bool:
+    """Variables that live in registers a call destroys (and so need
+    reloading).  In callee mode the ``t`` registers survive calls and
+    ``ret`` is reloaded by its callee region instead."""
+    loc = var.location
+    if not isinstance(loc, Register):
+        return False
+    if config.save_convention == "callee":
+        if loc.callee_save:
+            return False
+        if var is alloc.ret_var:
+            return False
+    return True
+
+
+def _possibly_referenced(
+    expr: Expr,
+    after: FrozenSet[Var],
+    alloc: CodeAllocation,
+    config: CompilerConfig,
+) -> FrozenSet[Var]:
+    """Return the variables possibly referenced before the next call,
+    entering *expr* given the set *after* it; annotates each non-tail
+    call's ``restores``."""
+    if isinstance(expr, Quote):
+        return after
+    if isinstance(expr, Ref):
+        return after | {expr.var}
+    if isinstance(expr, ClosureRef):
+        return after | {alloc.cp_var}
+    if isinstance(expr, PrimCall):
+        # Mirror the code generator's staging: top-level variable /
+        # closure-slot operands are read when the primitive issues
+        # (after any embedded call); the rest evaluate left to right.
+        deferred, ordered = _split_prim_operands(expr, alloc)
+        current = after | deferred
+        for arg in reversed(ordered):
+            current = _possibly_referenced(arg, current, alloc, config)
+        return current
+    if isinstance(expr, Seq):
+        current = after
+        for sub in reversed(expr.exprs):
+            current = _possibly_referenced(sub, current, alloc, config)
+        return current
+    if isinstance(expr, If):
+        then_set = _possibly_referenced(expr.then, after, alloc, config)
+        else_set = _possibly_referenced(expr.otherwise, after, alloc, config)
+        return _possibly_referenced(expr.test, then_set | else_set, alloc, config)
+    if isinstance(expr, Let):
+        body_set = _possibly_referenced(expr.body, after, alloc, config) - {expr.var}
+        return _possibly_referenced(expr.rhs, body_set, alloc, config)
+    if isinstance(expr, MakeClosure):
+        current = after
+        for sub in reversed(expr.free_exprs):
+            current = _possibly_referenced(sub, current, alloc, config)
+        return current
+    if isinstance(expr, Fix):
+        current = _possibly_referenced(expr.body, after, alloc, config)
+        for closure in reversed(expr.lambdas):
+            current = _possibly_referenced(closure, current, alloc, config)
+        return current - set(expr.vars)
+    if isinstance(expr, Save):
+        expr.refs_after = frozenset(v for v in after if v in set(expr.vars))
+        inner = _possibly_referenced(expr.body, after, alloc, config)
+        # Entering the region *reads* each saved variable's register
+        # (the save is a store of it), so an earlier call must restore
+        # them first.
+        return inner | frozenset(expr.vars)
+    if isinstance(expr, Call):
+        return _possibly_referenced_call(expr, after, alloc, config)
+    raise CompilerError(
+        f"restore placement: unexpected node {type(expr).__name__}"
+    )
+
+
+def _possibly_referenced_call(
+    call: Call,
+    after: FrozenSet[Var],
+    alloc: CodeAllocation,
+    config: CompilerConfig,
+) -> FrozenSet[Var]:
+    subs = [call.fn, *call.args]
+    if not call.tail:
+        # Restore only registers that are also *live* after the call:
+        # liveness is what drove the saves, so this intersection is the
+        # paper's invariant that every restored register was saved.
+        # (The possibly-referenced set can over-approximate liveness
+        # through save-entry reads of conservatively-live variables.)
+        live = call.live_after or EMPTY
+        call.restores = sorted(
+            (v for v in after if v in live and _restorable(v, alloc, config)),
+            key=lambda v: v.uid,
+        )
+        boundary: FrozenSet[Var] = EMPTY
+    else:
+        # A tail call is a jump that consumes ret and the argument
+        # registers; the frame sees no "after".
+        call.restores = []
+        boundary = frozenset([alloc.ret_var])
+    # Operand evaluation order is the shuffler's choice, so inner calls
+    # must treat every sibling's references as possibly-following.
+    refs = [_referenced_vars(sub, alloc) for sub in subs]
+    for i, sub in enumerate(subs):
+        siblings: FrozenSet[Var] = EMPTY
+        if len(subs) > 1:
+            siblings = frozenset().union(*(refs[j] for j in range(len(subs)) if j != i))
+        _possibly_referenced(sub, boundary | siblings, alloc, config)
+    out = boundary
+    for r in refs:
+        out |= r
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Forward: redundant-save elimination
+# ---------------------------------------------------------------------------
+
+
+def _eliminate(
+    expr: Expr, saved: FrozenSet[Var]
+) -> Tuple[Expr, FrozenSet[Var]]:
+    """Drop saves whose variables are already saved on every path
+    reaching them.  Returns the rewritten node and the saved-set after
+    it."""
+    if isinstance(expr, (Quote, Ref, ClosureRef)):
+        return expr, saved
+    if isinstance(expr, Save):
+        remaining = [v for v in expr.vars if v not in saved]
+        body, saved_out = _eliminate(expr.body, saved | frozenset(expr.vars))
+        if not remaining and not expr.callee_regs:
+            return body, saved_out
+        expr.vars = remaining
+        expr.body = body
+        return expr, saved_out
+    if isinstance(expr, PrimCall):
+        # Primitive operands are evaluated left to right by the back
+        # end, so threading is sound here.
+        current = saved
+        new_args = []
+        for arg in expr.args:
+            arg, current = _eliminate(arg, current)
+            new_args.append(arg)
+        expr.args = new_args
+        return expr, current
+    if isinstance(expr, Seq):
+        current = saved
+        new_exprs = []
+        for sub in expr.exprs:
+            sub, current = _eliminate(sub, current)
+            new_exprs.append(sub)
+        expr.exprs = new_exprs
+        return expr, current
+    if isinstance(expr, If):
+        expr.test, after_test = _eliminate(expr.test, saved)
+        expr.then, saved_then = _eliminate(expr.then, after_test)
+        expr.otherwise, saved_else = _eliminate(expr.otherwise, after_test)
+        return expr, saved_then & saved_else
+    if isinstance(expr, Let):
+        expr.rhs, current = _eliminate(expr.rhs, saved)
+        expr.body, current = _eliminate(expr.body, current)
+        return expr, current
+    if isinstance(expr, MakeClosure):
+        current = saved
+        new_subs = []
+        for sub in expr.free_exprs:
+            sub, current = _eliminate(sub, current)
+            new_subs.append(sub)
+        expr.free_exprs = new_subs
+        return expr, current
+    if isinstance(expr, Fix):
+        current = saved
+        new_closures = []
+        for closure in expr.lambdas:
+            closure, current = _eliminate(closure, current)
+            new_closures.append(closure)
+        expr.lambdas = new_closures
+        expr.body, current = _eliminate(expr.body, current)
+        return expr, current
+    if isinstance(expr, Call):
+        # The shuffler may reorder operands, so saves inside one operand
+        # must not be credited to another: each operand sees only the
+        # incoming saved-set, and additions are dropped at the join.
+        expr.fn, _ = _eliminate(expr.fn, saved)
+        new_args = []
+        for arg in expr.args:
+            arg, _ = _eliminate(arg, saved)
+            new_args.append(arg)
+        expr.args = new_args
+        return expr, saved
+    raise CompilerError(
+        f"save elimination: unexpected node {type(expr).__name__}"
+    )

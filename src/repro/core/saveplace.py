@@ -1,0 +1,381 @@
+"""Pass 1: save placement.
+
+Inserts the paper's ``(save (x ...) E)`` forms.  "Save expressions are
+introduced around procedure bodies and the then and else parts of if
+expressions, unless both branches require the same register saves"
+(§3.1) — when the branches agree, their common saves are already in the
+enclosing node's ``St ∩ Sf`` and migrate to the enclosing insertion
+point.
+
+Strategies (§4):
+
+* ``lazy``        — the revised ``St/Sf`` placement.
+* ``lazy-simple`` — the §2.1.1 simple ``S[E]`` placement (too lazy on
+                    short-circuit booleans; kept for the ablation).
+* ``early``       — everything any call in the body needs is saved at
+                    procedure entry: no redundant saves, but
+                    non-syntactic leaf activations pay for calls they
+                    never make.
+* ``late``        — each call is wrapped with exactly the registers
+                    live after it: effective leaves pay nothing, but
+                    paths with several calls save repeatedly (pass 2's
+                    redundant-save elimination is disabled for this
+                    strategy, as in the paper's description).
+
+Callee-save placement (§2.4, Table 5) wraps *callee regions* instead:
+``early`` saves the used callee-save registers in the prologue;
+``lazy`` pushes the region down into tail-position branches where a
+call is inevitable (``ret ∈ St ∩ Sf``), so effective leaf paths never
+touch them.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from repro.astnodes import (
+    Call,
+    ClosureRef,
+    Expr,
+    Fix,
+    If,
+    Let,
+    MakeClosure,
+    PrimCall,
+    Quote,
+    Ref,
+    Save,
+    Seq,
+    Var,
+    walk,
+)
+from repro.config import CompilerConfig
+from repro.core.liveness import CodeAllocation
+from repro.core.registers import Register
+from repro.core.savesets import SaveAnalysis
+from repro.core.shuffle import contains_call
+from repro.errors import CompilerError
+
+
+def place_saves(
+    alloc: CodeAllocation, analysis: SaveAnalysis, config: CompilerConfig
+) -> None:
+    """Wrap ``alloc.code.body`` with Save forms per the configuration.
+
+    Also records ``always_calls`` on the code object (used by the
+    Table 2 activation classifier)."""
+    code = alloc.code
+    code.always_calls = analysis.always_calls(code.body)
+    if config.save_convention == "callee":
+        _place_callee(alloc, analysis, config)
+        return
+    strategy = config.save_strategy
+    scope = _entry_scope(alloc)
+    if strategy in ("lazy", "lazy-simple"):
+        simple = strategy == "lazy-simple"
+        body = _wrap_lazy(code.body, analysis, alloc, simple, scope=scope)
+        top = _set_of(code.body, analysis, simple) & scope
+        code.body = _wrap(top, body, alloc)
+    elif strategy == "early":
+        body = _wrap_early(code.body, analysis, alloc)
+        top = _all_call_saves(code.body, analysis) & scope
+        code.body = _wrap(top, body, alloc)
+    elif strategy == "late":
+        code.body = _wrap_late(code.body, analysis, alloc)
+    else:  # pragma: no cover - config validates strategies
+        raise CompilerError(f"unknown save strategy {strategy}")
+
+
+def _entry_scope(alloc: CodeAllocation) -> FrozenSet[Var]:
+    """Variables already bound (and register-resident) on entry: the
+    parameters plus the ``ret``/``cp`` pseudo-variables.  A save may
+    only mention variables bound at its insertion point — a variable
+    bound *inside* the region is saved at its own binding's insertion
+    point instead."""
+    return frozenset(
+        [alloc.ret_var, alloc.cp_var]
+        + [p for p in alloc.code.params if isinstance(p.location, Register)]
+    )
+
+
+def _set_of(
+    expr: Expr, analysis: SaveAnalysis, simple: bool, keep=None
+) -> FrozenSet[Var]:
+    base = (
+        analysis.simple_save_set_of(expr)
+        if simple
+        else analysis.save_set_of(expr)
+    )
+    if keep is None:
+        return frozenset(base)
+    return frozenset(v for v in base if keep(v))
+
+
+def _wrap(vars: FrozenSet[Var], body: Expr, alloc: CodeAllocation) -> Expr:
+    if not vars:
+        return body
+    ordered = sorted(vars, key=lambda v: v.uid)
+    for var in ordered:
+        alloc.home_for(var)
+    return Save(ordered, body)
+
+
+# ---------------------------------------------------------------------------
+# Lazy placement (both revised and simple variants)
+# ---------------------------------------------------------------------------
+
+
+def _wrap_lazy(
+    expr: Expr,
+    analysis: SaveAnalysis,
+    alloc: CodeAllocation,
+    simple: bool,
+    keep=None,
+    scope: FrozenSet[Var] = frozenset(),
+) -> Expr:
+    """Recursively insert saves: at if-branches whose save requirements
+    differ, and at let/fix bodies for the newly bound variables (a save
+    may only mention variables bound at its insertion point)."""
+    def recur(sub: Expr, sc: FrozenSet[Var]) -> Expr:
+        return _wrap_lazy(sub, analysis, alloc, simple, keep, sc)
+
+    def filtered(sub: Expr, sc: FrozenSet[Var]) -> FrozenSet[Var]:
+        return _set_of(sub, analysis, simple, keep) & sc
+
+    if isinstance(expr, (Quote, Ref, ClosureRef)):
+        return expr
+    if isinstance(expr, PrimCall):
+        expr.args = [recur(a, scope) for a in expr.args]
+        return expr
+    if isinstance(expr, Seq):
+        expr.exprs = [recur(e, scope) for e in expr.exprs]
+        return expr
+    if isinstance(expr, Let):
+        expr.rhs = recur(expr.rhs, scope)
+        inner_scope = scope | ({expr.var} if isinstance(expr.var.location, Register) else frozenset())
+        need = filtered(expr.body, inner_scope) - filtered(expr.body, scope)
+        expr.body = _wrap(need, recur(expr.body, inner_scope), alloc)
+        return expr
+    if isinstance(expr, If):
+        then_set = filtered(expr.then, scope)
+        else_set = filtered(expr.otherwise, scope)
+        expr.test = recur(expr.test, scope)
+        then_inner = recur(expr.then, scope)
+        else_inner = recur(expr.otherwise, scope)
+        if then_set != else_set:
+            expr.then = _wrap(then_set, then_inner, alloc)
+            expr.otherwise = _wrap(else_set, else_inner, alloc)
+        else:
+            # Equal requirements migrate to the enclosing save point.
+            expr.then = then_inner
+            expr.otherwise = else_inner
+        return expr
+    if isinstance(expr, Call):
+        expr.fn = recur(expr.fn, scope)
+        expr.args = [recur(a, scope) for a in expr.args]
+        return expr
+    if isinstance(expr, MakeClosure):
+        expr.free_exprs = [recur(e, scope) for e in expr.free_exprs]
+        return expr
+    if isinstance(expr, Fix):
+        bound = frozenset(
+            v for v in expr.vars if isinstance(v.location, Register)
+        )
+        inner_scope = scope | bound
+        expr.lambdas = [recur(c, inner_scope) for c in expr.lambdas]
+        need = filtered(expr.body, inner_scope) - filtered(expr.body, scope)
+        expr.body = _wrap(need, recur(expr.body, inner_scope), alloc)
+        return expr
+    raise CompilerError(f"save placement: unexpected node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Early placement
+# ---------------------------------------------------------------------------
+
+
+def _all_call_saves(expr: Expr, analysis: SaveAnalysis) -> FrozenSet[Var]:
+    """Union of the save sets of every non-tail call in the body."""
+    out: Set[Var] = set()
+    for node in walk(expr):
+        if isinstance(node, Call) and not node.tail:
+            out |= analysis.call_save_set(node)
+    return frozenset(out)
+
+
+def _wrap_early(expr: Expr, analysis: SaveAnalysis, alloc: CodeAllocation) -> Expr:
+    """Early placement below the entry: each let/fix-bound variable is
+    saved immediately after binding if any call in the remaining scope
+    wants it."""
+    if isinstance(expr, (Quote, Ref, ClosureRef)):
+        return expr
+    if isinstance(expr, PrimCall):
+        expr.args = [_wrap_early(a, analysis, alloc) for a in expr.args]
+        return expr
+    if isinstance(expr, Seq):
+        expr.exprs = [_wrap_early(e, analysis, alloc) for e in expr.exprs]
+        return expr
+    if isinstance(expr, Let):
+        expr.rhs = _wrap_early(expr.rhs, analysis, alloc)
+        need = frozenset()
+        if isinstance(expr.var.location, Register):
+            need = _all_call_saves(expr.body, analysis) & {expr.var}
+        expr.body = _wrap(need, _wrap_early(expr.body, analysis, alloc), alloc)
+        return expr
+    if isinstance(expr, If):
+        expr.test = _wrap_early(expr.test, analysis, alloc)
+        expr.then = _wrap_early(expr.then, analysis, alloc)
+        expr.otherwise = _wrap_early(expr.otherwise, analysis, alloc)
+        return expr
+    if isinstance(expr, Call):
+        expr.fn = _wrap_early(expr.fn, analysis, alloc)
+        expr.args = [_wrap_early(a, analysis, alloc) for a in expr.args]
+        return expr
+    if isinstance(expr, MakeClosure):
+        expr.free_exprs = [_wrap_early(e, analysis, alloc) for e in expr.free_exprs]
+        return expr
+    if isinstance(expr, Fix):
+        bound = frozenset(v for v in expr.vars if isinstance(v.location, Register))
+        expr.lambdas = [_wrap_early(c, analysis, alloc) for c in expr.lambdas]
+        need = _all_call_saves(expr.body, analysis) & bound
+        expr.body = _wrap(need, _wrap_early(expr.body, analysis, alloc), alloc)
+        return expr
+    raise CompilerError(
+        f"early save placement: unexpected node {type(expr).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Late placement
+# ---------------------------------------------------------------------------
+
+
+def _wrap_late(expr: Expr, analysis: SaveAnalysis, alloc: CodeAllocation) -> Expr:
+    """Wrap every non-tail call with exactly its live-after registers."""
+    if isinstance(expr, (Quote, Ref, ClosureRef)):
+        return expr
+    if isinstance(expr, PrimCall):
+        expr.args = [_wrap_late(a, analysis, alloc) for a in expr.args]
+        return expr
+    if isinstance(expr, Seq):
+        expr.exprs = [_wrap_late(e, analysis, alloc) for e in expr.exprs]
+        return expr
+    if isinstance(expr, Let):
+        expr.rhs = _wrap_late(expr.rhs, analysis, alloc)
+        expr.body = _wrap_late(expr.body, analysis, alloc)
+        return expr
+    if isinstance(expr, If):
+        expr.test = _wrap_late(expr.test, analysis, alloc)
+        expr.then = _wrap_late(expr.then, analysis, alloc)
+        expr.otherwise = _wrap_late(expr.otherwise, analysis, alloc)
+        return expr
+    if isinstance(expr, Call):
+        expr.fn = _wrap_late(expr.fn, analysis, alloc)
+        expr.args = [_wrap_late(a, analysis, alloc) for a in expr.args]
+        if expr.tail:
+            return expr
+        return _wrap(analysis.call_save_set(expr), expr, alloc)
+    if isinstance(expr, MakeClosure):
+        expr.free_exprs = [_wrap_late(e, analysis, alloc) for e in expr.free_exprs]
+        return expr
+    if isinstance(expr, Fix):
+        expr.lambdas = [_wrap_late(c, analysis, alloc) for c in expr.lambdas]
+        expr.body = _wrap_late(expr.body, analysis, alloc)
+        return expr
+    raise CompilerError(f"late save placement: unexpected node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Callee-save placement (§2.4)
+# ---------------------------------------------------------------------------
+
+
+def _place_callee(
+    alloc: CodeAllocation, analysis: SaveAnalysis, config: CompilerConfig
+) -> None:
+    """Wrap callee regions.
+
+    The caller-save machinery still applies to argument-register
+    variables (they are caller-save in both conventions); the callee
+    regions cover the ``t`` registers and ``ret``.
+    """
+    code = alloc.code
+    strategy = config.save_strategy
+    # Caller-save placement for the arg-register variables first (the
+    # lazy algorithm; Table 5's variable is the *callee* strategy).
+    keep = lambda v: _caller_saved_in_callee_mode(v, alloc)
+    scope = _entry_scope(alloc)
+    body = _wrap_lazy(code.body, analysis, alloc, simple=False, keep=keep, scope=scope)
+    top_callers = _set_of(code.body, analysis, simple=False, keep=keep) & scope
+    body = _wrap(top_callers, body, alloc)
+
+    if strategy in ("early",):
+        regs = _callee_regs_used(code.body, alloc)
+        if regs:
+            code.body = Save([], body, callee_regs=regs)
+        else:
+            code.body = body
+        return
+    # Lazy callee placement: push regions into tail-position branches
+    # where a call is inevitable.
+    code.body = _wrap_callee_lazy(body, analysis, alloc)
+
+
+def _caller_saved_in_callee_mode(var: Var, alloc: CodeAllocation) -> bool:
+    """In callee mode only argument-register variables need caller
+    saves; ``t`` registers and ``ret`` are covered by callee regions."""
+    loc = var.location
+    if not isinstance(loc, Register):
+        return False
+    if var is alloc.ret_var:
+        return False
+    # Argument registers and the closure pointer stay caller-save;
+    # only the t registers and ret move to the callee regions.
+    return not loc.callee_save
+
+
+def _callee_regs_used(expr: Expr, alloc: CodeAllocation) -> List[Register]:
+    """Callee-save registers written in *expr*, plus ``ret`` when the
+    body can make a call (its prologue save is what Table 5's early
+    strategy pays for)."""
+    regs: Set[Register] = set()
+    bound: Set[Var] = set()
+    for node in walk(expr):
+        if isinstance(node, Let):
+            bound.add(node.var)
+        elif isinstance(node, Fix):
+            bound.update(node.vars)
+    for var in bound:
+        if isinstance(var.location, Register) and var.location.callee_save:
+            regs.add(var.location)
+    if contains_call(expr):
+        regs.add(alloc.regfile.ret)
+    return sorted(regs, key=lambda r: r.index)
+
+
+def _wrap_callee_lazy(
+    expr: Expr, analysis: SaveAnalysis, alloc: CodeAllocation
+) -> Expr:
+    """Wrap tail-position regions needing callee-save protection.
+
+    A region is needed wherever a callee-save register is written — by
+    a call (which clobbers ``ret``) or by binding a variable that lives
+    in a ``t`` register.  Regions are pushed down through tail-position
+    ``if``s whose tests are clean, so call-free, binding-free paths
+    (the effective-leaf fast paths) never save at all.  Every covered
+    write ends up inside a region; expressions with avoidable calls
+    that are not ``if``s are wrapped conservatively — a documented
+    over-approximation of the paper's §2.4 placement.
+    """
+    regs = _callee_regs_used(expr, alloc)
+    if not regs:
+        return expr
+    if (
+        isinstance(expr, If)
+        and not analysis.always_calls(expr)
+        and not _callee_regs_used(expr.test, alloc)
+    ):
+        expr.then = _wrap_callee_lazy(expr.then, analysis, alloc)
+        expr.otherwise = _wrap_callee_lazy(expr.otherwise, analysis, alloc)
+        return expr
+    return Save([], expr, callee_regs=regs)

@@ -1,0 +1,279 @@
+"""Save-set analysis: the simple ``S[E]`` and revised ``St/Sf`` algorithms.
+
+Section 2.1 of the paper.  For every expression ``E`` we compute:
+
+* ``St[E]`` — the registers to save around ``E`` if ``E`` evaluates to
+  true, and
+* ``Sf[E]`` — the registers to save if it evaluates to false.
+
+A register is saved around ``E`` iff it is in ``St[E] ∩ Sf[E]``.  The
+universal set ``R`` (here :data:`TOP`) marks impossible outcomes —
+``St[false] = R`` — so impossible paths do not restrict intersections.
+
+The recursive cases follow the paper's control-flow-path reading
+("along a path, union; across paths, intersection"):
+
+* ``St[(seq E1 E2)] = (St[E1] ∩ Sf[E1]) ∪ St[E2]``
+* ``St[(if E1 E2 E3)] = (St[E1] ∪ St[E2]) ∩ (Sf[E1] ∪ St[E3])``
+* ``St[call] = Sf[call] = {r | r live after the call}``
+
+and symmetrically for ``Sf``.  The simple algorithm of §2.1.1
+(``S[(if E1 E2 E3)] = S[E1] ∪ (S[E2] ∩ S[E3])``) is also implemented,
+both for the ablation benchmark and for the paper's stated relationship
+``S[E] ⊆ St[E] ∩ Sf[E]`` which our property tests verify.
+
+The element domain is the *variables* resident in registers (plus the
+``ret`` pseudo-variable); the paper's bit-vector-of-registers view is
+recovered by mapping each variable to its assigned register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple, Union
+
+from repro.astnodes import (
+    Call,
+    ClosureRef,
+    Expr,
+    Fix,
+    If,
+    Let,
+    MakeClosure,
+    PrimCall,
+    Quote,
+    Ref,
+    Save,
+    Seq,
+    Var,
+)
+from repro.core.liveness import CodeAllocation
+from repro.core.registers import Register
+from repro.errors import CompilerError
+from repro.runtime.primitives import PRIMITIVES
+
+
+class _Top:
+    """The universal register set R (identity for intersection)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "R"
+
+
+TOP = _Top()
+RSet = Union[FrozenSet[Var], _Top]
+EMPTY: FrozenSet[Var] = frozenset()
+
+# Primitives whose result is never #f: their false branch is impossible.
+_NEVER_FALSE_PRIMS = {
+    "cons",
+    "+",
+    "-",
+    "*",
+    "quotient",
+    "remainder",
+    "modulo",
+    "abs",
+    "min",
+    "max",
+    "add1",
+    "sub1",
+    "length",
+    "make-vector",
+    "vector-length",
+    "box",
+    "string-append",
+    "reverse",
+    "char->integer",
+    "integer->char",
+}
+
+
+def runion(a: RSet, b: RSet) -> RSet:
+    """Union along a path (R absorbs)."""
+    if a is TOP or b is TOP:
+        return TOP
+    return a | b
+
+
+def rinter(a: RSet, b: RSet) -> RSet:
+    """Intersection across paths (R is the identity)."""
+    if a is TOP:
+        return b
+    if b is TOP:
+        return a
+    return a & b
+
+
+def save_set(st: RSet, sf: RSet) -> FrozenSet[Var]:
+    """``St ∩ Sf`` as a concrete set (an impossible expression —
+    both R — needs no saves; it never completes)."""
+    result = rinter(st, sf)
+    return EMPTY if result is TOP else result
+
+
+class SaveAnalysis:
+    """Computes St/Sf (and the simple S) for one procedure body."""
+
+    def __init__(self, alloc: CodeAllocation) -> None:
+        self.alloc = alloc
+        self.st: Dict[int, RSet] = {}
+        self.sf: Dict[int, RSet] = {}
+        self.simple: Dict[int, FrozenSet[Var]] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def analyze(self) -> None:
+        body = self.alloc.code.body
+        self._revised(body)
+        self._simple(body)
+
+    def st_of(self, expr: Expr) -> RSet:
+        return self.st[id(expr)]
+
+    def sf_of(self, expr: Expr) -> RSet:
+        return self.sf[id(expr)]
+
+    def save_set_of(self, expr: Expr) -> FrozenSet[Var]:
+        return save_set(self.st[id(expr)], self.sf[id(expr)])
+
+    def simple_save_set_of(self, expr: Expr) -> FrozenSet[Var]:
+        return self.simple[id(expr)]
+
+    def always_calls(self, expr: Expr) -> bool:
+        """True iff every path through *expr* makes a non-tail call —
+        the §2.4 criterion ``ret ∈ St[E] ∩ Sf[E]``."""
+        return self.alloc.ret_var in self.save_set_of(expr)
+
+    def call_save_set(self, call: Call) -> FrozenSet[Var]:
+        """The registers (register-resident variables) live after a
+        non-tail call: the paper's ``S[call]``."""
+        if call.live_after is None:
+            raise CompilerError("liveness must run before save analysis")
+        return frozenset(
+            v for v in call.live_after if isinstance(v.location, Register)
+        )
+
+    # -- revised algorithm (§2.1.3) -----------------------------------------
+
+    def _revised(self, expr: Expr) -> Tuple[RSet, RSet]:
+        st, sf = self._revised_dispatch(expr)
+        self.st[id(expr)] = st
+        self.sf[id(expr)] = sf
+        return st, sf
+
+    def _revised_dispatch(self, expr: Expr) -> Tuple[RSet, RSet]:
+        if isinstance(expr, Quote):
+            if expr.value is False:
+                return TOP, EMPTY
+            return EMPTY, TOP
+        if isinstance(expr, (Ref, ClosureRef)):
+            return EMPTY, EMPTY
+        if isinstance(expr, PrimCall):
+            return self._revised_primcall(expr)
+        if isinstance(expr, Seq):
+            prefix: RSet = EMPTY
+            for sub in expr.exprs[:-1]:
+                st, sf = self._revised(sub)
+                prefix = runion(prefix, rinter(st, sf))
+            st, sf = self._revised(expr.exprs[-1])
+            return runion(prefix, st), runion(prefix, sf)
+        if isinstance(expr, Let):
+            st1, sf1 = self._revised(expr.rhs)
+            inevitable = rinter(st1, sf1)
+            st2, sf2 = self._revised(expr.body)
+            return runion(inevitable, st2), runion(inevitable, sf2)
+        if isinstance(expr, If):
+            st1, sf1 = self._revised(expr.test)
+            st2, sf2 = self._revised(expr.then)
+            st3, sf3 = self._revised(expr.otherwise)
+            st = rinter(runion(st1, st2), runion(sf1, st3))
+            sf = rinter(runion(st1, sf2), runion(sf1, sf3))
+            return st, sf
+        if isinstance(expr, Call):
+            inner: RSet = EMPTY
+            for sub in (expr.fn, *expr.args):
+                st, sf = self._revised(sub)
+                inner = runion(inner, rinter(st, sf))
+            if expr.tail:
+                # A tail call is a jump (footnote 1): the frame is dead,
+                # so the call itself forces no saves.
+                return inner, inner
+            forced = runion(inner, self.call_save_set(expr))
+            return forced, forced
+        if isinstance(expr, MakeClosure):
+            inner = EMPTY
+            for sub in expr.free_exprs:
+                st, sf = self._revised(sub)
+                inner = runion(inner, rinter(st, sf))
+            return inner, TOP  # a closure is never #f
+        if isinstance(expr, Fix):
+            prefix = EMPTY
+            for closure in expr.lambdas:
+                st, sf = self._revised(closure)
+                prefix = runion(prefix, rinter(st, sf))
+            st, sf = self._revised(expr.body)
+            return runion(prefix, st), runion(prefix, sf)
+        if isinstance(expr, Save):
+            raise CompilerError("save analysis must run before save placement")
+        raise CompilerError(f"save analysis: unexpected node {type(expr).__name__}")
+
+    def _revised_primcall(self, expr: PrimCall) -> Tuple[RSet, RSet]:
+        if expr.op == "not":
+            st, sf = self._revised(expr.args[0])
+            # Figure 1: St[(not E)] = Sf[E], Sf[(not E)] = St[E].
+            return sf, st
+        inner: RSet = EMPTY
+        for arg in expr.args:
+            st, sf = self._revised(arg)
+            inner = runion(inner, rinter(st, sf))
+        if expr.op in _NEVER_FALSE_PRIMS:
+            return inner, TOP
+        return inner, inner
+
+    # -- simple algorithm (§2.1.1) -------------------------------------------
+
+    def _simple(self, expr: Expr) -> FrozenSet[Var]:
+        result = self._simple_dispatch(expr)
+        self.simple[id(expr)] = result
+        return result
+
+    def _simple_dispatch(self, expr: Expr) -> FrozenSet[Var]:
+        if isinstance(expr, (Quote, Ref, ClosureRef)):
+            return EMPTY
+        if isinstance(expr, PrimCall):
+            out = EMPTY
+            for arg in expr.args:
+                out |= self._simple(arg)
+            return out
+        if isinstance(expr, Seq):
+            out = EMPTY
+            for sub in expr.exprs:
+                out |= self._simple(sub)
+            return out
+        if isinstance(expr, Let):
+            return self._simple(expr.rhs) | self._simple(expr.body)
+        if isinstance(expr, If):
+            s1 = self._simple(expr.test)
+            s2 = self._simple(expr.then)
+            s3 = self._simple(expr.otherwise)
+            return s1 | (s2 & s3)
+        if isinstance(expr, Call):
+            out = self._simple(expr.fn)
+            for arg in expr.args:
+                out |= self._simple(arg)
+            if expr.tail:
+                return out
+            return out | self.call_save_set(expr)
+        if isinstance(expr, MakeClosure):
+            out = EMPTY
+            for sub in expr.free_exprs:
+                out |= self._simple(sub)
+            return out
+        if isinstance(expr, Fix):
+            out = EMPTY
+            for closure in expr.lambdas:
+                out |= self._simple(closure)
+            return out | self._simple(expr.body)
+        raise CompilerError(f"save analysis: unexpected node {type(expr).__name__}")

@@ -1,0 +1,445 @@
+"""Greedy argument-register shuffling (§2.3, §3.1).
+
+Setting up a call must move new argument values into the argument
+registers while some of those values still depend on the *old* register
+contents.  The shuffler chooses an evaluation order that minimizes (and
+usually eliminates) temporaries:
+
+1. Build the dependency graph over the register-targeted operands
+   (operator included — it targets the closure-pointer register).
+   Operand *i* must be evaluated before operand *j* whenever *i* reads
+   *j*'s target register.
+2. Partition operands into *simple* (no embedded call) and *complex*.
+3. All but one complex operand are evaluated into stack temporaries
+   ("making a call would cause the previous arguments to be saved on
+   the stack anyway"); the chosen one — preferably one whose target
+   register no simple operand reads — is evaluated directly into its
+   register.
+4. Place simple operands in dependency order.
+5. On a cycle, greedily evict the operand participating in the most
+   dependencies into a temporary (a free register when available,
+   otherwise the stack) and continue.
+
+Alternative strategies implemented for the paper's comparisons:
+
+* ``naive``     — fixed left-to-right order, temporary whenever a later
+  operand reads the current target.
+* ``spill-all`` — Clinger/Hansen: any cycle spills *every* remaining
+  operand to a temporary.
+* ``optimal``   — exhaustive minimum feedback vertex set (the problem
+  the paper notes is NP-complete); used for the §3.1 optimality
+  statistics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.astnodes import (
+    Call,
+    ClosureRef,
+    Expr,
+    Fix,
+    Let,
+    MakeClosure,
+    Ref,
+    Var,
+    children,
+    walk,
+)
+from repro.core.liveness import CodeAllocation, _referenced_vars
+from repro.core.registers import Register
+from repro.errors import CompilerError
+
+
+class ShuffleItem:
+    """One operand of a call being set up.
+
+    ``index`` 0 is the operator; argument *k* has index *k+1*.
+    ``target`` is a :class:`Register` for register-passed operands or an
+    ``int`` outgoing stack slot.  ``reads`` is the set of registers the
+    operand's expression reads *as sources* (old values).
+    """
+
+    __slots__ = ("index", "expr", "target", "is_complex", "reads")
+
+    def __init__(
+        self,
+        index: int,
+        expr: Expr,
+        target,
+        is_complex: bool,
+        reads: FrozenSet[Register],
+    ) -> None:
+        self.index = index
+        self.expr = expr
+        self.target = target
+        self.is_complex = is_complex
+        self.reads = reads
+
+    def __repr__(self) -> str:
+        kind = "complex" if self.is_complex else "simple"
+        return f"<item {self.index} -> {self.target} ({kind})>"
+
+
+class ShufflePlan:
+    """The ordered move/evaluation schedule for one call site.
+
+    ``steps`` is a list of ``(kind, item)`` pairs consumed by the code
+    generator, in execution order:
+
+    * ``temp-stack-arg``   — complex stack-passed operand into a frame temp
+    * ``temp-complex``     — complex register operand into a frame temp
+    * ``direct-complex``   — the chosen complex operand straight to its register
+    * ``stack-arg``        — simple stack-passed operand into its outgoing slot
+    * ``flush-stack-temp`` — move a frame temp into its outgoing slot
+    * ``direct``           — simple operand straight into its target register
+    * ``evict``            — simple operand into a temporary (cycle break)
+    * ``flush-evict``      — move an evicted temporary to its register
+    * ``flush-complex-temp`` — move a complex frame temp to its register
+    """
+
+    __slots__ = (
+        "items",
+        "steps",
+        "had_cycle",
+        "evictions",
+        "free_temp_regs",
+        "register_items",
+    )
+
+    def __init__(self) -> None:
+        self.items: List[ShuffleItem] = []
+        self.steps: List[Tuple[str, ShuffleItem]] = []
+        self.had_cycle = False
+        self.evictions = 0
+        self.free_temp_regs: List[Register] = []
+        self.register_items: List[ShuffleItem] = []
+
+
+def contains_call(expr: Expr) -> bool:
+    """True iff *expr* contains a non-tail call — the kind that
+    clobbers the caller-save registers.  (Tail calls are jumps out of
+    the frame and cannot occur inside an operand.)"""
+    return any(
+        isinstance(node, Call) and not node.tail for node in walk(expr)
+    )
+
+
+def build_items(call: Call, alloc: CodeAllocation) -> List[ShuffleItem]:
+    """Operator + operands with their targets, reads and complexity."""
+    regfile = alloc.regfile
+    items: List[ShuffleItem] = []
+    subs = [call.fn, *call.args]
+    for index, expr in enumerate(subs):
+        if index == 0:
+            target = regfile.cp
+        elif index - 1 < regfile.num_arg_regs:
+            target = regfile.arg_regs[index - 1]
+        else:
+            target = index - 1 - regfile.num_arg_regs  # outgoing stack slot
+        reads = _operand_reads(expr, alloc)
+        items.append(ShuffleItem(index, expr, target, contains_call(expr), reads))
+    return items
+
+
+def _operand_reads(expr: Expr, alloc: CodeAllocation) -> FrozenSet[Register]:
+    """Registers this operand conflicts with as a *source*: registers
+    whose old values it reads (the ``cp`` pseudo-variable covers
+    closure-slot access) plus registers it *writes* while evaluating
+    (its internal ``let``/``fix`` bindings) — a write to another
+    operand's target forces the same before/after ordering a read
+    does."""
+    regs: Set[Register] = set()
+    for var in _referenced_vars(expr, alloc):
+        if isinstance(var.location, Register):
+            regs.add(var.location)
+    for node in walk(expr):
+        bound = []
+        if isinstance(node, Let):
+            bound = [node.var]
+        elif isinstance(node, Fix):
+            bound = node.vars
+        for var in bound:
+            if isinstance(var.location, Register):
+                regs.add(var.location)
+    return frozenset(regs)
+
+
+# ---------------------------------------------------------------------------
+# Dependency graph helpers
+# ---------------------------------------------------------------------------
+
+
+def dependency_edges(
+    items: Sequence[ShuffleItem],
+) -> Set[Tuple[int, int]]:
+    """Edges ``(i, j)`` meaning item *i* must be evaluated before item
+    *j* because *i* reads *j*'s target register.  Indices are positions
+    in *items*."""
+    edges: Set[Tuple[int, int]] = set()
+    for i, a in enumerate(items):
+        for j, b in enumerate(items):
+            if i != j and isinstance(b.target, Register) and b.target in a.reads:
+                edges.add((i, j))
+    return edges
+
+
+def minimum_evictions(n: int, edges: Set[Tuple[int, int]]) -> int:
+    """Exact minimum feedback vertex set size by exhaustive search.
+
+    This is the §3.1 "exhaustive search" comparator; call sites have at
+    most ``c + 1`` register operands, so the search space is tiny."""
+    if not _graph_cyclic(set(range(n)), edges):
+        return 0
+    nodes = list(range(n))
+    for size in range(1, n + 1):
+        for evicted in itertools.combinations(nodes, size):
+            keep = set(nodes) - set(evicted)
+            if not _graph_cyclic(keep, edges):
+                return size
+    return n
+
+
+def _graph_cyclic(nodes: Set[int], edges: Set[Tuple[int, int]]) -> bool:
+    remaining = set(nodes)
+    changed = True
+    while changed and remaining:
+        changed = False
+        for j in list(remaining):
+            if not any(
+                i != j and i in remaining and (i, j) in edges for i in remaining
+            ):
+                remaining.discard(j)
+                changed = True
+    return bool(remaining)
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+
+
+def plan_shuffle(
+    call: Call,
+    alloc: CodeAllocation,
+    strategy: str = "greedy",
+) -> ShufflePlan:
+    """Produce the evaluation schedule for one call site."""
+    regfile = alloc.regfile
+    items = build_items(call, alloc)
+    plan = ShufflePlan()
+    plan.items = items
+
+    register_items = [it for it in items if isinstance(it.target, Register)]
+    stack_items = [it for it in items if not isinstance(it.target, Register)]
+    plan.register_items = register_items
+
+    # -- complex operands -------------------------------------------------
+    complex_stack = [it for it in stack_items if it.is_complex]
+    simple_stack = [it for it in stack_items if not it.is_complex]
+    complex_regs = [it for it in register_items if it.is_complex]
+    simple_regs = [it for it in register_items if not it.is_complex]
+
+    chosen: Optional[ShuffleItem] = None
+    if complex_regs:
+        if strategy in ("naive", "none"):
+            # A fixed-order compiler sends every complex operand to a
+            # temporary; no direct-into-register optimization.
+            chosen = None
+        else:
+            # "We pick as the last complex argument one on which none
+            # of the simple arguments depend" — writing its target
+            # early must not destroy a register a simple operand still
+            # reads (the old value's save is path-conditional inside
+            # the complex operand, so it cannot be recovered from its
+            # home).  With no safe candidate, every complex operand
+            # goes through a stack temporary.
+            for candidate in complex_regs:
+                if not any(candidate.target in s.reads for s in simple_regs):
+                    chosen = candidate
+                    break
+
+    for it in complex_stack:
+        plan.steps.append(("temp-stack-arg", it))
+    for it in complex_regs:
+        if it is not chosen:
+            plan.steps.append(("temp-complex", it))
+    if chosen is not None:
+        plan.steps.append(("direct-complex", chosen))
+
+    # Outgoing stack slots may only be written once no further call can
+    # clobber the out-of-frame area.
+    for it in simple_stack:
+        plan.steps.append(("stack-arg", it))
+    for it in complex_stack:
+        plan.steps.append(("flush-stack-temp", it))
+
+    # -- simple register operands -----------------------------------------
+    _schedule_simple(plan, simple_regs, strategy)
+
+    for it in complex_regs:
+        if it is not chosen:
+            plan.steps.append(("flush-complex-temp", it))
+
+    if strategy == "none":
+        # The pre-shuffling compiler spilled argument values to stack
+        # temporaries; denying register temporaries reproduces its
+        # per-argument stack traffic.
+        plan.free_temp_regs = []
+    else:
+        plan.free_temp_regs = _free_registers(call, alloc, items)
+    return plan
+
+
+def _schedule_simple(
+    plan: ShufflePlan, simple: List[ShuffleItem], strategy: str
+) -> None:
+    if strategy == "naive":
+        _schedule_naive(plan, simple)
+        return
+    if strategy == "none":
+        # No shuffling at all: every operand through a temporary.
+        for it in simple:
+            plan.steps.append(("evict", it))
+            plan.evictions += 1
+        for it in simple:
+            plan.steps.append(("flush-evict", it))
+        edges = dependency_edges(simple)
+        plan.had_cycle = _graph_cyclic(set(range(len(simple))), edges)
+        return
+    if strategy == "optimal":
+        _schedule_optimal(plan, simple)
+        return
+    _schedule_greedy(plan, simple, spill_all=(strategy == "spill-all"))
+
+
+def _schedule_naive(plan: ShufflePlan, simple: List[ShuffleItem]) -> None:
+    """Fixed left-to-right order; a temporary whenever a later operand
+    still reads the current target."""
+    evicted: List[ShuffleItem] = []
+    for pos, it in enumerate(simple):
+        later = simple[pos + 1 :]
+        if any(it.target in other.reads for other in later):
+            plan.steps.append(("evict", it))
+            plan.evictions += 1
+            evicted.append(it)
+        else:
+            plan.steps.append(("direct", it))
+    for it in evicted:
+        plan.steps.append(("flush-evict", it))
+    edges = dependency_edges(simple)
+    plan.had_cycle = _graph_cyclic(set(range(len(simple))), edges)
+
+
+def _schedule_greedy(
+    plan: ShufflePlan, simple: List[ShuffleItem], spill_all: bool
+) -> None:
+    edges = dependency_edges(simple)
+    plan.had_cycle = _graph_cyclic(set(range(len(simple))), edges)
+    remaining = list(range(len(simple)))
+    evicted: List[ShuffleItem] = []
+    while remaining:
+        placed = None
+        for j in remaining:
+            # j can be placed (target overwritten) when no other
+            # remaining operand still reads j's target.
+            if not any(
+                i != j and (i, j) in edges for i in remaining
+            ):
+                placed = j
+                break
+        if placed is not None:
+            plan.steps.append(("direct", simple[placed]))
+            remaining.remove(placed)
+            continue
+        # Cycle: greedily evict the operand causing the most
+        # dependencies (§3.1 step 5) — or everything, for spill-all.
+        if spill_all:
+            for j in remaining:
+                plan.steps.append(("evict", simple[j]))
+                plan.evictions += 1
+                evicted.append(simple[j])
+            remaining.clear()
+            break
+        scores = {
+            j: sum(
+                1
+                for i in remaining
+                for pair in ((i, j), (j, i))
+                if i != j and pair in edges
+            )
+            for j in remaining
+        }
+        victim = max(remaining, key=lambda j: (scores[j], -j))
+        plan.steps.append(("evict", simple[victim]))
+        plan.evictions += 1
+        evicted.append(simple[victim])
+        remaining.remove(victim)
+    for it in evicted:
+        plan.steps.append(("flush-evict", it))
+
+
+def _schedule_optimal(plan: ShufflePlan, simple: List[ShuffleItem]) -> None:
+    """Exhaustively find a minimum set of evictions, then place the
+    rest in dependency order."""
+    edges = dependency_edges(simple)
+    n = len(simple)
+    plan.had_cycle = _graph_cyclic(set(range(n)), edges)
+    best: Optional[Tuple[int, ...]] = None
+    if not plan.had_cycle:
+        best = ()
+    else:
+        for size in range(1, n + 1):
+            for combo in itertools.combinations(range(n), size):
+                if not _graph_cyclic(set(range(n)) - set(combo), edges):
+                    best = combo
+                    break
+            if best is not None:
+                break
+    assert best is not None
+    evicted_idx = set(best)
+    evicted: List[ShuffleItem] = []
+    for j in sorted(evicted_idx):
+        plan.steps.append(("evict", simple[j]))
+        plan.evictions += 1
+        evicted.append(simple[j])
+    remaining = [j for j in range(n) if j not in evicted_idx]
+    while remaining:
+        for j in remaining:
+            if not any(
+                i != j and (i, j) in edges for i in remaining
+            ):
+                plan.steps.append(("direct", simple[j]))
+                remaining.remove(j)
+                break
+        else:  # pragma: no cover - eviction set guarantees progress
+            raise CompilerError("optimal shuffle failed to make progress")
+    for it in evicted:
+        plan.steps.append(("flush-evict", it))
+
+
+def _free_registers(
+    call: Call, alloc: CodeAllocation, items: List[ShuffleItem]
+) -> List[Register]:
+    """Registers usable as shuffle temporaries: not a target of this
+    call, not holding any variable still live, not read or written by
+    any operand (an operand's internal bindings write registers too),
+    and not a special register other than ``rv``."""
+    regfile = alloc.regfile
+    excluded: Set[Register] = {
+        it.target for it in items if isinstance(it.target, Register)
+    }
+    for it in items:
+        excluded |= it.reads
+    for var in (call.live_before or frozenset()) | (call.live_after or frozenset()):
+        if isinstance(var.location, Register):
+            excluded.add(var.location)
+    free: List[Register] = []
+    # rv is reserved as the code generator's produce-then-consume
+    # conduit and must never hold an eviction across other steps.
+    for reg in (*regfile.arg_regs, *regfile.temp_regs):
+        if reg not in excluded:
+            free.append(reg)
+    return free

@@ -1,0 +1,8 @@
+"""Compiler-side errors (distinct from run-time SchemeError)."""
+
+from __future__ import annotations
+
+
+class CompilerError(Exception):
+    """Raised for malformed programs: bad syntax, unbound variables,
+    wrong primitive arity, and similar static errors."""

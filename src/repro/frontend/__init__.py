@@ -1,0 +1,15 @@
+"""Front end: expansion, assignment conversion, analysis, closure conversion."""
+
+from repro.frontend.expand import expand_program, expand_expr
+from repro.frontend.assignconvert import assignment_convert
+from repro.frontend.analyze import mark_tail_calls, check_scopes
+from repro.frontend.closure import closure_convert
+
+__all__ = [
+    "expand_program",
+    "expand_expr",
+    "assignment_convert",
+    "mark_tail_calls",
+    "check_scopes",
+    "closure_convert",
+]

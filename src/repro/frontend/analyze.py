@@ -1,0 +1,136 @@
+"""Post-expansion analyses: tail-call marking and scope checking.
+
+Tail calls matter to the paper: footnote 1 — "Because tail calls in
+Scheme are essentially jumps, they are not considered calls" for the
+purposes of leaf-ness or save placement.  The allocator and the VM both
+rely on ``Call.tail``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.astnodes import (
+    Call,
+    CallCC,
+    Expr,
+    Fix,
+    If,
+    Lambda,
+    Let,
+    PrimCall,
+    Quote,
+    Ref,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.errors import CompilerError
+
+
+def mark_tail_calls(expr: Expr, tail: bool = True) -> None:
+    """Annotate every ``Call`` with whether it is in tail position.
+
+    The top-level body is treated as a procedure body (its last call is
+    a tail call).
+    """
+    if isinstance(expr, (Quote, Ref)):
+        return
+    if isinstance(expr, PrimCall):
+        for arg in expr.args:
+            mark_tail_calls(arg, False)
+        return
+    if isinstance(expr, If):
+        mark_tail_calls(expr.test, False)
+        mark_tail_calls(expr.then, tail)
+        mark_tail_calls(expr.otherwise, tail)
+        return
+    if isinstance(expr, Seq):
+        for sub in expr.exprs[:-1]:
+            mark_tail_calls(sub, False)
+        mark_tail_calls(expr.exprs[-1], tail)
+        return
+    if isinstance(expr, Let):
+        mark_tail_calls(expr.rhs, False)
+        mark_tail_calls(expr.body, tail)
+        return
+    if isinstance(expr, Lambda):
+        mark_tail_calls(expr.body, True)
+        return
+    if isinstance(expr, Fix):
+        for lam in expr.lambdas:
+            mark_tail_calls(lam, True)
+        mark_tail_calls(expr.body, tail)
+        return
+    if isinstance(expr, CallCC):
+        # call/cc is compiled as an ordinary (capturing) call followed
+        # by a return, so it is never a tail jump.
+        expr.tail = False
+        mark_tail_calls(expr.fn, False)
+        return
+    if isinstance(expr, Call):
+        expr.tail = tail
+        mark_tail_calls(expr.fn, False)
+        for arg in expr.args:
+            mark_tail_calls(arg, False)
+        return
+    if isinstance(expr, SetBang):
+        mark_tail_calls(expr.value, False)
+        return
+    raise CompilerError(f"tail marking: unexpected node {type(expr).__name__}")
+
+
+def check_scopes(expr: Expr) -> None:
+    """Verify every ``Ref`` is in the scope of its binder.
+
+    The expander's grouping of top-level defines (see DESIGN.md) can in
+    principle produce out-of-scope forward references; this pass turns
+    that into a clear error instead of a downstream crash.
+    """
+    _check(expr, set())
+
+
+def _check(expr: Expr, bound: Set[Var]) -> None:
+    if isinstance(expr, Quote):
+        return
+    if isinstance(expr, Ref):
+        if expr.var not in bound:
+            raise CompilerError(f"variable used out of scope: {expr.var!r}")
+        return
+    if isinstance(expr, PrimCall):
+        for arg in expr.args:
+            _check(arg, bound)
+        return
+    if isinstance(expr, If):
+        _check(expr.test, bound)
+        _check(expr.then, bound)
+        _check(expr.otherwise, bound)
+        return
+    if isinstance(expr, Seq):
+        for sub in expr.exprs:
+            _check(sub, bound)
+        return
+    if isinstance(expr, Let):
+        _check(expr.rhs, bound)
+        _check(expr.body, bound | {expr.var})
+        return
+    if isinstance(expr, Lambda):
+        _check(expr.body, bound | set(expr.params))
+        return
+    if isinstance(expr, Fix):
+        extended = bound | set(expr.vars)
+        for lam in expr.lambdas:
+            _check(lam, extended)
+        _check(expr.body, extended)
+        return
+    if isinstance(expr, Call):
+        _check(expr.fn, bound)
+        for arg in expr.args:
+            _check(arg, bound)
+        return
+    if isinstance(expr, SetBang):
+        if expr.var not in bound:
+            raise CompilerError(f"variable assigned out of scope: {expr.var!r}")
+        _check(expr.value, bound)
+        return
+    raise CompilerError(f"scope check: unexpected node {type(expr).__name__}")

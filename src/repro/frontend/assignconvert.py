@@ -1,0 +1,112 @@
+"""Assignment conversion.
+
+Every variable that is the target of a ``set!`` is rewritten to hold a
+heap-allocated box; references become ``unbox`` and assignments become
+``set-box!``.  Afterwards no variable is ever mutated, which is the
+property the paper relies on: "Because of assignment conversion,
+variables need to be saved only once" (section 2.1) — a saved register
+value can never go stale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.astnodes import (
+    Call,
+    Expr,
+    Fix,
+    If,
+    Lambda,
+    Let,
+    MakeClosure,
+    PrimCall,
+    Quote,
+    Ref,
+    Save,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.errors import CompilerError
+from repro.sexp.datum import UNSPECIFIED
+
+
+def assignment_convert(expr: Expr) -> Expr:
+    """Return an equivalent expression with no ``SetBang`` nodes."""
+    return _convert(expr)
+
+
+def _convert(expr: Expr) -> Expr:
+    if isinstance(expr, Quote):
+        return expr
+    if isinstance(expr, Ref):
+        if expr.var.boxed:
+            return PrimCall("unbox", [expr])
+        return expr
+    if isinstance(expr, SetBang):
+        var = expr.var
+        if not var.boxed:
+            raise CompilerError(f"set! of unboxed variable {var!r}")
+        var.referenced = True
+        return PrimCall("set-box!", [Ref(var), _convert(expr.value)])
+    if isinstance(expr, PrimCall):
+        return PrimCall(expr.op, [_convert(a) for a in expr.args])
+    if isinstance(expr, If):
+        return If(_convert(expr.test), _convert(expr.then), _convert(expr.otherwise))
+    if isinstance(expr, Seq):
+        return Seq([_convert(e) for e in expr.exprs])
+    if isinstance(expr, Let):
+        rhs = _convert(expr.rhs)
+        if expr.var.assigned:
+            expr.var.boxed = True
+            rhs = PrimCall("box", [rhs])
+        return Let(expr.var, rhs, _convert(expr.body))
+    if isinstance(expr, Lambda):
+        return _convert_lambda(expr)
+    if isinstance(expr, Fix):
+        return _convert_fix(expr)
+    if isinstance(expr, Call):
+        # type(expr) preserves the CallCC subclass.
+        return type(expr)(_convert(expr.fn), [_convert(a) for a in expr.args], expr.tail)
+    raise CompilerError(
+        f"assignment conversion: unexpected node {type(expr).__name__}"
+    )
+
+
+def _convert_lambda(lam: Lambda) -> Lambda:
+    """Boxed parameters are rebound: ``(lambda (x) ...)`` with assigned
+    ``x`` becomes ``(lambda (x*) (let ([x (box x*)]) ...))``."""
+    new_params = []
+    rebinds = []
+    for param in lam.params:
+        if param.assigned:
+            fresh = Var(param.name + "*")
+            fresh.referenced = True
+            param.boxed = True
+            new_params.append(fresh)
+            rebinds.append((param, fresh))
+        else:
+            new_params.append(param)
+    body = _convert(lam.body)
+    for param, fresh in reversed(rebinds):
+        body = Let(param, PrimCall("box", [Ref(fresh)]), body)
+    return Lambda(new_params, body, lam.name)
+
+
+def _convert_fix(fix: Fix) -> Expr:
+    """A ``Fix`` whose bound variables are assigned degrades to boxes."""
+    if not any(v.assigned for v in fix.vars):
+        return Fix(fix.vars, [_convert_lambda(l) for l in fix.lambdas], _convert(fix.body))
+    # General letrec with assignment: bind boxes, then fill them.
+    for var in fix.vars:
+        var.boxed = True
+        var.referenced = True
+    fills = [
+        PrimCall("set-box!", [Ref(var), _convert_lambda(lam)])
+        for var, lam in zip(fix.vars, fix.lambdas)
+    ]
+    body: Expr = Seq([*fills, _convert(fix.body)])
+    for var in reversed(fix.vars):
+        body = Let(var, PrimCall("box", [Quote(UNSPECIFIED)]), body)
+    return body

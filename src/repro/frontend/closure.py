@@ -1,0 +1,151 @@
+"""Closure conversion.
+
+Lifts every ``Lambda`` to a top-level :class:`CodeObject` whose body
+refers to captured variables through explicit closure slots
+(:class:`ClosureRef`).  Lambda expressions become :class:`MakeClosure`.
+``Fix`` (letrec of lambdas) survives as a special form whose right-hand
+sides are ``MakeClosure``s; the back end allocates all the closures
+first and then fills their slots, which is what makes mutual recursion
+work without boxes.
+
+This mirrors the paper's run-time model: the current closure lives in
+the dedicated ``cp`` register and free-variable access is "fast access
+to free variables" through it (section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.astnodes import (
+    Call,
+    ClosureRef,
+    CodeObject,
+    Expr,
+    Fix,
+    If,
+    Lambda,
+    Let,
+    MakeClosure,
+    PrimCall,
+    Program,
+    Quote,
+    Ref,
+    Seq,
+    Var,
+    walk,
+)
+from repro.errors import CompilerError
+
+
+def closure_convert(expr: Expr) -> Program:
+    """Convert a closed, assignment-converted expression to a Program."""
+    converter = _Converter()
+    body = converter.convert(expr, {})
+    entry = CodeObject("main", [], [], body)
+    converter.codes.append(entry)
+    for code in converter.codes:
+        code.syntactic_leaf = _is_syntactic_leaf(code)
+    return Program(converter.codes, entry)
+
+
+class _Converter:
+    def __init__(self) -> None:
+        self.codes: List[CodeObject] = []
+
+    def convert(self, expr: Expr, env: Dict[Var, Expr]) -> Expr:
+        """Rewrite *expr*; *env* maps captured variables to their access
+        expression inside the current code body."""
+        if isinstance(expr, Quote):
+            return expr
+        if isinstance(expr, Ref):
+            access = env.get(expr.var)
+            return access if access is not None else expr
+        if isinstance(expr, PrimCall):
+            return PrimCall(expr.op, [self.convert(a, env) for a in expr.args])
+        if isinstance(expr, If):
+            return If(
+                self.convert(expr.test, env),
+                self.convert(expr.then, env),
+                self.convert(expr.otherwise, env),
+            )
+        if isinstance(expr, Seq):
+            return Seq([self.convert(e, env) for e in expr.exprs])
+        if isinstance(expr, Let):
+            return Let(
+                expr.var, self.convert(expr.rhs, env), self.convert(expr.body, env)
+            )
+        if isinstance(expr, Lambda):
+            return self._convert_lambda(expr, env)
+        if isinstance(expr, Fix):
+            closures = [self._convert_lambda(lam, env) for lam in expr.lambdas]
+            return Fix(expr.vars, closures, self.convert(expr.body, env))
+        if isinstance(expr, Call):
+            # type(expr) preserves the CallCC subclass.
+            return type(expr)(
+                self.convert(expr.fn, env),
+                [self.convert(a, env) for a in expr.args],
+                expr.tail,
+            )
+        raise CompilerError(
+            f"closure conversion: unexpected node {type(expr).__name__}"
+        )
+
+    def _convert_lambda(self, lam: Lambda, env: Dict[Var, Expr]) -> MakeClosure:
+        free = sorted(free_variables(lam), key=lambda v: v.uid)
+        inner_env: Dict[Var, Expr] = {
+            var: ClosureRef(var, i) for i, var in enumerate(free)
+        }
+        body = self.convert(lam.body, inner_env)
+        code = CodeObject(lam.name, lam.params, free, body)
+        self.codes.append(code)
+        free_exprs = [self.convert(Ref(var), env) for var in free]
+        return MakeClosure(code, free_exprs)
+
+
+def free_variables(expr: Expr) -> Set[Var]:
+    """Free variables of a (pre-closure-conversion) expression."""
+    if isinstance(expr, Quote):
+        return set()
+    if isinstance(expr, Ref):
+        return {expr.var}
+    if isinstance(expr, PrimCall):
+        out: Set[Var] = set()
+        for arg in expr.args:
+            out |= free_variables(arg)
+        return out
+    if isinstance(expr, If):
+        return (
+            free_variables(expr.test)
+            | free_variables(expr.then)
+            | free_variables(expr.otherwise)
+        )
+    if isinstance(expr, Seq):
+        out = set()
+        for sub in expr.exprs:
+            out |= free_variables(sub)
+        return out
+    if isinstance(expr, Let):
+        return free_variables(expr.rhs) | (free_variables(expr.body) - {expr.var})
+    if isinstance(expr, Lambda):
+        return free_variables(expr.body) - set(expr.params)
+    if isinstance(expr, Fix):
+        out = free_variables(expr.body)
+        for lam in expr.lambdas:
+            out |= free_variables(lam)
+        return out - set(expr.vars)
+    if isinstance(expr, Call):
+        out = free_variables(expr.fn)
+        for arg in expr.args:
+            out |= free_variables(arg)
+        return out
+    raise CompilerError(f"free variables: unexpected node {type(expr).__name__}")
+
+
+def _is_syntactic_leaf(code: CodeObject) -> bool:
+    """A syntactic leaf contains no non-tail call sites (footnote 1:
+    tail calls are jumps, not calls)."""
+    for node in walk(code.body):
+        if isinstance(node, Call) and not node.tail:
+            return False
+    return True

@@ -1,0 +1,841 @@
+"""Macro expansion and alpha renaming.
+
+Translates the surface Scheme subset into the core language of
+``repro.astnodes``.  The output is fully alpha-renamed (every binding is
+a fresh :class:`Var`), all derived forms are gone, n-ary primitive
+syntax is folded to the fixed-arity core primitives, and primitive names
+used as values are eta-expanded into lambdas.
+
+Supported forms: ``quote quasiquote if set! begin lambda let let*
+letrec letrec* named-let cond case and or when unless not do define``
+plus the quotation shorthands and internal defines at the head of
+lambda/let bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.astnodes import (
+    Call,
+    CallCC,
+    Expr,
+    Fix,
+    If,
+    Lambda,
+    Let,
+    PrimCall,
+    Quote,
+    Ref,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.errors import CompilerError
+from repro.runtime.primitives import PRIMITIVES, is_primitive
+from repro.sexp.datum import (
+    NIL,
+    Pair,
+    Symbol,
+    UNSPECIFIED,
+    list_to_pairs,
+    pairs_to_list,
+)
+
+_QUOTE = Symbol("quote")
+_QUASIQUOTE = Symbol("quasiquote")
+_UNQUOTE = Symbol("unquote")
+_UNQUOTE_SPLICING = Symbol("unquote-splicing")
+_DEFINE = Symbol("define")
+_LAMBDA = Symbol("lambda")
+_ELSE = Symbol("else")
+_ARROW = Symbol("=>")
+
+
+class _Env:
+    """Compile-time environment mapping symbol names to Vars.
+
+    A name missing from every rib refers to a primitive (if one exists)
+    or is unbound.
+    """
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, parent: Optional["_Env"] = None) -> None:
+        self.bindings: Dict[str, Var] = {}
+        self.parent = parent
+
+    def bind(self, name: str) -> Var:
+        var = Var(name)
+        self.bindings[name] = var
+        return var
+
+    def bind_var(self, name: str, var: Var) -> None:
+        self.bindings[name] = var
+
+    def lookup(self, name: str) -> Optional[Var]:
+        env: Optional[_Env] = self
+        while env is not None:
+            var = env.bindings.get(name)
+            if var is not None:
+                return var
+            env = env.parent
+        return None
+
+
+# ---------------------------------------------------------------------------
+# n-ary folding rules for primitives
+# ---------------------------------------------------------------------------
+
+# name -> (core op, identity-element | None, minimum arity)
+_LEFT_FOLDS: Dict[str, Tuple[str, Optional[Any], int]] = {
+    "+": ("+", 0, 0),
+    "*": ("*", 1, 0),
+    "append": ("append", NIL, 0),
+    "string-append": ("string-append", None, 1),
+    "max": ("max", None, 1),
+    "min": ("min", None, 1),
+    "gcd": ("gcd", 0, 0),
+}
+
+_CHAINED_COMPARISONS = {"=", "<", ">", "<=", ">=", "char=?", "char<?", "string=?", "string<?"}
+
+# Aliases: Chez/Gabriel-style fixnum operators map onto the generic ones.
+_PRIM_ALIASES = {
+    "fx+": "+",
+    "fx-": "-",
+    "fx*": "*",
+    "fx=": "=",
+    "fx<": "<",
+    "fx>": ">",
+    "fx<=": "<=",
+    "fx>=": ">=",
+    "fxzero?": "zero?",
+    "fxquotient": "quotient",
+    "fxremainder": "remainder",
+    "1+": "add1",
+    "-1+": "sub1",
+    "1-": "sub1",
+    "fl+": "+",
+    "fl-": "-",
+    "fl*": "*",
+    "fl/": "/",
+    "fl<": "<",
+    "fl>": ">",
+    "fl=": "=",
+}
+
+
+def _is_cxr(name: str) -> bool:
+    return (
+        len(name) >= 3
+        and name[0] == "c"
+        and name[-1] == "r"
+        and all(ch in "ad" for ch in name[1:-1])
+        and len(name) > 3  # plain car/cdr are core primitives already
+    )
+
+
+class Expander:
+    """Expands datums to core AST, threading the lexical environment."""
+
+    def __init__(self) -> None:
+        self._gensym_counter = 0
+
+    # -- entry points ----------------------------------------------------
+
+    def expand_program(self, forms: List[Any]) -> Expr:
+        """Expand a top-level program: defines and expressions.
+
+        The result behaves like ``letrec*`` over the defines with the
+        remaining expressions as the body (see DESIGN.md for the
+        grouping rule on mutual recursion).
+        """
+        env = _Env()
+        return self._expand_body(forms, env, where="program")
+
+    def expand_expr(self, datum: Any) -> Expr:
+        """Expand a single expression with no top-level definitions."""
+        return self._expand(datum, _Env())
+
+    # -- core dispatch ----------------------------------------------------
+
+    def _expand(self, datum: Any, env: _Env) -> Expr:
+        if isinstance(datum, Symbol):
+            return self._expand_variable(datum, env)
+        if isinstance(datum, Pair):
+            return self._expand_form(datum, env)
+        if datum is NIL:
+            raise CompilerError("illegal empty combination ()")
+        # Self-evaluating: numbers, booleans, strings, chars, vectors.
+        return Quote(datum)
+
+    def _expand_variable(self, sym: Symbol, env: _Env) -> Expr:
+        var = env.lookup(sym.name)
+        if var is not None:
+            var.referenced = True
+            return Ref(var)
+        prim = _PRIM_ALIASES.get(sym.name, sym.name)
+        if _is_cxr(prim):
+            param = self._fresh("p")
+            param.referenced = True
+            body: Expr = Ref(param)
+            for op in reversed(prim[1:-1]):
+                body = PrimCall("car" if op == "a" else "cdr", [body])
+            return Lambda([param], body, name=prim)
+        if is_primitive(prim) or prim in _LEFT_FOLDS or prim in ("list", "vector"):
+            return self._eta_expand_primitive(prim)
+        raise CompilerError(f"unbound variable: {sym.name}")
+
+    def _expand_form(self, form: Pair, env: _Env) -> Expr:
+        head = form.car
+        if isinstance(head, Symbol) and env.lookup(head.name) is None:
+            handler = _SPECIAL_FORMS.get(head.name)
+            if handler is not None:
+                return handler(self, form, env)
+            return self._expand_application(form, env)
+        return self._expand_application(form, env)
+
+    # -- applications ------------------------------------------------------
+
+    def _expand_application(self, form: Pair, env: _Env) -> Expr:
+        items = pairs_to_list(form)
+        rator = items[0]
+        rands = items[1:]
+        if isinstance(rator, Symbol) and env.lookup(rator.name) is None:
+            name = _PRIM_ALIASES.get(rator.name, rator.name)
+            if _is_cxr(name):
+                return self._expand_cxr(name, rands, env)
+            if name == "list":
+                return self._expand_list_ctor(rands, env)
+            if name == "vector":
+                return self._expand_vector_ctor(rands, env)
+            if name in _LEFT_FOLDS and (
+                not is_primitive(name) or len(rands) != PRIMITIVES[name].arity
+            ):
+                return self._expand_fold(name, rands, env)
+            if name == "-" and len(rands) == 1:
+                return PrimCall("-", [Quote(0), self._expand(rands[0], env)])
+            if name == "/" and len(rands) == 1:
+                return PrimCall("/", [Quote(1), self._expand(rands[0], env)])
+            if name in _CHAINED_COMPARISONS and len(rands) > 2:
+                return self._expand_chained_comparison(name, rands, env)
+            if name == "error" and len(rands) != 2:
+                return self._expand_error(rands, env)
+            if is_primitive(name):
+                spec = PRIMITIVES[name]
+                if len(rands) != spec.arity:
+                    raise CompilerError(
+                        f"{name}: expected {spec.arity} argument(s), got {len(rands)}"
+                    )
+                return PrimCall(name, [self._expand(r, env) for r in rands])
+            raise CompilerError(f"unbound variable: {rator.name}")
+        fn = self._expand(rator, env)
+        args = [self._expand(r, env) for r in rands]
+        return Call(fn, args)
+
+    def _expand_cxr(self, name: str, rands: List[Any], env: _Env) -> Expr:
+        if len(rands) != 1:
+            raise CompilerError(f"{name}: expected 1 argument, got {len(rands)}")
+        expr = self._expand(rands[0], env)
+        for op in reversed(name[1:-1]):
+            expr = PrimCall("car" if op == "a" else "cdr", [expr])
+        return expr
+
+    def _expand_list_ctor(self, rands: List[Any], env: _Env) -> Expr:
+        result: Expr = Quote(NIL)
+        for rand in reversed([self._expand(r, env) for r in rands]):
+            result = PrimCall("cons", [rand, result])
+        return result
+
+    def _expand_vector_ctor(self, rands: List[Any], env: _Env) -> Expr:
+        exprs = [self._expand(r, env) for r in rands]
+        vec_var = self._fresh("v")
+        body: List[Expr] = []
+        for i, expr in enumerate(exprs):
+            body.append(PrimCall("vector-set!", [Ref(vec_var), Quote(i), expr]))
+        body.append(Ref(vec_var))
+        return Let(
+            vec_var,
+            PrimCall("make-vector", [Quote(len(exprs)), Quote(0)]),
+            Seq(body) if len(body) > 1 else body[0],
+        )
+
+    def _expand_fold(self, name: str, rands: List[Any], env: _Env) -> Expr:
+        op, identity, min_arity = _LEFT_FOLDS[name]
+        if len(rands) < min_arity:
+            raise CompilerError(f"{name}: expected at least {min_arity} argument(s)")
+        if not rands:
+            return Quote(identity)
+        exprs = [self._expand(r, env) for r in rands]
+        result = exprs[0]
+        for expr in exprs[1:]:
+            result = PrimCall(op, [result, expr])
+        return result
+
+    def _expand_chained_comparison(self, name: str, rands: List[Any], env: _Env) -> Expr:
+        """``(< a b c)`` becomes ``(let ([t1 a][t2 b][t3 c]) (if (< t1 t2) (< t2 t3) #f))``
+        preserving single evaluation of each operand."""
+        temps = [self._fresh("cmp") for _ in rands]
+        comparisons: Expr = Quote(True)
+        pairs = list(zip(temps, temps[1:]))
+        comparisons = PrimCall(name, [Ref(pairs[-1][0]), Ref(pairs[-1][1])])
+        for left, right in reversed(pairs[:-1]):
+            comparisons = If(PrimCall(name, [Ref(left), Ref(right)]), comparisons, Quote(False))
+        result = comparisons
+        for temp, rand in reversed(list(zip(temps, rands))):
+            result = Let(temp, self._expand(rand, env), result)
+        return result
+
+    def _expand_error(self, rands: List[Any], env: _Env) -> Expr:
+        exprs = [self._expand(r, env) for r in rands]
+        if not exprs:
+            exprs = [Quote(Symbol("error"))]
+        message = exprs[0]
+        irritants: Expr = Quote(NIL)
+        for expr in reversed(exprs[1:]):
+            irritants = PrimCall("cons", [expr, irritants])
+        return PrimCall("error", [message, irritants])
+
+    def _expand_test(self, datum: Any, env: _Env) -> Expr:
+        """Expand *datum* in boolean (test) context.
+
+        Only truthiness matters here, so ``or`` needs no temporary:
+        ``(or E1 E2)`` becomes ``(if E1 #t E2)``.  This keeps the
+        revised save-placement algorithm's path sensitivity through
+        short-circuit booleans nested in tests (§2.1.2 / Figure 1) —
+        the value-preserving ``or`` expansion would hide ``E1``'s
+        outcome behind a temporary.
+        """
+        if isinstance(datum, Pair) and isinstance(datum.car, Symbol):
+            head = datum.car
+            if env.lookup(head.name) is None:
+                if head.name == "or":
+                    items = _form_items(datum, "or", 1)
+                    result: Expr = Quote(False)
+                    for sub in reversed(items[1:]):
+                        result = If(self._expand_test(sub, env), Quote(True), result)
+                    return result
+                if head.name == "and":
+                    items = _form_items(datum, "and", 1)
+                    result = Quote(True)
+                    for sub in reversed(items[1:]):
+                        result = If(self._expand_test(sub, env), result, Quote(False))
+                    return result
+                if head.name == "not":
+                    items = _form_items(datum, "not", 2)
+                    if len(items) != 2:
+                        raise CompilerError("malformed not")
+                    return PrimCall("not", [self._expand_test(items[1], env)])
+        return self._expand(datum, env)
+
+    def _eta_expand_primitive(self, name: str) -> Expr:
+        """A primitive used as a value becomes a wrapper lambda."""
+        if name == "list":
+            # Variadic; give the common unary/binary uses via fixed arity 1.
+            raise CompilerError("'list' cannot be used as a value in this subset")
+        if not is_primitive(name):
+            raise CompilerError(f"unbound variable: {name}")
+        spec = PRIMITIVES[name]
+        params = [self._fresh(f"x{i}") for i in range(spec.arity)]
+        for param in params:
+            param.referenced = True
+        return Lambda(params, PrimCall(name, [Ref(p) for p in params]), name=name)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _fresh(self, base: str) -> Var:
+        self._gensym_counter += 1
+        return Var(f"{base}%{self._gensym_counter}")
+
+    # -- bodies with internal defines ---------------------------------------
+
+    def _expand_body(self, forms: List[Any], env: _Env, where: str) -> Expr:
+        """Expand a <body>: internal defines followed by expressions.
+
+        Consecutive ``define``s of lambdas form mutually recursive
+        :class:`Fix` groups; other defines become sequential ``Let``s.
+        All defined names are visible throughout the body (alpha-level),
+        but a value-define may not *evaluate* references to later groups
+        (checked later by the scope checker).
+        """
+        if not forms:
+            raise CompilerError(f"empty {where} body")
+        defines: List[Tuple[Symbol, Any]] = []
+        rest_index = len(forms)
+        for i, form in enumerate(forms):
+            if isinstance(form, Pair) and form.car is _DEFINE:
+                defines.append(self._parse_define(form))
+            else:
+                rest_index = i
+                break
+        else:
+            raise CompilerError(f"{where} body has definitions but no expressions")
+        exprs = forms[rest_index:]
+        for form in exprs:
+            if isinstance(form, Pair) and form.car is _DEFINE:
+                raise CompilerError("definition after expression in body")
+        if not exprs:
+            raise CompilerError(f"{where} body has definitions but no expressions")
+
+        body_env = _Env(env)
+        bound: List[Tuple[Var, Any]] = []
+        for name, rhs_datum in defines:
+            if name.name in body_env.bindings:
+                raise CompilerError(f"duplicate definition: {name.name}")
+            bound.append((body_env.bind(name.name), rhs_datum))
+
+        body_exprs = [self._expand(e, body_env) for e in exprs]
+        body: Expr = body_exprs[0] if len(body_exprs) == 1 else Seq(body_exprs)
+        return self._wrap_definitions(bound, body, body_env)
+
+    def _wrap_definitions(
+        self, bound: List[Tuple[Var, Any]], body: Expr, env: _Env
+    ) -> Expr:
+        """Wrap *body* in Fix/Let groups for the given definitions."""
+        groups: List[Tuple[str, List[Tuple[Var, Any]]]] = []
+        for var, rhs in bound:
+            is_lambda = isinstance(rhs, Pair) and rhs.car is _LAMBDA
+            kind = "fix" if is_lambda else "let"
+            if groups and groups[-1][0] == kind == "fix":
+                groups[-1][1].append((var, rhs))
+            else:
+                groups.append((kind, [(var, rhs)]))
+        result = body
+        for kind, group in reversed(groups):
+            if kind == "fix":
+                lams = []
+                for var, rhs in group:
+                    lam = self._expand(rhs, env)
+                    assert isinstance(lam, Lambda)
+                    lam.name = var.name
+                    lams.append(lam)
+                result = Fix([v for v, _ in group], lams, result)
+            else:
+                (var, rhs) = group[0]
+                result = Let(var, self._expand(rhs, env), result)
+        return result
+
+    def _parse_define(self, form: Pair) -> Tuple[Symbol, Any]:
+        items = pairs_to_list(form)
+        if len(items) < 2:
+            raise CompilerError("malformed define")
+        target = items[1]
+        if isinstance(target, Symbol):
+            if len(items) != 3:
+                raise CompilerError(f"malformed define of {target.name}")
+            return target, items[2]
+        if isinstance(target, Pair):
+            name = target.car
+            if not isinstance(name, Symbol):
+                raise CompilerError("malformed procedure define")
+            params = target.cdr
+            lambda_form = list_to_pairs([_LAMBDA, params, *items[2:]])
+            return name, lambda_form
+        raise CompilerError("malformed define")
+
+
+# ---------------------------------------------------------------------------
+# Special forms
+# ---------------------------------------------------------------------------
+
+
+def _form_items(form: Pair, name: str, minimum: int) -> List[Any]:
+    try:
+        items = pairs_to_list(form)
+    except ValueError:
+        raise CompilerError(f"malformed {name}: improper form") from None
+    if len(items) < minimum:
+        raise CompilerError(f"malformed {name}: too few subforms")
+    return items
+
+
+def _expand_quote(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "quote", 2)
+    if len(items) != 2:
+        raise CompilerError("malformed quote")
+    return Quote(items[1])
+
+
+def _expand_if(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "if", 3)
+    if len(items) == 3:
+        return If(
+            exp._expand_test(items[1], env),
+            exp._expand(items[2], env),
+            Quote(UNSPECIFIED),
+        )
+    if len(items) == 4:
+        return If(
+            exp._expand_test(items[1], env),
+            exp._expand(items[2], env),
+            exp._expand(items[3], env),
+        )
+    raise CompilerError("malformed if")
+
+
+def _expand_set(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "set!", 3)
+    if len(items) != 3 or not isinstance(items[1], Symbol):
+        raise CompilerError("malformed set!")
+    var = env.lookup(items[1].name)
+    if var is None:
+        raise CompilerError(f"set!: unbound variable {items[1].name}")
+    var.assigned = True
+    return SetBang(var, exp._expand(items[2], env))
+
+
+def _expand_begin(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "begin", 2)
+    exprs = [exp._expand(e, env) for e in items[1:]]
+    return exprs[0] if len(exprs) == 1 else Seq(exprs)
+
+
+def _expand_lambda(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "lambda", 3)
+    params_datum = items[1]
+    if params_datum is not NIL and not isinstance(params_datum, Pair):
+        raise CompilerError("lambda: variadic parameters are not supported in this subset")
+    try:
+        param_syms = pairs_to_list(params_datum) if params_datum is not NIL else []
+    except ValueError:
+        raise CompilerError(
+            "lambda: rest parameters are not supported in this subset"
+        ) from None
+    inner = _Env(env)
+    params = []
+    for sym in param_syms:
+        if not isinstance(sym, Symbol):
+            raise CompilerError("lambda: parameter is not a symbol")
+        if sym.name in inner.bindings:
+            raise CompilerError(f"lambda: duplicate parameter {sym.name}")
+        params.append(inner.bind(sym.name))
+    body = exp._expand_body(items[2:], inner, where="lambda")
+    return Lambda(params, body)
+
+
+def _parse_bindings(exp: Expander, datum: Any, who: str) -> List[Tuple[Symbol, Any]]:
+    try:
+        binding_forms = pairs_to_list(datum) if datum is not NIL else []
+    except ValueError:
+        raise CompilerError(f"malformed {who} bindings") from None
+    out = []
+    for b in binding_forms:
+        try:
+            parts = pairs_to_list(b)
+        except ValueError:
+            raise CompilerError(f"malformed {who} binding") from None
+        if len(parts) != 2 or not isinstance(parts[0], Symbol):
+            raise CompilerError(f"malformed {who} binding")
+        out.append((parts[0], parts[1]))
+    return out
+
+
+def _expand_let(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "let", 3)
+    if isinstance(items[1], Symbol):
+        return _expand_named_let(exp, items, env)
+    bindings = _parse_bindings(exp, items[1], "let")
+    rhss = [exp._expand(rhs, env) for _, rhs in bindings]
+    inner = _Env(env)
+    vars = []
+    for (sym, _), _rhs in zip(bindings, rhss):
+        if sym.name in inner.bindings:
+            raise CompilerError(f"let: duplicate binding {sym.name}")
+        vars.append(inner.bind(sym.name))
+    body = exp._expand_body(items[2:], inner, where="let")
+    for var, rhs in reversed(list(zip(vars, rhss))):
+        body = Let(var, rhs, body)
+    return body
+
+
+def _expand_named_let(exp: Expander, items: List[Any], env: _Env) -> Expr:
+    name = items[1]
+    if len(items) < 4:
+        raise CompilerError("malformed named let")
+    bindings = _parse_bindings(exp, items[2], "named let")
+    init_exprs = [exp._expand(rhs, env) for _, rhs in bindings]
+    loop_env = _Env(env)
+    loop_var = loop_env.bind(name.name)
+    lam_env = _Env(loop_env)
+    params = [lam_env.bind(sym.name) for sym, _ in bindings]
+    body = exp._expand_body(items[3:], lam_env, where="named let")
+    lam = Lambda(params, body, name=name.name)
+    return Fix([loop_var], [lam], Call(Ref(_referenced(loop_var)), init_exprs))
+
+
+def _referenced(var: Var) -> Var:
+    var.referenced = True
+    return var
+
+
+def _expand_let_star(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "let*", 3)
+    bindings = _parse_bindings(exp, items[1], "let*")
+    envs = [env]
+    vars: List[Var] = []
+    rhss: List[Expr] = []
+    current = env
+    for sym, rhs in bindings:
+        rhss.append(exp._expand(rhs, current))
+        current = _Env(current)
+        vars.append(current.bind(sym.name))
+        envs.append(current)
+    body = exp._expand_body(items[2:], current, where="let*")
+    for var, rhs in reversed(list(zip(vars, rhss))):
+        body = Let(var, rhs, body)
+    return body
+
+
+def _expand_letrec(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "letrec", 3)
+    bindings = _parse_bindings(exp, items[1], "letrec")
+    inner = _Env(env)
+    bound: List[Tuple[Var, Any]] = []
+    for sym, rhs in bindings:
+        if sym.name in inner.bindings:
+            raise CompilerError(f"letrec: duplicate binding {sym.name}")
+        bound.append((inner.bind(sym.name), rhs))
+    body = exp._expand_body(items[2:], inner, where="letrec")
+    return exp._wrap_definitions(bound, body, inner)
+
+
+def _expand_cond(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "cond", 2)
+    clauses = items[1:]
+    result: Expr = Quote(UNSPECIFIED)
+    for clause in reversed(clauses):
+        parts = pairs_to_list(clause)
+        if not parts:
+            raise CompilerError("malformed cond clause")
+        if parts[0] is _ELSE:
+            if clause is not clauses[-1]:
+                raise CompilerError("cond: else clause must be last")
+            exprs = [exp._expand(e, env) for e in parts[1:]]
+            if not exprs:
+                raise CompilerError("cond: empty else clause")
+            result = exprs[0] if len(exprs) == 1 else Seq(exprs)
+            continue
+        test = exp._expand(parts[0], env)
+        if len(parts) == 1:
+            # (cond (test)) — value of test if true.
+            tmp = exp._fresh("t")
+            tmp.referenced = True
+            result = Let(tmp, test, If(Ref(tmp), Ref(tmp), result))
+        elif len(parts) >= 2 and parts[1] is _ARROW:
+            if len(parts) != 3:
+                raise CompilerError("malformed cond => clause")
+            tmp = exp._fresh("t")
+            tmp.referenced = True
+            receiver = exp._expand(parts[2], env)
+            result = Let(tmp, test, If(Ref(tmp), Call(receiver, [Ref(tmp)]), result))
+        else:
+            exprs = [exp._expand(e, env) for e in parts[1:]]
+            then = exprs[0] if len(exprs) == 1 else Seq(exprs)
+            result = If(exp._expand_test(parts[0], env), then, result)
+    return result
+
+
+def _expand_case(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "case", 3)
+    key_var = exp._fresh("key")
+    key_var.referenced = True
+    result: Expr = Quote(UNSPECIFIED)
+    for clause in reversed(items[2:]):
+        parts = pairs_to_list(clause)
+        if len(parts) < 2:
+            raise CompilerError("malformed case clause")
+        exprs = [exp._expand(e, env) for e in parts[1:]]
+        body = exprs[0] if len(exprs) == 1 else Seq(exprs)
+        if parts[0] is _ELSE:
+            result = body
+            continue
+        try:
+            datums = pairs_to_list(parts[0])
+        except ValueError:
+            raise CompilerError("malformed case clause datums") from None
+        test: Expr = Quote(False)
+        for datum in reversed(datums):
+            test = If(
+                PrimCall("eqv?", [Ref(key_var), Quote(datum)]),
+                Quote(True),
+                test,
+            )
+        result = If(test, body, result)
+    return Let(key_var, exp._expand(items[1], env), result)
+
+
+def _expand_and(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "and", 1)
+    exprs = [exp._expand(e, env) for e in items[1:]]
+    if not exprs:
+        return Quote(True)
+    result = exprs[-1]
+    for expr in reversed(exprs[:-1]):
+        result = If(expr, result, Quote(False))
+    return result
+
+
+def _expand_or(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "or", 1)
+    exprs = [exp._expand(e, env) for e in items[1:]]
+    if not exprs:
+        return Quote(False)
+    result = exprs[-1]
+    for expr in reversed(exprs[:-1]):
+        tmp = exp._fresh("t")
+        tmp.referenced = True
+        result = Let(tmp, expr, If(Ref(tmp), Ref(tmp), result))
+    return result
+
+
+def _expand_when(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "when", 3)
+    test = exp._expand_test(items[1], env)
+    exprs = [exp._expand(e, env) for e in items[2:]]
+    body = exprs[0] if len(exprs) == 1 else Seq(exprs)
+    return If(test, body, Quote(UNSPECIFIED))
+
+
+def _expand_unless(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "unless", 3)
+    test = exp._expand_test(items[1], env)
+    exprs = [exp._expand(e, env) for e in items[2:]]
+    body = exprs[0] if len(exprs) == 1 else Seq(exprs)
+    return If(test, Quote(UNSPECIFIED), body)
+
+
+def _expand_do(exp: Expander, form: Pair, env: _Env) -> Expr:
+    """``(do ((var init step)...) (test result...) command...)`` expands
+    to a named-let-style loop."""
+    items = _form_items(form, "do", 3)
+    specs = []
+    for spec in pairs_to_list(items[1]) if items[1] is not NIL else []:
+        parts = pairs_to_list(spec)
+        if len(parts) == 2:
+            parts.append(parts[0])  # step defaults to the variable itself
+        if len(parts) != 3 or not isinstance(parts[0], Symbol):
+            raise CompilerError("malformed do binding")
+        specs.append(parts)
+    exit_parts = pairs_to_list(items[2])
+    if not exit_parts:
+        raise CompilerError("malformed do exit clause")
+
+    init_exprs = [exp._expand(init, env) for _, init, _ in specs]
+    loop_env = _Env(env)
+    loop_var = loop_env.bind("do-loop")
+    lam_env = _Env(loop_env)
+    params = [lam_env.bind(sym.name) for sym, _, _ in specs]
+
+    test = exp._expand(exit_parts[0], lam_env)
+    if len(exit_parts) > 1:
+        result_exprs = [exp._expand(e, lam_env) for e in exit_parts[1:]]
+        result = result_exprs[0] if len(result_exprs) == 1 else Seq(result_exprs)
+    else:
+        result = Quote(UNSPECIFIED)
+    commands = [exp._expand(c, lam_env) for c in items[3:]]
+    steps = [exp._expand(step, lam_env) for _, _, step in specs]
+    recur = Call(Ref(_referenced(loop_var)), steps)
+    loop_body: Expr = recur if not commands else Seq([*commands, recur])
+    lam = Lambda(params, If(test, result, loop_body), name="do-loop")
+    return Fix([loop_var], [lam], Call(Ref(_referenced(loop_var)), init_exprs))
+
+
+def _expand_callcc(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "call/cc", 2)
+    if len(items) != 2:
+        raise CompilerError("malformed call/cc")
+    return CallCC(exp._expand(items[1], env))
+
+
+def _expand_not(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "not", 2)
+    if len(items) != 2:
+        raise CompilerError("malformed not")
+    return PrimCall("not", [exp._expand(items[1], env)])
+
+
+def _expand_quasiquote(exp: Expander, form: Pair, env: _Env) -> Expr:
+    items = _form_items(form, "quasiquote", 2)
+    if len(items) != 2:
+        raise CompilerError("malformed quasiquote")
+    return _qq(exp, items[1], env, depth=1)
+
+
+def _qq(exp: Expander, datum: Any, env: _Env, depth: int) -> Expr:
+    if isinstance(datum, Pair):
+        head = datum.car
+        if head is _UNQUOTE:
+            items = pairs_to_list(datum)
+            if depth == 1:
+                return exp._expand(items[1], env)
+            inner = _qq(exp, items[1], env, depth - 1)
+            return PrimCall(
+                "cons", [Quote(_UNQUOTE), PrimCall("cons", [inner, Quote(NIL)])]
+            )
+        if head is _QUASIQUOTE:
+            items = pairs_to_list(datum)
+            inner = _qq(exp, items[1], env, depth + 1)
+            return PrimCall(
+                "cons", [Quote(_QUASIQUOTE), PrimCall("cons", [inner, Quote(NIL)])]
+            )
+        if (
+            isinstance(head, Pair)
+            and head.car is _UNQUOTE_SPLICING
+            and depth == 1
+        ):
+            spliced = exp._expand(pairs_to_list(head)[1], env)
+            rest = _qq(exp, datum.cdr, env, depth)
+            return PrimCall("append", [spliced, rest])
+        return PrimCall(
+            "cons", [_qq(exp, head, env, depth), _qq(exp, datum.cdr, env, depth)]
+        )
+    return Quote(datum)
+
+
+_SPECIAL_FORMS: Dict[str, Callable[[Expander, Pair, _Env], Expr]] = {
+    "quote": _expand_quote,
+    "quasiquote": _expand_quasiquote,
+    "if": _expand_if,
+    "set!": _expand_set,
+    "begin": _expand_begin,
+    "lambda": _expand_lambda,
+    "let": _expand_let,
+    "let*": _expand_let_star,
+    "letrec": _expand_letrec,
+    "letrec*": _expand_letrec,
+    "cond": _expand_cond,
+    "case": _expand_case,
+    "and": _expand_and,
+    "or": _expand_or,
+    "when": _expand_when,
+    "unless": _expand_unless,
+    "do": _expand_do,
+    "not": _expand_not,
+    "call/cc": _expand_callcc,
+    "call-with-current-continuation": _expand_callcc,
+    "define": None,  # handled by body expansion; appearing elsewhere is an error
+}
+
+
+def _define_out_of_context(exp: Expander, form: Pair, env: _Env) -> Expr:
+    raise CompilerError("define in expression context")
+
+
+_SPECIAL_FORMS["define"] = _define_out_of_context
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def expand_program(forms: List[Any]) -> Expr:
+    """Expand a whole program (list of top-level datums) to a core
+    expression."""
+    return Expander().expand_program(forms)
+
+
+def expand_expr(datum: Any) -> Expr:
+    """Expand a single closed expression."""
+    return Expander().expand_expr(datum)

@@ -1,0 +1,5 @@
+"""Reference interpreter for the core language (differential oracle)."""
+
+from repro.interp.interpreter import Interpreter, interpret_source
+
+__all__ = ["Interpreter", "interpret_source"]

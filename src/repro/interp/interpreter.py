@@ -1,0 +1,234 @@
+"""A direct interpreter for the expanded core language.
+
+This is the compiler's semantic oracle: compiled programs must produce
+exactly the value (and output) this interpreter produces.  It runs on
+the post-expansion AST, *before* assignment and closure conversion, so
+it exercises an independent code path through the system.
+
+Tail calls are executed iteratively (a trampoline inside ``_eval``), so
+deeply looping programs do not consume the Python stack; non-tail Scheme
+recursion maps onto Python recursion.
+
+Continuations are supported as one-shot escape (upward) continuations
+implemented with Python exceptions — sufficient for the ``ctak``
+benchmark and documented as an interpreter limitation (the VM supports
+full re-invocable continuations via stack copying).
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.astnodes import (
+    Call,
+    CallCC,
+    Expr,
+    Fix,
+    If,
+    Lambda,
+    Let,
+    PrimCall,
+    Quote,
+    Ref,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.frontend.analyze import mark_tail_calls
+from repro.frontend.expand import expand_program
+from repro.runtime.primitives import PRIMITIVES
+from repro.runtime.values import OutputPort, SchemeError
+from repro.sexp.reader import read_all
+
+
+class Environment:
+    """A chained run-time environment."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: Dict[Var, Any], parent: Optional["Environment"]) -> None:
+        self.bindings = bindings
+        self.parent = parent
+
+    def lookup(self, var: Var) -> Any:
+        env: Optional[Environment] = self
+        while env is not None:
+            if var in env.bindings:
+                return env.bindings[var]
+            env = env.parent
+        raise SchemeError(f"unbound variable at run time: {var!r}")
+
+    def assign(self, var: Var, value: Any) -> None:
+        env: Optional[Environment] = self
+        while env is not None:
+            if var in env.bindings:
+                env.bindings[var] = value
+                return
+            env = env.parent
+        raise SchemeError(f"assignment to unbound variable: {var!r}")
+
+
+class InterpClosure:
+    """A closure in the interpreter."""
+
+    scheme_procedure = True
+    __slots__ = ("params", "body", "env", "name")
+
+    def __init__(self, params: List[Var], body: Expr, env: Environment, name: str) -> None:
+        self.params = params
+        self.body = body
+        self.env = env
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"#<procedure {self.name}>"
+
+
+class EscapeContinuation:
+    """A one-shot upward continuation (interpreter only)."""
+
+    scheme_procedure = True
+    _tags = itertools.count()
+    __slots__ = ("tag",)
+
+    def __init__(self) -> None:
+        self.tag = next(EscapeContinuation._tags)
+
+    def __repr__(self) -> str:
+        return "#<continuation>"
+
+
+class _ContinuationInvoked(Exception):
+    def __init__(self, tag: int, value: Any) -> None:
+        super().__init__("continuation invoked")
+        self.tag = tag
+        self.value = value
+
+
+class Interpreter:
+    """Evaluates expanded core expressions."""
+
+    def __init__(self, recursion_limit: int = 200_000) -> None:
+        self.port = OutputPort()
+        self._recursion_limit = recursion_limit
+
+    def run_source(self, source: str, prelude: bool = True) -> Any:
+        """Expand and evaluate a full program text."""
+        if prelude:
+            from repro.pipeline import PRELUDE
+
+            source = PRELUDE + "\n" + source
+        forms = read_all(source)
+        expr = expand_program(forms)
+        mark_tail_calls(expr)
+        return self.run(expr)
+
+    def run(self, expr: Expr) -> Any:
+        old_limit = sys.getrecursionlimit()
+        if old_limit < self._recursion_limit:
+            sys.setrecursionlimit(self._recursion_limit)
+        try:
+            return self._eval(expr, Environment({}, None))
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: Expr, env: Environment) -> Any:
+        while True:
+            if isinstance(expr, Quote):
+                return expr.value
+            if isinstance(expr, Ref):
+                return env.lookup(expr.var)
+            if isinstance(expr, PrimCall):
+                spec = PRIMITIVES[expr.op]
+                args = [self._eval(a, env) for a in expr.args]
+                return spec.fn(args, self.port)
+            if isinstance(expr, If):
+                test = self._eval(expr.test, env)
+                expr = expr.then if test is not False else expr.otherwise
+                continue
+            if isinstance(expr, Seq):
+                for sub in expr.exprs[:-1]:
+                    self._eval(sub, env)
+                expr = expr.exprs[-1]
+                continue
+            if isinstance(expr, Let):
+                value = self._eval(expr.rhs, env)
+                env = Environment({expr.var: value}, env)
+                expr = expr.body
+                continue
+            if isinstance(expr, Lambda):
+                return InterpClosure(expr.params, expr.body, env, expr.name)
+            if isinstance(expr, Fix):
+                bindings: Dict[Var, Any] = {}
+                env = Environment(bindings, env)
+                for var, lam in zip(expr.vars, expr.lambdas):
+                    bindings[var] = InterpClosure(lam.params, lam.body, env, lam.name)
+                expr = expr.body
+                continue
+            if isinstance(expr, CallCC):
+                fn = self._eval(expr.fn, env)
+                return self._call_cc(fn)
+            if isinstance(expr, Call):
+                fn = self._eval(expr.fn, env)
+                args = [self._eval(a, env) for a in expr.args]
+                result = self._apply_step(fn, args)
+                if isinstance(result, _TailStep):
+                    expr = result.body
+                    env = result.env
+                    continue
+                return result
+            if isinstance(expr, SetBang):
+                env.assign(expr.var, self._eval(expr.value, env))
+                from repro.sexp.datum import UNSPECIFIED
+
+                return UNSPECIFIED
+            raise SchemeError(f"cannot evaluate node {type(expr).__name__}")
+
+    def _apply_step(self, fn: Any, args: List[Any]) -> Any:
+        """Begin applying *fn*: returns a _TailStep for closures so the
+        caller's loop continues in the callee's body."""
+        if isinstance(fn, InterpClosure):
+            if len(args) != len(fn.params):
+                raise SchemeError(
+                    f"{fn.name}: expected {len(fn.params)} argument(s), got {len(args)}"
+                )
+            env = Environment(dict(zip(fn.params, args)), fn.env)
+            return _TailStep(fn.body, env)
+        if isinstance(fn, EscapeContinuation):
+            if len(args) != 1:
+                raise SchemeError("continuation expects exactly 1 value")
+            raise _ContinuationInvoked(fn.tag, args[0])
+        raise SchemeError("attempt to apply a non-procedure", fn)
+
+    def apply(self, fn: Any, args: List[Any]) -> Any:
+        """Fully apply *fn* (used by call/cc)."""
+        step = self._apply_step(fn, args)
+        if isinstance(step, _TailStep):
+            return self._eval(step.body, step.env)
+        return step
+
+    def _call_cc(self, fn: Any) -> Any:
+        k = EscapeContinuation()
+        try:
+            return self.apply(fn, [k])
+        except _ContinuationInvoked as exc:
+            if exc.tag == k.tag:
+                return exc.value
+            raise
+
+
+class _TailStep:
+    __slots__ = ("body", "env")
+
+    def __init__(self, body: Expr, env: Environment) -> None:
+        self.body = body
+        self.env = env
+
+
+def interpret_source(source: str) -> Any:
+    """Convenience: run *source*, returning its value."""
+    return Interpreter().run_source(source)

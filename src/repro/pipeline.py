@@ -1,0 +1,173 @@
+"""The compiler driver: source text to compiled program to result.
+
+    compile_source(src, config)   -> CompiledProgram
+    run_source(src, config)       -> ExecutionResult (value, output, counters)
+
+A small Scheme-source prelude (``map``, ``for-each``, ...) is prepended
+by default; it is compiled together with the user program, exactly as a
+library would be in a whole-program compiler.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.astnodes import Expr, Program
+from repro.backend.codegen import CompiledProgram, generate_program
+from repro.config import CompilerConfig
+from repro.core.allocator import ProgramAllocation, allocate_program
+from repro.frontend.analyze import check_scopes, mark_tail_calls
+from repro.frontend.assignconvert import assignment_convert
+from repro.frontend.closure import closure_convert
+from repro.frontend.expand import expand_program
+from repro.sexp.reader import read_all
+from repro.vm.machine import Machine
+
+PRELUDE = """
+(define (map f ls)
+  (if (null? ls)
+      '()
+      (cons (f (car ls)) (map f (cdr ls)))))
+(define (map2 f ls1 ls2)
+  (if (null? ls1)
+      '()
+      (cons (f (car ls1) (car ls2)) (map2 f (cdr ls1) (cdr ls2)))))
+(define (for-each f ls)
+  (if (null? ls)
+      (void)
+      (begin (f (car ls)) (for-each f (cdr ls)))))
+(define (filter keep? ls)
+  (cond ((null? ls) '())
+        ((keep? (car ls)) (cons (car ls) (filter keep? (cdr ls))))
+        (else (filter keep? (cdr ls)))))
+(define (fold-left f acc ls)
+  (if (null? ls)
+      acc
+      (fold-left f (f acc (car ls)) (cdr ls))))
+(define (fold-right f init ls)
+  (if (null? ls)
+      init
+      (f (car ls) (fold-right f init (cdr ls)))))
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+"""
+
+
+class CompileTimes:
+    """Wall-clock time per phase, for the §4 compile-time experiment."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def register_allocation_fraction(self) -> float:
+        """The fraction of compile time spent in the allocator —
+        the paper reports ~7% for Chez."""
+        ra = (
+            self.phases.get("allocate", 0.0)
+        )
+        return ra / self.total if self.total else 0.0
+
+
+class ExecutionResult:
+    """Everything a benchmark wants to know about one run."""
+
+    def __init__(self, value: Any, machine: Machine, compiled: CompiledProgram) -> None:
+        self.value = value
+        self.machine = machine
+        self.compiled = compiled
+        self.counters = machine.counters
+        self.classifier = machine.classifier
+        self.output = machine.output
+
+    def __repr__(self) -> str:
+        return f"<ExecutionResult value={self.value!r} {self.counters!r}>"
+
+
+def expand_source(source: str, prelude: bool = True) -> Expr:
+    """Front half of the pipeline: text to expanded, tail-marked core AST."""
+    text = (PRELUDE + "\n" + source) if prelude else source
+    forms = read_all(text)
+    expr = expand_program(forms)
+    mark_tail_calls(expr)
+    return expr
+
+
+def compile_source(
+    source: str,
+    config: Optional[CompilerConfig] = None,
+    prelude: bool = True,
+    times: Optional[CompileTimes] = None,
+) -> CompiledProgram:
+    """Compile *source* under *config* (default: the paper's
+    configuration)."""
+    config = config or CompilerConfig()
+    t = times or CompileTimes()
+
+    t0 = time.perf_counter()
+    text = (PRELUDE + "\n" + source) if prelude else source
+    forms = read_all(text)
+    t.record("read", time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    expr = expand_program(forms)
+    t.record("expand", time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    expr = assignment_convert(expr)
+    mark_tail_calls(expr)
+    check_scopes(expr)
+    t.record("convert", time.perf_counter() - t0)
+
+    if config.lambda_lift:
+        from repro.frontend.lambdalift import lambda_lift
+
+        t0 = time.perf_counter()
+        expr, _lift_report = lambda_lift(
+            expr, max_params=config.lambda_lift_max_params
+        )
+        check_scopes(expr)
+        t.record("lambda-lift", time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    program = closure_convert(expr)
+    t.record("closure", time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    allocation = allocate_program(program, config)
+    t.record("allocate", time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    compiled = generate_program(program, allocation, config)
+    t.record("codegen", time.perf_counter() - t0)
+    return compiled
+
+
+def run_compiled(
+    compiled: CompiledProgram,
+    debug: bool = False,
+    max_instructions: Optional[int] = None,
+) -> ExecutionResult:
+    machine = Machine(compiled, debug=debug, max_instructions=max_instructions)
+    value = machine.run()
+    return ExecutionResult(value, machine, compiled)
+
+
+def run_source(
+    source: str,
+    config: Optional[CompilerConfig] = None,
+    prelude: bool = True,
+    debug: bool = False,
+    max_instructions: Optional[int] = None,
+) -> ExecutionResult:
+    """Compile and execute *source*; the one-call public entry point."""
+    compiled = compile_source(source, config, prelude=prelude)
+    return run_compiled(compiled, debug=debug, max_instructions=max_instructions)

@@ -1,0 +1,89 @@
+"""Human-readable allocation reports.
+
+``allocation_report`` summarizes, per procedure, every decision the
+paper's allocator made: variable locations, frame layout, save regions,
+restore sets, and shuffle plans.  Exposed on the CLI as
+``python -m repro report program.scm``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.astnodes import Call, CodeObject, Save, walk
+from repro.backend.codegen import CompiledProgram
+from repro.core.locations import FrameSlot
+from repro.core.registers import Register
+
+
+def code_report(compiled: CompiledProgram, code: CodeObject) -> str:
+    alloc = compiled.allocation.alloc_for(code)
+    lines: List[str] = []
+    flags = []
+    if code.syntactic_leaf:
+        flags.append("syntactic-leaf")
+    if code.always_calls:
+        flags.append("always-calls")
+    lines.append(
+        f"{code.label}: {len(code.params)} param(s), "
+        f"{len(code.free)} free, frame={code.frame_size}"
+        + (f" [{', '.join(flags)}]" if flags else "")
+    )
+
+    locs = []
+    for var in alloc.register_vars:
+        home = f" home=fv{var.home.index}" if var.home is not None else ""
+        locs.append(f"    {var.name:12s} -> %{var.location.name}{home}")
+    for var in set(code.params):
+        if isinstance(var.location, FrameSlot):
+            locs.append(f"    {var.name:12s} -> fv{var.location.index} (stack)")
+    if locs:
+        lines.append("  locations:")
+        lines.extend(sorted(locs))
+
+    if alloc.layout.size:
+        purposes = ", ".join(
+            f"fv{i}:{p}" for i, p in enumerate(alloc.layout.purposes)
+        )
+        lines.append(f"  frame: {purposes}")
+
+    saves = [n for n in walk(code.body) if isinstance(n, Save)]
+    for save in saves:
+        names = ", ".join(v.name for v in save.vars)
+        callee = (
+            " callee:{" + ", ".join(r.name for r in save.callee_regs) + "}"
+            if save.callee_regs
+            else ""
+        )
+        lines.append(f"  save region: {{{names}}}{callee}")
+
+    calls = [n for n in walk(code.body) if isinstance(n, Call)]
+    for call in calls:
+        if call.tail:
+            kind = "tail call"
+            restores = ""
+        else:
+            kind = "call"
+            restores = (
+                " restores {"
+                + ", ".join(v.name for v in (call.restores or []))
+                + "}"
+            )
+        plan = call.shuffle_plan
+        shuffle = ""
+        if plan is not None and (plan.had_cycle or plan.evictions):
+            shuffle = (
+                f" shuffle: cycle={plan.had_cycle} temps={plan.evictions}"
+            )
+        lines.append(f"  {kind} ({len(call.args)} args){restores}{shuffle}")
+    return "\n".join(lines)
+
+
+def allocation_report(compiled: CompiledProgram, proc: str = None) -> str:
+    """Report for the whole program (or one named procedure)."""
+    parts = []
+    for code in compiled.codes:
+        if proc and code.name != proc:
+            continue
+        parts.append(code_report(compiled, code))
+    return "\n\n".join(parts)

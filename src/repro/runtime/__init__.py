@@ -1,0 +1,14 @@
+"""Run-time support shared by the VM and the reference interpreter."""
+
+from repro.runtime.values import Box, SchemeError, OutputPort
+from repro.runtime.primitives import PRIMITIVES, PrimSpec, is_primitive, prim_spec
+
+__all__ = [
+    "Box",
+    "SchemeError",
+    "OutputPort",
+    "PRIMITIVES",
+    "PrimSpec",
+    "is_primitive",
+    "prim_spec",
+]

@@ -1,0 +1,819 @@
+"""The primitive operation table.
+
+Every primitive has a fixed arity in the *core* language; the expander
+folds n-ary surface syntax (``(+ a b c)``, ``(list ...)``) into nested
+binary applications of these core primitives (see
+``repro.frontend.expand``).
+
+Each primitive is implemented as a Python callable ``fn(args, port)``
+where *args* is a list of Scheme values and *port* is the current
+:class:`~repro.runtime.values.OutputPort`.  The same implementations are
+used by the reference interpreter and by the VM's ``prim`` instruction,
+which guarantees the two agree — the foundation of our differential
+tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sexp.datum import (
+    Char,
+    MutableString,
+    NIL,
+    Pair,
+    Symbol,
+    UNSPECIFIED,
+    is_list,
+    scheme_equal,
+    scheme_eqv,
+)
+from repro.sexp.writer import display_datum, write_datum
+from repro.runtime.values import Box, OutputPort, SchemeError
+
+
+class PrimSpec:
+    """Description of one core primitive."""
+
+    __slots__ = ("name", "arity", "fn", "pure", "returns_bool")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        fn: Callable[[List[Any], OutputPort], Any],
+        pure: bool = True,
+        returns_bool: bool = False,
+    ) -> None:
+        self.name = name
+        self.arity = arity
+        self.fn = fn
+        self.pure = pure
+        self.returns_bool = returns_bool
+
+    def __repr__(self) -> str:
+        return f"<prim {self.name}/{self.arity}>"
+
+
+PRIMITIVES: Dict[str, PrimSpec] = {}
+
+
+def _define(name: str, arity: int, pure: bool = True, returns_bool: bool = False):
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        def invoke(args: List[Any], port: OutputPort) -> Any:
+            return fn(*args)
+
+        PRIMITIVES[name] = PrimSpec(name, arity, invoke, pure, returns_bool)
+        return fn
+
+    return wrap
+
+
+def _define_port(name: str, arity: int):
+    """Primitives that need the output port."""
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        def invoke(args: List[Any], port: OutputPort) -> Any:
+            return fn(port, *args)
+
+        PRIMITIVES[name] = PrimSpec(name, arity, invoke, pure=False)
+        return fn
+
+    return wrap
+
+
+def is_primitive(name: str) -> bool:
+    return name in PRIMITIVES
+
+
+def prim_spec(name: str) -> PrimSpec:
+    return PRIMITIVES[name]
+
+
+# ---------------------------------------------------------------------------
+# Type-checking helpers
+# ---------------------------------------------------------------------------
+
+
+def _want_pair(x: Any, who: str) -> Pair:
+    if not isinstance(x, Pair):
+        raise SchemeError(f"{who}: not a pair", x)
+    return x
+
+
+def _want_int(x: Any, who: str) -> int:
+    if isinstance(x, bool) or not isinstance(x, int):
+        raise SchemeError(f"{who}: not a fixnum", x)
+    return x
+
+
+def _want_number(x: Any, who: str):
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        raise SchemeError(f"{who}: not a number", x)
+    return x
+
+
+def _want_vector(x: Any, who: str) -> list:
+    if not isinstance(x, list):
+        raise SchemeError(f"{who}: not a vector", x)
+    return x
+
+
+def _want_string(x: Any, who: str) -> MutableString:
+    if not isinstance(x, MutableString):
+        raise SchemeError(f"{who}: not a string", x)
+    return x
+
+
+def _want_char(x: Any, who: str) -> Char:
+    if not isinstance(x, Char):
+        raise SchemeError(f"{who}: not a character", x)
+    return x
+
+
+def _want_symbol(x: Any, who: str) -> Symbol:
+    if not isinstance(x, Symbol):
+        raise SchemeError(f"{who}: not a symbol", x)
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Pairs and lists
+# ---------------------------------------------------------------------------
+
+
+@_define("cons", 2)
+def _cons(a, d):
+    return Pair(a, d)
+
+
+@_define("car", 1)
+def _car(p):
+    return _want_pair(p, "car").car
+
+
+@_define("cdr", 1)
+def _cdr(p):
+    return _want_pair(p, "cdr").cdr
+
+
+@_define("set-car!", 2, pure=False)
+def _set_car(p, v):
+    _want_pair(p, "set-car!").car = v
+    return UNSPECIFIED
+
+
+@_define("set-cdr!", 2, pure=False)
+def _set_cdr(p, v):
+    _want_pair(p, "set-cdr!").cdr = v
+    return UNSPECIFIED
+
+
+@_define("pair?", 1, returns_bool=True)
+def _pair_p(x):
+    return isinstance(x, Pair)
+
+
+@_define("null?", 1, returns_bool=True)
+def _null_p(x):
+    return x is NIL
+
+
+@_define("list?", 1, returns_bool=True)
+def _list_p(x):
+    return is_list(x)
+
+
+@_define("atom?", 1, returns_bool=True)
+def _atom_p(x):
+    return not isinstance(x, Pair)
+
+
+@_define("length", 1)
+def _length(ls):
+    n = 0
+    while isinstance(ls, Pair):
+        n += 1
+        ls = ls.cdr
+    if ls is not NIL:
+        raise SchemeError("length: improper list", ls)
+    return n
+
+
+@_define("append", 2)
+def _append(a, b):
+    items = []
+    while isinstance(a, Pair):
+        items.append(a.car)
+        a = a.cdr
+    if a is not NIL:
+        raise SchemeError("append: improper list", a)
+    result = b
+    for item in reversed(items):
+        result = Pair(item, result)
+    return result
+
+
+@_define("reverse", 1)
+def _reverse(ls):
+    result: Any = NIL
+    while isinstance(ls, Pair):
+        result = Pair(ls.car, result)
+        ls = ls.cdr
+    if ls is not NIL:
+        raise SchemeError("reverse: improper list", ls)
+    return result
+
+
+def _eq_semantics(a: Any, b: Any) -> bool:
+    """``eq?`` as our runtime defines it: identity, with fixnums immediate."""
+    if a is b:
+        return True
+    if (
+        isinstance(a, int)
+        and isinstance(b, int)
+        and not isinstance(a, bool)
+        and not isinstance(b, bool)
+    ):
+        return a == b
+    return False
+
+
+def _mem(pred, x, ls, who):
+    while isinstance(ls, Pair):
+        if pred(x, ls.car):
+            return ls
+        ls = ls.cdr
+    if ls is not NIL:
+        raise SchemeError(f"{who}: improper list", ls)
+    return False
+
+
+@_define("memq", 2)
+def _memq(x, ls):
+    return _mem(_eq_semantics, x, ls, "memq")
+
+
+@_define("memv", 2)
+def _memv(x, ls):
+    return _mem(scheme_eqv, x, ls, "memv")
+
+
+@_define("member", 2)
+def _member(x, ls):
+    return _mem(scheme_equal, x, ls, "member")
+
+
+def _ass(pred, x, ls, who):
+    while isinstance(ls, Pair):
+        entry = ls.car
+        if isinstance(entry, Pair) and pred(x, entry.car):
+            return entry
+        ls = ls.cdr
+    if ls is not NIL:
+        raise SchemeError(f"{who}: improper list", ls)
+    return False
+
+
+@_define("assq", 2)
+def _assq(x, ls):
+    return _ass(_eq_semantics, x, ls, "assq")
+
+
+@_define("assv", 2)
+def _assv(x, ls):
+    return _ass(scheme_eqv, x, ls, "assv")
+
+
+@_define("assoc", 2)
+def _assoc(x, ls):
+    return _ass(scheme_equal, x, ls, "assoc")
+
+
+@_define("list-tail", 2)
+def _list_tail(ls, n):
+    n = _want_int(n, "list-tail")
+    for _ in range(n):
+        ls = _want_pair(ls, "list-tail").cdr
+    return ls
+
+
+@_define("list-ref", 2)
+def _list_ref(ls, n):
+    n = _want_int(n, "list-ref")
+    for _ in range(n):
+        ls = _want_pair(ls, "list-ref").cdr
+    return _want_pair(ls, "list-ref").car
+
+
+@_define("last-pair", 1)
+def _last_pair(ls):
+    p = _want_pair(ls, "last-pair")
+    while isinstance(p.cdr, Pair):
+        p = p.cdr
+    return p
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+@_define("+", 2)
+def _add(a, b):
+    return _want_number(a, "+") + _want_number(b, "+")
+
+
+@_define("-", 2)
+def _sub(a, b):
+    return _want_number(a, "-") - _want_number(b, "-")
+
+
+@_define("*", 2)
+def _mul(a, b):
+    return _want_number(a, "*") * _want_number(b, "*")
+
+
+@_define("/", 2)
+def _div(a, b):
+    a = _want_number(a, "/")
+    b = _want_number(b, "/")
+    if b == 0:
+        raise SchemeError("/: division by zero", a)
+    if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+        return a // b
+    return a / b
+
+
+@_define("quotient", 2)
+def _quotient(a, b):
+    a = _want_int(a, "quotient")
+    b = _want_int(b, "quotient")
+    if b == 0:
+        raise SchemeError("quotient: division by zero", a)
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+@_define("remainder", 2)
+def _remainder(a, b):
+    a = _want_int(a, "remainder")
+    b = _want_int(b, "remainder")
+    if b == 0:
+        raise SchemeError("remainder: division by zero", a)
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+@_define("modulo", 2)
+def _modulo(a, b):
+    a = _want_int(a, "modulo")
+    b = _want_int(b, "modulo")
+    if b == 0:
+        raise SchemeError("modulo: division by zero", a)
+    return a % b
+
+
+@_define("abs", 1)
+def _abs(a):
+    return abs(_want_number(a, "abs"))
+
+
+@_define("min", 2)
+def _min(a, b):
+    return min(_want_number(a, "min"), _want_number(b, "min"))
+
+
+@_define("max", 2)
+def _max(a, b):
+    return max(_want_number(a, "max"), _want_number(b, "max"))
+
+
+@_define("expt", 2)
+def _expt(a, b):
+    return _want_number(a, "expt") ** _want_number(b, "expt")
+
+
+@_define("gcd", 2)
+def _gcd(a, b):
+    return math.gcd(_want_int(a, "gcd"), _want_int(b, "gcd"))
+
+
+@_define("sqrt", 1)
+def _sqrt(a):
+    a = _want_number(a, "sqrt")
+    if isinstance(a, int) and a >= 0:
+        root = math.isqrt(a)
+        if root * root == a:
+            return root
+    return math.sqrt(a)
+
+
+@_define("sin", 1)
+def _sin(a):
+    return math.sin(_want_number(a, "sin"))
+
+
+@_define("cos", 1)
+def _cos(a):
+    return math.cos(_want_number(a, "cos"))
+
+
+@_define("floor", 1)
+def _floor(a):
+    a = _want_number(a, "floor")
+    return a if isinstance(a, int) else float(math.floor(a))
+
+
+@_define("exact->inexact", 1)
+def _exact_to_inexact(a):
+    return float(_want_number(a, "exact->inexact"))
+
+
+@_define("inexact->exact", 1)
+def _inexact_to_exact(a):
+    a = _want_number(a, "inexact->exact")
+    return int(a)
+
+
+@_define("=", 2, returns_bool=True)
+def _num_eq(a, b):
+    return _want_number(a, "=") == _want_number(b, "=")
+
+
+@_define("<", 2, returns_bool=True)
+def _num_lt(a, b):
+    return _want_number(a, "<") < _want_number(b, "<")
+
+
+@_define(">", 2, returns_bool=True)
+def _num_gt(a, b):
+    return _want_number(a, ">") > _want_number(b, ">")
+
+
+@_define("<=", 2, returns_bool=True)
+def _num_le(a, b):
+    return _want_number(a, "<=") <= _want_number(b, "<=")
+
+
+@_define(">=", 2, returns_bool=True)
+def _num_ge(a, b):
+    return _want_number(a, ">=") >= _want_number(b, ">=")
+
+
+@_define("zero?", 1, returns_bool=True)
+def _zero_p(a):
+    return _want_number(a, "zero?") == 0
+
+
+@_define("positive?", 1, returns_bool=True)
+def _positive_p(a):
+    return _want_number(a, "positive?") > 0
+
+
+@_define("negative?", 1, returns_bool=True)
+def _negative_p(a):
+    return _want_number(a, "negative?") < 0
+
+
+@_define("even?", 1, returns_bool=True)
+def _even_p(a):
+    return _want_int(a, "even?") % 2 == 0
+
+
+@_define("odd?", 1, returns_bool=True)
+def _odd_p(a):
+    return _want_int(a, "odd?") % 2 == 1
+
+
+@_define("add1", 1)
+def _add1(a):
+    return _want_number(a, "add1") + 1
+
+
+@_define("sub1", 1)
+def _sub1(a):
+    return _want_number(a, "sub1") - 1
+
+
+# ---------------------------------------------------------------------------
+# Predicates and equality
+# ---------------------------------------------------------------------------
+
+
+@_define("eq?", 2, returns_bool=True)
+def _eq_p(a, b):
+    if a is b:
+        return True
+    # Small fixnums behave like immediates in a real Scheme system.
+    if isinstance(a, int) and isinstance(b, int) and not isinstance(a, bool) and not isinstance(b, bool):
+        return a == b
+    return False
+
+
+@_define("eqv?", 2, returns_bool=True)
+def _eqv_p(a, b):
+    return scheme_eqv(a, b)
+
+
+@_define("equal?", 2, returns_bool=True)
+def _equal_p(a, b):
+    return scheme_equal(a, b)
+
+
+@_define("not", 1, returns_bool=True)
+def _not(a):
+    return a is False
+
+
+@_define("boolean?", 1, returns_bool=True)
+def _boolean_p(a):
+    return isinstance(a, bool)
+
+
+@_define("symbol?", 1, returns_bool=True)
+def _symbol_p(a):
+    return isinstance(a, Symbol)
+
+
+@_define("number?", 1, returns_bool=True)
+def _number_p(a):
+    return not isinstance(a, bool) and isinstance(a, (int, float))
+
+
+@_define("integer?", 1, returns_bool=True)
+def _integer_p(a):
+    return not isinstance(a, bool) and (
+        isinstance(a, int) or (isinstance(a, float) and a.is_integer())
+    )
+
+
+@_define("real?", 1, returns_bool=True)
+def _real_p(a):
+    return not isinstance(a, bool) and isinstance(a, (int, float))
+
+
+@_define("string?", 1, returns_bool=True)
+def _string_p(a):
+    return isinstance(a, MutableString)
+
+
+@_define("char?", 1, returns_bool=True)
+def _char_p(a):
+    return isinstance(a, Char)
+
+
+@_define("vector?", 1, returns_bool=True)
+def _vector_p(a):
+    return isinstance(a, list)
+
+
+@_define("box?", 1, returns_bool=True)
+def _box_p(a):
+    return isinstance(a, Box)
+
+
+@_define("procedure?", 1, returns_bool=True)
+def _procedure_p(a):
+    # Both the interpreter's and the VM's closure types define
+    # ``scheme_procedure = True``.
+    return getattr(a, "scheme_procedure", False)
+
+
+# ---------------------------------------------------------------------------
+# Vectors
+# ---------------------------------------------------------------------------
+
+
+@_define("make-vector", 2)
+def _make_vector(n, fill):
+    n = _want_int(n, "make-vector")
+    if n < 0:
+        raise SchemeError("make-vector: negative length", n)
+    return [fill] * n
+
+
+@_define("vector-ref", 2)
+def _vector_ref(v, i):
+    v = _want_vector(v, "vector-ref")
+    i = _want_int(i, "vector-ref")
+    if not 0 <= i < len(v):
+        raise SchemeError("vector-ref: index out of range", i)
+    return v[i]
+
+
+@_define("vector-set!", 3, pure=False)
+def _vector_set(v, i, x):
+    v = _want_vector(v, "vector-set!")
+    i = _want_int(i, "vector-set!")
+    if not 0 <= i < len(v):
+        raise SchemeError("vector-set!: index out of range", i)
+    v[i] = x
+    return UNSPECIFIED
+
+
+@_define("vector-length", 1)
+def _vector_length(v):
+    return len(_want_vector(v, "vector-length"))
+
+
+@_define("vector-fill!", 2, pure=False)
+def _vector_fill(v, x):
+    v = _want_vector(v, "vector-fill!")
+    for i in range(len(v)):
+        v[i] = x
+    return UNSPECIFIED
+
+
+# ---------------------------------------------------------------------------
+# Strings, symbols, characters
+# ---------------------------------------------------------------------------
+
+
+@_define("string-length", 1)
+def _string_length(s):
+    return len(_want_string(s, "string-length"))
+
+
+@_define("string-ref", 2)
+def _string_ref(s, i):
+    s = _want_string(s, "string-ref")
+    i = _want_int(i, "string-ref")
+    if not 0 <= i < len(s.chars):
+        raise SchemeError("string-ref: index out of range", i)
+    return Char(s.chars[i])
+
+
+@_define("string-set!", 3, pure=False)
+def _string_set(s, i, c):
+    s = _want_string(s, "string-set!")
+    i = _want_int(i, "string-set!")
+    c = _want_char(c, "string-set!")
+    if not 0 <= i < len(s.chars):
+        raise SchemeError("string-set!: index out of range", i)
+    s.chars[i] = c.value
+    return UNSPECIFIED
+
+
+@_define("make-string", 2)
+def _make_string(n, c):
+    n = _want_int(n, "make-string")
+    c = _want_char(c, "make-string")
+    return MutableString(c.value * n)
+
+
+@_define("string-append", 2)
+def _string_append(a, b):
+    a = _want_string(a, "string-append")
+    b = _want_string(b, "string-append")
+    return MutableString(a.text + b.text)
+
+
+@_define("string=?", 2, returns_bool=True)
+def _string_eq(a, b):
+    return _want_string(a, "string=?").chars == _want_string(b, "string=?").chars
+
+
+@_define("string<?", 2, returns_bool=True)
+def _string_lt(a, b):
+    return _want_string(a, "string<?").text < _want_string(b, "string<?").text
+
+
+@_define("substring", 3)
+def _substring(s, start, end):
+    s = _want_string(s, "substring")
+    start = _want_int(start, "substring")
+    end = _want_int(end, "substring")
+    if not 0 <= start <= end <= len(s.chars):
+        raise SchemeError("substring: bad range", (start, end))
+    return MutableString("".join(s.chars[start:end]))
+
+
+@_define("string->symbol", 1)
+def _string_to_symbol(s):
+    return Symbol(_want_string(s, "string->symbol").text)
+
+
+@_define("symbol->string", 1)
+def _symbol_to_string(s):
+    return MutableString(_want_symbol(s, "symbol->string").name)
+
+
+@_define("number->string", 1)
+def _number_to_string(n):
+    return MutableString(write_datum(_want_number(n, "number->string")))
+
+
+@_define("string->list", 1)
+def _string_to_list(s):
+    s = _want_string(s, "string->list")
+    result: Any = NIL
+    for ch in reversed(s.chars):
+        result = Pair(Char(ch), result)
+    return result
+
+
+@_define("char->integer", 1)
+def _char_to_integer(c):
+    return ord(_want_char(c, "char->integer").value)
+
+
+@_define("integer->char", 1)
+def _integer_to_char(n):
+    n = _want_int(n, "integer->char")
+    if not 0 <= n < 0x110000:
+        raise SchemeError("integer->char: out of range", n)
+    return Char(chr(n))
+
+
+@_define("char=?", 2, returns_bool=True)
+def _char_eq(a, b):
+    return _want_char(a, "char=?") is _want_char(b, "char=?")
+
+
+@_define("char<?", 2, returns_bool=True)
+def _char_lt(a, b):
+    return _want_char(a, "char<?").value < _want_char(b, "char<?").value
+
+
+@_define("char-upcase", 1)
+def _char_upcase(c):
+    return Char(_want_char(c, "char-upcase").value.upper())
+
+
+@_define("char-downcase", 1)
+def _char_downcase(c):
+    return Char(_want_char(c, "char-downcase").value.lower())
+
+
+@_define("char-alphabetic?", 1, returns_bool=True)
+def _char_alphabetic(c):
+    return _want_char(c, "char-alphabetic?").value.isalpha()
+
+
+@_define("char-numeric?", 1, returns_bool=True)
+def _char_numeric(c):
+    return _want_char(c, "char-numeric?").value.isdigit()
+
+
+# ---------------------------------------------------------------------------
+# Boxes (assignment conversion) and misc
+# ---------------------------------------------------------------------------
+
+
+@_define("box", 1)
+def _box(x):
+    return Box(x)
+
+
+@_define("unbox", 1)
+def _unbox(b):
+    if not isinstance(b, Box):
+        raise SchemeError("unbox: not a box", b)
+    return b.value
+
+
+@_define("set-box!", 2, pure=False)
+def _set_box(b, x):
+    if not isinstance(b, Box):
+        raise SchemeError("set-box!: not a box", b)
+    b.value = x
+    return UNSPECIFIED
+
+
+@_define("void", 0)
+def _void():
+    return UNSPECIFIED
+
+
+@_define("error", 2, pure=False)
+def _error(message, irritant):
+    if isinstance(message, MutableString):
+        text = message.text
+    else:
+        text = display_datum(message)
+    raise SchemeError(text, irritant)
+
+
+# ---------------------------------------------------------------------------
+# Output
+# ---------------------------------------------------------------------------
+
+
+@_define_port("display", 1)
+def _display(port, x):
+    port.emit(display_datum(x))
+    return UNSPECIFIED
+
+
+@_define_port("write", 1)
+def _write(port, x):
+    port.emit(write_datum(x))
+    return UNSPECIFIED
+
+
+@_define_port("newline", 0)
+def _newline(port):
+    port.emit("\n")
+    return UNSPECIFIED

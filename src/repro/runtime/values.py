@@ -1,0 +1,54 @@
+"""Run-time value types that are not also reader datums."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+
+class SchemeError(Exception):
+    """Raised by the ``error`` primitive and by run-time type errors."""
+
+    def __init__(self, message: str, irritant: Any = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.irritant = irritant
+
+
+class Box:
+    """A mutable cell.
+
+    Assignment conversion turns every ``set!``-assigned variable into a
+    box so that, as the paper notes, "variables need to be saved only
+    once": the register holds an immutable pointer to the box.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"#<box {self.value!r}>"
+
+
+class OutputPort:
+    """An in-memory output sink for ``display``/``write``/``newline``.
+
+    The paper's ``fprint``/``tprint`` benchmarks print to files; we
+    collect the characters in memory, which exercises the same printer
+    recursion without OS I/O (see DESIGN.md substitutions).
+    """
+
+    __slots__ = ("chunks",)
+
+    def __init__(self) -> None:
+        self.chunks: List[str] = []
+
+    def emit(self, text: str) -> None:
+        self.chunks.append(text)
+
+    def contents(self) -> str:
+        return "".join(self.chunks)
+
+    def clear(self) -> None:
+        self.chunks.clear()

@@ -1,0 +1,51 @@
+"""S-expression layer: datum types, reader, and writer.
+
+This package implements the concrete syntax of the Scheme subset the
+compiler accepts.  The datum types defined here double as the run-time
+value representation used by the virtual machine and the reference
+interpreter, so that a quoted constant in source text *is* the value the
+program manipulates.
+"""
+
+from repro.sexp.datum import (
+    Char,
+    MutableString,
+    NIL,
+    Nil,
+    Pair,
+    Symbol,
+    UNSPECIFIED,
+    Unspecified,
+    EOF_OBJECT,
+    EofObject,
+    list_to_pairs,
+    pairs_to_list,
+    is_list,
+    scheme_equal,
+    scheme_eqv,
+)
+from repro.sexp.reader import ReaderError, read, read_all
+from repro.sexp.writer import write_datum, display_datum
+
+__all__ = [
+    "Char",
+    "MutableString",
+    "NIL",
+    "Nil",
+    "Pair",
+    "Symbol",
+    "UNSPECIFIED",
+    "Unspecified",
+    "EOF_OBJECT",
+    "EofObject",
+    "list_to_pairs",
+    "pairs_to_list",
+    "is_list",
+    "scheme_equal",
+    "scheme_eqv",
+    "ReaderError",
+    "read",
+    "read_all",
+    "write_datum",
+    "display_datum",
+]

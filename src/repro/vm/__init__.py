@@ -1,0 +1,16 @@
+"""The virtual machine: an instruction-level simulator with stack-
+reference accounting, a load-latency cycle model, and the dynamic
+call-graph classifier behind Table 2."""
+
+from repro.vm.counters import Counters
+from repro.vm.callgraph import ActivationClassifier, CATEGORIES
+from repro.vm.machine import Machine, VMClosure, VMContinuation
+
+__all__ = [
+    "Counters",
+    "ActivationClassifier",
+    "CATEGORIES",
+    "Machine",
+    "VMClosure",
+    "VMContinuation",
+]

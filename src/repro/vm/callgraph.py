@@ -1,0 +1,104 @@
+"""Dynamic activation classification — the instrumentation behind
+Table 2.
+
+Every procedure activation is classified on retirement into one of the
+paper's four categories:
+
+* ``syntactic-leaf``         — the procedure contains no (non-tail)
+  call sites at all;
+* ``non-syntactic-leaf``     — it has call sites but this activation
+  executed none (an *effective leaf*);
+* ``non-syntactic-internal`` — it made calls at run time but has paths
+  without calls (``ret ∉ St ∩ Sf``);
+* ``syntactic-internal``     — every path through it calls.
+
+Tail calls retire the current activation and start a new one (footnote
+1: tail calls are jumps, not calls), so an activation's ``made_call``
+reflects only the non-tail calls it performed itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.astnodes import CodeObject
+
+CATEGORIES = (
+    "syntactic-leaf",
+    "non-syntactic-leaf",
+    "non-syntactic-internal",
+    "syntactic-internal",
+)
+
+
+class _Activation:
+    __slots__ = ("code", "made_call")
+
+    def __init__(self, code: CodeObject) -> None:
+        self.code = code
+        self.made_call = False
+
+
+class ActivationClassifier:
+    """Shadow call stack maintained by the VM."""
+
+    def __init__(self) -> None:
+        self.stack: List[_Activation] = []
+        self.counts: Dict[str, int] = {c: 0 for c in CATEGORIES}
+
+    # -- events -------------------------------------------------------------
+
+    def on_call(self, code: CodeObject) -> None:
+        if self.stack:
+            self.stack[-1].made_call = True
+        self.stack.append(_Activation(code))
+
+    def on_tail_call(self, code: CodeObject) -> None:
+        if self.stack:
+            self._retire(self.stack.pop())
+        self.stack.append(_Activation(code))
+
+    def on_return(self) -> None:
+        if self.stack:
+            self._retire(self.stack.pop())
+
+    def unwind_to(self, depth: int) -> None:
+        """A continuation invocation abandons activations above *depth*."""
+        while len(self.stack) > depth:
+            self._retire(self.stack.pop())
+
+    def finish(self) -> None:
+        """Retire whatever remains (e.g. the entry activation at halt)."""
+        while self.stack:
+            self._retire(self.stack.pop())
+
+    # -- classification --------------------------------------------------------
+
+    def _retire(self, act: _Activation) -> None:
+        self.counts[classify(act.code, act.made_call)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {c: self.counts[c] / total for c in CATEGORIES}
+
+    @property
+    def effective_leaf_fraction(self) -> float:
+        """The paper's headline number: activations that made no call."""
+        f = self.fractions()
+        return f["syntactic-leaf"] + f["non-syntactic-leaf"]
+
+
+def classify(code: CodeObject, made_call: bool) -> str:
+    if code.syntactic_leaf:
+        return "syntactic-leaf"
+    if not made_call:
+        return "non-syntactic-leaf"
+    if code.always_calls:
+        return "syntactic-internal"
+    return "non-syntactic-internal"

@@ -1,0 +1,81 @@
+"""Run-time event counters.
+
+``stack_reads``/``stack_writes`` are broken down by the reason for the
+access (see ``repro.backend.isa.STACK_KINDS``); their grand total is
+the paper's "stack references" metric (Table 3).  ``cycles`` is the
+cost-model time used for the paper's "performance increase" columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Counters:
+    __slots__ = (
+        "instructions",
+        "cycles",
+        "stack_reads",
+        "stack_writes",
+        "calls",
+        "tail_calls",
+        "prim_calls",
+        "closure_allocs",
+        "branches",
+        "mispredicts",
+        "continuations_captured",
+        "continuations_invoked",
+    )
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.cycles = 0
+        self.stack_reads: Dict[str, int] = {}
+        self.stack_writes: Dict[str, int] = {}
+        self.calls = 0
+        self.tail_calls = 0
+        self.prim_calls = 0
+        self.closure_allocs = 0
+        self.branches = 0
+        self.mispredicts = 0
+        self.continuations_captured = 0
+        self.continuations_invoked = 0
+
+    def count_read(self, kind: str) -> None:
+        self.stack_reads[kind] = self.stack_reads.get(kind, 0) + 1
+
+    def count_write(self, kind: str) -> None:
+        self.stack_writes[kind] = self.stack_writes.get(kind, 0) + 1
+
+    @property
+    def total_stack_refs(self) -> int:
+        return sum(self.stack_reads.values()) + sum(self.stack_writes.values())
+
+    @property
+    def saves(self) -> int:
+        return self.stack_writes.get("save", 0)
+
+    @property
+    def restores(self) -> int:
+        return self.stack_reads.get("restore", 0)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "stack_refs": self.total_stack_refs,
+            "stack_reads": dict(self.stack_reads),
+            "stack_writes": dict(self.stack_writes),
+            "calls": self.calls,
+            "tail_calls": self.tail_calls,
+            "saves": self.saves,
+            "restores": self.restores,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Counters instrs={self.instructions} cycles={self.cycles} "
+            f"stack_refs={self.total_stack_refs} calls={self.calls}>"
+        )

@@ -1,0 +1,421 @@
+"""The virtual machine.
+
+An in-order, single-issue register machine with a load-latency
+scoreboard.  Every stack access is an explicit instruction carrying its
+reason, so the Table 3 "stack references" metric is exact, and the
+cycle model exposes exactly the effect the paper attributes to eager
+restores: a restore issued right after a call has usually finished its
+memory latency by the time the value is used, while a lazy reload right
+before the use stalls.
+
+Supported beyond the paper's core: full re-invocable continuations
+(``call/cc``) via stack copying, in the spirit of Hieb/Dybvig (the
+paper's [11]), needed by the ``ctak`` benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.astnodes import CodeObject
+from repro.backend.codegen import CompiledProgram
+from repro.runtime.primitives import PRIMITIVES
+from repro.runtime.values import OutputPort, SchemeError
+from repro.vm.callgraph import ActivationClassifier
+from repro.vm.counters import Counters
+
+
+class VMClosure:
+    scheme_procedure = True
+    __slots__ = ("code", "slots")
+
+    def __init__(self, code: CodeObject, slots: List[Any]) -> None:
+        self.code = code
+        self.slots = slots
+
+    def __repr__(self) -> str:
+        return f"#<procedure {self.code.name}>"
+
+
+class VMContinuation:
+    scheme_procedure = True
+    __slots__ = ("snapshot", "sp", "code", "pc", "class_depth")
+
+    def __init__(
+        self,
+        snapshot: List[Any],
+        sp: int,
+        code: CodeObject,
+        pc: int,
+        class_depth: int,
+    ) -> None:
+        self.snapshot = snapshot
+        self.sp = sp
+        self.code = code
+        self.pc = pc
+        self.class_depth = class_depth
+
+    def __repr__(self) -> str:
+        return "#<continuation>"
+
+
+class _Poison:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "#<uninitialized-frame-slot>"
+
+
+POISON = _Poison()
+
+
+class VMError(Exception):
+    """Internal VM invariant violation (not a Scheme error)."""
+
+
+class Machine:
+    """Executes a :class:`CompiledProgram`."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        debug: bool = False,
+        max_instructions: Optional[int] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.config = compiled.config
+        self.regfile = compiled.regfile
+        self.debug = debug
+        self.max_instructions = max_instructions
+        self.counters = Counters()
+        self.classifier = ActivationClassifier()
+        self.port = OutputPort()
+        self.result: Any = None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Any:
+        try:
+            return self._run()
+        except SchemeError as exc:
+            # Annotate with the procedure that was executing (read from
+            # the interpreter loop's frame — zero cost on the hot path).
+            tb = exc.__traceback__
+            while tb is not None:
+                if tb.tb_frame.f_code.co_name == "_run":
+                    code = tb.tb_frame.f_locals.get("code")
+                    if code is not None and " (in " not in exc.message:
+                        exc.message = f"{exc.message} (in {code.name})"
+                        exc.args = (exc.message,)
+                    break
+                tb = tb.tb_next
+            raise
+
+    def _run(self) -> Any:
+        cm = self.config.cost_model
+        load_latency = cm.load_latency
+        store_extra = cm.store_cost - 1
+        call_overhead = cm.call_overhead
+        predict_mode = self.config.branch_prediction
+        penalty = cm.branch_mispredict_penalty
+        counters = self.counters
+        classifier = self.classifier
+        port = self.port
+        prims = PRIMITIVES
+        debug = self.debug
+        nregs = len(self.regfile)
+        num_arg_regs = self.regfile.num_arg_regs
+        a0 = self.regfile.arg_regs[0].index if num_arg_regs else None
+        RET = self.regfile.ret.index
+        CP = self.regfile.cp.index
+        RV = self.regfile.rv.index
+
+        regs: List[Any] = [None] * nregs
+        ready = [0] * nregs
+        stack: List[Any] = [None] * 256
+        cycle = 0
+        executed = 0
+        max_instructions = self.max_instructions
+
+        code = self.compiled.entry
+        instrs = code.instructions
+        pc = 0
+        sp = 0
+        self._ensure = None  # appease linters; capacity handled inline
+        classifier.on_call(code)
+
+        def ensure_capacity(limit: int) -> None:
+            nonlocal stack
+            if limit >= len(stack):
+                stack.extend([None] * (limit - len(stack) + 256))
+
+        ensure_capacity(code.frame_size + 64)
+        if debug:
+            for i in range(code.frame_size):
+                stack[i] = POISON
+
+        while True:
+            instr = instrs[pc]
+            op = instr[0]
+            executed += 1
+            cycle += 1
+            if max_instructions is not None and executed > max_instructions:
+                raise VMError("instruction budget exceeded")
+            pc += 1
+
+            if op == "prim":
+                srcs = instr[3]
+                args = []
+                for s in srcs:
+                    if type(s) is int:
+                        t = ready[s]
+                        if t > cycle:
+                            cycle = t
+                        args.append(regs[s])
+                    else:
+                        args.append(s[1])
+                dst = instr[1]
+                regs[dst] = prims[instr[2]].fn(args, port)
+                ready[dst] = cycle
+                counters.prim_calls += 1
+            elif op == "mov":
+                src = instr[2]
+                t = ready[src]
+                if t > cycle:
+                    cycle = t
+                dst = instr[1]
+                regs[dst] = regs[src]
+                ready[dst] = cycle
+            elif op == "li":
+                dst = instr[1]
+                regs[dst] = instr[2]
+                ready[dst] = cycle
+            elif op == "ld":
+                dst = instr[1]
+                value = stack[sp + instr[2]]
+                if debug and value is POISON:
+                    raise VMError(
+                        f"read of uninitialized frame slot {instr[2]} in "
+                        f"{code.label} (kind {instr[3]})"
+                    )
+                regs[dst] = value
+                ready[dst] = cycle + load_latency
+                counters.count_read(instr[3])
+            elif op == "st":
+                src = instr[2]
+                t = ready[src]
+                if t > cycle:
+                    cycle = t
+                stack[sp + instr[1]] = regs[src]
+                cycle += store_extra
+                counters.count_write(instr[3])
+            elif op == "st_out":
+                src = instr[2]
+                t = ready[src]
+                if t > cycle:
+                    cycle = t
+                idx = sp + code.frame_size + instr[1]
+                ensure_capacity(idx)
+                stack[idx] = regs[src]
+                cycle += store_extra
+                counters.count_write(instr[3])
+            elif op == "ld_out":
+                dst = instr[1]
+                idx = sp + code.frame_size + instr[2]
+                ensure_capacity(idx)
+                value = stack[idx]
+                if debug and value is POISON:
+                    raise VMError(
+                        f"read of uninitialized out slot {instr[2]} in {code.label}"
+                    )
+                regs[dst] = value
+                ready[dst] = cycle + load_latency
+                counters.count_read(instr[3])
+            elif op == "brf" or op == "brt":
+                src = instr[1]
+                t = ready[src]
+                if t > cycle:
+                    cycle = t
+                if op == "brf":
+                    taken = regs[src] is False
+                else:
+                    taken = regs[src] is not False
+                counters.branches += 1
+                if predict_mode is not None:
+                    # Static prediction: fall-through (not-taken) is
+                    # the predicted path; the allocator lays the
+                    # likely (call-free) branch on the fall-through.
+                    if taken:
+                        counters.mispredicts += 1
+                        cycle += penalty
+                if taken:
+                    pc = instr[2]
+            elif op == "jmp":
+                pc = instr[1]
+            elif op == "call":
+                callee = regs[CP]
+                cycle += call_overhead
+                counters.calls += 1
+                if type(callee) is VMClosure:
+                    target = callee.code
+                    if len(target.params) != instr[1]:
+                        raise SchemeError(
+                            f"{target.name}: expected {len(target.params)} "
+                            f"argument(s), got {instr[1]}"
+                        )
+                    regs[RET] = (code, pc)
+                    new_sp = sp + code.frame_size
+                    ensure_capacity(new_sp + target.frame_size + 64)
+                    if debug:
+                        incoming = max(0, len(target.params) - num_arg_regs)
+                        for i in range(incoming, target.frame_size):
+                            stack[new_sp + i] = POISON
+                    sp = new_sp
+                    classifier.on_call(target)
+                    code = target
+                    instrs = code.instructions
+                    pc = 0
+                elif type(callee) is VMContinuation:
+                    if instr[1] != 1:
+                        raise SchemeError("continuation expects exactly 1 value")
+                    if a0 is not None:
+                        value = regs[a0]
+                    else:
+                        value = stack[sp + code.frame_size]
+                    counters.continuations_invoked += 1
+                    classifier.unwind_to(callee.class_depth)
+                    stack = list(callee.snapshot)
+                    ensure_capacity(len(stack) + 64)
+                    sp = callee.sp
+                    regs[RV] = value
+                    ready[RV] = cycle
+                    code = callee.code
+                    instrs = code.instructions
+                    pc = callee.pc
+                else:
+                    raise SchemeError("attempt to apply a non-procedure", callee)
+            elif op == "tailcall":
+                callee = regs[CP]
+                cycle += call_overhead
+                counters.tail_calls += 1
+                if type(callee) is VMClosure:
+                    target = callee.code
+                    if len(target.params) != instr[1]:
+                        raise SchemeError(
+                            f"{target.name}: expected {len(target.params)} "
+                            f"argument(s), got {instr[1]}"
+                        )
+                    ensure_capacity(sp + target.frame_size + 64)
+                    if debug:
+                        incoming = max(0, len(target.params) - num_arg_regs)
+                        for i in range(incoming, target.frame_size):
+                            stack[sp + i] = POISON
+                    classifier.on_tail_call(target)
+                    code = target
+                    instrs = code.instructions
+                    pc = 0
+                elif type(callee) is VMContinuation:
+                    if instr[1] != 1:
+                        raise SchemeError("continuation expects exactly 1 value")
+                    if a0 is not None:
+                        value = regs[a0]
+                    else:
+                        value = stack[sp]
+                    counters.continuations_invoked += 1
+                    classifier.unwind_to(callee.class_depth)
+                    stack = list(callee.snapshot)
+                    ensure_capacity(len(stack) + 64)
+                    sp = callee.sp
+                    regs[RV] = value
+                    ready[RV] = cycle
+                    code = callee.code
+                    instrs = code.instructions
+                    pc = callee.pc
+                else:
+                    raise SchemeError("attempt to apply a non-procedure", callee)
+            elif op == "callcc":
+                fn = regs[CP]
+                cycle += call_overhead
+                counters.calls += 1
+                counters.continuations_captured += 1
+                if not (type(fn) is VMClosure):
+                    raise SchemeError("call/cc: not a procedure", fn)
+                target = fn.code
+                if len(target.params) != 1:
+                    raise SchemeError(
+                        f"call/cc receiver {target.name} must take 1 argument"
+                    )
+                new_sp = sp + code.frame_size
+                k = VMContinuation(
+                    stack[:new_sp], sp, code, pc, len(classifier.stack)
+                )
+                regs[RET] = (code, pc)
+                ensure_capacity(new_sp + target.frame_size + 64)
+                if debug:
+                    incoming = max(0, len(target.params) - num_arg_regs)
+                    for i in range(incoming, target.frame_size):
+                        stack[new_sp + i] = POISON
+                if a0 is not None:
+                    regs[a0] = k
+                    ready[a0] = cycle
+                else:
+                    stack[new_sp] = k
+                    counters.count_write("arg")
+                sp = new_sp
+                classifier.on_call(target)
+                code = target
+                instrs = code.instructions
+                pc = 0
+            elif op == "return":
+                addr = regs[RET]
+                if addr is None:
+                    self.result = regs[RV]
+                    classifier.finish()
+                    break
+                ret_code, ret_pc = addr
+                sp -= ret_code.frame_size
+                classifier.on_return()
+                code = ret_code
+                instrs = code.instructions
+                pc = ret_pc
+            elif op == "clo_ref":
+                dst = instr[1]
+                regs[dst] = regs[CP].slots[instr[2]]
+                ready[dst] = cycle
+            elif op == "closure":
+                srcs = instr[3]
+                values = []
+                for s in srcs:
+                    t = ready[s]
+                    if t > cycle:
+                        cycle = t
+                    values.append(regs[s])
+                dst = instr[1]
+                regs[dst] = VMClosure(instr[2], values)
+                ready[dst] = cycle
+                counters.closure_allocs += 1
+            elif op == "clo_alloc":
+                dst = instr[1]
+                regs[dst] = VMClosure(instr[2], [None] * instr[3])
+                ready[dst] = cycle
+                counters.closure_allocs += 1
+            elif op == "clo_set":
+                src = instr[3]
+                t = ready[src]
+                if t > cycle:
+                    cycle = t
+                regs[instr[1]].slots[instr[2]] = regs[src]
+            elif op == "halt":
+                self.result = regs[RV]
+                classifier.finish()
+                break
+            else:  # pragma: no cover - closed opcode set
+                raise VMError(f"unknown opcode {op}")
+
+        counters.instructions = executed
+        counters.cycles = cycle
+        return self.result
+
+    @property
+    def output(self) -> str:
+        return self.port.contents()

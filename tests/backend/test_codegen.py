@@ -1,0 +1,151 @@
+"""Code generation tests: instruction-level properties."""
+
+import pytest
+
+from repro.backend.isa import OPCODES, format_code
+from repro.config import CompilerConfig
+from repro.pipeline import compile_source, run_source
+
+
+def compiled(text, **cfg):
+    return compile_source(text, CompilerConfig(**cfg), prelude=False)
+
+
+def code_named(prog, name):
+    return next(c for c in prog.codes if c.name == name)
+
+
+def ops(code):
+    return [i[0] for i in code.instructions]
+
+
+class TestStructure:
+    def test_every_instruction_is_known(self):
+        prog = compiled("(define (f x) (+ x 1)) (f 1)")
+        for code in prog.codes:
+            for instr in code.instructions:
+                assert instr[0] in OPCODES or instr[0] == "ld_out"
+
+    def test_leaf_procedure_minimal(self):
+        prog = compiled("(define (f x y) (+ x y)) (f 1 2)")
+        f = code_named(prog, "f")
+        assert ops(f) == ["prim", "return"]
+        assert f.frame_size == 0
+
+    def test_tail_recursion_is_a_jump(self):
+        prog = compiled("(define (loop n) (if (zero? n) 0 (loop (- n 1)))) (loop 3)")
+        loop = code_named(prog, "loop")
+        assert "tailcall" in ops(loop)
+        assert "call" not in ops(loop)
+
+    def test_every_path_exits(self):
+        prog = compiled("(define (f p) (if p 1 2)) (f #t)")
+        f = code_named(prog, "f")
+        assert ops(f).count("return") == 2
+
+    def test_frame_size_covers_homes(self):
+        prog = compiled(
+            "(define (g n) n) (define (f x) (+ (g x) x)) (f 1)"
+        )
+        f = code_named(prog, "f")
+        slots = [i[1] for i in f.instructions if i[0] == "st"]
+        assert f.frame_size > max(slots)
+
+    def test_disassembly_renders(self):
+        prog = compiled("(define (f x) (+ x 1)) (f 1)")
+        text = format_code(code_named(prog, "f"), [r.name for r in prog.regfile.all])
+        assert "prim" in text and "return" in text
+
+
+class TestSaveRestoreEmission:
+    SRC = "(define (g n) n) (define (f x) (+ (g x) x)) (f 1)"
+
+    def test_saves_before_call(self):
+        prog = compiled(self.SRC)
+        f = code_named(prog, "f")
+        body_ops = ops(f)
+        first_save = body_ops.index("st")
+        call_at = body_ops.index("call")
+        assert first_save < call_at
+
+    def test_save_kinds_tagged(self):
+        prog = compiled(self.SRC)
+        f = code_named(prog, "f")
+        kinds = {i[3] for i in f.instructions if i[0] == "st"}
+        assert "save" in kinds
+
+    def test_restores_after_call(self):
+        prog = compiled(self.SRC)
+        f = code_named(prog, "f")
+        call_at = ops(f).index("call")
+        after = f.instructions[call_at + 1 :]
+        restore_ops = [i for i in after if i[0] == "ld" and i[3] == "restore"]
+        assert restore_ops  # x and ret reloaded eagerly
+
+    def test_lazy_mode_defers_restores(self):
+        eager = compiled(self.SRC)
+        lazy = compiled(self.SRC, restore_strategy="lazy")
+        f_eager = code_named(eager, "f")
+        f_lazy = code_named(lazy, "f")
+        call_e = ops(f_eager).index("call")
+        call_l = ops(f_lazy).index("call")
+        # eager restores immediately follow the call; lazy's first
+        # post-call instruction is not necessarily a restore
+        assert f_eager.instructions[call_e + 1][0] == "ld"
+
+
+class TestBaselineCode:
+    def test_params_read_from_stack(self):
+        prog = compiled("(define (f x y) (+ x y)) (f 1 2)", num_arg_regs=0, num_temp_regs=0)
+        f = code_named(prog, "f")
+        loads = [i for i in f.instructions if i[0] == "ld" and i[3] == "arg"]
+        assert len(loads) == 2
+
+    def test_outgoing_args_stored(self):
+        prog = compiled("(define (f x) x) (+ 0 (f 1))", num_arg_regs=0, num_temp_regs=0)
+        main = code_named(prog, "main")
+        outs = [i for i in main.instructions if i[0] == "st_out"]
+        assert outs
+
+
+class TestCalleeSaveCode:
+    SRC = """
+    (define (tak x y z)
+      (if (not (< y x)) z
+          (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+    (tak 4 2 1)
+    """
+
+    def test_early_prologue_saves(self):
+        prog = compiled(self.SRC, save_convention="callee", save_strategy="early")
+        tak = code_named(prog, "tak")
+        # first instructions save callee registers
+        assert tak.instructions[0][0] == "st"
+        assert tak.instructions[0][3] == "save"
+
+    def test_lazy_leaf_path_save_free(self):
+        prog = compiled(self.SRC, save_convention="callee", save_strategy="lazy")
+        tak = code_named(prog, "tak")
+        body_ops = ops(tak)
+        # the entry block up to the first branch contains no saves
+        first_branch = body_ops.index("brf")
+        assert "st" not in body_ops[:first_branch]
+
+    def test_exit_restores_before_tailcall(self):
+        prog = compiled(self.SRC, save_convention="callee", save_strategy="lazy")
+        tak = code_named(prog, "tak")
+        instrs = tak.instructions
+        tail_at = ops(tak).index("tailcall")
+        before = [i for i in instrs[:tail_at] if i[0] == "ld" and i[3] == "restore"]
+        assert before  # ret (and any used t-regs) reloaded before the jump
+
+
+class TestCallCCCode:
+    def test_callcc_instruction(self):
+        prog = compiled("(call/cc (lambda (k) (k 1)))")
+        main = code_named(prog, "main")
+        assert "callcc" in ops(main)
+
+    def test_callcc_runs(self):
+        r = run_source("(+ 1 (call/cc (lambda (k) (k 41))))", prelude=False, debug=True)
+        assert r.value == 42

@@ -1,0 +1,114 @@
+"""Peephole optimizer tests."""
+
+import pytest
+
+from repro.astnodes import CodeObject, Quote
+from repro.backend.peephole import peephole_code, peephole_program
+from repro.config import CompilerConfig
+from repro.pipeline import compile_source, run_source
+from repro.sexp.writer import write_datum
+
+
+def make_code(instrs):
+    code = CodeObject("t", [], [], Quote(False))
+    code.instructions = [list(i) for i in instrs]
+    return code
+
+
+class TestRewrites:
+    def test_jump_to_next_removed(self):
+        code = make_code([
+            ("li", 2, 1),
+            ("jmp", 2),
+            ("li", 2, 2),
+            ("return",),
+        ])
+        removed = peephole_code(code)
+        assert removed == 1
+        assert [i[0] for i in code.instructions] == ["li", "li", "return"]
+
+    def test_jump_chain_threaded(self):
+        code = make_code([
+            ("brf", 2, 2, None),
+            ("return",),
+            ("jmp", 4),
+            ("return",),
+            ("li", 2, 9),
+            ("return",),
+        ])
+        peephole_code(code)
+        brf = code.instructions[0]
+        assert brf[0] == "brf"
+        # threaded through the jmp at 2 to its target
+        target = brf[2]
+        assert code.instructions[target][0] == "li"
+
+    def test_jump_to_return_becomes_return(self):
+        code = make_code([
+            ("jmp", 2),
+            ("li", 2, 0),
+            ("return",),
+        ])
+        peephole_code(code)
+        assert code.instructions[0] == ["return"]
+
+    def test_targets_renumbered_after_deletion(self):
+        code = make_code([
+            ("brf", 2, 3, None),   # over the dead jmp
+            ("jmp", 2),            # dead: jumps to next
+            ("li", 2, 1),
+            ("li", 2, 2),
+            ("return",),
+        ])
+        peephole_code(code)
+        ops = [i[0] for i in code.instructions]
+        assert "jmp" not in ops
+        brf = code.instructions[0]
+        assert code.instructions[brf[2]][2] == 2  # still lands on (li 2 2)
+
+    def test_idempotent(self):
+        code = make_code([
+            ("li", 2, 1),
+            ("return",),
+        ])
+        assert peephole_code(code) == 0
+        assert peephole_code(code) == 0
+
+
+class TestEndToEnd:
+    # Non-tail nested conditionals produce join-point jump chains
+    # (tail-position conditionals are already jump-free).
+    SRC = """
+    (define (classify n)
+      (+ 100 (if (< n 0)
+                 (if (< n -10) 1 2)
+                 (if (> n 10) (if (> n 100) 3 4) 5))))
+    (list (classify -20) (classify -1) (classify 5) (classify 50) (classify 500))
+    """
+
+    def test_semantics_preserved(self):
+        on = run_source(self.SRC, CompilerConfig(peephole=True), prelude=False, debug=True)
+        off = run_source(self.SRC, CompilerConfig(peephole=False), prelude=False, debug=True)
+        assert write_datum(on.value) == write_datum(off.value)
+
+    def test_no_jump_chains_remain(self):
+        on = compile_source(self.SRC, CompilerConfig(peephole=True), prelude=False)
+        for code in on.codes:
+            for instr in code.instructions:
+                if instr[0] == "jmp":
+                    assert code.instructions[instr[1]][0] != "jmp"
+                    assert code.instructions[instr[1]][0] != "return"
+                if instr[0] == "brf":
+                    assert code.instructions[instr[2]][0] != "jmp"
+
+    def test_fewer_executed_instructions(self):
+        on = run_source(self.SRC, CompilerConfig(peephole=True), prelude=False)
+        off = run_source(self.SRC, CompilerConfig(peephole=False), prelude=False)
+        assert on.counters.instructions < off.counters.instructions
+        assert on.counters.cycles < off.counters.cycles
+
+    @pytest.mark.parametrize("name", ["tak", "deriv", "fread"])
+    def test_benchmarks_agree(self, name):
+        from repro.benchsuite.runner import run_benchmark
+
+        run_benchmark(name, CompilerConfig(peephole=False), debug=True)

@@ -1,0 +1,104 @@
+"""Unit tests of the table generators (small benchmark subsets)."""
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS, tables
+from repro.benchsuite.runner import expected_value, run_benchmark
+from repro.config import CompilerConfig
+from repro.vm.callgraph import CATEGORIES
+
+SMALL = ["tak", "fread"]
+
+
+class TestTable2:
+    def test_rows_and_average(self):
+        rows = tables.table2(SMALL)
+        assert len(rows) == 3
+        assert rows[-1]["benchmark"] == "AVERAGE"
+        for row in rows[:-1]:
+            total = sum(row[c] for c in CATEGORIES)
+            assert total == pytest.approx(1.0)
+
+    def test_format(self):
+        text = tables.format_table2(tables.table2(["tak"]))
+        assert "tak" in text and "AVERAGE" in text
+
+
+class TestTable3:
+    def test_reductions_and_speedups(self):
+        rows = tables.table3(["tak"])
+        row = rows[0]
+        for strategy in ("lazy", "early", "late"):
+            assert 0 <= row[f"{strategy}-ref-reduction"] <= 1
+            assert row[f"{strategy}-speedup"] > 0
+        assert rows[-1]["benchmark"] == "AVERAGE"
+
+    def test_format(self):
+        text = tables.format_table3(tables.table3(["tak"]))
+        assert "%" in text
+
+
+class TestTables45:
+    def test_table4_rows(self):
+        rows = tables.table4()
+        assert len(rows) == 2
+        assert rows[0]["speedup-vs-cc"] == 0.0
+
+    def test_table5_rows(self):
+        rows = tables.table5()
+        assert {r["configuration"] for r in rows} == {
+            "callee-save early",
+            "callee-save lazy",
+            "caller-save lazy",
+        }
+
+
+class TestShuffleStats:
+    def test_counts(self):
+        stats = tables.shuffle_stats(["tak"])
+        assert stats["call-sites"] > 0
+        assert 0 <= stats["cyclic-fraction"] <= 1
+        assert stats["greedy-optimal-sites"] <= stats["call-sites"]
+
+
+class TestSweepAndRestores:
+    def test_register_sweep_columns(self):
+        rows = tables.register_sweep(["tak"], counts=(0, 6))
+        assert rows[0]["registers"] == 0
+        assert rows[0]["greedy-cycles"] > rows[1]["greedy-cycles"]
+
+    def test_restore_comparison(self):
+        rows = tables.restore_comparison(["tak"], latencies=(1,))
+        assert {r["strategy"] for r in rows} == {"eager", "lazy"}
+
+    def test_branch_prediction_rows(self):
+        rows = tables.branch_prediction_experiment(["tak"])
+        assert rows[-1]["benchmark"] == "AVERAGE"
+
+    def test_compile_time_profile(self):
+        profile = tables.compile_time_profile(["tak"], repeats=1)
+        assert 0 < profile["register-allocation-fraction"] < 1
+
+    def test_ablation_rows(self):
+        rows = tables.save_placement_ablation(["shortcircuit"])
+        assert rows[0]["revised-saves"] < rows[0]["simple-saves"]
+
+
+class TestRunner:
+    def test_expected_value_cached(self):
+        bench = BENCHMARKS["tak"]
+        assert expected_value(bench) == "7"
+
+    def test_run_benchmark_validates(self):
+        run = run_benchmark("tak", CompilerConfig())
+        assert run.value_text == "7"
+
+    def test_validation_failure_raises(self, monkeypatch):
+        from repro.benchsuite import runner
+
+        monkeypatch.setitem(runner._expected_cache, "div-iter", "999")
+        bench = BENCHMARKS["div-iter"]
+        # div-iter has a baked-in expected of "100"; fake a mismatch
+        monkeypatch.setattr(bench, "expected", "999")
+        with pytest.raises(AssertionError):
+            run_benchmark("div-iter", CompilerConfig())

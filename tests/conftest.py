@@ -1,0 +1,57 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.interp.interpreter import Interpreter
+from repro.pipeline import run_source
+from repro.sexp.writer import write_datum
+
+
+def interp_value(source: str, prelude: bool = True):
+    """Reference-interpreter value of *source*."""
+    return Interpreter().run_source(source, prelude=prelude)
+
+
+def compiled_value(source: str, config=None, prelude: bool = True):
+    """Compiled-and-executed value of *source* (debug VM checks on)."""
+    return run_source(source, config or CompilerConfig(), prelude=prelude, debug=True).value
+
+
+def assert_compiles_like_interpreter(source: str, config=None, prelude: bool = True):
+    """The central differential assertion: compiler == interpreter."""
+    expected = write_datum(interp_value(source, prelude=prelude))
+    got = write_datum(compiled_value(source, config, prelude=prelude))
+    assert got == expected, f"compiled {got} != interpreted {expected} for {source!r}"
+
+
+# A representative matrix of allocator configurations.
+CONFIG_MATRIX = [
+    pytest.param(CompilerConfig(), id="paper-default"),
+    pytest.param(CompilerConfig.baseline(), id="baseline"),
+    pytest.param(CompilerConfig(save_strategy="early"), id="early-save"),
+    pytest.param(CompilerConfig(save_strategy="late"), id="late-save"),
+    pytest.param(CompilerConfig(save_strategy="lazy-simple"), id="lazy-simple"),
+    pytest.param(CompilerConfig(restore_strategy="lazy"), id="lazy-restore"),
+    pytest.param(CompilerConfig(num_arg_regs=2, num_temp_regs=1), id="small-regs"),
+    pytest.param(CompilerConfig(num_arg_regs=1, num_temp_regs=0), id="tiny-regs"),
+    pytest.param(CompilerConfig(shuffle_strategy="naive"), id="naive-shuffle"),
+    pytest.param(CompilerConfig(shuffle_strategy="spill-all"), id="spill-all"),
+    pytest.param(CompilerConfig(shuffle_strategy="optimal"), id="optimal-shuffle"),
+    pytest.param(
+        CompilerConfig(save_convention="callee", save_strategy="early"),
+        id="callee-early",
+    ),
+    pytest.param(
+        CompilerConfig(save_convention="callee", save_strategy="lazy"),
+        id="callee-lazy",
+    ),
+    pytest.param(
+        CompilerConfig(
+            save_convention="callee", save_strategy="lazy", restore_strategy="lazy"
+        ),
+        id="callee-lazy-lazyrestore",
+    ),
+]

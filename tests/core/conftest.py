@@ -1,0 +1,72 @@
+"""Helpers for constructing the paper's simplified language directly.
+
+The paper's §2 examples use the language ``x | true | false | call |
+(seq E1 E2) | (if E1 E2 E3)``; these helpers build the corresponding
+core AST nodes with hand-assigned registers and live sets, so the save
+analyses can be tested in exactly the paper's terms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import pytest
+
+from repro.astnodes import Call, CodeObject, Expr, If, Quote, Ref, Seq, Var
+from repro.core.liveness import CodeAllocation
+from repro.core.registers import RegisterFile
+from repro.core.savesets import SaveAnalysis
+from repro.sexp.datum import Symbol
+
+
+class PaperWorld:
+    """A tiny fixture world: a register file, some register-resident
+    variables, and constructors for the paper's expression forms."""
+
+    def __init__(self, num_regs: int = 6) -> None:
+        self.regfile = RegisterFile(num_regs, num_regs)
+        self.code = CodeObject("test", [], [], Quote(False))
+        self.alloc = CodeAllocation(self.code, self.regfile)
+        self._vars = {}
+
+    def var(self, name: str) -> Var:
+        if name not in self._vars:
+            v = Var(name)
+            v.location = self.regfile.temp_regs[len(self._vars)]
+            self._vars[name] = v
+        return self._vars[name]
+
+    def x(self, name: str = "x") -> Ref:
+        return Ref(self.var(name))
+
+    def true(self) -> Quote:
+        return Quote(True)
+
+    def false(self) -> Quote:
+        return Quote(False)
+
+    def call(self, live: Iterable[str] = (), tail: bool = False) -> Call:
+        """The paper's ``call`` with the given names live after it."""
+        node = Call(Quote(Symbol("f")), [], tail=tail)
+        node.live_after = frozenset(self.var(n) for n in live)
+        return node
+
+    def seq(self, *exprs: Expr) -> Seq:
+        return Seq(list(exprs))
+
+    def if_(self, t: Expr, c: Expr, a: Expr) -> If:
+        return If(t, c, a)
+
+    def analyze(self, body: Expr) -> SaveAnalysis:
+        self.code.body = body
+        analysis = SaveAnalysis(self.alloc)
+        analysis.analyze()
+        return analysis
+
+    def names(self, vars_) -> set:
+        return {v.name for v in vars_}
+
+
+@pytest.fixture
+def world() -> PaperWorld:
+    return PaperWorld()

@@ -1,0 +1,161 @@
+"""Liveness and location assignment (pass 0)."""
+
+import pytest
+
+from repro.astnodes import Call, Let, Ref, walk
+from repro.core.liveness import analyze_code
+from repro.core.locations import FrameSlot
+from repro.core.registers import Register, RegisterFile
+from repro.frontend.analyze import mark_tail_calls
+from repro.frontend.assignconvert import assignment_convert
+from repro.frontend.closure import closure_convert
+from repro.frontend.expand import expand_program
+from repro.sexp.reader import read_all
+
+
+def analyzed(text, num_regs=6):
+    expr = assignment_convert(expand_program(read_all(text)))
+    mark_tail_calls(expr)
+    program = closure_convert(expr)
+    regfile = RegisterFile(num_regs, num_regs)
+    allocs = {c.name: analyze_code(c, regfile) for c in program.codes}
+    return program, allocs
+
+
+def code_named(program, name):
+    return next(c for c in program.codes if c.name == name)
+
+
+class TestParameterLocations:
+    def test_params_in_arg_registers(self):
+        program, allocs = analyzed("(define (f a b c) a) (f 1 2 3)")
+        f = code_named(program, "f")
+        for i, p in enumerate(f.params):
+            assert isinstance(p.location, Register)
+            assert p.location.name == f"a{i}"
+
+    def test_excess_params_on_stack(self):
+        program, allocs = analyzed(
+            "(define (f a b c d) a) (f 1 2 3 4)", num_regs=2
+        )
+        f = code_named(program, "f")
+        assert isinstance(f.params[0].location, Register)
+        assert isinstance(f.params[1].location, Register)
+        assert f.params[2].location == FrameSlot(0)
+        assert f.params[3].location == FrameSlot(1)
+
+    def test_baseline_all_params_on_stack(self):
+        program, allocs = analyzed("(define (f a b) a) (f 1 2)", num_regs=0)
+        f = code_named(program, "f")
+        assert all(isinstance(p.location, FrameSlot) for p in f.params)
+
+
+class TestLetLocations:
+    def test_let_gets_register(self):
+        program, allocs = analyzed("(define (f x) (let ((y (+ x 1))) (+ y y))) (f 1)")
+        f = code_named(program, "f")
+        lets = [n for n in walk(f.body) if isinstance(n, Let)]
+        assert all(isinstance(l.var.location, Register) for l in lets)
+
+    def test_disjoint_scopes_share_register(self):
+        program, allocs = analyzed(
+            "(define (f x) (+ (let ((a (+ x 1))) a) (let ((b (+ x 2))) b))) (f 1)"
+        )
+        f = code_named(program, "f")
+        lets = [n for n in walk(f.body) if isinstance(n, Let)]
+        assert lets[0].var.location is lets[1].var.location
+
+    def test_nested_live_vars_get_distinct_registers(self):
+        program, allocs = analyzed(
+            "(define (f x) (let ((a (+ x 1))) (let ((b (+ x 2))) (+ a b)))) (f 1)"
+        )
+        f = code_named(program, "f")
+        lets = [n for n in walk(f.body) if isinstance(n, Let)]
+        locs = {l.var.location for l in lets}
+        assert len(locs) == 2
+
+    def test_dead_param_register_reused(self):
+        # x is dead after the binding of y, so y may take x's register
+        program, allocs = analyzed(
+            "(define (f x) (let ((y (+ x 1))) (+ y y))) (f 1)", num_regs=1
+        )
+        f = code_named(program, "f")
+        let = next(n for n in walk(f.body) if isinstance(n, Let))
+        assert isinstance(let.var.location, Register)
+
+    def test_spill_when_registers_exhausted(self):
+        src = (
+            "(define (f x) "
+            "  (let ((a (+ x 1))) (let ((b (+ x 2))) (let ((c (+ x 3)))"
+            "  (+ a (+ b (+ c x)))))))"
+            "(f 1)"
+        )
+        program, allocs = analyzed(src, num_regs=1)
+        f = code_named(program, "f")
+        lets = [n for n in walk(f.body) if isinstance(n, Let)]
+        spilled = [l for l in lets if isinstance(l.var.location, FrameSlot)]
+        assert spilled  # not enough registers for all three
+
+
+class TestCallLiveness:
+    def test_live_after_call(self):
+        program, allocs = analyzed(
+            "(define (g n) n) (define (f x y) (+ (g x) y)) (f 1 2)"
+        )
+        f = code_named(program, "f")
+        call = next(
+            n for n in walk(f.body) if isinstance(n, Call) and not n.tail
+        )
+        names = {v.name for v in call.live_after}
+        assert "y" in names  # y used after the call
+        assert "%ret" in names  # must return afterwards
+
+    def test_dead_after_call(self):
+        program, allocs = analyzed(
+            "(define (g n) n) (define (f x y) (+ (g y) 1)) (f 1 2)"
+        )
+        f = code_named(program, "f")
+        call = next(
+            n for n in walk(f.body) if isinstance(n, Call) and not n.tail
+        )
+        names = {v.name for v in call.live_after}
+        assert "x" not in names and "y" not in names
+
+    def test_sibling_operands_kept_live(self):
+        # Whatever order the shuffler picks, y must survive (g x).
+        program, allocs = analyzed(
+            "(define (g n) n) (define (h a b) a)"
+            "(define (f x y) (h (g x) y)) (f 1 2)"
+        )
+        f = code_named(program, "f")
+        inner = [
+            n for n in walk(f.body) if isinstance(n, Call) and not n.tail
+        ]
+        g_call = next(c for c in inner if not c.args or len(c.args) == 1)
+        assert "y" in {v.name for v in g_call.live_after}
+
+    def test_cp_live_when_free_vars_used_after_call(self):
+        program, allocs = analyzed(
+            "(define (g n) n)"
+            "(define (make k) (lambda (x) (+ (g x) k)))"
+            "((make 5) 2)"
+        )
+        anon = code_named(program, "anonymous")
+        call = next(
+            n for n in walk(anon.body) if isinstance(n, Call) and not n.tail
+        )
+        assert "%cp" in {v.name for v in call.live_after}
+
+
+class TestFrameLayout:
+    def test_tail_call_out_area_reserved(self):
+        # 7 args with 6 arg regs: one stack slot; locals must sit above.
+        program, allocs = analyzed(
+            "(define (g a b c d e f h) a)"
+            "(define (f x) (g x x x x x x x))"
+            "(f 1)"
+        )
+        alloc = allocs["f"]
+        assert alloc.layout.size >= 1
+        slot = alloc.layout.alloc("probe")
+        assert slot.index >= 1  # slot 0 reserved for the tail-call arg

@@ -1,0 +1,79 @@
+"""Register file and bit-vector model."""
+
+import pytest
+
+from repro.core.registers import Register, RegisterFile
+
+
+class TestRegisterFile:
+    def test_default_layout(self):
+        rf = RegisterFile(6, 6)
+        assert rf.ret.index == 0
+        assert rf.cp.index == 1
+        assert rf.rv.index == 2
+        assert len(rf.scratch_regs) == 3
+        assert len(rf.arg_regs) == 6
+        assert len(rf.temp_regs) == 6
+        assert len(rf) == 3 + 3 + 6 + 6
+
+    def test_baseline_still_has_scratch(self):
+        rf = RegisterFile(0, 0)
+        assert len(rf.arg_regs) == 0
+        assert len(rf.scratch_regs) == 3
+
+    def test_unique_indices(self):
+        rf = RegisterFile(6, 6)
+        assert len({r.index for r in rf.all}) == len(rf.all)
+
+    def test_by_name_and_index(self):
+        rf = RegisterFile(3, 2)
+        assert rf.by_name("a1") is rf.arg_regs[1]
+        assert rf.by_index(rf.ret.index) is rf.ret
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile(-1, 0)
+
+
+class TestBitVectors:
+    def test_singleton_masks_disjoint(self):
+        rf = RegisterFile(6, 6)
+        seen = 0
+        for reg in rf.all:
+            assert seen & reg.mask == 0
+            seen |= reg.mask
+
+    def test_all_mask(self):
+        rf = RegisterFile(2, 2)
+        assert rf.all_mask == (1 << len(rf)) - 1
+
+    def test_union_is_or_intersection_is_and(self):
+        # "the union operation is logical or, the intersection
+        # operation is logical and" (§3.1)
+        rf = RegisterFile(4, 0)
+        a = rf.arg_regs[0].mask | rf.arg_regs[1].mask
+        b = rf.arg_regs[1].mask | rf.arg_regs[2].mask
+        assert rf.mask_to_registers(a & b) == [rf.arg_regs[1]]
+        assert len(rf.mask_to_registers(a | b)) == 3
+
+    def test_mask_round_trip(self):
+        rf = RegisterFile(6, 6)
+        regs = [rf.ret, rf.arg_regs[3], rf.temp_regs[5]]
+        mask = 0
+        for r in regs:
+            mask |= r.mask
+        assert rf.mask_to_registers(mask) == sorted(regs, key=lambda r: r.index)
+
+
+class TestCalleeSave:
+    def test_caller_save_by_default(self):
+        rf = RegisterFile(6, 6)
+        assert rf.caller_save_mask() == rf.all_mask
+
+    def test_callee_save_temps(self):
+        rf = RegisterFile(6, 6, callee_save_temps=True)
+        for reg in rf.temp_regs:
+            assert reg.callee_save
+        for reg in (*rf.arg_regs, rf.ret, rf.cp, rf.rv):
+            assert not reg.callee_save
+        assert rf.caller_save_mask() != rf.all_mask

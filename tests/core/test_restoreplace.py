@@ -1,0 +1,193 @@
+"""Pass 2: redundant-save elimination and restore placement (§3.2)."""
+
+import pytest
+
+from repro.astnodes import Call, If, Save, Seq, walk
+from repro.config import CompilerConfig
+from repro.pipeline import compile_source, run_source
+
+
+def compiled(text, **cfg):
+    return compile_source(text, CompilerConfig(**cfg), prelude=False)
+
+
+def code_named(prog, name):
+    return next(c for c in prog.codes if c.name == name)
+
+
+def non_tail_calls(code):
+    return [n for n in walk(code.body) if isinstance(n, Call) and not n.tail]
+
+
+class TestRedundantSaveElimination:
+    def test_paper_3_2_example_shape(self):
+        """§3.2: (seq (if (if x call false) y call) x) keeps only the
+        first save of x; the inner saves shrink."""
+        src = (
+            "(define (g n) n)"
+            "(define (f x y)"
+            "  (+ 1 (if (if x (if (g x) #t #f) #f) y (+ 0 (g x)))))"
+            "(f 1 2)"
+        )
+        prog = compiled(src)
+        f = code_named(prog, "f")
+        saves = [n for n in walk(f.body) if isinstance(n, Save)]
+        all_saved = [v for s in saves for v in s.vars]
+        # x must be saved exactly once across the whole body
+        assert sum(1 for v in all_saved if v.name == "x") == 1
+
+    def test_sequential_calls_save_once(self):
+        src = (
+            "(define (g n) n)"
+            "(define (f x) (+ (g x) (+ (g x) x)))"
+            "(f 1)"
+        )
+        prog = compiled(src)
+        f = code_named(prog, "f")
+        saves = [n for n in walk(f.body) if isinstance(n, Save)]
+        all_saved = [v.name for s in saves for v in s.vars]
+        assert all_saved.count("x") == 1
+        assert all_saved.count("%ret") == 1
+
+    def test_late_strategy_keeps_duplicates(self):
+        src = (
+            "(define (g n) n)"
+            "(define (f x) (+ (g x) (+ (g x) x)))"
+            "(f 1)"
+        )
+        prog = compiled(src, save_strategy="late")
+        f = code_named(prog, "f")
+        saves = [n for n in walk(f.body) if isinstance(n, Save)]
+        all_saved = [v.name for s in saves for v in s.vars]
+        assert all_saved.count("x") == 2  # the whole point of "late"
+
+    def test_branch_saves_not_merged_across_paths(self):
+        # saves on one branch must not suppress the other branch's
+        src = (
+            "(define (g n) n)"
+            "(define (f x p) (+ x (if p (g 1) 0)))"
+            "(f 1 #t)"
+        )
+        prog = compiled(src)
+        result = run_source(src, CompilerConfig(), prelude=False, debug=True)
+        assert result.value == 2
+
+
+class TestEagerRestores:
+    def test_restore_annotation_present(self):
+        src = (
+            "(define (g n) n)"
+            "(define (f x) (+ (g x) x))"
+            "(f 1)"
+        )
+        prog = compiled(src)
+        f = code_named(prog, "f")
+        call = non_tail_calls(f)[0]
+        names = {v.name for v in call.restores}
+        assert "x" in names
+        assert "%ret" in names  # f returns right after
+
+    def test_no_restore_for_dead_variable(self):
+        src = (
+            "(define (g n) n)"
+            "(define (f x) (+ (g x) 1))"
+            "(f 1)"
+        )
+        prog = compiled(src)
+        f = code_named(prog, "f")
+        call = non_tail_calls(f)[0]
+        names = {v.name for v in call.restores}
+        assert "x" not in names
+
+    def test_restore_only_until_next_call(self):
+        # y is referenced only after the second call: the first call
+        # must not restore it (possibly-referenced analysis).
+        src = (
+            "(define (g n) n)"
+            "(define (f x y) (+ (g x) (+ (g x) y)))"
+            "(f 1 2)"
+        )
+        prog = compiled(src)
+        f = code_named(prog, "f")
+        calls = non_tail_calls(f)
+        restore_sets = [{v.name for v in c.restores} for c in calls]
+        # exactly one of the calls restores y (the later one)
+        assert sum(1 for s in restore_sets if "y" in s) == 1
+
+    def test_tail_call_has_no_restores(self):
+        src = "(define (f x) (f x)) 1"
+        prog = compiled(src)
+        f = code_named(prog, "f")
+        tail = [n for n in walk(f.body) if isinstance(n, Call) and n.tail]
+        assert tail and tail[0].restores == []
+
+
+class TestFigure2Behaviour:
+    """The three §2.2 control-flow shapes: eager restores more often,
+    lazy restores only at uses (and region exits)."""
+
+    SRC = (
+        "(define (g n) n)"
+        "(define (f x p)"
+        "  (begin (if p (+ (g 1) 1) 2) (+ x 1)))"  # Figure 2c shape
+        "(f 10 #t)"
+    )
+
+    def test_both_strategies_agree_on_value(self):
+        for strategy in ("eager", "lazy"):
+            r = run_source(
+                self.SRC,
+                CompilerConfig(restore_strategy=strategy),
+                prelude=False,
+                debug=True,
+            )
+            assert r.value == 11
+
+    def test_lazy_executes_no_more_restores_than_eager(self):
+        eager = run_source(
+            self.SRC, CompilerConfig(restore_strategy="eager"), prelude=False
+        )
+        lazy = run_source(
+            self.SRC, CompilerConfig(restore_strategy="lazy"), prelude=False
+        )
+        assert lazy.counters.restores <= eager.counters.restores
+
+    def test_eager_join_with_unbalanced_branches(self):
+        # reference after a join where only one branch called
+        src = (
+            "(define (g n) n)"
+            "(define (f x p) (+ (if p (g x) 0) x))"
+            "(f 7 #t)"
+        )
+        for strategy in ("eager", "lazy"):
+            for p in ("#t", "#f"):
+                r = run_source(
+                    src.replace("(f 7 #t)", f"(f 7 {p})"),
+                    CompilerConfig(restore_strategy=strategy),
+                    prelude=False,
+                    debug=True,
+                )
+                assert r.value == (14 if p == "#t" else 7)
+
+
+class TestLazyRestoreSemantics:
+    def test_value_correct_under_lazy(self):
+        src = (
+            "(define (g n) (+ n 1))"
+            "(define (f x y) (+ (g x) (+ y (g y))))"
+            "(f 1 10)"
+        )
+        r = run_source(src, CompilerConfig(restore_strategy="lazy"), prelude=False, debug=True)
+        assert r.value == 23
+
+    def test_lazy_fewer_restores_on_branchy_code(self):
+        src = (
+            "(define (g n) n)"
+            "(define (f x p) (begin (g x) (if p x 0)))"
+            "(let loop ((i 0) (acc 0))"
+            "  (if (= i 50) acc (loop (+ i 1) (+ acc (f i #f)))))"
+        )
+        eager = run_source(src, CompilerConfig(), prelude=False)
+        lazy = run_source(src, CompilerConfig(restore_strategy="lazy"), prelude=False)
+        assert lazy.counters.restores <= eager.counters.restores
+        assert lazy.value == eager.value

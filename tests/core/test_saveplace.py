@@ -1,0 +1,172 @@
+"""Save placement (pass 1) across all strategies."""
+
+import pytest
+
+from repro.astnodes import Call, If, Save, walk
+from repro.config import CompilerConfig
+from repro.pipeline import compile_source
+
+
+def compiled(text, **cfg):
+    return compile_source(text, CompilerConfig(**cfg), prelude=False)
+
+
+def code_named(compiled_prog, name):
+    return next(c for c in compiled_prog.codes if c.name == name)
+
+
+def saves_in(code):
+    return [n for n in walk(code.body) if isinstance(n, Save)]
+
+
+TAK = """
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(tak 6 4 2)
+"""
+
+
+class TestLazyPlacement:
+    def test_tak_leaf_path_has_no_saves(self):
+        prog = compiled(TAK)
+        tak = code_named(prog, "tak")
+        # the save is inside the else branch, not at the body top
+        body = tak.body
+        assert not isinstance(body, Save)
+        ifs = [n for n in walk(body) if isinstance(n, If)]
+        assert isinstance(ifs[0].otherwise, Save)
+
+    def test_unconditional_call_saved_at_entry(self):
+        prog = compiled("(define (g n) n) (define (f x) (+ (g x) x)) (f 1)")
+        f = code_named(prog, "f")
+        assert isinstance(f.body, Save)
+
+    def test_save_contains_live_variable(self):
+        prog = compiled("(define (g n) n) (define (f x) (+ (g x) x)) (f 1)")
+        f = code_named(prog, "f")
+        names = {v.name for v in f.body.vars}
+        assert "x" in names and "%ret" in names
+
+    def test_equal_branches_hoisted(self):
+        # both branches call: save migrates to the body, branches bare
+        prog = compiled(
+            "(define (g n) n)"
+            "(define (f x p) (+ x (if p (g 1) (g 2))))"
+            "(f 1 #t)"
+        )
+        f = code_named(prog, "f")
+        assert isinstance(f.body, Save)
+        ifs = [n for n in walk(f.body) if isinstance(n, If)]
+        assert not isinstance(ifs[0].then, Save)
+        assert not isinstance(ifs[0].otherwise, Save)
+
+    def test_short_circuit_and_saved_once(self):
+        # (if (and x (g 1)) y (+ 1 (g y))): every path makes a
+        # non-tail call, so the always-needed registers are saved at
+        # the body; y (live only across the inner call) is saved at
+        # the and-branch — exactly the paper's §2.1.2 example.
+        prog = compiled(
+            "(define (g n) n)"
+            "(define (f x y) (if (and x (g 1)) y (+ 1 (g y))))"
+            "(f 1 2)"
+        )
+        f = code_named(prog, "f")
+        assert isinstance(f.body, Save)
+        assert "%ret" in {v.name for v in f.body.vars}
+        inner_saves = saves_in(f)[1:]
+        assert any("y" in {v.name for v in s.vars} for s in inner_saves)
+
+    def test_let_bound_variable_saved_after_binding(self):
+        prog = compiled(
+            "(define (g n) n)"
+            "(define (f x) (let ((y (+ x 1))) (+ (g x) (+ y (g y)))))"
+            "(f 1)"
+        )
+        f = code_named(prog, "f")
+        for save in saves_in(f):
+            # no save may mention a variable bound beneath it
+            inner_lets = {
+                n.var for n in walk(save.body) if hasattr(n, "var") and hasattr(n, "rhs")
+            }
+            assert not (set(save.vars) & inner_lets)
+
+    def test_leaf_procedure_saves_nothing(self):
+        prog = compiled("(define (leaf x y) (+ x y)) (leaf 1 2)")
+        leaf = code_named(prog, "leaf")
+        assert not saves_in(leaf)
+
+
+class TestEarlyPlacement:
+    def test_saves_at_entry_even_with_leaf_path(self):
+        prog = compiled(TAK, save_strategy="early")
+        tak = code_named(prog, "tak")
+        assert isinstance(tak.body, Save)
+
+    def test_union_of_all_calls(self):
+        prog = compiled(
+            "(define (g n) n)"
+            "(define (f x p) (if p (+ (g x) x) x))"
+            "(f 1 #t)",
+            save_strategy="early",
+        )
+        f = code_named(prog, "f")
+        assert isinstance(f.body, Save)
+        # x is live across the conditional call, so early placement
+        # saves it at entry even though the p-false path never calls.
+        assert "x" in {v.name for v in f.body.vars}
+
+
+class TestLatePlacement:
+    def test_saves_wrap_calls(self):
+        prog = compiled(TAK, save_strategy="late")
+        tak = code_named(prog, "tak")
+        for save in saves_in(tak):
+            assert isinstance(save.body, Call)
+
+    def test_body_not_wrapped(self):
+        prog = compiled(TAK, save_strategy="late")
+        tak = code_named(prog, "tak")
+        assert not isinstance(tak.body, Save)
+
+
+class TestCalleePlacement:
+    def test_early_callee_region_at_entry(self):
+        prog = compiled(TAK, save_convention="callee", save_strategy="early")
+        tak = code_named(prog, "tak")
+        assert isinstance(tak.body, Save)
+        assert tak.body.callee_regs  # includes ret
+
+    def test_lazy_callee_region_in_branch(self):
+        prog = compiled(TAK, save_convention="callee", save_strategy="lazy")
+        tak = code_named(prog, "tak")
+        assert not (isinstance(tak.body, Save) and tak.body.callee_regs)
+        ifs = [n for n in walk(tak.body) if isinstance(n, If)]
+        else_branch = ifs[0].otherwise
+        assert isinstance(else_branch, Save) and else_branch.callee_regs
+
+    def test_leaf_has_no_callee_region(self):
+        prog = compiled(
+            "(define (leaf x) (+ x 1)) (leaf 2)",
+            save_convention="callee",
+            save_strategy="lazy",
+        )
+        leaf = code_named(prog, "leaf")
+        assert not saves_in(leaf)
+
+
+class TestAlwaysCallsFlag:
+    def test_tak_has_leaf_path(self):
+        prog = compiled(TAK)
+        assert not code_named(prog, "tak").always_calls
+
+    def test_unconditional_caller(self):
+        prog = compiled("(define (g n) n) (define (f x) (+ (g x) 1)) (f 1)")
+        assert code_named(prog, "f").always_calls
+
+    def test_tail_caller_is_not_always_calls(self):
+        prog = compiled("(define (f x) (f x)) 1")
+        assert not code_named(prog, "f").always_calls

@@ -1,0 +1,186 @@
+"""The save-set analyses (§2.1), tested in the paper's own terms."""
+
+import pytest
+
+from repro.core.savesets import EMPTY, TOP, rinter, runion, save_set
+
+
+class TestSetAlgebra:
+    def test_top_absorbs_union(self):
+        assert runion(TOP, frozenset()) is TOP
+        assert runion(frozenset(), TOP) is TOP
+
+    def test_top_identity_for_intersection(self):
+        s = frozenset([1, 2])
+        assert rinter(TOP, s) == s
+        assert rinter(s, TOP) == s
+
+    def test_plain_sets(self):
+        a = frozenset([1, 2])
+        b = frozenset([2, 3])
+        assert runion(a, b) == {1, 2, 3}
+        assert rinter(a, b) == {2}
+
+    def test_save_set_of_impossible_is_empty(self):
+        assert save_set(TOP, TOP) == EMPTY
+
+
+class TestBaseCases:
+    def test_variable(self, world):
+        a = world.analyze(world.x())
+        assert a.st_of(world.code.body) == EMPTY
+        assert a.sf_of(world.code.body) == EMPTY
+
+    def test_true_cannot_be_false(self, world):
+        e = world.true()
+        a = world.analyze(e)
+        assert a.st_of(e) == EMPTY
+        assert a.sf_of(e) is TOP
+
+    def test_false_cannot_be_true(self, world):
+        e = world.false()
+        a = world.analyze(e)
+        assert a.st_of(e) is TOP
+        assert a.sf_of(e) == EMPTY
+
+    def test_call_saves_live_registers(self, world):
+        c = world.call(live=("a", "b"))
+        a = world.analyze(c)
+        assert world.names(a.save_set_of(c)) == {"a", "b"}
+        assert a.st_of(c) == a.sf_of(c)
+
+    def test_tail_call_forces_no_saves(self, world):
+        c = world.call(live=("a",), tail=True)
+        a = world.analyze(c)
+        assert a.save_set_of(c) == EMPTY
+
+
+class TestSeqRule:
+    def test_inevitable_call_propagates(self, world):
+        # (seq call x): the call is inevitable -> its saves appear.
+        e = world.seq(world.call(live=("a",)), world.x())
+        a = world.analyze(e)
+        assert world.names(a.save_set_of(e)) == {"a"}
+
+    def test_seq_unions_successive_calls(self, world):
+        e = world.seq(world.call(live=("a",)), world.call(live=("b",)))
+        a = world.analyze(e)
+        assert world.names(a.save_set_of(e)) == {"a", "b"}
+
+    def test_seq_of_variables_saves_nothing(self, world):
+        e = world.seq(world.x("a"), world.x("b"))
+        assert world.analyze(e).save_set_of(e) == EMPTY
+
+
+class TestIfRule:
+    def test_call_in_one_branch_not_inevitable(self, world):
+        e = world.if_(world.x(), world.call(live=("a",)), world.x("y"))
+        a = world.analyze(e)
+        assert a.save_set_of(e) == EMPTY
+
+    def test_call_in_both_branches_inevitable(self, world):
+        e = world.if_(
+            world.x(), world.call(live=("a", "b")), world.call(live=("a",))
+        )
+        a = world.analyze(e)
+        # both paths save a; only one saves b
+        assert world.names(a.save_set_of(e)) == {"a"}
+
+    def test_call_in_test_is_inevitable(self, world):
+        e = world.if_(world.call(live=("a",)), world.x(), world.x("y"))
+        a = world.analyze(e)
+        assert world.names(a.save_set_of(e)) == {"a"}
+
+
+class TestPaperExample:
+    """§2.1.2-2.1.3: A = (if (if x call false) y call)."""
+
+    def build(self, world):
+        # inner call: y and the outer-live register L are live after it
+        inner_call = world.call(live=("y", "L"))
+        outer_call = world.call(live=("L",))
+        B = world.if_(world.x(), inner_call, world.false())
+        A = world.if_(B, world.x("y"), outer_call)
+        return A, B
+
+    def test_revised_inner_sets(self, world):
+        A, B = self.build(world)
+        a = world.analyze(A)
+        # St[B] = {y} ∪ L ; Sf[B] = ∅ (paper's derivation)
+        assert world.names(a.st_of(B)) == {"y", "L"}
+        assert a.sf_of(B) == EMPTY
+        assert a.save_set_of(B) == EMPTY
+
+    def test_revised_outer_saves_everything_live(self, world):
+        A, B = self.build(world)
+        a = world.analyze(A)
+        # St[A] = Sf[A] = L: every path through A calls.
+        assert world.names(a.st_of(A)) == {"L"}
+        assert world.names(a.sf_of(A)) == {"L"}
+        assert world.names(a.save_set_of(A)) == {"L"}
+
+    def test_simple_algorithm_is_too_lazy(self, world):
+        A, B = self.build(world)
+        a = world.analyze(A)
+        # §2.1.2: the simple algorithm saves nothing around A.
+        assert a.simple_save_set_of(A) == EMPTY
+
+    def test_simple_subset_of_revised(self, world):
+        A, B = self.build(world)
+        a = world.analyze(A)
+        for node in (A, B):
+            assert a.simple_save_set_of(node) <= a.save_set_of(node)
+
+
+class TestNeverTooEager:
+    """If there is a path through E without calls, St[E] ∩ Sf[E] = ∅."""
+
+    def test_branchy(self, world):
+        e = world.if_(
+            world.x(),
+            world.seq(world.call(live=("a",)), world.call(live=("b",))),
+            world.x("y"),
+        )
+        assert world.analyze(e).save_set_of(e) == EMPTY
+
+    def test_nested(self, world):
+        e = world.seq(
+            world.if_(world.x(), world.call(live=("a",)), world.x()),
+            world.if_(world.x(), world.x(), world.call(live=("b",))),
+        )
+        assert world.analyze(e).save_set_of(e) == EMPTY
+
+
+class TestAlwaysCalls:
+    def test_inevitable(self, world):
+        ret = world.alloc.ret_var
+        c = world.call()
+        c.live_after = frozenset([ret])
+        a = world.analyze(c)
+        assert a.always_calls(c)
+
+    def test_avoidable(self, world):
+        ret = world.alloc.ret_var
+        c = world.call()
+        c.live_after = frozenset([ret])
+        e = world.if_(world.x(), c, world.x("y"))
+        a = world.analyze(e)
+        assert not a.always_calls(e)
+
+
+class TestNeverFalsePrims:
+    def test_cons_result_truthy(self, world):
+        from repro.astnodes import PrimCall
+
+        e = PrimCall("cons", [world.x("a"), world.x("b")])
+        a = world.analyze(e)
+        assert a.sf_of(e) is TOP
+
+    def test_if_on_cons_drops_false_branch_requirements(self, world):
+        from repro.astnodes import PrimCall
+
+        test = PrimCall("cons", [world.x("a"), world.x("b")])
+        e = world.if_(test, world.call(live=("c",)), world.x("d"))
+        a = world.analyze(e)
+        # else branch unreachable: call is inevitable
+        assert world.names(a.save_set_of(e)) == {"c"}

@@ -1,0 +1,162 @@
+"""Figure 1 and §2.1 invariants, property-tested over random
+expressions in the paper's simplified language."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.astnodes import Call, Expr, If, PrimCall, Quote, Ref, Seq, walk
+from repro.core.savesets import EMPTY, TOP, rinter, runion, save_set
+from tests.core.conftest import PaperWorld
+
+_VAR_NAMES = ("a", "b", "c", "d")
+
+
+def _exprs(world: PaperWorld):
+    """Random expressions: x | true | false | call | seq | if."""
+    leaves = st.one_of(
+        st.sampled_from(_VAR_NAMES).map(world.x),
+        st.just(None).map(lambda _: world.true()),
+        st.just(None).map(lambda _: world.false()),
+        st.lists(st.sampled_from(_VAR_NAMES), max_size=3).map(
+            lambda live: world.call(live=live)
+        ),
+    )
+
+    def compound(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda t: world.seq(*t)),
+            st.tuples(children, children, children).map(
+                lambda t: world.if_(*t)
+            ),
+        )
+
+    return st.recursive(leaves, compound, max_leaves=12)
+
+
+def _fresh_world_and_expr(draw_expr):
+    world = PaperWorld()
+    return world, draw_expr(world)
+
+
+@st.composite
+def world_expr(draw):
+    world = PaperWorld()
+    expr = draw(_exprs(world))
+    return world, expr
+
+
+def _call_free_outcomes(expr: Expr) -> frozenset:
+    """Ground truth by path enumeration: the truthiness outcomes
+    ("t"/"f") reachable through *expr* without executing a call."""
+    if isinstance(expr, Quote):
+        return frozenset("f" if expr.value is False else "t")
+    if isinstance(expr, Ref):
+        return frozenset("tf")
+    if isinstance(expr, Call):
+        # Tail calls are jumps (footnote 1); their value is unknown.
+        return frozenset("tf") if expr.tail else frozenset()
+    if isinstance(expr, Seq):
+        for sub in expr.exprs[:-1]:
+            if not _call_free_outcomes(sub):
+                return frozenset()
+        return _call_free_outcomes(expr.exprs[-1])
+    if isinstance(expr, If):
+        test = _call_free_outcomes(expr.test)
+        out = frozenset()
+        if "t" in test:
+            out |= _call_free_outcomes(expr.then)
+        if "f" in test:
+            out |= _call_free_outcomes(expr.otherwise)
+        return out
+    raise TypeError(type(expr))
+
+
+def _has_call_free_path(expr: Expr) -> bool:
+    return bool(_call_free_outcomes(expr))
+
+
+@given(world_expr())
+@settings(max_examples=200, deadline=None)
+def test_simple_is_subset_of_revised(we):
+    """§2.1.3: S[E] ⊆ St[E] ∩ Sf[E] for all expressions."""
+    world, expr = we
+    analysis = world.analyze(expr)
+    for node in walk(expr):
+        assert analysis.simple_save_set_of(node) <= analysis.save_set_of(node)
+
+
+@given(world_expr())
+@settings(max_examples=200, deadline=None)
+def test_never_too_eager(we):
+    """§2.1.3: a call-free path through E implies St[E] ∩ Sf[E] = ∅."""
+    world, expr = we
+    analysis = world.analyze(expr)
+    if _has_call_free_path(expr):
+        assert analysis.save_set_of(expr) == EMPTY
+
+
+@given(world_expr())
+@settings(max_examples=200, deadline=None)
+def test_no_call_free_path_saves_ret(we):
+    """§2.4: ret ∈ St ∩ Sf iff a call is inevitable."""
+    world, expr = we
+    ret = world.alloc.ret_var
+    for node in walk(expr):
+        if isinstance(node, Call) and not node.tail:
+            node.live_after = frozenset(node.live_after) | {ret}
+    analysis = world.analyze(expr)
+    assert analysis.always_calls(expr) == (not _has_call_free_path(expr))
+
+
+@given(world_expr())
+@settings(max_examples=150, deadline=None)
+def test_figure1_not(we):
+    """St[(not E)] = Sf[E] and Sf[(not E)] = St[E]."""
+    world, expr = we
+    neg = PrimCall("not", [expr])
+    analysis = world.analyze(neg)
+    assert analysis.st_of(neg) == analysis.sf_of(expr)
+    assert analysis.sf_of(neg) == analysis.st_of(expr)
+
+
+@given(world_expr(), world_expr())
+@settings(max_examples=150, deadline=None)
+def test_figure1_and(we1, we2):
+    """St[(and E1 E2)] = St[E1] ∪ St[E2];
+    Sf[(and E1 E2)] = (St[E1] ∪ Sf[E2]) ∩ Sf[E1]."""
+    world, e1 = we1
+    _, e2 = we2
+    conj = world.if_(e1, e2, world.false())
+    analysis = world.analyze(conj)
+    st1, sf1 = analysis.st_of(e1), analysis.sf_of(e1)
+    st2, sf2 = analysis.st_of(e2), analysis.sf_of(e2)
+    assert analysis.st_of(conj) == runion(st1, st2)
+    assert analysis.sf_of(conj) == rinter(runion(st1, sf2), sf1)
+
+
+@given(world_expr(), world_expr())
+@settings(max_examples=150, deadline=None)
+def test_figure1_or(we1, we2):
+    """St[(or E1 E2)] = St[E1] ∩ (Sf[E1] ∪ St[E2]);
+    Sf[(or E1 E2)] = Sf[E1] ∪ Sf[E2]."""
+    world, e1 = we1
+    _, e2 = we2
+    disj = world.if_(e1, world.true(), e2)
+    analysis = world.analyze(disj)
+    st1, sf1 = analysis.st_of(e1), analysis.sf_of(e1)
+    st2, sf2 = analysis.st_of(e2), analysis.sf_of(e2)
+    assert analysis.st_of(disj) == rinter(st1, runion(sf1, st2))
+    assert analysis.sf_of(disj) == runion(sf1, sf2)
+
+
+@given(world_expr())
+@settings(max_examples=150, deadline=None)
+def test_save_sets_subset_of_live(we):
+    """A save set never mentions a register that is not live after one
+    of the expression's calls (saves are never invented)."""
+    world, expr = we
+    analysis = world.analyze(expr)
+    all_live = set()
+    for node in walk(expr):
+        if isinstance(node, Call):
+            all_live |= set(node.live_after)
+    assert analysis.save_set_of(expr) <= all_live

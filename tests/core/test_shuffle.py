@@ -1,0 +1,239 @@
+"""Greedy shuffling (§2.3, §3.1)."""
+
+import pytest
+
+from repro.astnodes import Call, walk
+from repro.config import CompilerConfig
+from repro.core.shuffle import (
+    dependency_edges,
+    minimum_evictions,
+    _graph_cyclic,
+)
+from repro.pipeline import compile_source, run_source
+
+
+def plans_for(text, name, **cfg):
+    prog = compile_source(text, CompilerConfig(**cfg), prelude=False)
+    code = next(c for c in prog.codes if c.name == name)
+    return [
+        n.shuffle_plan
+        for n in walk(code.body)
+        if isinstance(n, Call)
+    ]
+
+
+def step_kinds(plan):
+    return [kind for kind, _ in plan.steps]
+
+
+class TestSwap:
+    """The paper's f(y, x) example: a two-register swap cycle."""
+
+    SRC = (
+        "(define (f a b) (- a b))"
+        "(define (g x y) (f y x))"
+        "(g 10 4)"
+    )
+
+    def test_cycle_detected(self):
+        plans = plans_for(self.SRC, "g")
+        tail_plan = plans[0]
+        assert tail_plan.had_cycle
+
+    def test_one_eviction_breaks_swap(self):
+        plans = plans_for(self.SRC, "g")
+        assert plans[0].evictions == 1
+
+    def test_swap_executes_correctly(self):
+        r = run_source(self.SRC, CompilerConfig(), prelude=False, debug=True)
+        assert r.value == -6
+
+    def test_swap_correct_under_every_strategy(self):
+        for strategy in ("greedy", "naive", "spill-all", "optimal"):
+            r = run_source(
+                self.SRC,
+                CompilerConfig(shuffle_strategy=strategy),
+                prelude=False,
+                debug=True,
+            )
+            assert r.value == -6
+
+    def test_optimal_matches_greedy_on_swap(self):
+        greedy = plans_for(self.SRC, "g")[0]
+        optimal = plans_for(self.SRC, "g", shuffle_strategy="optimal")[0]
+        assert greedy.evictions == optimal.evictions == 1
+
+    def test_spill_all_spills_everything_in_cycle(self):
+        plan = plans_for(self.SRC, "g", shuffle_strategy="spill-all")[0]
+        assert plan.evictions >= 2
+
+
+class TestPaperOrderingExample:
+    """f(x+y, y+1, y+z): evaluating y+1 last avoids all temporaries."""
+
+    SRC = (
+        "(define (f a b c) (+ a (+ b c)))"
+        "(define (g x y z) (f (+ x y) (+ y 1) (+ y z)))"
+        "(g 1 2 3)"
+    )
+
+    def test_no_temporaries_needed(self):
+        plan = plans_for(self.SRC, "g")[0]
+        assert plan.evictions == 0
+        assert not plan.had_cycle
+
+    def test_correct_result(self):
+        r = run_source(self.SRC, CompilerConfig(), prelude=False, debug=True)
+        assert r.value == 11
+
+    def test_naive_left_to_right_needs_a_temporary(self):
+        plan = plans_for(self.SRC, "g", shuffle_strategy="naive")[0]
+        assert plan.evictions >= 1
+
+
+class TestRotation:
+    """A three-cycle (rotate registers) needs exactly one temporary."""
+
+    SRC = (
+        "(define (f a b c) (cons a (cons b (cons c '()))))"
+        "(define (g x y z) (f z x y))"
+        "(g 1 2 3)"
+    )
+
+    def test_three_cycle_one_temp(self):
+        plan = plans_for(self.SRC, "g")[0]
+        assert plan.had_cycle
+        assert plan.evictions == 1
+
+    def test_rotation_correct(self):
+        from repro.sexp.writer import write_datum
+
+        r = run_source(self.SRC, CompilerConfig(), prelude=False, debug=True)
+        assert write_datum(r.value) == "(3 1 2)"
+
+    def test_optimal_agrees(self):
+        plan = plans_for(self.SRC, "g", shuffle_strategy="optimal")[0]
+        assert plan.evictions == 1
+
+
+class TestComplexOperands:
+    def test_complex_args_to_stack_temps(self):
+        src = (
+            "(define (h n) n)"
+            "(define (f a b) (+ a b))"
+            "(define (g x) (+ 0 (f (h x) (h (+ x 1)))))"
+            "(g 1)"
+        )
+        plans = plans_for(src, "g")
+        f_call = next(p for p in plans if len(p.items) == 3)
+        kinds = step_kinds(f_call)
+        # one complex operand goes straight to its register, the other
+        # via a stack temporary
+        assert kinds.count("temp-complex") == 1
+        assert kinds.count("direct-complex") == 1
+        assert kinds.count("flush-complex-temp") == 1
+
+    def test_direct_complex_prefers_untouched_target(self):
+        # "We pick as the last complex argument one on which none of
+        # the simple arguments depend"
+        src = (
+            "(define (h n) n)"
+            "(define (f a b) (+ a b))"
+            "(define (g x) (+ 0 (f x (h x))))"
+            "(g 1)"
+        )
+        plans = plans_for(src, "g")
+        f_call = next(p for p in plans if len(p.items) == 3)
+        direct = next(item for kind, item in f_call.steps if kind == "direct-complex")
+        # the simple argument x (targeting a0) must not read a1
+        assert direct.target.name == "a1"
+
+    def test_correctness_with_many_complex_args(self):
+        src = (
+            "(define (h n) (+ n 1))"
+            "(define (f a b c) (cons a (cons b (cons c '()))))"
+            "(define (g x) (f (h x) (h (+ x 10)) (h (+ x 20))))"
+            "(g 1)"
+        )
+        from repro.sexp.writer import write_datum
+
+        r = run_source(src, CompilerConfig(), prelude=False, debug=True)
+        assert write_datum(r.value) == "(2 12 22)"
+
+
+class TestStackArguments:
+    SRC = (
+        "(define (f a b c d e u v w) (+ a (+ b (+ c (+ d (+ e (+ u (+ v w))))))))"
+        "(define (g x) (f x 2 3 4 5 6 7 8))"
+        "(g 1)"
+    )
+
+    def test_stack_args_in_plan(self):
+        plans = plans_for(self.SRC, "g")
+        plan = next(p for p in plans if len(p.items) == 9)
+        kinds = step_kinds(plan)
+        assert kinds.count("stack-arg") == 2  # args 7 and 8
+
+    def test_correct_value(self):
+        r = run_source(self.SRC, CompilerConfig(), prelude=False, debug=True)
+        assert r.value == 36
+
+    def test_correct_value_baseline(self):
+        r = run_source(self.SRC, CompilerConfig.baseline(), prelude=False, debug=True)
+        assert r.value == 36
+
+
+class TestGraphAlgorithms:
+    def test_acyclic_graph(self):
+        assert not _graph_cyclic({0, 1, 2}, {(0, 1), (1, 2)})
+
+    def test_cycle(self):
+        assert _graph_cyclic({0, 1}, {(0, 1), (1, 0)})
+
+    def test_minimum_evictions_acyclic(self):
+        assert minimum_evictions(3, {(0, 1), (1, 2)}) == 0
+
+    def test_minimum_evictions_simple_cycle(self):
+        assert minimum_evictions(2, {(0, 1), (1, 0)}) == 1
+
+    def test_minimum_evictions_two_disjoint_cycles(self):
+        edges = {(0, 1), (1, 0), (2, 3), (3, 2)}
+        assert minimum_evictions(4, edges) == 2
+
+    def test_minimum_evictions_shared_vertex(self):
+        # two cycles sharing node 0: evicting 0 breaks both
+        edges = {(0, 1), (1, 0), (0, 2), (2, 0)}
+        assert minimum_evictions(3, edges) == 1
+
+
+class TestGreedyQuality:
+    def test_greedy_never_worse_than_spill_all(self):
+        src = (
+            "(define (f a b c) (+ a (+ b c)))"
+            "(define (g x y z) (f y z x))"
+            "(g 1 2 3)"
+        )
+        greedy = plans_for(src, "g")[0]
+        spill = plans_for(src, "g", shuffle_strategy="spill-all")[0]
+        assert greedy.evictions <= spill.evictions
+
+    def test_greedy_breaks_shared_cycles_with_one_temp(self):
+        # shared-vertex double swap: a<->b and a<->c both involve a
+        src = (
+            "(define (f p q r) (+ p (+ q r)))"
+            "(define (g a b c) (f b a a))"
+            "(g 1 2 3)"
+        )
+        r = run_source(src, CompilerConfig(), prelude=False, debug=True)
+        assert r.value == 4  # f(b, a, a) = 2 + 1 + 1
+
+    def test_shared_cycle_value(self):
+        src = (
+            "(define (f p q r) (cons p (cons q r)))"
+            "(define (g a b c) (f b c a))"
+            "(g 1 2 3)"
+        )
+        from repro.sexp.writer import write_datum
+
+        r = run_source(src, CompilerConfig(), prelude=False, debug=True)
+        assert write_datum(r.value) == "(2 3 . 1)"

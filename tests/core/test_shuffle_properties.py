@@ -1,0 +1,133 @@
+"""Property tests of the shuffle scheduling algorithms over random
+dependency graphs (pure graph level, no compilation)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.astnodes import Quote
+from repro.core.registers import RegisterFile
+from repro.core.shuffle import (
+    ShuffleItem,
+    ShufflePlan,
+    _graph_cyclic,
+    _schedule_greedy,
+    _schedule_naive,
+    _schedule_optimal,
+    dependency_edges,
+    minimum_evictions,
+)
+
+_REGFILE = RegisterFile(6, 6)
+
+
+def make_items(read_sets):
+    """Build simple shuffle items: item i targets a_i and reads the
+    registers named by indices in read_sets[i]."""
+    items = []
+    for i, reads in enumerate(read_sets):
+        items.append(
+            ShuffleItem(
+                index=i + 1,
+                expr=Quote(i),
+                target=_REGFILE.arg_regs[i],
+                is_complex=False,
+                reads=frozenset(_REGFILE.arg_regs[j] for j in reads),
+            )
+        )
+    return items
+
+
+read_sets_strategy = st.lists(
+    st.sets(st.integers(min_value=0, max_value=5), max_size=3),
+    min_size=1,
+    max_size=6,
+)
+
+
+def run_schedule(schedule, items, **kw):
+    plan = ShufflePlan()
+    plan.items = items
+    schedule(plan, items, **kw)
+    return plan
+
+
+def placement_is_valid(plan, items):
+    """Execution-order oracle: when an item is placed directly into its
+    target, no unfinished item may still read that register; evicted
+    items are safe by construction."""
+    pending = {id(it) for it in items}
+    written = set()
+    for kind, item in plan.steps:
+        if kind in ("direct",):
+            pending.discard(id(item))
+            for other in items:
+                if id(other) in pending and item.target in other.reads:
+                    return False
+            written.add(item.target)
+        elif kind == "evict":
+            # reads happen now, from registers not yet overwritten
+            for reg in item.reads:
+                if reg in written:
+                    return False
+            pending.discard(id(item))
+        elif kind == "flush-evict":
+            written.add(item.target)
+    return not pending
+
+
+@given(read_sets_strategy)
+@settings(max_examples=300, deadline=None)
+def test_greedy_schedule_valid(read_sets):
+    items = make_items(read_sets)
+    plan = run_schedule(_schedule_greedy, items, spill_all=False)
+    assert placement_is_valid(plan, items)
+
+
+@given(read_sets_strategy)
+@settings(max_examples=300, deadline=None)
+def test_naive_schedule_valid(read_sets):
+    items = make_items(read_sets)
+    plan = run_schedule(_schedule_naive, items)
+    assert placement_is_valid(plan, items)
+
+
+@given(read_sets_strategy)
+@settings(max_examples=200, deadline=None)
+def test_optimal_schedule_valid(read_sets):
+    items = make_items(read_sets)
+    plan = run_schedule(_schedule_optimal, items)
+    assert placement_is_valid(plan, items)
+
+
+@given(read_sets_strategy)
+@settings(max_examples=300, deadline=None)
+def test_eviction_count_ordering(read_sets):
+    """optimal <= greedy <= spill-all, and optimal matches the exact
+    minimum feedback vertex set."""
+    items = make_items(read_sets)
+    greedy = run_schedule(_schedule_greedy, items, spill_all=False)
+    spill = run_schedule(_schedule_greedy, items, spill_all=True)
+    optimal = run_schedule(_schedule_optimal, items)
+    edges = dependency_edges(items)
+    exact = minimum_evictions(len(items), edges)
+    assert optimal.evictions == exact
+    assert exact <= greedy.evictions <= spill.evictions
+
+
+@given(read_sets_strategy)
+@settings(max_examples=300, deadline=None)
+def test_acyclic_graphs_need_no_temporaries(read_sets):
+    items = make_items(read_sets)
+    edges = dependency_edges(items)
+    if not _graph_cyclic(set(range(len(items))), edges):
+        greedy = run_schedule(_schedule_greedy, items, spill_all=False)
+        assert greedy.evictions == 0
+        assert not greedy.had_cycle
+
+
+@given(read_sets_strategy)
+@settings(max_examples=300, deadline=None)
+def test_cycle_flag_matches_graph(read_sets):
+    items = make_items(read_sets)
+    edges = dependency_edges(items)
+    greedy = run_schedule(_schedule_greedy, items, spill_all=False)
+    assert greedy.had_cycle == _graph_cyclic(set(range(len(items))), edges)

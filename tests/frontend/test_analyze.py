@@ -1,0 +1,77 @@
+"""Tail marking and scope checking."""
+
+import pytest
+
+from repro.astnodes import Call, CallCC, walk
+from repro.errors import CompilerError
+from repro.frontend.analyze import check_scopes, mark_tail_calls
+from repro.frontend.assignconvert import assignment_convert
+from repro.frontend.expand import expand_program
+from repro.sexp.reader import read_all
+
+
+def prepare(text):
+    e = assignment_convert(expand_program(read_all(text)))
+    mark_tail_calls(e)
+    return e
+
+
+def calls(expr):
+    return [n for n in walk(expr) if isinstance(n, Call)]
+
+
+class TestTailMarking:
+    def test_direct_tail_call(self):
+        e = prepare("(define (f x) (f x)) (f 1)")
+        assert all(c.tail for c in calls(e))
+
+    def test_argument_call_not_tail(self):
+        e = prepare("(define (f x) x) (define (g x) (f (f x))) (g 1)")
+        inner = [c for c in calls(e) if not c.tail]
+        assert inner  # the nested (f x) is non-tail
+
+    def test_if_branches_inherit_tail(self):
+        e = prepare("(define (f x) (if x (f 1) (f 2))) (f 1)")
+        body_calls = calls(e)
+        assert all(c.tail for c in body_calls)
+
+    def test_if_test_not_tail(self):
+        e = prepare("(define (f x) (if (f x) 1 2)) (f 1)")
+        non_tail = [c for c in calls(e) if not c.tail]
+        assert len(non_tail) == 1
+
+    def test_seq_last_is_tail(self):
+        e = prepare("(define (f x) (begin (f 1) (f 2))) (f 0)")
+        cs = calls(e)
+        assert sum(1 for c in cs if c.tail) >= 1
+        assert sum(1 for c in cs if not c.tail) >= 1
+
+    def test_let_body_tail(self):
+        e = prepare("(define (f x) (let ((y (f 1))) (f y))) (f 0)")
+        cs = calls(e)
+        tails = [c for c in cs if c.tail]
+        non_tails = [c for c in cs if not c.tail]
+        assert tails and non_tails
+
+    def test_callcc_never_tail(self):
+        e = prepare("(define (f k) 1) (call/cc f)")
+        cc = [c for c in calls(e) if isinstance(c, CallCC)]
+        assert cc and not cc[0].tail
+
+
+class TestScopeCheck:
+    def test_valid_program(self):
+        check_scopes(prepare("(define (f x) x) (f 1)"))
+
+    def test_valid_closure(self):
+        check_scopes(prepare("(define (adder n) (lambda (x) (+ x n))) ((adder 1) 2)"))
+
+    def test_forward_reference_across_groups_rejected(self):
+        # f (group 1) calls h (group 3, after a data define) at run
+        # time; the expander's grouping leaves h out of scope for f.
+        with pytest.raises(CompilerError, match="out of scope"):
+            check_scopes(
+                prepare(
+                    "(define (f x) (h x)) (define n 1) (define (h x) x) (f n)"
+                )
+            )

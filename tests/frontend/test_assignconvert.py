@@ -1,0 +1,67 @@
+"""Assignment conversion: after it, no variable is ever mutated."""
+
+import pytest
+
+from repro.astnodes import Lambda, Let, PrimCall, Ref, SetBang, walk
+from repro.frontend.assignconvert import assignment_convert
+from repro.frontend.expand import expand_expr, expand_program
+from repro.sexp.reader import read, read_all
+
+
+def convert(text):
+    return assignment_convert(expand_program(read_all(text)))
+
+
+def all_nodes(expr):
+    return walk(expr)
+
+
+class TestConversion:
+    def test_no_setbang_remains(self):
+        e = convert("(let ((x 1)) (set! x 2) x)")
+        assert not any(isinstance(n, SetBang) for n in all_nodes(e))
+
+    def test_unassigned_untouched(self):
+        e = convert("(let ((x 1)) x)")
+        ops = [n.op for n in all_nodes(e) if isinstance(n, PrimCall)]
+        assert "box" not in ops and "unbox" not in ops
+
+    def test_assigned_let_boxed(self):
+        e = convert("(let ((x 1)) (set! x 2) x)")
+        ops = [n.op for n in all_nodes(e) if isinstance(n, PrimCall)]
+        assert "box" in ops and "set-box!" in ops and "unbox" in ops
+
+    def test_assigned_param_rebound(self):
+        e = convert("((lambda (x) (set! x 2) x) 1)")
+        lam = next(n for n in all_nodes(e) if isinstance(n, Lambda))
+        # fresh parameter; original var boxed inside
+        assert isinstance(lam.body, Let)
+        assert lam.body.rhs.op == "box"
+
+    def test_set_returns_unspecified_shape(self):
+        e = convert("(let ((x 1)) (set! x 2))")
+        ops = [n.op for n in all_nodes(e) if isinstance(n, PrimCall)]
+        assert "set-box!" in ops
+
+    def test_letrec_with_assignment_degrades_to_boxes(self):
+        e = convert(
+            "(define (f x) (f x)) (set! f (lambda (x) x)) (f 1)"
+        )
+        ops = [n.op for n in all_nodes(e) if isinstance(n, PrimCall)]
+        assert "box" in ops
+
+    def test_letrec_without_assignment_keeps_fix(self):
+        from repro.astnodes import Fix
+
+        e = convert("(define (f x) (f x)) 1")
+        assert isinstance(e, Fix)
+
+    def test_boxed_read_through_unbox(self):
+        e = convert("(let ((x 1)) (set! x 2) (+ x x))")
+        unboxes = [n for n in all_nodes(e) if isinstance(n, PrimCall) and n.op == "unbox"]
+        assert len(unboxes) == 2
+
+    def test_mixed_assigned_and_clean_params(self):
+        e = convert("((lambda (a b) (set! a b) a) 1 2)")
+        lam = next(n for n in all_nodes(e) if isinstance(n, Lambda))
+        assert len(lam.params) == 2

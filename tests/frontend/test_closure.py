@@ -1,0 +1,107 @@
+"""Closure conversion tests."""
+
+import pytest
+
+from repro.astnodes import (
+    ClosureRef,
+    Fix,
+    Lambda,
+    MakeClosure,
+    Ref,
+    walk,
+)
+from repro.frontend.analyze import mark_tail_calls
+from repro.frontend.assignconvert import assignment_convert
+from repro.frontend.closure import closure_convert, free_variables
+from repro.frontend.expand import expand_expr, expand_program
+from repro.sexp.reader import read, read_all
+
+
+def convert(text):
+    e = assignment_convert(expand_program(read_all(text)))
+    mark_tail_calls(e)
+    return closure_convert(e)
+
+
+class TestFreeVariables:
+    def test_closed_lambda(self):
+        e = expand_expr(read("(lambda (x) x)"))
+        assert free_variables(e) == set()
+
+    def test_free_in_body(self):
+        e = expand_expr(read("(lambda (x) (lambda (y) x))"))
+        inner = e.body
+        assert free_variables(inner) == {e.params[0]}
+
+    def test_let_binds(self):
+        e = expand_expr(read("(lambda (x) (let ((y x)) y))"))
+        assert free_variables(e) == set()
+
+    def test_fix_binds(self):
+        e = expand_expr(read("(lambda (z) (letrec ((f (lambda (n) (f (+ n z))))) (f 0)))"))
+        assert free_variables(e) == set()
+
+
+class TestConversion:
+    def test_program_structure(self):
+        prog = convert("(define (f x) x) (f 1)")
+        assert prog.entry in prog.codes
+        assert prog.entry.params == []
+        assert prog.entry.free == []
+
+    def test_code_per_lambda(self):
+        prog = convert("(define (f x) x) (define (g y) y) (f (g 1))")
+        names = {c.name for c in prog.codes}
+        assert {"f", "g", "main"} <= names
+
+    def test_capture_becomes_closure_ref(self):
+        prog = convert("(define (adder n) (lambda (x) (+ x n))) ((adder 1) 2)")
+        inner = next(c for c in prog.codes if c.name == "anonymous")
+        refs = [n for n in walk(inner.body) if isinstance(n, ClosureRef)]
+        assert len(refs) == 1
+        assert refs[0].index == 0
+        assert inner.free[0].name == "n"
+
+    def test_nested_capture_chains(self):
+        prog = convert(
+            "(define (f a) (lambda (b) (lambda (c) (+ a (+ b c))))) (((f 1) 2) 3)"
+        )
+        innermost = [c for c in prog.codes if len(c.free) == 2]
+        assert innermost  # captures both a and b
+
+    def test_fix_closures_can_be_cyclic(self):
+        prog = convert(
+            "(define (e? n) (if (zero? n) #t (o? (- n 1))))"
+            "(define (o? n) (if (zero? n) #f (e? (- n 1))))"
+            "(e? 10)"
+        )
+        fixes = [n for n in walk(prog.entry.body) if isinstance(n, Fix)]
+        assert fixes
+        assert all(isinstance(mc, MakeClosure) for mc in fixes[0].lambdas)
+
+    def test_no_lambda_nodes_remain(self):
+        prog = convert("(define (f x) (lambda (y) (+ x y))) ((f 1) 2)")
+        for code in prog.codes:
+            assert not any(isinstance(n, Lambda) for n in walk(code.body))
+
+    def test_syntactic_leaf_flag(self):
+        prog = convert(
+            "(define (leaf x) (+ x 1))"
+            "(define (internal x) (+ (internal x) 1))"
+            "(leaf (internal 1))"
+        )
+        leaf = next(c for c in prog.codes if c.name == "leaf")
+        internal = next(c for c in prog.codes if c.name == "internal")
+        assert leaf.syntactic_leaf
+        assert not internal.syntactic_leaf
+
+    def test_tail_call_does_not_break_leafness(self):
+        # footnote 1: tail calls are jumps, not calls
+        prog = convert("(define (loop x) (loop x)) 1")
+        loop = next(c for c in prog.codes if c.name == "loop")
+        assert loop.syntactic_leaf
+
+    def test_free_order_deterministic(self):
+        prog1 = convert("(define (f a b) (lambda (x) (+ a (+ b x)))) ((f 1 2) 3)")
+        inner = next(c for c in prog1.codes if len(c.free) == 2)
+        assert [v.name for v in inner.free] == ["a", "b"]

@@ -1,0 +1,343 @@
+"""Expander tests: surface syntax to the core language."""
+
+import pytest
+
+from repro.astnodes import (
+    Call,
+    CallCC,
+    Fix,
+    If,
+    Lambda,
+    Let,
+    PrimCall,
+    Quote,
+    Ref,
+    Seq,
+    SetBang,
+    pretty,
+)
+from repro.errors import CompilerError
+from repro.frontend.expand import expand_expr, expand_program
+from repro.sexp.datum import NIL, Symbol, UNSPECIFIED
+from repro.sexp.reader import read, read_all
+
+
+def expand(text):
+    return expand_expr(read(text))
+
+
+def expand_top(text):
+    return expand_program(read_all(text))
+
+
+class TestBasics:
+    def test_fixnum(self):
+        e = expand("42")
+        assert isinstance(e, Quote) and e.value == 42
+
+    def test_boolean(self):
+        assert expand("#t").value is True
+
+    def test_quote(self):
+        e = expand("'(1 2)")
+        assert isinstance(e, Quote)
+
+    def test_string_self_evaluating(self):
+        assert expand('"hi"').value.text == "hi"
+
+    def test_unbound_variable(self):
+        with pytest.raises(CompilerError, match="unbound"):
+            expand("nope")
+
+    def test_empty_combination(self):
+        with pytest.raises(CompilerError):
+            expand("()")
+
+
+class TestIf:
+    def test_two_armed(self):
+        e = expand("(if #t 1 2)")
+        assert isinstance(e, If)
+        assert e.then.value == 1 and e.otherwise.value == 2
+
+    def test_one_armed(self):
+        e = expand("(if #t 1)")
+        assert isinstance(e.otherwise, Quote)
+        assert e.otherwise.value is UNSPECIFIED
+
+    def test_malformed(self):
+        with pytest.raises(CompilerError):
+            expand("(if 1 2 3 4)")
+
+
+class TestLambdaAndLet:
+    def test_lambda(self):
+        e = expand("(lambda (x y) x)")
+        assert isinstance(e, Lambda)
+        assert len(e.params) == 2
+        assert isinstance(e.body, Ref)
+        assert e.body.var is e.params[0]
+
+    def test_lambda_rejects_varargs(self):
+        with pytest.raises(CompilerError):
+            expand("(lambda args args)")
+        with pytest.raises(CompilerError):
+            expand("(lambda (x . rest) x)")
+
+    def test_lambda_duplicate_params(self):
+        with pytest.raises(CompilerError):
+            expand("(lambda (x x) x)")
+
+    def test_let_is_parallel(self):
+        # inner x refers to the OUTER binding
+        e = expand("((lambda (x) (let ((x 1) (y x)) y)) 9)")
+        # semantic check happens in interpreter tests; here check shape
+        assert isinstance(e, Call)
+
+    def test_let_becomes_nested_lets(self):
+        e = expand("(let ((a 1) (b 2)) b)")
+        assert isinstance(e, Let)
+        assert isinstance(e.body, Let)
+
+    def test_let_star_sequential_scope(self):
+        e = expand("(let* ((a 1) (b a)) b)")
+        assert isinstance(e, Let)
+        inner = e.body
+        assert isinstance(inner.rhs, Ref)
+        assert inner.rhs.var is e.var
+
+    def test_named_let(self):
+        e = expand("(let loop ((i 0)) (if (zero? i) 'done (loop (- i 1))))")
+        assert isinstance(e, Fix)
+        assert isinstance(e.body, Call)
+
+    def test_letrec_lambdas_fix(self):
+        e = expand("(letrec ((f (lambda (x) (g x))) (g (lambda (x) x))) (f 1))")
+        assert isinstance(e, Fix)
+        assert len(e.vars) == 2
+
+    def test_alpha_renaming_unique(self):
+        e = expand("(let ((x 1)) (let ((x 2)) x))")
+        assert isinstance(e, Let) and isinstance(e.body, Let)
+        assert e.var is not e.body.var
+        assert e.body.body.var is e.body.var
+
+
+class TestBooleansAndConditionals:
+    def test_and_empty(self):
+        assert expand("(and)").value is True
+
+    def test_and_expansion(self):
+        e = expand("(and 1 2)")
+        assert isinstance(e, If)
+        assert e.otherwise.value is False
+
+    def test_or_empty(self):
+        assert expand("(or)").value is False
+
+    def test_or_binds_temp(self):
+        e = expand("(or 1 2)")
+        assert isinstance(e, Let)
+        assert isinstance(e.body, If)
+
+    def test_not_is_primitive(self):
+        e = expand("(not 1)")
+        assert isinstance(e, PrimCall) and e.op == "not"
+
+    def test_cond_else(self):
+        e = expand("(cond (#t 1) (else 2))")
+        assert isinstance(e, If)
+
+    def test_cond_no_else_unspecified(self):
+        e = expand("(cond (#f 1))")
+        assert isinstance(e, If)
+        assert e.otherwise.value is UNSPECIFIED
+
+    def test_cond_arrow(self):
+        e = expand("(cond ((cons 1 2) => car) (else 0))")
+        assert isinstance(e, Let)
+
+    def test_cond_test_only_clause(self):
+        e = expand("(cond (5) (else 0))")
+        assert isinstance(e, Let)
+
+    def test_cond_else_must_be_last(self):
+        with pytest.raises(CompilerError):
+            expand("(cond (else 1) (#t 2))")
+
+    def test_case(self):
+        e = expand("(case 3 ((1 2) 'small) ((3) 'three) (else 'big))")
+        assert isinstance(e, Let)
+
+    def test_when_unless(self):
+        assert isinstance(expand("(when #t 1 2)"), If)
+        assert isinstance(expand("(unless #t 1)"), If)
+
+
+class TestPrimitives:
+    def test_binary_plus(self):
+        e = expand("(+ 1 2)")
+        assert isinstance(e, PrimCall) and e.op == "+"
+
+    def test_nary_plus_folds(self):
+        e = expand("(+ 1 2 3)")
+        assert isinstance(e, PrimCall)
+        assert isinstance(e.args[0], PrimCall)
+
+    def test_nullary_plus(self):
+        assert expand("(+)").value == 0
+
+    def test_unary_minus(self):
+        e = expand("(- 5)")
+        assert e.op == "-" and e.args[0].value == 0
+
+    def test_list_constructor(self):
+        e = expand("(list 1 2)")
+        assert isinstance(e, PrimCall) and e.op == "cons"
+
+    def test_empty_list_constructor(self):
+        assert expand("(list)").value is NIL
+
+    def test_vector_constructor(self):
+        e = expand("(vector 1 2)")
+        assert isinstance(e, Let)
+
+    def test_chained_comparison_single_eval(self):
+        e = expand("(< 1 2 3)")
+        assert isinstance(e, Let)  # temps bound once
+
+    def test_cxr_expansion(self):
+        e = expand("(cadr '(1 2))")
+        assert e.op == "car"
+        assert e.args[0].op == "cdr"
+
+    def test_deep_cxr(self):
+        e = expand("(cadddr '(1 2 3 4))")
+        assert e.op == "car"
+
+    def test_arity_error(self):
+        with pytest.raises(CompilerError, match="expected"):
+            expand("(car 1 2)")
+
+    def test_fx_aliases(self):
+        assert expand("(fx+ 1 2)").op == "+"
+        assert expand("(1+ 5)").op == "add1"
+
+    def test_primitive_as_value_eta_expands(self):
+        e = expand("(lambda (f) (f car))")
+        assert isinstance(e, Lambda)
+
+    def test_cxr_as_value(self):
+        e = expand("((lambda (f) (f 1)) cadr)")
+        assert isinstance(e, Call)
+        assert isinstance(e.args[0], Lambda)
+
+    def test_error_variadic(self):
+        e = expand('(error "msg" 1 2)')
+        assert e.op == "error"
+        assert len(e.args) == 2
+
+    def test_shadowing_primitive_name(self):
+        e = expand("(let ((car (lambda (x) 99))) (car '(1)))")
+        assert isinstance(e, Let)
+        assert isinstance(e.body, Call)  # user binding wins
+
+
+class TestSetAndBegin:
+    def test_set(self):
+        e = expand("(let ((x 1)) (set! x 2))")
+        assert isinstance(e.body, SetBang)
+        assert e.body.var is e.var
+        assert e.var.assigned
+
+    def test_set_unbound(self):
+        with pytest.raises(CompilerError):
+            expand("(set! nope 1)")
+
+    def test_begin_single(self):
+        assert isinstance(expand("(begin 1)"), Quote)
+
+    def test_begin_multiple(self):
+        e = expand("(begin 1 2)")
+        assert isinstance(e, Seq)
+        assert len(e.exprs) == 2
+
+
+class TestQuasiquote:
+    def test_constant(self):
+        e = expand("`(1 2)")
+        assert isinstance(e, PrimCall)
+
+    def test_unquote(self):
+        e = expand("`(1 ,(+ 1 1))")
+        assert isinstance(e, PrimCall) and e.op == "cons"
+
+    def test_splice(self):
+        e = expand("`(1 ,@(list 2 3) 4)")
+        assert isinstance(e, PrimCall)
+
+
+class TestDo:
+    def test_do_shape(self):
+        e = expand("(do ((i 0 (+ i 1))) ((= i 3) 'done))")
+        assert isinstance(e, Fix)
+
+    def test_do_default_step(self):
+        e = expand("(do ((i 0)) (#t i))")
+        assert isinstance(e, Fix)
+
+
+class TestCallCC:
+    def test_callcc_node(self):
+        e = expand("(call/cc (lambda (k) 1))")
+        assert isinstance(e, CallCC)
+
+    def test_long_name(self):
+        e = expand("(call-with-current-continuation (lambda (k) 1))")
+        assert isinstance(e, CallCC)
+
+
+class TestTopLevel:
+    def test_defines_and_body(self):
+        e = expand_top("(define (f x) x) (f 1)")
+        assert isinstance(e, Fix)
+
+    def test_value_define(self):
+        e = expand_top("(define n 10) n")
+        assert isinstance(e, Let)
+
+    def test_consecutive_lambda_defines_one_fix(self):
+        e = expand_top(
+            "(define (f x) (g x)) (define (g x) (f x)) 1"
+        )
+        assert isinstance(e, Fix)
+        assert len(e.vars) == 2
+
+    def test_data_define_splits_groups(self):
+        e = expand_top("(define (f x) x) (define n 1) (define (g x) x) (g (f n))")
+        assert isinstance(e, Fix)  # f
+        assert isinstance(e.body, Let)  # n
+
+    def test_duplicate_define(self):
+        with pytest.raises(CompilerError):
+            expand_top("(define x 1) (define x 2) x")
+
+    def test_no_body_expression(self):
+        with pytest.raises(CompilerError):
+            expand_top("(define x 1)")
+
+    def test_define_after_expression(self):
+        with pytest.raises(CompilerError):
+            expand_top("1 (define x 2) x")
+
+    def test_define_in_expression_context(self):
+        with pytest.raises(CompilerError):
+            expand_top("(if #t (define x 1) 2)")
+
+    def test_internal_defines(self):
+        e = expand("(lambda (x) (define (h y) y) (h x))")
+        assert isinstance(e.body, Fix)
+
+    def test_pretty_smoke(self):
+        text = pretty(expand_top("(define (f x) (+ x 1)) (f 2)"))
+        assert "fix" in text and "#%+" in text

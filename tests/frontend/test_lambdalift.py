@@ -1,0 +1,143 @@
+"""Lambda lifting (§6 future work) tests."""
+
+import pytest
+
+from repro.astnodes import Call, Fix, Lambda, Ref, walk
+from repro.config import CompilerConfig
+from repro.frontend.analyze import check_scopes, mark_tail_calls
+from repro.frontend.assignconvert import assignment_convert
+from repro.frontend.lambdalift import LiftReport, lambda_lift
+from repro.pipeline import expand_source
+from tests.conftest import assert_compiles_like_interpreter
+
+
+def lift(src, max_params=6):
+    expr = assignment_convert(expand_source(src, prelude=False))
+    mark_tail_calls(expr)
+    expr, report = lambda_lift(expr, max_params=max_params)
+    check_scopes(expr)
+    return expr, report
+
+
+def find_lambda(expr, name):
+    for node in walk(expr):
+        if isinstance(node, Fix):
+            for var, lam in zip(node.vars, node.lambdas):
+                if var.name == name:
+                    return lam
+    raise AssertionError(f"no fix-bound {name}")
+
+
+class TestLiftDecisions:
+    def test_known_procedure_lifted(self):
+        src = "(define (outer k) (define (inner x) (+ x k)) (inner 1)) (outer 10)"
+        expr, report = lift(src)
+        assert "inner" in report.lifted
+        inner = find_lambda(expr, "inner")
+        assert len(inner.params) == 2  # x + lifted k
+
+    def test_call_sites_extended(self):
+        src = "(define (outer k) (define (inner x) (+ x k)) (+ (inner 1) (inner 2))) (outer 10)"
+        expr, report = lift(src)
+        calls = [
+            n
+            for n in walk(expr)
+            if isinstance(n, Call)
+            and isinstance(n.fn, Ref)
+            and n.fn.var.name == "inner"
+        ]
+        assert calls and all(len(c.args) == 2 for c in calls)
+
+    def test_escaping_not_lifted(self):
+        src = "(define (adder n) (lambda (x) (+ x n))) (define (use f) (f 1)) (use (adder 3))"
+        expr, report = lift(src)
+        # the anonymous lambda escapes; adder itself is closed
+        assert report.lifted == [] or "anonymous" not in report.lifted
+
+    def test_value_use_rejected(self):
+        src = (
+            "(define (outer k)"
+            "  (define (inner x) (+ x k))"
+            "  (map inner '(1 2)))"
+            "(outer 1)"
+        )
+        expr = assignment_convert(expand_source(src, prelude=True))
+        mark_tail_calls(expr)
+        expr, report = lambda_lift(expr)
+        check_scopes(expr)
+        assert "inner" in report.rejected_escaping
+
+    def test_arity_cap(self):
+        src = (
+            "(define (outer a b c d e f)"
+            "  (define (inner x) (+ x (+ a (+ b (+ c (+ d (+ e f)))))))"
+            "  (inner 1))"
+            "(outer 1 2 3 4 5 6)"
+        )
+        _, report = lift(src, max_params=6)
+        assert "inner" in report.rejected_arity
+
+    def test_closed_procedure_untouched(self):
+        src = "(define (f x) (+ x 1)) (f 1)"
+        expr, report = lift(src)
+        assert report.lifted == []
+        assert len(find_lambda(expr, "f").params) == 1
+
+    def test_mutual_recursion_fixpoint(self):
+        src = (
+            "(define (outer k)"
+            "  (define (e? n) (if (zero? n) (> k 0) (o? (- n 1))))"
+            "  (define (o? n) (if (zero? n) (< k 1) (e? (- n 1))))"
+            "  (e? 4))"
+            "(outer 2)"
+        )
+        expr, report = lift(src)
+        assert set(report.lifted) >= {"e?", "o?"}
+        # both inherit k
+        assert len(find_lambda(expr, "e?").params) == 2
+        assert len(find_lambda(expr, "o?").params) == 2
+
+    def test_known_procedure_free_var_not_parameterized(self):
+        # helper is known; callers must keep reaching it through the
+        # closure, not as a passed value (the browse regression).
+        src = (
+            "(define (helper) 42)"
+            "(define (outer k)"
+            "  (define (inner x) (+ x (+ k (helper))))"
+            "  (inner 1))"
+            "(outer 10)"
+        )
+        expr, report = lift(src)
+        assert "inner" in report.lifted
+        inner = find_lambda(expr, "inner")
+        # only k was lifted; helper stays a closure access
+        assert len(inner.params) == 2
+
+
+class TestSemanticsPreserved:
+    PROGRAMS = [
+        "(define (outer k) (define (inner x) (+ x k)) (+ (inner 1) (inner 2))) (outer 10)",
+        "(define (sum-to n) (define (go i acc) (if (> i n) acc (go (+ i 1) (+ acc i)))) (go 0 0)) (sum-to 50)",
+        "(define (f a) (define (e? n) (if (zero? n) #t (o? (- n 1)))) (define (o? n) (if (zero? n) #f (e? (- n 1)))) (e? a)) (f 9)",
+        "(define (tree d k) (define (build n) (if (zero? n) k (cons (build (- n 1)) (build (- n 1))))) (define (count t) (if (pair? t) (+ (count (car t)) (count (cdr t))) t)) (count (build d))) (tree 6 1)",
+        "(define (twice f x) (f (f x))) (define (outer k) (define (bump n) (+ n k)) (twice (lambda (v) (bump v)) 1)) (outer 5)",
+    ]
+
+    @pytest.mark.parametrize("src", PROGRAMS)
+    def test_matches_interpreter(self, src):
+        assert_compiles_like_interpreter(
+            src, CompilerConfig(lambda_lift=True), prelude=False
+        )
+
+    @pytest.mark.parametrize("src", PROGRAMS)
+    def test_matches_interpreter_small_regs(self, src):
+        cfg = CompilerConfig(lambda_lift=True, num_arg_regs=2, num_temp_regs=1)
+        assert_compiles_like_interpreter(src, cfg, prelude=False)
+
+
+class TestBenchmarksUnderLifting:
+    @pytest.mark.parametrize("name", ["tak", "browse", "boyer", "meta", "fread"])
+    def test_benchmark_validates(self, name):
+        from repro.benchsuite.runner import run_benchmark
+
+        run_benchmark(name, CompilerConfig(lambda_lift=True), debug=True)

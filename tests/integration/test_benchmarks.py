@@ -1,0 +1,66 @@
+"""Every benchmark compiles, runs, and matches the reference
+interpreter under the paper's configuration."""
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS
+from repro.benchsuite.runner import run_benchmark
+from repro.config import CompilerConfig
+
+ALL_NAMES = sorted(BENCHMARKS.keys())
+LIGHT_NAMES = [n for n in ALL_NAMES if not BENCHMARKS[n].heavy]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_benchmark_validates(name):
+    run = run_benchmark(name, CompilerConfig(), debug=(BENCHMARKS[name].heavy is False))
+    assert run.counters.instructions > 0
+
+
+@pytest.mark.parametrize("name", LIGHT_NAMES)
+def test_benchmark_validates_baseline(name):
+    run = run_benchmark(name, CompilerConfig.baseline())
+    assert run.counters.total_stack_refs > 0
+
+
+@pytest.mark.parametrize(
+    "name", ["tak", "cpstak", "deriv", "browse", "boyer", "fread"]
+)
+@pytest.mark.parametrize(
+    "strategy", ["lazy", "lazy-simple", "early", "late"]
+)
+def test_benchmark_all_save_strategies(name, strategy):
+    run_benchmark(name, CompilerConfig(save_strategy=strategy), debug=True)
+
+
+@pytest.mark.parametrize("name", ["tak", "deriv", "matcher"])
+def test_benchmark_callee_modes(name):
+    for strategy in ("early", "lazy"):
+        run_benchmark(
+            name,
+            CompilerConfig(save_convention="callee", save_strategy=strategy),
+            debug=True,
+        )
+
+
+@pytest.mark.parametrize("name", ["tak", "cpstak", "fft"])
+def test_benchmark_lazy_restores(name):
+    run_benchmark(name, CompilerConfig(restore_strategy="lazy"), debug=True)
+
+
+class TestRegistry:
+    def test_names_unique_and_described(self):
+        for name, bench in BENCHMARKS.items():
+            assert bench.name == name
+            assert bench.description
+            assert bench.scaling
+
+    def test_covers_paper_suite(self):
+        expected = {
+            "tak", "takl", "takr", "cpstak", "ctak", "deriv", "dderiv",
+            "destruct", "div-iter", "div-rec", "browse", "boyer",
+            "puzzle", "triang", "fxtriang", "fxtak", "fft", "fprint",
+            "fread", "tprint", "traverse-init", "traverse",
+            "meta", "matcher",
+        }
+        assert expected <= set(BENCHMARKS.keys())

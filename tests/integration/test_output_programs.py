@@ -1,0 +1,92 @@
+"""End-to-end programs exercising output, strings, and data structures
+— compiler output must match the interpreter byte for byte."""
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.interp.interpreter import Interpreter
+from repro.pipeline import run_source
+from tests.conftest import CONFIG_MATRIX
+
+
+def both_outputs(src, config):
+    interp = Interpreter()
+    interp.run_source(src)
+    compiled = run_source(src, config, debug=True)
+    return compiled.output, interp.port.contents()
+
+
+PROGRAMS = [
+    # printer recursion (the fprint substitute's shape)
+    """
+    (define (print-tree t)
+      (if (pair? t)
+          (begin (display "(") (print-tree (car t)) (display " . ")
+                 (print-tree (cdr t)) (display ")"))
+          (display t)))
+    (print-tree '((1 . 2) . (3 . 4)))
+    (newline)
+    0
+    """,
+    # table formatting with string building
+    """
+    (define (row label n)
+      (display label) (display ": ") (display n) (newline))
+    (for-each (lambda (i) (row 'item (* i i))) (iota 4))
+    'done
+    """,
+    # write vs display quoting
+    """
+    (begin (write "quoted") (display " ") (display "bare") (newline)
+           (write #\\a) (display #\\b) (newline)
+           (write '(1 "s" #\\c)) (newline)
+           0)
+    """,
+]
+
+
+@pytest.mark.parametrize("src", PROGRAMS)
+def test_output_matches_interpreter(src):
+    got, want = both_outputs(src, CompilerConfig())
+    assert got == want
+
+
+@pytest.mark.parametrize("config", CONFIG_MATRIX)
+def test_output_stable_across_configs(config):
+    src = PROGRAMS[0]
+    got, want = both_outputs(src, config)
+    assert got == want
+
+
+class TestStringPrograms:
+    def test_string_builder(self):
+        src = """
+        (define (join ls sep)
+          (cond ((null? ls) "")
+                ((null? (cdr ls)) (car ls))
+                (else (string-append (car ls)
+                        (string-append sep (join (cdr ls) sep))))))
+        (join '("a" "b" "c") ", ")
+        """
+        result = run_source(src, debug=True)
+        assert result.value.text == "a, b, c"
+
+    def test_number_formatting(self):
+        src = """
+        (define (commas n)
+          (if (< n 1000)
+              (number->string n)
+              (string-append (commas (quotient n 1000))
+                (string-append "," (pad (remainder n 1000))))))
+        (define (pad n)
+          (cond ((< n 10) (string-append "00" (number->string n)))
+                ((< n 100) (string-append "0" (number->string n)))
+                (else (number->string n))))
+        (commas 1234567)
+        """
+        result = run_source(src, debug=True)
+        assert result.value.text == "1,234,567"
+
+    def test_symbol_interning_across_boundary(self):
+        src = "(eq? (string->symbol \"abc\") 'abc)"
+        assert run_source(src, debug=True).value is True

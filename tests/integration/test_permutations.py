@@ -1,0 +1,84 @@
+"""Shuffle correctness oracle: every permutation of argument registers
+must be realized exactly, under every shuffle strategy.
+
+A call ``(f xσ(1) ... xσ(n))`` is a parallel assignment of the argument
+registers; permutations with long cycles are the worst case for the
+shuffler (the paper's NP-complete ordering problem)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CompilerConfig
+from repro.pipeline import run_source
+from repro.sexp.writer import write_datum
+
+PARAMS = ["a", "b", "c", "d", "e", "f"]
+
+
+def permutation_program(perm, n):
+    names = PARAMS[:n]
+    reordered = " ".join(names[i] for i in perm)
+    body = " ".join(names)
+    return (
+        f"(define (target {' '.join(names)}) (list {body}))"
+        f"(define (caller {' '.join(names)}) (target {reordered}))"
+        f"(caller {' '.join(str(i * 10) for i in range(1, n + 1))})"
+    )
+
+
+def expected_value(perm, n):
+    values = [(i + 1) * 10 for i in range(n)]
+    return "(" + " ".join(str(values[i]) for i in perm) + ")"
+
+
+STRATEGIES = ["greedy", "naive", "spill-all", "optimal"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize(
+    "perm",
+    [
+        (1, 0),  # swap
+        (1, 2, 0),  # 3-cycle
+        (2, 0, 1),  # 3-cycle, other direction
+        (1, 0, 3, 2),  # two disjoint swaps
+        (3, 2, 1, 0),  # full reversal
+        (1, 2, 3, 4, 0),  # 5-cycle
+        (5, 4, 3, 2, 1, 0),  # 6-element reversal
+        (1, 2, 0, 4, 5, 3),  # two 3-cycles
+    ],
+)
+def test_fixed_permutations(perm, strategy):
+    n = len(perm)
+    src = permutation_program(perm, n)
+    result = run_source(
+        src, CompilerConfig(shuffle_strategy=strategy), prelude=False, debug=True
+    )
+    assert write_datum(result.value) == expected_value(perm, n)
+
+
+@pytest.mark.parametrize("strategy", ["greedy", "optimal"])
+def test_all_permutations_of_four(strategy):
+    for perm in itertools.permutations(range(4)):
+        src = permutation_program(perm, 4)
+        result = run_source(
+            src, CompilerConfig(shuffle_strategy=strategy), prelude=False, debug=True
+        )
+        assert write_datum(result.value) == expected_value(perm, 4)
+
+
+@given(
+    st.permutations(range(6)),
+    st.sampled_from(STRATEGIES),
+    st.sampled_from([1, 2, 3, 6]),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_permutations_and_register_counts(perm, strategy, nregs):
+    src = permutation_program(tuple(perm), 6)
+    cfg = CompilerConfig(
+        shuffle_strategy=strategy, num_arg_regs=nregs, num_temp_regs=nregs
+    )
+    result = run_source(src, cfg, prelude=False, debug=True)
+    assert write_datum(result.value) == expected_value(tuple(perm), 6)

@@ -1,0 +1,105 @@
+"""Cross-strategy shape assertions: the qualitative claims of the
+paper's evaluation must hold on our simulator."""
+
+import pytest
+
+from repro.benchsuite.runner import run_benchmark
+from repro.config import CompilerConfig
+
+TAK = "tak"
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """tak under the principal configurations (computed once)."""
+    return {
+        "lazy": run_benchmark(TAK, CompilerConfig()),
+        "early": run_benchmark(TAK, CompilerConfig(save_strategy="early")),
+        "late": run_benchmark(TAK, CompilerConfig(save_strategy="late")),
+        "baseline": run_benchmark(TAK, CompilerConfig.baseline()),
+        "callee-early": run_benchmark(
+            TAK, CompilerConfig(save_convention="callee", save_strategy="early")
+        ),
+        "callee-lazy": run_benchmark(
+            TAK, CompilerConfig(save_convention="callee", save_strategy="lazy")
+        ),
+    }
+
+
+class TestTable3Shape:
+    def test_all_agree_on_value(self, runs):
+        values = {r.value_text for r in runs.values()}
+        assert values == {"7"}
+
+    def test_registers_beat_baseline(self, runs):
+        for name in ("lazy", "early", "late"):
+            assert runs[name].stack_refs < runs["baseline"].stack_refs
+            assert runs[name].cycles < runs["baseline"].cycles
+
+    def test_lazy_beats_early(self, runs):
+        assert runs["lazy"].stack_refs < runs["early"].stack_refs
+        assert runs["lazy"].cycles < runs["early"].cycles
+
+    def test_lazy_beats_late(self, runs):
+        assert runs["lazy"].stack_refs < runs["late"].stack_refs
+        assert runs["lazy"].cycles < runs["late"].cycles
+
+    def test_early_has_no_redundant_saves_but_more_of_them(self, runs):
+        # early saves strictly more than lazy on effective-leaf-heavy tak
+        assert runs["early"].counters.saves > runs["lazy"].counters.saves
+
+    def test_late_duplicates_saves_on_multi_call_paths(self, runs):
+        assert runs["late"].counters.saves > runs["lazy"].counters.saves
+
+
+class TestTable5Shape:
+    def test_lazy_callee_beats_early_callee(self, runs):
+        assert runs["callee-lazy"].cycles < runs["callee-early"].cycles
+        assert runs["callee-lazy"].stack_refs < runs["callee-early"].stack_refs
+
+    def test_caller_lazy_in_range_of_callee_lazy(self, runs):
+        # Table 5: lazy callee-save "brings the performance ... within
+        # range of the caller-save code"
+        ratio = runs["lazy"].cycles / runs["callee-lazy"].cycles
+        assert 0.8 < ratio < 1.25
+
+
+class TestTable2Shape:
+    def test_effective_leaves_dominate_tak(self, runs):
+        assert runs["lazy"].classifier.effective_leaf_fraction > 2 / 3
+
+    def test_classification_stable_across_configs(self, runs):
+        fractions = {
+            name: r.classifier.fractions() for name, r in runs.items()
+        }
+        for name, f in fractions.items():
+            assert f == fractions["lazy"], name
+
+
+class TestRestoreStrategies:
+    def test_lazy_restore_executes_fewer_restores(self):
+        eager = run_benchmark(TAK, CompilerConfig())
+        lazy = run_benchmark(TAK, CompilerConfig(restore_strategy="lazy"))
+        assert lazy.counters.restores <= eager.counters.restores
+
+    def test_values_agree(self):
+        eager = run_benchmark("deriv", CompilerConfig())
+        lazy = run_benchmark("deriv", CompilerConfig(restore_strategy="lazy"))
+        assert eager.value_text == lazy.value_text
+
+
+class TestRegisterSweepShape:
+    def test_more_registers_fewer_stack_refs(self):
+        refs = []
+        for n in (0, 2, 4, 6):
+            cfg = CompilerConfig(num_arg_regs=n, num_temp_regs=n)
+            refs.append(run_benchmark(TAK, cfg).stack_refs)
+        assert refs[0] > refs[1] > refs[2] >= refs[3]
+
+
+class TestShuffleMatters:
+    def test_greedy_not_worse_than_naive(self):
+        greedy = run_benchmark(TAK, CompilerConfig())
+        naive = run_benchmark(TAK, CompilerConfig(shuffle_strategy="naive"))
+        assert greedy.cycles <= naive.cycles
+        assert greedy.value_text == naive.value_text

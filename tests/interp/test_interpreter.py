@@ -1,0 +1,145 @@
+"""Reference interpreter semantics."""
+
+import pytest
+
+from repro.interp.interpreter import Interpreter, interpret_source
+from repro.runtime.values import SchemeError
+from repro.sexp.datum import NIL, Symbol, UNSPECIFIED
+from repro.sexp.writer import write_datum
+
+
+def run(src, prelude=False):
+    return Interpreter().run_source(src, prelude=prelude)
+
+
+class TestBasics:
+    def test_constant(self):
+        assert run("42") == 42
+
+    def test_arith(self):
+        assert run("(+ 1 (* 2 3))") == 7
+
+    def test_if(self):
+        assert run("(if (< 1 2) 'yes 'no)") is Symbol("yes")
+
+    def test_only_false_is_false(self):
+        assert run("(if 0 'a 'b)") is Symbol("a")
+        assert run("(if '() 'a 'b)") is Symbol("a")
+        assert run("(if #f 'a 'b)") is Symbol("b")
+
+    def test_let(self):
+        assert run("(let ((x 2) (y 3)) (* x y))") == 6
+
+    def test_let_is_parallel(self):
+        assert run("(let ((x 1)) (let ((x 2) (y x)) y))") == 1
+
+    def test_let_star(self):
+        assert run("(let* ((x 1) (y (+ x 1))) y)") == 2
+
+    def test_begin(self):
+        assert run("(let ((x 1)) (begin 9 x))") == 1
+
+    def test_multiple_top_level_forms(self):
+        assert run("1 2 3") == 3
+
+
+class TestProcedures:
+    def test_lambda_application(self):
+        assert run("((lambda (x y) (- x y)) 10 4)") == 6
+
+    def test_closure_capture(self):
+        assert run("(((lambda (a) (lambda (b) (+ a b))) 1) 2)") == 3
+
+    def test_arity_error(self):
+        with pytest.raises(SchemeError):
+            run("((lambda (x) x) 1 2)")
+
+    def test_apply_non_procedure(self):
+        with pytest.raises(SchemeError):
+            run("(5 6)")
+
+    def test_recursion(self):
+        assert run("(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 6)") == 720
+
+    def test_mutual_recursion(self):
+        src = """
+        (define (e? n) (if (zero? n) #t (o? (- n 1))))
+        (define (o? n) (if (zero? n) #f (e? (- n 1))))
+        (o? 9)
+        """
+        assert run(src) is True
+
+    def test_deep_tail_loop_is_iterative(self):
+        assert run("(let loop ((i 0)) (if (= i 200000) i (loop (+ i 1))))") == 200000
+
+    def test_named_let(self):
+        assert run("(let sum ((i 0) (acc 0)) (if (= i 5) acc (sum (+ i 1) (+ acc i))))") == 10
+
+    def test_do_loop(self):
+        assert run("(do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i 5) s))") == 10
+
+
+class TestStateAndData:
+    def test_set(self):
+        assert run("(let ((x 1)) (set! x 99) x)") == 99
+
+    def test_closure_shares_state(self):
+        src = """
+        (define (make-counter)
+          (let ((n 0))
+            (lambda (ignored) (set! n (+ n 1)) n)))
+        (define c (make-counter))
+        (c 0) (c 0) (c 0)
+        """
+        assert run(src) == 3
+
+    def test_quote(self):
+        assert write_datum(run("'(1 (2) 3)")) == "(1 (2) 3)"
+
+    def test_quasiquote(self):
+        assert write_datum(run("`(1 ,(+ 1 1) ,@(list 3 4))", prelude=False)) == "(1 2 3 4)"
+
+    def test_vector_ops(self):
+        assert run("(let ((v (make-vector 3 0))) (vector-set! v 1 7) (vector-ref v 1))") == 7
+
+    def test_prelude_map(self):
+        assert write_datum(run("(map (lambda (x) (* x 2)) '(1 2 3))", prelude=True)) == "(2 4 6)"
+
+    def test_prelude_fold(self):
+        assert run("(fold-left + 0 (iota 5))", prelude=True) == 10
+
+
+class TestCallCC:
+    def test_escape(self):
+        assert run("(call/cc (lambda (k) (+ 1 (k 42))))") == 42
+
+    def test_no_escape(self):
+        assert run("(call/cc (lambda (k) 7))") == 7
+
+    def test_escape_through_frames(self):
+        src = """
+        (define (find-first pred ls fail)
+          (cond ((null? ls) (fail 'none))
+                ((pred (car ls)) (car ls))
+                (else (find-first pred (cdr ls) fail))))
+        (call/cc (lambda (k) (find-first (lambda (x) (> x 10)) '(1 2 3) k)))
+        """
+        assert run(src) is Symbol("none")
+
+    def test_nested_callcc(self):
+        assert run("(+ 1 (call/cc (lambda (k1) (+ 10 (call/cc (lambda (k2) (k1 100)))))))") == 101
+
+
+class TestErrors:
+    def test_error_primitive(self):
+        with pytest.raises(SchemeError, match="boom"):
+            run('(error "boom" 1)')
+
+    def test_car_of_number(self):
+        with pytest.raises(SchemeError):
+            run("(car 5)")
+
+    def test_output_collected(self):
+        interp = Interpreter()
+        interp.run_source('(begin (display "a") (display 1) (newline) 0)', prelude=False)
+        assert interp.port.contents() == "a1\n"

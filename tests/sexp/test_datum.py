@@ -1,0 +1,118 @@
+"""Datum type tests."""
+
+import pytest
+
+from repro.sexp.datum import (
+    Char,
+    MutableString,
+    NIL,
+    Pair,
+    Symbol,
+    is_list,
+    list_to_pairs,
+    pairs_to_list,
+    scheme_equal,
+    scheme_eqv,
+)
+
+
+class TestSymbol:
+    def test_interning(self):
+        assert Symbol("abc") is Symbol("abc")
+
+    def test_distinct(self):
+        assert Symbol("a") is not Symbol("b")
+
+    def test_name(self):
+        assert Symbol("hello").name == "hello"
+
+
+class TestChar:
+    def test_interning(self):
+        assert Char("x") is Char("x")
+
+    def test_rejects_multichar(self):
+        with pytest.raises(ValueError):
+            Char("ab")
+
+    def test_ordering(self):
+        assert Char("a") < Char("b")
+
+
+class TestPairHelpers:
+    def test_list_round_trip(self):
+        assert pairs_to_list(list_to_pairs([1, 2, 3])) == [1, 2, 3]
+
+    def test_empty(self):
+        assert list_to_pairs([]) is NIL
+
+    def test_tail(self):
+        p = list_to_pairs([1], tail=2)
+        assert p.car == 1 and p.cdr == 2
+
+    def test_pairs_to_list_improper_raises(self):
+        with pytest.raises(ValueError):
+            pairs_to_list(Pair(1, 2))
+
+    def test_pair_iteration(self):
+        assert list(list_to_pairs([1, 2, 3])) == [1, 2, 3]
+
+    def test_is_list_proper(self):
+        assert is_list(list_to_pairs([1, 2]))
+        assert is_list(NIL)
+
+    def test_is_list_improper(self):
+        assert not is_list(Pair(1, 2))
+
+    def test_is_list_cyclic(self):
+        p = Pair(1, NIL)
+        p.cdr = p
+        assert not is_list(p)
+
+
+class TestEquality:
+    def test_eqv_numbers(self):
+        assert scheme_eqv(3, 3)
+        assert not scheme_eqv(3, 4)
+        assert scheme_eqv(2.5, 2.5)
+
+    def test_eqv_bool_not_number(self):
+        assert not scheme_eqv(True, 1)
+        assert not scheme_eqv(0, False)
+
+    def test_eqv_identity(self):
+        p = Pair(1, NIL)
+        assert scheme_eqv(p, p)
+        assert not scheme_eqv(p, Pair(1, NIL))
+
+    def test_equal_structural(self):
+        a = list_to_pairs([1, list_to_pairs([2, 3])])
+        b = list_to_pairs([1, list_to_pairs([2, 3])])
+        assert scheme_equal(a, b)
+
+    def test_equal_strings(self):
+        assert scheme_equal(MutableString("ab"), MutableString("ab"))
+        assert not scheme_equal(MutableString("ab"), MutableString("ac"))
+
+    def test_equal_vectors(self):
+        assert scheme_equal([1, [2]], [1, [2]])
+        assert not scheme_equal([1], [1, 2])
+
+    def test_equal_long_list_iterative(self):
+        # equal? must not recurse down the cdr spine
+        a = list_to_pairs(list(range(50_000)))
+        b = list_to_pairs(list(range(50_000)))
+        assert scheme_equal(a, b)
+
+
+class TestMutableString:
+    def test_text(self):
+        assert MutableString("abc").text == "abc"
+
+    def test_mutation(self):
+        s = MutableString("abc")
+        s.chars[1] = "X"
+        assert s.text == "aXc"
+
+    def test_len(self):
+        assert len(MutableString("abcd")) == 4

@@ -1,0 +1,106 @@
+"""CLI tests (invoked in-process via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def tak_file(tmp_path):
+    path = tmp_path / "tak.scm"
+    path.write_text(
+        "(define (tak x y z)\n"
+        "  (if (not (< y x)) z\n"
+        "      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))\n"
+        "(tak 8 4 2)\n"
+    )
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_value(self, tak_file, capsys):
+        assert main(["run", tak_file]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_run_counters(self, tak_file, capsys):
+        main(["run", tak_file, "--counters"])
+        err = capsys.readouterr().err
+        assert "stack refs" in err
+        assert "eff. leaves" in err
+
+    def test_run_baseline(self, tak_file, capsys):
+        assert main(["run", tak_file, "--baseline"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_run_strategies(self, tak_file, capsys):
+        for strategy in ("early", "late", "lazy-simple"):
+            assert main(["run", tak_file, "--save-strategy", strategy]) == 0
+            assert capsys.readouterr().out.strip() == "3"
+
+    def test_run_lift_and_callee(self, tak_file, capsys):
+        assert main(["run", tak_file, "--lift", "--convention", "callee"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_run_output_port(self, tmp_path, capsys):
+        path = tmp_path / "p.scm"
+        path.write_text('(begin (display "hi") (newline) 7)')
+        main(["run", str(path)])
+        out = capsys.readouterr().out
+        assert out == "hi\n7\n"
+
+    def test_run_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("(+ 20 22)"))
+        main(["run", "-"])
+        assert capsys.readouterr().out.strip() == "42"
+
+
+class TestDisasm:
+    def test_disasm_whole_program(self, tak_file, capsys):
+        assert main(["disasm", tak_file]) == 0
+        out = capsys.readouterr().out
+        assert "tak%" in out and "tailcall" in out
+
+    def test_disasm_single_proc(self, tak_file, capsys):
+        main(["disasm", tak_file, "--proc", "tak"])
+        out = capsys.readouterr().out
+        assert "tak%" in out and "main%" not in out
+
+    def test_disasm_save_strategy_changes_code(self, tak_file, capsys):
+        main(["disasm", tak_file, "--proc", "tak", "--save-strategy", "lazy"])
+        lazy = capsys.readouterr().out
+        main(["disasm", tak_file, "--proc", "tak", "--save-strategy", "early"])
+        early = capsys.readouterr().out
+        assert lazy != early
+
+
+class TestExpand:
+    def test_expand(self, tak_file, capsys):
+        assert main(["expand", tak_file, "--no-prelude"]) == 0
+        out = capsys.readouterr().out
+        assert "(fix" in out and "tailcall" in out
+
+
+class TestBenchAndTables:
+    def test_bench_named(self, capsys):
+        assert main(["bench", "tak"]) == 0
+        out = capsys.readouterr().out
+        assert "tak" in out and "75.0%" in out
+
+    def test_bench_unknown(self, capsys):
+        assert main(["bench", "nope"]) == 1
+
+    def test_table2_subset(self, capsys):
+        assert main(["table", "2", "--names", "tak"]) == 0
+        out = capsys.readouterr().out
+        assert "AVERAGE" in out
+
+    def test_table_shuffle(self, capsys):
+        assert main(["table", "shuffle", "--names", "tak"]) == 0
+        assert "cyclic" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tak" in out and "boyer" in out

@@ -1,0 +1,65 @@
+"""CompilerConfig validation and presets."""
+
+import pytest
+
+from repro.config import CompilerConfig, CostModel
+
+
+class TestPresets:
+    def test_paper_default(self):
+        cfg = CompilerConfig.paper_default()
+        assert cfg.num_arg_regs == 6
+        assert cfg.num_temp_regs == 6
+        assert cfg.save_strategy == "lazy"
+        assert cfg.restore_strategy == "eager"
+        assert cfg.shuffle_strategy == "greedy"
+        assert cfg.save_convention == "caller"
+
+    def test_baseline(self):
+        cfg = CompilerConfig.baseline()
+        assert cfg.num_arg_regs == 0
+        assert cfg.num_temp_regs == 0
+
+    def test_with_override(self):
+        cfg = CompilerConfig().with_(save_strategy="late")
+        assert cfg.save_strategy == "late"
+        assert cfg.num_arg_regs == 6
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CompilerConfig().save_strategy = "early"
+
+
+class TestValidation:
+    def test_bad_save_strategy(self):
+        with pytest.raises(ValueError, match="save strategy"):
+            CompilerConfig(save_strategy="sometimes")
+
+    def test_bad_restore_strategy(self):
+        with pytest.raises(ValueError, match="restore strategy"):
+            CompilerConfig(restore_strategy="never")
+
+    def test_bad_shuffle_strategy(self):
+        with pytest.raises(ValueError, match="shuffle strategy"):
+            CompilerConfig(shuffle_strategy="random")
+
+    def test_bad_convention(self):
+        with pytest.raises(ValueError, match="convention"):
+            CompilerConfig(save_convention="both")
+
+    def test_bad_prediction_mode(self):
+        with pytest.raises(ValueError, match="prediction"):
+            CompilerConfig(branch_prediction="oracle")
+
+    def test_negative_registers(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(num_arg_regs=-1)
+
+    def test_bad_cost_model(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(cost_model=CostModel(load_latency=0))
+
+    def test_valid_prediction_modes(self):
+        CompilerConfig(branch_prediction=None)
+        CompilerConfig(branch_prediction="static-calls")
+        CompilerConfig(branch_prediction="fallthrough")

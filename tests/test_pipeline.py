@@ -1,0 +1,74 @@
+"""Pipeline driver tests."""
+
+import pytest
+
+from repro import (
+    CompileTimes,
+    CompilerConfig,
+    CompilerError,
+    SchemeError,
+    compile_source,
+    expand_source,
+    run_compiled,
+    run_source,
+)
+
+
+class TestCompile:
+    def test_compile_returns_program(self):
+        compiled = compile_source("(+ 1 2)")
+        assert compiled.entry.instructions
+        assert compiled.total_instructions() > 0
+
+    def test_compile_records_times(self):
+        times = CompileTimes()
+        compile_source("(define (f x) x) (f 1)", times=times)
+        assert times.total > 0
+        for phase in ("read", "expand", "convert", "closure", "allocate", "codegen"):
+            assert phase in times.phases
+        assert 0 < times.register_allocation_fraction() < 1
+
+    def test_prelude_optional(self):
+        with pytest.raises(CompilerError, match="unbound"):
+            compile_source("(map car '((1)))", prelude=False)
+        compile_source("(map car '((1)))", prelude=True)
+
+    def test_compile_error_propagates(self):
+        with pytest.raises(CompilerError):
+            compile_source("(nonsense-proc 1)")
+
+    def test_reusable_compiled_program(self):
+        compiled = compile_source("(define (f x) (* x x)) (f 12)")
+        r1 = run_compiled(compiled)
+        r2 = run_compiled(compiled)
+        assert r1.value == r2.value == 144
+        # counters are fresh per run
+        assert r1.counters.instructions == r2.counters.instructions
+
+
+class TestRun:
+    def test_run_source(self):
+        assert run_source("(* 6 7)").value == 42
+
+    def test_run_collects_output(self):
+        r = run_source('(begin (display "hey") 1)')
+        assert r.output == "hey"
+
+    def test_runtime_error_propagates(self):
+        with pytest.raises(SchemeError):
+            run_source("(car 5)")
+
+    def test_expand_source(self):
+        expr = expand_source("(+ 1 2)")
+        from repro.astnodes import PrimCall
+
+        # prelude wraps the program in its definitions
+        assert expr is not None
+
+    def test_max_instructions(self):
+        from repro.vm.machine import VMError
+
+        with pytest.raises(VMError):
+            run_source(
+                "(define (spin) (spin)) (spin)", max_instructions=1000
+            )

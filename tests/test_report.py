@@ -1,0 +1,68 @@
+"""Allocation report tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.config import CompilerConfig
+from repro.pipeline import compile_source
+from repro.report import allocation_report
+
+TAK = """
+(define (tak x y z)
+  (if (not (< y x)) z
+      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+(tak 8 4 2)
+"""
+
+
+class TestReport:
+    def test_report_contents(self):
+        compiled = compile_source(TAK, CompilerConfig(), prelude=False)
+        text = allocation_report(compiled)
+        assert "tak%" in text
+        assert "save region" in text
+        assert "restores" in text
+        assert "tail call" in text
+        assert "home=" in text
+
+    def test_report_shows_shuffle_cycles(self):
+        compiled = compile_source(TAK, CompilerConfig(), prelude=False)
+        text = allocation_report(compiled, proc="tak")
+        assert "cycle=True" in text
+
+    def test_report_single_proc(self):
+        compiled = compile_source(TAK, CompilerConfig(), prelude=False)
+        text = allocation_report(compiled, proc="tak")
+        assert "main%" not in text
+
+    def test_leaf_flags(self):
+        compiled = compile_source(
+            "(define (leaf x) (+ x 1)) (+ 0 (leaf 2))", CompilerConfig(), prelude=False
+        )
+        text = allocation_report(compiled, proc="leaf")
+        assert "syntactic-leaf" in text
+
+    def test_always_calls_flag(self):
+        compiled = compile_source(
+            "(define (g n) n) (define (f x) (+ (g x) 1)) (f 1)",
+            CompilerConfig(),
+            prelude=False,
+        )
+        text = allocation_report(compiled, proc="f")
+        assert "always-calls" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        path = tmp_path / "p.scm"
+        path.write_text(TAK)
+        assert main(["report", str(path), "--proc", "tak"]) == 0
+        out = capsys.readouterr().out
+        assert "save region" in out
+
+    def test_callee_region_rendered(self):
+        compiled = compile_source(
+            TAK,
+            CompilerConfig(save_convention="callee", save_strategy="lazy"),
+            prelude=False,
+        )
+        text = allocation_report(compiled, proc="tak")
+        assert "callee:{" in text

@@ -1,0 +1,91 @@
+"""Activation classifier unit tests (Table 2 machinery)."""
+
+from repro.astnodes import CodeObject, Quote
+from repro.vm.callgraph import CATEGORIES, ActivationClassifier, classify
+
+
+def make_code(name, syntactic_leaf=False, always_calls=False):
+    code = CodeObject(name, [], [], Quote(False))
+    code.syntactic_leaf = syntactic_leaf
+    code.always_calls = always_calls
+    return code
+
+
+class TestClassify:
+    def test_syntactic_leaf(self):
+        assert classify(make_code("f", syntactic_leaf=True), False) == "syntactic-leaf"
+
+    def test_non_syntactic_leaf(self):
+        assert classify(make_code("f"), False) == "non-syntactic-leaf"
+
+    def test_non_syntactic_internal(self):
+        assert classify(make_code("f"), True) == "non-syntactic-internal"
+
+    def test_syntactic_internal(self):
+        assert classify(make_code("f", always_calls=True), True) == "syntactic-internal"
+
+
+class TestShadowStack:
+    def test_call_then_return(self):
+        c = ActivationClassifier()
+        leaf = make_code("leaf", syntactic_leaf=True)
+        c.on_call(leaf)
+        c.on_return()
+        assert c.counts["syntactic-leaf"] == 1
+
+    def test_caller_marked_on_call(self):
+        c = ActivationClassifier()
+        f = make_code("f")
+        g = make_code("g", syntactic_leaf=True)
+        c.on_call(f)
+        c.on_call(g)
+        c.on_return()  # g
+        c.on_return()  # f made a call
+        assert c.counts["non-syntactic-internal"] == 1
+        assert c.counts["syntactic-leaf"] == 1
+
+    def test_tail_call_retires_current(self):
+        c = ActivationClassifier()
+        f = make_code("f")
+        g = make_code("g")
+        c.on_call(f)
+        c.on_tail_call(g)  # f retires without having called
+        c.on_return()
+        assert c.counts["non-syntactic-leaf"] == 2
+
+    def test_tail_call_is_not_a_call(self):
+        c = ActivationClassifier()
+        f = make_code("f")
+        g = make_code("g")
+        c.on_call(f)
+        c.on_tail_call(g)
+        # f was retired as a leaf: the tail call did not set made_call
+        assert c.counts["non-syntactic-leaf"] == 1
+
+    def test_unwind(self):
+        c = ActivationClassifier()
+        for name in "abc":
+            c.on_call(make_code(name))
+        c.unwind_to(1)
+        assert len(c.stack) == 1
+        assert c.total == 2
+
+    def test_finish(self):
+        c = ActivationClassifier()
+        c.on_call(make_code("main"))
+        c.finish()
+        assert c.total == 1
+        assert not c.stack
+
+    def test_fractions_sum_to_one(self):
+        c = ActivationClassifier()
+        c.on_call(make_code("a", syntactic_leaf=True))
+        c.on_return()
+        c.on_call(make_code("b"))
+        c.on_return()
+        assert abs(sum(c.fractions().values()) - 1.0) < 1e-9
+
+    def test_empty_fractions(self):
+        c = ActivationClassifier()
+        assert all(v == 0.0 for v in c.fractions().values())
+        assert c.effective_leaf_fraction == 0.0

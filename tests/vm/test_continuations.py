@@ -1,0 +1,108 @@
+"""Stress tests for first-class continuations in the VM (stack
+copying, in the spirit of the paper's [11] Hieb/Dybvig)."""
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.pipeline import run_source
+from repro.sexp.writer import write_datum
+from tests.conftest import CONFIG_MATRIX, assert_compiles_like_interpreter
+
+
+def run(src, config=None):
+    return run_source(src, config or CompilerConfig(), prelude=False, debug=True)
+
+
+class TestEscape:
+    def test_product_short_circuit(self):
+        src = """
+        (define (product ls k)
+          (cond ((null? ls) 1)
+                ((zero? (car ls)) (k 'zero))
+                (else (* (car ls) (product (cdr ls) k)))))
+        (call/cc (lambda (k) (product '(1 2 3 0 4) k)))
+        """
+        assert write_datum(run(src).value) == "zero"
+
+    def test_deep_escape_unwinds_many_frames(self):
+        src = """
+        (define (dig n k) (if (zero? n) (k 'bottom) (+ 1 (dig (- n 1) k))))
+        (call/cc (lambda (k) (dig 500 k)))
+        """
+        assert write_datum(run(src).value) == "bottom"
+
+    def test_escape_value_threading(self):
+        src = "(+ 1000 (call/cc (lambda (k) (+ 1 (k 337)))))"
+        assert run(src).value == 1337
+
+
+class TestReentry:
+    def test_loop_via_stored_continuation(self):
+        src = """
+        (define k-cell (cons #f #f))
+        (define n-cell (cons 0 #f))
+        (define r (call/cc (lambda (k) (set-car! k-cell k) 0)))
+        (set-car! n-cell (+ (car n-cell) 1))
+        (if (< (car n-cell) 5)
+            ((car k-cell) (+ r 1))
+            (cons r (car n-cell)))
+        """
+        result = run(src)
+        assert write_datum(result.value) == "(4 . 5)"
+
+    def test_generator_style_back_and_forth(self):
+        # continuation captured inside a consumed frame, re-entered
+        src = """
+        (define saved (cons #f #f))
+        (define log (cons '() #f))
+        (define (emit x) (set-car! log (cons x (car log))))
+        (define (producer)
+          (emit (call/cc (lambda (k) (set-car! saved k) 'first)))
+          'done)
+        (producer)
+        (if (< (length (car log)) 3)
+            ((car saved) 'again)
+            (car log))
+        """
+        result = run(src)
+        assert write_datum(result.value) == "(again again first)"
+
+    def test_continuation_survives_frame_reuse(self):
+        # after the captured frame returns, deeper calls reuse its
+        # stack space; re-entry must restore the snapshot
+        src = """
+        (define saved (cons #f #f))
+        (define count (cons 0 #f))
+        (define (capture x) (call/cc (lambda (k) (set-car! saved k) x)))
+        (define (noise n) (if (zero? n) 0 (+ 1 (noise (- n 1)))))
+        (define r (capture 10))
+        (noise 50)
+        (set-car! count (+ (car count) 1))
+        (if (< (car count) 3) ((car saved) (+ r 1)) r)
+        """
+        assert run(src).value == 12
+
+
+class TestAcrossConfigs:
+    SRC = """
+    (define (find-leak ls k)
+      (cond ((null? ls) 'none)
+            ((< (car ls) 0) (k (car ls)))
+            (else (find-leak (cdr ls) k))))
+    (call/cc (lambda (k) (find-leak '(3 1 4 -1 5) k)))
+    """
+
+    @pytest.mark.parametrize("config", CONFIG_MATRIX)
+    def test_matches_interpreter(self, config):
+        assert_compiles_like_interpreter(self.SRC, config, prelude=False)
+
+
+class TestClassifierWithContinuations:
+    def test_abandoned_activations_retired(self):
+        src = """
+        (define (deep n k) (if (zero? n) (k 'out) (+ 1 (deep (- n 1) k))))
+        (call/cc (lambda (k) (deep 10 k)))
+        """
+        result = run(src)
+        # all 11 deep activations + receiver + main retire
+        assert result.classifier.total >= 12

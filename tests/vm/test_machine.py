@@ -1,0 +1,201 @@
+"""VM execution semantics, counters, and the cost model."""
+
+import pytest
+
+from repro.config import CompilerConfig, CostModel
+from repro.pipeline import run_source
+from repro.runtime.values import SchemeError
+from repro.sexp.writer import write_datum
+from repro.vm.machine import VMError
+
+
+def run(src, config=None, **kw):
+    return run_source(src, config or CompilerConfig(), prelude=False, debug=True, **kw)
+
+
+class TestExecution:
+    def test_constant(self):
+        assert run("42").value == 42
+
+    def test_call_and_return(self):
+        assert run("(define (f x) (+ x 1)) (f 41)").value == 42
+
+    def test_deep_recursion_uses_vm_stack(self):
+        # far deeper than Python recursion would allow in the VM
+        src = "(define (count n) (if (zero? n) 0 (+ 1 (count (- n 1))))) (count 20000)"
+        assert run(src).value == 20000
+
+    def test_deep_tail_recursion_constant_space(self):
+        src = "(define (loop n) (if (zero? n) 'done (loop (- n 1)))) (loop 100000)"
+        r = run(src)
+        assert write_datum(r.value) == "done"
+
+    def test_closures_share_environment(self):
+        src = """
+        (define (make-cell v)
+          (cons (lambda (ignored) v) (lambda (x) (set! v x))))
+        (define cell (make-cell 1))
+        ((cdr cell) 99)
+        ((car cell) 0)
+        """
+        assert run(src).value == 99
+
+    def test_output_port(self):
+        r = run('(begin (display "x") (display 7) (newline) 0)')
+        assert r.output == "x7\n"
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemeError, match="expected 1"):
+            run("(define (f x) x) (f 1 2)")
+
+    def test_apply_non_procedure(self):
+        with pytest.raises(SchemeError, match="non-procedure"):
+            run("(5 6)")
+
+    def test_instruction_budget(self):
+        with pytest.raises(VMError, match="budget"):
+            run("(define (loop n) (loop n)) (loop 0)", max_instructions=10_000)
+
+
+class TestContinuations:
+    def test_escape(self):
+        assert run("(call/cc (lambda (k) (+ 1 (k 42))))").value == 42
+
+    def test_unused(self):
+        assert run("(call/cc (lambda (k) 9))").value == 9
+
+    def test_escape_across_frames(self):
+        src = """
+        (define (product ls k)
+          (cond ((null? ls) 1)
+                ((zero? (car ls)) (k 0))
+                (else (* (car ls) (product (cdr ls) k)))))
+        (call/cc (lambda (k) (product '(1 2 0 4) k)))
+        """
+        assert run(src).value == 0
+
+    def test_reinvocable_continuation(self):
+        # full stack-copying continuations: re-enter an exited frame
+        src = """
+        (define saved-k #f)
+        (define count 0)
+        (define r (+ 1 (call/cc (lambda (k) (set! saved-k k) 0))))
+        (set! count (+ count 1))
+        (if (< count 3) (saved-k r) r)
+        """
+        assert run(src).value == 3
+
+    def test_continuation_counters(self):
+        r = run("(call/cc (lambda (k) (k 1)))")
+        assert r.counters.continuations_captured == 1
+        assert r.counters.continuations_invoked == 1
+
+
+class TestCounters:
+    def test_instruction_count_positive(self):
+        r = run("(+ 1 2)")
+        assert r.counters.instructions > 0
+        assert r.counters.cycles >= r.counters.instructions
+
+    def test_stack_refs_zero_for_register_code(self):
+        r = run("(define (f x y) (+ x y)) (f 1 2)")
+        assert r.counters.total_stack_refs == 0
+
+    def test_stack_refs_nonzero_for_baseline(self):
+        r = run("(define (f x y) (+ x y)) (f 1 2)", CompilerConfig.baseline())
+        assert r.counters.total_stack_refs > 0
+
+    def test_save_restore_counted(self):
+        r = run("(define (g n) n) (define (f x) (+ (g x) x)) (f 1)")
+        assert r.counters.saves > 0
+        assert r.counters.restores > 0
+
+    def test_calls_vs_tail_calls(self):
+        r = run(
+            "(define (g n) n)"
+            "(define (f x) (+ (g x) 1))"
+            "(define (loop n) (if (zero? n) 0 (loop (- n 1))))"
+            "(begin (f 1) (loop 5))"
+        )
+        assert r.counters.calls >= 1
+        assert r.counters.tail_calls >= 5
+
+    def test_summary_keys(self):
+        s = run("(+ 1 2)").counters.summary()
+        for key in ("instructions", "cycles", "stack_refs", "calls", "saves", "restores"):
+            assert key in s
+
+
+class TestCostModel:
+    SRC = "(define (g n) n) (define (f x) (+ (g x) x)) (+ 0 (f 1))"
+
+    def test_latency_increases_cycles(self):
+        fast = run(self.SRC, CompilerConfig(cost_model=CostModel(load_latency=1)))
+        slow = run(self.SRC, CompilerConfig(cost_model=CostModel(load_latency=8)))
+        assert slow.counters.cycles > fast.counters.cycles
+        assert slow.counters.instructions == fast.counters.instructions
+
+    def test_eager_restores_hide_latency(self):
+        """§2.2: at high latency, eager restores (issued right after
+        the call) stall less per load than lazy loads at first use."""
+        src = (
+            "(define (g n) n)"
+            "(define (f x) (begin (g 0) (+ x (+ x (+ x (+ x x))))))"
+            "(let loop ((i 0) (acc 0))"
+            "  (if (= i 30) acc (loop (+ i 1) (+ acc (f i)))))"
+        )
+        cost = CostModel(load_latency=10)
+        eager = run_source(
+            src, CompilerConfig(cost_model=cost), prelude=False
+        )
+        lazy = run_source(
+            src,
+            CompilerConfig(restore_strategy="lazy", cost_model=cost),
+            prelude=False,
+        )
+        eager_stall = eager.counters.cycles / eager.counters.instructions
+        lazy_stall = lazy.counters.cycles / lazy.counters.instructions
+        assert eager_stall < lazy_stall
+
+    def test_mispredict_penalty(self):
+        src = (
+            "(define (g n) n)"
+            "(define (f p x) (if p (+ (g x) 1) x))"
+            "(let loop ((i 0) (acc 0))"
+            "  (if (= i 40) acc (loop (+ i 1) (+ acc (f (odd? i) i)))))"
+        )
+        none = run_source(src, CompilerConfig(branch_prediction=None), prelude=False)
+        ft = run_source(
+            src, CompilerConfig(branch_prediction="fallthrough"), prelude=False
+        )
+        assert ft.counters.mispredicts > 0
+        assert ft.counters.cycles > none.counters.cycles
+
+
+class TestClassifier:
+    def test_tak_effective_leaves(self):
+        src = """
+        (define (tak x y z)
+          (if (not (< y x)) z
+              (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+        (tak 8 4 2)
+        """
+        r = run(src)
+        # the paper's observation: most tak activations make no call
+        assert r.classifier.effective_leaf_fraction > 0.5
+
+    def test_syntactic_leaf_classified(self):
+        r = run("(define (leaf x) (+ x 1)) (+ 0 (leaf 1))")
+        assert r.classifier.counts["syntactic-leaf"] >= 1
+
+    def test_syntactic_internal_classified(self):
+        r = run(
+            "(define (g n) n)"
+            "(define (always x) (+ (g x) 1))"
+            "(+ 0 (always 1))"
+        )
+        assert r.classifier.counts["syntactic-internal"] >= 1
+
+    def test_totals_match_activations(self):
+        r = run("(define (f x) (if (zero? x) 0 (+ 1 (f (- x 1))))) (f 5)")
+        assert r.classifier.total >= 6
