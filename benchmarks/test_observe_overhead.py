@@ -1,0 +1,83 @@
+"""Observability must be free when off.
+
+The guard compares the instrumented pipeline (``compile_source``, whose
+every pass is wrapped in a — by default null — tracer span) against a
+bare re-statement of the same passes with no tracer plumbing at all:
+the pre-instrumentation baseline.  If the null tracer ever grows real
+per-pass cost, this fails before a perf PR has to find it the hard way.
+"""
+
+import time
+
+from benchmarks.conftest import print_block
+from repro.backend.codegen import generate_program
+from repro.benchsuite.programs import get_benchmark
+from repro.config import CompilerConfig
+from repro.core.allocator import allocate_program
+from repro.frontend.analyze import check_scopes, mark_tail_calls
+from repro.frontend.assignconvert import assignment_convert
+from repro.frontend.closure import closure_convert
+from repro.frontend.expand import expand_program
+from repro.observe import NULL_TRACER, Tracer
+from repro.pipeline import PRELUDE, compile_source, run_compiled
+from repro.sexp.reader import read_all
+
+
+def _bare_compile(source: str, config: CompilerConfig):
+    """The compile pipeline with zero observability plumbing — the
+    pre-instrumentation baseline."""
+    forms = read_all(PRELUDE + "\n" + source)
+    expr = expand_program(forms)
+    expr = assignment_convert(expr)
+    mark_tail_calls(expr)
+    check_scopes(expr)
+    program = closure_convert(expr)
+    allocation = allocate_program(program, config)
+    return generate_program(program, allocation, config)
+
+
+def _best_of(fn, repeats: int = 7) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_null_tracer_compile_within_noise():
+    source = get_benchmark("tak").source
+    config = CompilerConfig()
+    # Warm caches (imports, reader tables) before timing either side.
+    for _ in range(2):
+        _bare_compile(source, config)
+        compile_source(source, config, tracer=NULL_TRACER)
+
+    bare = _best_of(lambda: _bare_compile(source, config))
+    instrumented = _best_of(
+        lambda: compile_source(source, config, tracer=NULL_TRACER)
+    )
+    ratio = instrumented / bare if bare else 1.0
+    print_block(
+        "observe: null-tracer compile overhead",
+        f"bare         {bare * 1e3:8.3f} ms\n"
+        f"instrumented {instrumented * 1e3:8.3f} ms\n"
+        f"ratio        {ratio:8.3f}x",
+    )
+    # Best-of-N wall clock wobbles; the null spans and the per-pass
+    # CompileTimes bookkeeping must stay within noise (plus a small
+    # absolute floor so sub-millisecond jitter cannot fail the guard).
+    assert instrumented <= bare * 1.30 + 0.002, (
+        f"null-tracer pipeline {ratio:.2f}x slower than bare passes"
+    )
+
+
+def test_null_tracer_vm_counters_identical():
+    source = get_benchmark("tak").source.replace("(tak 18 12 6)", "(tak 12 8 4)")
+    config = CompilerConfig()
+    plain = run_compiled(compile_source(source, config))
+    traced = run_compiled(
+        compile_source(source, config, tracer=Tracer()), profile=True
+    )
+    assert plain.counters.as_dict() == traced.counters.as_dict()
+    assert plain.value == traced.value

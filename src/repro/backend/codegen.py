@@ -60,6 +60,9 @@ class CompiledProgram:
         self.config = config
         self.regfile = allocation.regfile
         self.entry = program.entry
+        # Instructions removed by the peephole pass (set by
+        # generate_program; a per-pass stat for repro.observe).
+        self.peephole_removed = 0
 
     @property
     def codes(self) -> List[CodeObject]:
@@ -74,11 +77,14 @@ def generate_program(
 ) -> CompiledProgram:
     for code in program.codes:
         _CodeGenerator(code, allocation.alloc_for(code), config).generate()
+    removed = 0
     if config.peephole:
         from repro.backend.peephole import peephole_program
 
-        peephole_program(program.codes)
-    return CompiledProgram(program, allocation, config)
+        removed = peephole_program(program.codes)
+    compiled = CompiledProgram(program, allocation, config)
+    compiled.peephole_removed = removed
+    return compiled
 
 
 class _TempSlots:

@@ -64,17 +64,24 @@ def run_benchmark(
     config: Optional[CompilerConfig] = None,
     validate: bool = True,
     debug: bool = False,
+    tracer=None,
+    profile: bool = False,
 ) -> BenchmarkRun:
     """Compile and execute one benchmark, checking its value against
-    the reference interpreter."""
+    the reference interpreter.
+
+    Pass a ``repro.observe.Tracer`` to record per-phase compile spans
+    (and, with ``profile=True``, a per-procedure VM profile on
+    ``run.result.profile``).
+    """
     bench = (
         name_or_bench
         if isinstance(name_or_bench, Benchmark)
         else get_benchmark(name_or_bench)
     )
     config = config or CompilerConfig()
-    compiled = compile_source(bench.source, config)
-    result = run_compiled(compiled, debug=debug)
+    compiled = compile_source(bench.source, config, tracer=tracer)
+    result = run_compiled(compiled, debug=debug, tracer=tracer, profile=profile)
     if validate:
         expect = expected_value(bench)
         got = write_datum(result.value)

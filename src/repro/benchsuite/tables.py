@@ -374,11 +374,26 @@ def compile_time_profile(
     names: Optional[Iterable[str]] = None, repeats: int = 3
 ) -> Dict[str, object]:
     """Fraction of compile time spent in register allocation (the
-    paper reports ~7% for Chez)."""
-    times = CompileTimes()
+    paper reports ~7% for Chez).
+
+    Timings come from the ``repro.observe`` tracer (one span per pass,
+    aggregated over *repeats*); the :class:`CompileTimes` path stays
+    available for callers that pass their own accumulator to
+    :func:`compile_source`.
+    """
+    from repro.observe import Tracer
+
+    tracer = Tracer()
     for _ in range(repeats):
         for name in _names(names):
-            compile_source(get_benchmark(name).source, CompilerConfig(), times=times)
+            compile_source(
+                get_benchmark(name).source, CompilerConfig(), tracer=tracer
+            )
+    phases = tracer.pass_timings()
+    phases.pop("compile", None)  # the parent span double-counts
+    times = CompileTimes()
+    for phase, seconds in phases.items():
+        times.record(phase, seconds)
     return {
         "phases": dict(times.phases),
         "total-seconds": times.total,

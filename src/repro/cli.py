@@ -1,6 +1,8 @@
 """Command-line interface.
 
     python -m repro run program.scm --save-strategy late
+    python -m repro run program.scm --json
+    python -m repro trace program.scm --out trace.json
     python -m repro disasm program.scm --proc tak
     python -m repro expand program.scm
     python -m repro bench tak deriv --baseline
@@ -14,6 +16,7 @@ paper's design space can be explored from the shell.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -27,8 +30,13 @@ from repro.config import (
     SAVE_STRATEGIES,
     SHUFFLE_STRATEGIES,
 )
+from repro.errors import CompilerError
+from repro.observe import Tracer, chrome_trace, metrics_dict, text_profile
 from repro.pipeline import compile_source, expand_source, run_compiled
+from repro.runtime.values import SchemeError
+from repro.sexp.reader import ReaderError
 from repro.sexp.writer import write_datum
+from repro.vm.machine import VMError
 
 
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
@@ -94,11 +102,45 @@ def _read_program(path: str) -> str:
 # ---------------------------------------------------------------------------
 
 
+def _write_out(path: Optional[str], payload: str) -> None:
+    """Write *payload* to *path*, or stdout when path is None/'-'."""
+    if path is None or path == "-":
+        sys.stdout.write(payload)
+        if not payload.endswith("\n"):
+            sys.stdout.write("\n")
+    else:
+        with open(path, "w") as handle:
+            handle.write(payload)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     source = _read_program(args.file)
     config = _config_from(args)
-    compiled = compile_source(source, config, prelude=not args.no_prelude)
-    result = run_compiled(compiled, debug=args.vm_debug)
+    tracing = bool(args.trace or args.json)
+    tracer = Tracer() if tracing else None
+    compiled = compile_source(
+        source, config, prelude=not args.no_prelude, tracer=tracer
+    )
+    result = run_compiled(
+        compiled, debug=args.vm_debug, tracer=tracer, profile=tracing
+    )
+    if args.trace:
+        _write_out(
+            args.trace,
+            json.dumps(
+                chrome_trace(tracer, counters=result.counters, profile=result.profile)
+            ),
+        )
+    if args.json:
+        doc = metrics_dict(
+            counters=result.counters,
+            tracer=tracer,
+            profile=result.profile,
+            value=write_datum(result.value),
+            output=result.output,
+        )
+        print(json.dumps(doc, indent=2))
+        return 0
     if result.output:
         sys.stdout.write(result.output)
         if not result.output.endswith("\n"):
@@ -114,6 +156,47 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"; calls        {c.calls} (+{c.tail_calls} tail)", file=sys.stderr)
         f = result.classifier.effective_leaf_fraction
         print(f"; eff. leaves  {f:.1%}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    source = _read_program(args.file)
+    config = _config_from(args).with_(trace="all")
+    tracer = Tracer()
+    compiled = compile_source(
+        source, config, prelude=not args.no_prelude, tracer=tracer
+    )
+    result = run_compiled(
+        compiled, debug=args.vm_debug, tracer=tracer, profile=True
+    )
+    profile = result.profile if (args.profile or args.format != "chrome") else None
+    if args.format == "chrome":
+        payload = json.dumps(
+            chrome_trace(
+                tracer,
+                counters=result.counters,
+                profile=result.profile if args.profile else None,
+            )
+        )
+    elif args.format == "json":
+        payload = json.dumps(
+            metrics_dict(
+                counters=result.counters,
+                tracer=tracer,
+                profile=profile,
+                value=write_datum(result.value),
+                output=result.output,
+            ),
+            indent=2,
+        )
+    else:
+        payload = text_profile(
+            counters=result.counters, tracer=tracer, profile=profile
+        )
+    _write_out(args.out, payload)
+    print(f"; value {write_datum(result.value)}", file=sys.stderr)
+    if args.out and args.out != "-":
+        print(f"; trace written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -153,23 +236,48 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     names = args.names or sorted(BENCHMARKS)
     config = _config_from(args)
+    tracer = Tracer() if args.trace else None
+    rows = []
     header = (
         f"{'benchmark':16s} {'value':>12s} {'instrs':>11s} {'cycles':>11s} "
         f"{'stack refs':>11s} {'eff-leaf':>9s}"
     )
-    print(header)
-    print("-" * len(header))
+    if not args.json:
+        print(header)
+        print("-" * len(header))
     for name in names:
         if name not in BENCHMARKS:
             print(f"unknown benchmark {name!r}", file=sys.stderr)
             return 1
-        run = run_benchmark(name, config, debug=args.vm_debug)
+        span = tracer.span("bench", benchmark=name) if tracer else None
+        if span:
+            with span:
+                run = run_benchmark(name, config, debug=args.vm_debug, tracer=tracer)
+        else:
+            run = run_benchmark(name, config, debug=args.vm_debug)
         c = run.counters
-        print(
-            f"{name:16s} {run.value_text[:12]:>12s} {c.instructions:>11,} "
-            f"{c.cycles:>11,} {c.total_stack_refs:>11,} "
-            f"{run.classifier.effective_leaf_fraction:>9.1%}"
-        )
+        if args.json:
+            rows.append(
+                {
+                    "benchmark": name,
+                    "value": run.value_text,
+                    "effective_leaf_fraction": (
+                        run.classifier.effective_leaf_fraction
+                    ),
+                    "counters": c.as_dict(),
+                }
+            )
+        else:
+            print(
+                f"{name:16s} {run.value_text[:12]:>12s} {c.instructions:>11,} "
+                f"{c.cycles:>11,} {c.total_stack_refs:>11,} "
+                f"{run.classifier.effective_leaf_fraction:>9.1%}"
+            )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    if tracer is not None:
+        _write_out(args.trace, json.dumps(chrome_trace(tracer)))
+        print(f"; trace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -230,8 +338,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--counters", action="store_true", help="print counters to stderr"
     )
+    p_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print value, counters and per-pass metrics as JSON",
+    )
+    p_run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the compile+run",
+    )
     _add_config_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="compile+run with full tracing and profiling"
+    )
+    p_trace.add_argument("file", help="Scheme source file, or - for stdin")
+    p_trace.add_argument(
+        "--out", metavar="PATH", help="output path (default: stdout)"
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=["chrome", "json", "text"],
+        default="chrome",
+        help="chrome trace_event JSON, flat metrics JSON, or text profile",
+    )
+    p_trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="include the per-procedure profile in chrome output",
+    )
+    _add_config_flags(p_trace)
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_dis = sub.add_parser("disasm", help="show generated code")
     p_dis.add_argument("file")
@@ -252,6 +391,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench", help="run benchmarks")
     p_bench.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    p_bench.add_argument(
+        "--json", action="store_true", help="emit rows as JSON"
+    )
+    p_bench.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace of per-benchmark compile spans",
+    )
     _add_config_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
@@ -275,6 +422,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.fn(args)
     except BrokenPipeError:  # output piped into head etc.
         return 0
+    except ReaderError as exc:
+        print(f"repro: read error: {exc}", file=sys.stderr)
+        return 1
+    except CompilerError as exc:
+        print(f"repro: compile error: {exc}", file=sys.stderr)
+        return 1
+    except SchemeError as exc:
+        print(f"repro: runtime error: {exc}", file=sys.stderr)
+        return 1
+    except VMError as exc:
+        print(f"repro: vm error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ RESTORE_STRATEGIES = ("eager", "lazy")
 SHUFFLE_STRATEGIES = ("greedy", "naive", "spill-all", "optimal", "none")
 SAVE_CONVENTIONS = ("caller", "callee")
 BRANCH_PREDICTION_MODES = (None, "static-calls", "fallthrough")
+TRACE_MODES = ("off", "compile", "vm", "all")
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,11 @@ class CompilerConfig:
         ``None`` — no prediction cost modelling; ``"static-calls"`` —
         the §6 heuristic (call-free paths predicted likely);
         ``"fallthrough"`` — predict not-taken everywhere (baseline).
+    trace:
+        Observability mode (``repro.observe``): ``"off"`` — the no-op
+        null tracer (the default; zero hot-path cost); ``"compile"`` —
+        record per-pass compile spans; ``"vm"`` — per-procedure VM
+        profiles; ``"all"`` — both.
     lambda_lift:
         Enable the §6 future-work pass: known procedures' free
         variables become extra (register) arguments, bounded by
@@ -96,6 +102,7 @@ class CompilerConfig:
     shuffle_strategy: str = "greedy"
     save_convention: str = "caller"
     branch_prediction: Optional[str] = None
+    trace: str = "off"
     cost_model: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -111,6 +118,8 @@ class CompilerConfig:
             raise ValueError(
                 f"unknown branch prediction mode: {self.branch_prediction}"
             )
+        if self.trace not in TRACE_MODES:
+            raise ValueError(f"unknown trace mode: {self.trace}")
         if self.num_arg_regs < 0 or self.num_temp_regs < 0:
             raise ValueError("register counts must be non-negative")
         if self.lambda_lift_max_params < 0:

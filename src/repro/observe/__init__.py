@@ -1,0 +1,37 @@
+"""``repro.observe`` — tracing, metrics, and profiling.
+
+The subsystem the paper's evaluation section implies: spans over every
+compiler pass, per-procedure VM profiles that attribute the Table 3 /
+Figure 2 counters to code objects, and exporters for Chrome
+``trace_event`` JSON, flat metrics JSON, and human-readable text.
+
+The default :data:`NULL_TRACER` is a no-op; hot paths guard on
+``tracer.enabled`` (or ``profiler is None``) so observability costs
+nothing when off.
+"""
+
+from repro.observe.events import Event, Span
+from repro.observe.export import chrome_trace, metrics_dict, text_profile
+from repro.observe.profile import ProcProfile, VMProfiler
+from repro.observe.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceError,
+    Tracer,
+    tracer_for,
+)
+
+__all__ = [
+    "Event",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceError",
+    "tracer_for",
+    "ProcProfile",
+    "VMProfiler",
+    "chrome_trace",
+    "metrics_dict",
+    "text_profile",
+]

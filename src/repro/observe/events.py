@@ -1,0 +1,68 @@
+"""Observability primitives: spans and events.
+
+A :class:`Span` is a named, timed, possibly-nested interval (a compiler
+pass, the VM execution, a benchmark compile).  An :class:`Event` is a
+point-in-time occurrence with a typed payload (a per-procedure profile
+row, a pass statistic).  Both carry timestamps in **nanoseconds since
+the owning tracer's epoch** so exporters can convert losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class Event:
+    """A point-in-time occurrence with an attribute payload."""
+
+    __slots__ = ("name", "ts", "args")
+
+    def __init__(self, name: str, ts: int, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.ts = ts
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"<Event {self.name!r} ts={self.ts} {self.args!r}>"
+
+
+class Span:
+    """A named interval, used as a context manager by the tracer.
+
+    ``start`` is set on ``__enter__``; ``dur`` on ``__exit__`` (both in
+    nanoseconds relative to the tracer epoch).  ``depth`` is the
+    nesting level at entry and ``parent`` the enclosing span's name,
+    so exporters can reconstruct the tree.
+    """
+
+    __slots__ = ("name", "args", "start", "dur", "depth", "parent", "_tracer")
+
+    def __init__(self, tracer, name: str, args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.start: int = 0
+        self.dur: Optional[int] = None
+        self.depth: int = 0
+        self.parent: Optional[str] = None
+
+    @property
+    def dur_s(self) -> float:
+        """Duration in seconds (0.0 while still open)."""
+        return (self.dur or 0) / 1e9
+
+    def set(self, **args: Any) -> "Span":
+        """Attach (or overwrite) attributes on this span."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._exit(self)
+        return False
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name!r} start={self.start} dur={self.dur}>"

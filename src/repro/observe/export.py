@@ -1,0 +1,181 @@
+"""Exporters for trace/metrics/profile data.
+
+Three output shapes:
+
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON object format,
+  loadable in ``chrome://tracing`` and Perfetto.  Spans become complete
+  (``"ph": "X"``) events, point events become instants (``"ph": "i"``),
+  and the per-procedure profile rides along as instant events on a
+  separate "vm profile" thread.
+* :func:`metrics_dict` — a flat JSON-able dict: counters (via
+  ``Counters.as_dict``), per-pass timings and stats, and the optional
+  per-procedure profile table.  This is what ``repro run --json``
+  prints.
+* :func:`text_profile` — a human-readable report: pass timing table,
+  counter summary, and a hot-procedure ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+_PID = 1
+_TID_COMPILE = 1
+_TID_PROFILE = 2
+
+
+def chrome_trace(tracer, counters=None, profile=None) -> Dict[str, Any]:
+    """Chrome ``trace_event`` JSON (the object format, so metadata can
+    ride along in ``otherData``)."""
+    events: List[Dict[str, Any]] = []
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID_COMPILE,
+            "args": {"name": "repro"},
+        }
+    )
+    for span in sorted(tracer.spans, key=lambda s: (s.start, -(s.dur or 0))):
+        events.append(
+            {
+                "name": span.name,
+                "cat": "pass",
+                "ph": "X",
+                "ts": span.start / 1000.0,
+                "dur": (span.dur or 0) / 1000.0,
+                "pid": _PID,
+                "tid": _TID_COMPILE,
+                "args": _jsonable(span.args),
+            }
+        )
+    for event in tracer.events:
+        events.append(
+            {
+                "name": event.name,
+                "cat": "event",
+                "ph": "i",
+                "ts": event.ts / 1000.0,
+                "s": "t",
+                "pid": _PID,
+                "tid": _TID_COMPILE,
+                "args": _jsonable(event.args),
+            }
+        )
+    if profile is not None:
+        end_ts = max(
+            [((s.start + (s.dur or 0)) / 1000.0) for s in tracer.spans],
+            default=0.0,
+        )
+        for row in profile.as_rows():
+            events.append(
+                {
+                    "name": f"proc {row['label']}",
+                    "cat": "vm-profile",
+                    "ph": "i",
+                    "ts": end_ts,
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _TID_PROFILE,
+                    "args": row,
+                }
+            )
+    out: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if counters is not None:
+        out["otherData"] = {"counters": counters.as_dict()}
+    return out
+
+
+def metrics_dict(
+    counters=None,
+    tracer=None,
+    profile=None,
+    value: Optional[str] = None,
+    output: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The flat metrics document: counters + per-pass data + profile."""
+    doc: Dict[str, Any] = {}
+    if value is not None:
+        doc["value"] = value
+    if output:
+        doc["output"] = output
+    if counters is not None:
+        doc["counters"] = counters.as_dict()
+    if tracer is not None and tracer.enabled:
+        passes: Dict[str, Dict[str, Any]] = {}
+        for span in sorted(tracer.spans, key=lambda s: s.start):
+            entry = passes.setdefault(span.name, {"seconds": 0.0})
+            entry["seconds"] += span.dur_s
+            for key, val in span.args.items():
+                entry[key] = _jsonable(val)
+        doc["passes"] = passes
+        if tracer.events:
+            doc["events"] = [
+                {"name": e.name, "ts_us": e.ts / 1000.0, **_jsonable(e.args)}
+                for e in tracer.events
+            ]
+    if profile is not None:
+        doc["procedures"] = profile.as_rows()
+    return doc
+
+
+def text_profile(counters=None, tracer=None, profile=None, top: int = 20) -> str:
+    """Human-readable profile report."""
+    lines: List[str] = []
+    if tracer is not None and tracer.enabled and tracer.spans:
+        lines.append("compiler passes")
+        lines.append("-" * 52)
+        for span in sorted(tracer.spans, key=lambda s: s.start):
+            indent = "  " * span.depth
+            stats = " ".join(
+                f"{k}={v}" for k, v in span.args.items() if not k.endswith("_s")
+            )
+            lines.append(
+                f"  {indent}{span.name:<18s} {span.dur_s * 1e3:9.3f} ms"
+                + (f"  {stats}" if stats else "")
+            )
+        lines.append("")
+    if counters is not None:
+        c = counters.as_dict()
+        lines.append("counters")
+        lines.append("-" * 52)
+        for key in (
+            "instructions",
+            "cycles",
+            "stack_refs",
+            "saves",
+            "restores",
+            "calls",
+            "tail_calls",
+            "moves",
+        ):
+            lines.append(f"  {key:<14s} {c[key]:>14,}")
+        lines.append("")
+    if profile is not None:
+        total_cycles = sum(p.cycles for p in profile.profiles.values()) or 1
+        lines.append(f"hot procedures (top {top}, by attributed cycles)")
+        lines.append("-" * 78)
+        lines.append(
+            f"  {'procedure':<22s} {'cycles':>12s} {'%':>6s} {'instrs':>10s} "
+            f"{'refs':>8s} {'saves':>6s} {'rest.':>6s}"
+        )
+        for prof in profile.hot(top):
+            lines.append(
+                f"  {prof.label[:22]:<22s} {prof.cycles:>12,} "
+                f"{prof.cycles / total_cycles:>6.1%} {prof.instructions:>10,} "
+                f"{prof.total_stack_refs:>8,} {prof.saves:>6,} {prof.restores:>6,}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span/event attribute payloads to JSON-able shapes."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -1,0 +1,150 @@
+"""The tracer: a low-overhead span/event recorder with a no-op default.
+
+Two implementations share the same duck type:
+
+* :class:`Tracer` records spans (``with tracer.span("expand"): ...``)
+  and events (``tracer.event("save", reg=..., proc=...)``) with
+  nanosecond timestamps.
+* :class:`NullTracer` — the module-level :data:`NULL_TRACER` singleton
+  is the default everywhere — short-circuits both methods.  ``span``
+  returns a shared, reusable null context manager and ``event``
+  returns immediately, so instrumented code pays (nearly) nothing when
+  tracing is off.  Hot loops (the VM dispatch path) go one step
+  further and branch on ``tracer.enabled`` / ``profiler is None`` so
+  they make **no** tracer calls at all.
+
+Code that wants to instrument should accept a ``tracer`` parameter
+defaulting to ``None`` and resolve it with :func:`tracer_for` or
+``tracer or NULL_TRACER``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.observe.events import Event, Span
+
+
+class TraceError(Exception):
+    """Raised on malformed span nesting (exiting a span that is not
+    the innermost open one)."""
+
+
+class _NullSpan:
+    """A reusable no-op context manager; one shared instance serves
+    every ``NullTracer.span`` call (no per-call allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+    @property
+    def dur_s(self) -> float:
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: records nothing, allocates nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **args: Any) -> None:
+        return None
+
+    @property
+    def spans(self) -> tuple:
+        return ()
+
+    @property
+    def events(self) -> tuple:
+        return ()
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records spans and events.
+
+    ``clock`` is injectable (a callable returning nanoseconds) so tests
+    can be deterministic; it defaults to :func:`time.perf_counter_ns`.
+    Finished spans are appended to :attr:`spans` in completion order;
+    use :attr:`Span.start` to sort chronologically.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.spans: List[Span] = []
+        self.events: List[Event] = []
+        self._stack: List[Span] = []
+
+    def now(self) -> int:
+        """Nanoseconds since this tracer was created."""
+        return self._clock() - self.epoch
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, **args: Any) -> Span:
+        return Span(self, name, args)
+
+    def event(self, name: str, **args: Any) -> None:
+        self.events.append(Event(name, self.now(), args))
+
+    def _enter(self, span: Span) -> None:
+        span.start = self.now()
+        span.depth = len(self._stack)
+        span.parent = self._stack[-1].name if self._stack else None
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise TraceError(
+                f"span {span.name!r} closed out of order "
+                f"(open: {[s.name for s in self._stack]})"
+            )
+        self._stack.pop()
+        span.dur = self.now() - span.start
+        self.spans.append(span)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def open_spans(self) -> List[str]:
+        return [s.name for s in self._stack]
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def pass_timings(self) -> Dict[str, float]:
+        """Total seconds per span name (aggregated across repeats)."""
+        out: Dict[str, float] = {}
+        for s in self.spans:
+            out[s.name] = out.get(s.name, 0.0) + s.dur_s
+        return out
+
+
+def tracer_for(config) -> "Tracer | NullTracer":
+    """The tracer implied by a :class:`CompilerConfig`: a recording
+    tracer when its ``trace`` knob is anything but ``"off"``."""
+    if getattr(config, "trace", "off") != "off":
+        return Tracer()
+    return NULL_TRACER

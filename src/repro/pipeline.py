@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Optional
 
-from repro.astnodes import Expr, Program
+from repro.astnodes import Expr, Program, count_nodes
 from repro.backend.codegen import CompiledProgram, generate_program
 from repro.config import CompilerConfig
 from repro.core.allocator import ProgramAllocation, allocate_program
@@ -21,6 +21,7 @@ from repro.frontend.analyze import check_scopes, mark_tail_calls
 from repro.frontend.assignconvert import assignment_convert
 from repro.frontend.closure import closure_convert
 from repro.frontend.expand import expand_program
+from repro.observe import NULL_TRACER, VMProfiler, tracer_for
 from repro.sexp.reader import read_all
 from repro.vm.machine import Machine
 
@@ -86,6 +87,9 @@ class ExecutionResult:
         self.compiled = compiled
         self.counters = machine.counters
         self.classifier = machine.classifier
+        # Per-procedure VM profile (repro.observe.VMProfiler) when the
+        # run was profiled, else None.
+        self.profile = machine.profiler
         self.output = machine.output
 
     def __repr__(self) -> str:
@@ -106,58 +110,138 @@ def compile_source(
     config: Optional[CompilerConfig] = None,
     prelude: bool = True,
     times: Optional[CompileTimes] = None,
+    tracer=None,
 ) -> CompiledProgram:
     """Compile *source* under *config* (default: the paper's
-    configuration)."""
+    configuration).
+
+    *tracer* (a :class:`repro.observe.Tracer`) records one span per
+    pass, each carrying per-pass stats; when omitted it is derived from
+    ``config.trace`` (the default ``"off"`` resolves to the zero-cost
+    null tracer).
+    """
     config = config or CompilerConfig()
+    tracer = tracer if tracer is not None else tracer_for(config)
     t = times or CompileTimes()
 
-    t0 = time.perf_counter()
-    text = (PRELUDE + "\n" + source) if prelude else source
-    forms = read_all(text)
-    t.record("read", time.perf_counter() - t0)
-
-    t0 = time.perf_counter()
-    expr = expand_program(forms)
-    t.record("expand", time.perf_counter() - t0)
-
-    t0 = time.perf_counter()
-    expr = assignment_convert(expr)
-    mark_tail_calls(expr)
-    check_scopes(expr)
-    t.record("convert", time.perf_counter() - t0)
-
-    if config.lambda_lift:
-        from repro.frontend.lambdalift import lambda_lift
+    with tracer.span("compile", source_chars=len(source)):
+        t0 = time.perf_counter()
+        with tracer.span("read") as sp:
+            text = (PRELUDE + "\n" + source) if prelude else source
+            forms = read_all(text)
+        t.record("read", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(forms=len(forms))
 
         t0 = time.perf_counter()
-        expr, _lift_report = lambda_lift(
-            expr, max_params=config.lambda_lift_max_params
-        )
-        check_scopes(expr)
-        t.record("lambda-lift", time.perf_counter() - t0)
+        with tracer.span("expand") as sp:
+            expr = expand_program(forms)
+        t.record("expand", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(nodes=count_nodes(expr))
 
-    t0 = time.perf_counter()
-    program = closure_convert(expr)
-    t.record("closure", time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        with tracer.span("convert") as sp:
+            expr = assignment_convert(expr)
+            mark_tail_calls(expr)
+            check_scopes(expr)
+        t.record("convert", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(nodes=count_nodes(expr))
 
-    t0 = time.perf_counter()
-    allocation = allocate_program(program, config)
-    t.record("allocate", time.perf_counter() - t0)
+        if config.lambda_lift:
+            from repro.frontend.lambdalift import lambda_lift
 
-    t0 = time.perf_counter()
-    compiled = generate_program(program, allocation, config)
-    t.record("codegen", time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            with tracer.span("lambda-lift") as sp:
+                expr, lift_report = lambda_lift(
+                    expr, max_params=config.lambda_lift_max_params
+                )
+                check_scopes(expr)
+            t.record("lambda-lift", time.perf_counter() - t0)
+            if tracer.enabled:
+                sp.set(lifted=len(lift_report.lifted))
+
+        t0 = time.perf_counter()
+        with tracer.span("closure") as sp:
+            program = closure_convert(expr)
+        t.record("closure", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(procedures=len(program.codes))
+
+        t0 = time.perf_counter()
+        with tracer.span("allocate") as sp:
+            allocation = allocate_program(program, config)
+        t.record("allocate", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(**_allocation_stats(program, allocation))
+
+        t0 = time.perf_counter()
+        with tracer.span("codegen") as sp:
+            compiled = generate_program(program, allocation, config)
+        t.record("codegen", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(
+                instructions=compiled.total_instructions(),
+                peephole_removed=compiled.peephole_removed,
+            )
     return compiled
+
+
+def _allocation_stats(program: Program, allocation: ProgramAllocation) -> Dict[str, Any]:
+    """Per-pass stats for the ``allocate`` span: registers assigned,
+    shuffle cycles broken, and the allocator's internal sub-pass times."""
+    from repro.astnodes import Call, walk
+
+    registers_assigned = sum(
+        len(alloc.register_vars) for alloc in allocation.by_code.values()
+    )
+    shuffle_plans = shuffle_cycles = shuffle_evictions = 0
+    for code in program.codes:
+        for node in walk(code.body):
+            if isinstance(node, Call) and node.shuffle_plan is not None:
+                shuffle_plans += 1
+                if node.shuffle_plan.had_cycle:
+                    shuffle_cycles += 1
+                shuffle_evictions += node.shuffle_plan.evictions
+    stats: Dict[str, Any] = {
+        "registers_assigned": registers_assigned,
+        "shuffle_plans": shuffle_plans,
+        "shuffle_cycles_broken": shuffle_cycles,
+        "shuffle_evictions": shuffle_evictions,
+    }
+    for name, seconds in allocation.pass_times.items():
+        stats[f"{name}_s"] = seconds
+    return stats
 
 
 def run_compiled(
     compiled: CompiledProgram,
     debug: bool = False,
     max_instructions: Optional[int] = None,
+    tracer=None,
+    profile: bool = False,
 ) -> ExecutionResult:
-    machine = Machine(compiled, debug=debug, max_instructions=max_instructions)
-    value = machine.run()
+    """Execute a compiled program.
+
+    With ``profile=True`` the machine carries a
+    :class:`repro.observe.VMProfiler` whose per-procedure table lands
+    on ``ExecutionResult.profile``; *tracer* (if recording) wraps the
+    run in an ``execute`` span.
+    """
+    tracer = tracer or NULL_TRACER
+    profiler = VMProfiler() if profile else None
+    machine = Machine(
+        compiled,
+        debug=debug,
+        max_instructions=max_instructions,
+        profiler=profiler,
+    )
+    with tracer.span("execute") as sp:
+        value = machine.run()
+    if tracer.enabled:
+        c = machine.counters
+        sp.set(instructions=c.instructions, cycles=c.cycles)
     return ExecutionResult(value, machine, compiled)
 
 
@@ -167,7 +251,18 @@ def run_source(
     prelude: bool = True,
     debug: bool = False,
     max_instructions: Optional[int] = None,
+    tracer=None,
+    profile: bool = False,
 ) -> ExecutionResult:
     """Compile and execute *source*; the one-call public entry point."""
-    compiled = compile_source(source, config, prelude=prelude)
-    return run_compiled(compiled, debug=debug, max_instructions=max_instructions)
+    config = config or CompilerConfig()
+    tracer = tracer if tracer is not None else tracer_for(config)
+    profile = profile or config.trace in ("vm", "all")
+    compiled = compile_source(source, config, prelude=prelude, tracer=tracer)
+    return run_compiled(
+        compiled,
+        debug=debug,
+        max_instructions=max_instructions,
+        tracer=tracer,
+        profile=profile,
+    )

@@ -23,6 +23,7 @@ class Counters:
         "closure_allocs",
         "branches",
         "mispredicts",
+        "moves",
         "continuations_captured",
         "continuations_invoked",
     )
@@ -38,6 +39,7 @@ class Counters:
         self.closure_allocs = 0
         self.branches = 0
         self.mispredicts = 0
+        self.moves = 0
         self.continuations_captured = 0
         self.continuations_invoked = 0
 
@@ -58,6 +60,32 @@ class Counters:
     @property
     def restores(self) -> int:
         return self.stack_reads.get("restore", 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Every counter under stable keys (per-kind breakdowns sorted),
+        for the metrics exporter and ``repro run --json``."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "stack_refs": self.total_stack_refs,
+            "stack_reads": {
+                k: self.stack_reads[k] for k in sorted(self.stack_reads)
+            },
+            "stack_writes": {
+                k: self.stack_writes[k] for k in sorted(self.stack_writes)
+            },
+            "saves": self.saves,
+            "restores": self.restores,
+            "calls": self.calls,
+            "tail_calls": self.tail_calls,
+            "prim_calls": self.prim_calls,
+            "closure_allocs": self.closure_allocs,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "moves": self.moves,
+            "continuations_captured": self.continuations_captured,
+            "continuations_invoked": self.continuations_invoked,
+        }
 
     def summary(self) -> Dict[str, object]:
         return {

@@ -81,6 +81,7 @@ class Machine:
         compiled: CompiledProgram,
         debug: bool = False,
         max_instructions: Optional[int] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self.compiled = compiled
         self.config = compiled.config
@@ -89,6 +90,11 @@ class Machine:
         self.max_instructions = max_instructions
         self.counters = Counters()
         self.classifier = ActivationClassifier()
+        # Optional repro.observe.VMProfiler; the dispatch loop only
+        # touches it at procedure boundaries, behind an is-None guard.
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.counters = self.counters
         self.port = OutputPort()
         self.result: Any = None
 
@@ -120,6 +126,7 @@ class Machine:
         penalty = cm.branch_mispredict_penalty
         counters = self.counters
         classifier = self.classifier
+        prof = self.profiler
         port = self.port
         prims = PRIMITIVES
         debug = self.debug
@@ -143,6 +150,8 @@ class Machine:
         sp = 0
         self._ensure = None  # appease linters; capacity handled inline
         classifier.on_call(code)
+        if prof is not None:
+            prof.start(code)
 
         def ensure_capacity(limit: int) -> None:
             nonlocal stack
@@ -186,6 +195,7 @@ class Machine:
                 dst = instr[1]
                 regs[dst] = regs[src]
                 ready[dst] = cycle
+                counters.moves += 1
             elif op == "li":
                 dst = instr[1]
                 regs[dst] = instr[2]
@@ -272,6 +282,8 @@ class Machine:
                             stack[new_sp + i] = POISON
                     sp = new_sp
                     classifier.on_call(target)
+                    if prof is not None:
+                        prof.switch(target, cycle, executed)
                     code = target
                     instrs = code.instructions
                     pc = 0
@@ -289,6 +301,8 @@ class Machine:
                     sp = callee.sp
                     regs[RV] = value
                     ready[RV] = cycle
+                    if prof is not None:
+                        prof.resume(callee.code, cycle, executed)
                     code = callee.code
                     instrs = code.instructions
                     pc = callee.pc
@@ -311,6 +325,8 @@ class Machine:
                         for i in range(incoming, target.frame_size):
                             stack[sp + i] = POISON
                     classifier.on_tail_call(target)
+                    if prof is not None:
+                        prof.switch(target, cycle, executed)
                     code = target
                     instrs = code.instructions
                     pc = 0
@@ -328,6 +344,8 @@ class Machine:
                     sp = callee.sp
                     regs[RV] = value
                     ready[RV] = cycle
+                    if prof is not None:
+                        prof.resume(callee.code, cycle, executed)
                     code = callee.code
                     instrs = code.instructions
                     pc = callee.pc
@@ -363,6 +381,8 @@ class Machine:
                     counters.count_write("arg")
                 sp = new_sp
                 classifier.on_call(target)
+                if prof is not None:
+                    prof.switch(target, cycle, executed)
                 code = target
                 instrs = code.instructions
                 pc = 0
@@ -375,6 +395,8 @@ class Machine:
                 ret_code, ret_pc = addr
                 sp -= ret_code.frame_size
                 classifier.on_return()
+                if prof is not None:
+                    prof.resume(ret_code, cycle, executed)
                 code = ret_code
                 instrs = code.instructions
                 pc = ret_pc
@@ -414,6 +436,8 @@ class Machine:
 
         counters.instructions = executed
         counters.cycles = cycle
+        if prof is not None:
+            prof.finish(cycle, executed)
         return self.result
 
     @property

@@ -1,0 +1,108 @@
+"""Exporters: Chrome trace_event JSON round-trip, metrics JSON shape,
+and the text profile (golden-ish checks on a tiny program)."""
+
+import json
+
+from repro.config import CompilerConfig
+from repro.observe import Tracer, chrome_trace, metrics_dict, text_profile
+from repro.pipeline import compile_source, run_compiled
+
+TINY = "(define (double x) (+ x x)) (double 21)"
+
+# Every pass the pipeline must wrap in a span, in order.
+PIPELINE_PASSES = ["read", "expand", "convert", "closure", "allocate", "codegen"]
+
+
+def traced_run(source=TINY, config=None, profile=True):
+    tracer = Tracer()
+    compiled = compile_source(source, config or CompilerConfig(), tracer=tracer)
+    result = run_compiled(compiled, tracer=tracer, profile=profile)
+    return tracer, result
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self):
+        tracer, result = traced_run()
+        doc = chrome_trace(tracer, counters=result.counters, profile=result.profile)
+        back = json.loads(json.dumps(doc))
+        assert back["traceEvents"]
+
+    def test_complete_events_have_valid_fields(self):
+        tracer, result = traced_run()
+        doc = json.loads(
+            json.dumps(
+                chrome_trace(tracer, counters=result.counters, profile=result.profile)
+            )
+        )
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        for event in spans:
+            assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+            assert event["pid"] == 1 and isinstance(event["tid"], int)
+
+    def test_one_span_per_compiler_pass(self):
+        tracer, result = traced_run()
+        doc = chrome_trace(tracer)
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        for name in PIPELINE_PASSES:
+            assert names.count(name) == 1, name
+        assert "execute" in names
+
+    def test_profile_rows_ride_as_instants(self):
+        tracer, result = traced_run()
+        doc = chrome_trace(tracer, profile=result.profile)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert any(e["cat"] == "vm-profile" for e in instants)
+        for event in instants:
+            assert event["s"] == "t"
+
+    def test_counters_in_other_data(self):
+        tracer, result = traced_run()
+        doc = chrome_trace(tracer, counters=result.counters)
+        assert doc["otherData"]["counters"] == result.counters.as_dict()
+
+
+class TestMetricsDict:
+    def test_shape(self):
+        tracer, result = traced_run()
+        doc = metrics_dict(
+            counters=result.counters,
+            tracer=tracer,
+            profile=result.profile,
+            value="42",
+        )
+        doc = json.loads(json.dumps(doc))
+        assert doc["value"] == "42"
+        assert doc["counters"]["instructions"] == result.counters.instructions
+        for name in PIPELINE_PASSES:
+            assert doc["passes"][name]["seconds"] >= 0
+        assert doc["passes"]["allocate"]["registers_assigned"] > 0
+        assert doc["procedures"]
+        assert "cycles" in doc["procedures"][0]
+
+    def test_uses_counters_as_dict(self):
+        tracer, result = traced_run()
+        doc = metrics_dict(counters=result.counters)
+        assert doc["counters"] == result.counters.as_dict()
+
+    def test_null_tracer_omits_passes(self):
+        from repro.observe import NULL_TRACER
+
+        _, result = traced_run(profile=False)
+        doc = metrics_dict(counters=result.counters, tracer=NULL_TRACER)
+        assert "passes" not in doc
+
+
+class TestTextProfile:
+    def test_sections_present(self):
+        tracer, result = traced_run()
+        text = text_profile(
+            counters=result.counters, tracer=tracer, profile=result.profile
+        )
+        assert "compiler passes" in text
+        assert "counters" in text
+        assert "hot procedures" in text
+        for name in PIPELINE_PASSES:
+            assert name in text
+        assert "double" in text

@@ -1,0 +1,122 @@
+"""Per-procedure VM profiles: conservation, ranking, and the
+no-profiling differential (counters bit-identical with profiling off).
+"""
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.pipeline import compile_source, run_compiled, run_source
+
+TAK = (
+    "(define (tak x y z)\n"
+    "  (if (not (< y x)) z\n"
+    "      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))\n"
+    "(tak 8 4 2)\n"
+)
+
+CTAK = """
+(define (ctak x y z) (call/cc (lambda (k) (ctak-aux k x y z))))
+(define (ctak-aux k x y z)
+  (if (not (< y x)) (k z)
+      (ctak-aux k
+        (call/cc (lambda (k) (ctak-aux k (- x 1) y z)))
+        (call/cc (lambda (k) (ctak-aux k (- y 1) z x)))
+        (call/cc (lambda (k) (ctak-aux k (- z 1) x y))))))
+(ctak 6 4 2)
+"""
+
+
+def assert_conserved(result):
+    """Profile totals must equal the run's counters *exactly*."""
+    c = result.counters
+    totals = result.profile.totals()
+    assert totals["cycles"] == c.cycles
+    assert totals["instructions"] == c.instructions
+    assert totals["stack_reads"] == c.stack_reads
+    assert totals["stack_writes"] == c.stack_writes
+    assert totals["calls"] == c.calls
+    assert totals["tail_calls"] == c.tail_calls
+    assert totals["prim_calls"] == c.prim_calls
+    assert totals["moves"] == c.moves
+    assert totals["branches"] == c.branches
+    assert totals["mispredicts"] == c.mispredicts
+    assert totals["closure_allocs"] == c.closure_allocs
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        CompilerConfig(),
+        CompilerConfig.baseline(),
+        CompilerConfig(save_convention="callee"),
+        CompilerConfig(restore_strategy="lazy"),
+        CompilerConfig(branch_prediction="static-calls"),
+    ],
+    ids=["paper", "baseline", "callee", "lazy-restore", "predicted"],
+)
+def test_conservation_tak(config):
+    result = run_source(TAK, config, profile=True)
+    assert result.value == 3
+    assert_conserved(result)
+
+
+def test_conservation_with_continuations():
+    result = run_source(CTAK, CompilerConfig(), profile=True)
+    assert result.value == 3
+    assert_conserved(result)
+
+
+def test_profile_attributes_to_procedures():
+    result = run_source(TAK, CompilerConfig(), profile=True)
+    by_name = {p.name: p for p in result.profile.profiles.values()}
+    assert "tak" in by_name
+    tak = by_name["tak"]
+    # tak does essentially all the work in this program.
+    assert tak.cycles > 0.9 * result.counters.cycles
+    assert tak.saves == result.counters.saves
+    assert tak.restores == result.counters.restores
+    # Every call and tail call in this program targets tak.
+    assert tak.activations == result.counters.calls + result.counters.tail_calls
+
+
+def test_hot_ranking_sorted_and_bounded():
+    result = run_source(TAK, CompilerConfig(), profile=True)
+    ranked = result.profile.hot()
+    cycles = [p.cycles for p in ranked]
+    assert cycles == sorted(cycles, reverse=True)
+    assert result.profile.hot(1) == ranked[:1]
+
+
+def test_counters_bit_identical_without_profiling():
+    plain = run_source(TAK, CompilerConfig())
+    profiled = run_source(TAK, CompilerConfig(), profile=True)
+    assert plain.profile is None
+    assert profiled.profile is not None
+    assert plain.counters.as_dict() == profiled.counters.as_dict()
+    assert plain.value == profiled.value
+
+
+def test_counters_as_dict_stable_keys():
+    result = run_source(TAK, CompilerConfig())
+    d = result.counters.as_dict()
+    assert list(d["stack_reads"]) == sorted(d["stack_reads"])
+    assert list(d["stack_writes"]) == sorted(d["stack_writes"])
+    assert d["stack_refs"] == sum(d["stack_reads"].values()) + sum(
+        d["stack_writes"].values()
+    )
+    assert d["saves"] == d["stack_writes"].get("save", 0)
+    assert d["restores"] == d["stack_reads"].get("restore", 0)
+    for key in ("instructions", "cycles", "moves", "calls", "tail_calls"):
+        assert isinstance(d[key], int)
+
+
+def test_profiler_with_run_compiled():
+    compiled = compile_source(TAK, CompilerConfig())
+    result = run_compiled(compiled, profile=True)
+    assert_conserved(result)
+    rows = result.profile.as_rows()
+    assert rows and rows[0]["cycles"] >= rows[-1]["cycles"]
+    for row in rows:
+        assert row["stack_refs"] == sum(row["stack_reads"].values()) + sum(
+            row["stack_writes"].values()
+        )

@@ -1,0 +1,85 @@
+"""End-to-end acceptance: ``repro trace`` on a Gabriel benchmark
+produces a Chrome-loadable trace with one span per compiler pass and a
+per-procedure profile that conserves the run's counters exactly."""
+
+import json
+
+import pytest
+
+from repro.benchsuite.runner import run_benchmark
+from repro.cli import main
+from repro.config import CompilerConfig
+from repro.observe import Tracer
+
+PIPELINE_PASSES = ["read", "expand", "convert", "closure", "allocate", "codegen"]
+
+
+@pytest.fixture
+def tak_file(tmp_path):
+    # The Gabriel tak benchmark, scaled down so the suite stays fast.
+    path = tmp_path / "tak.scm"
+    path.write_text(
+        "(define (tak x y z)\n"
+        "  (if (not (< y x)) z\n"
+        "      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))\n"
+        "(tak 12 8 4)\n"
+    )
+    return str(path)
+
+
+def test_trace_cli_chrome_output(tak_file, tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", tak_file, "--out", str(out), "--profile"]) == 0
+    err = capsys.readouterr().err
+    assert "; value 5" in err
+
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    names = [e["name"] for e in spans]
+    for name in PIPELINE_PASSES:
+        assert names.count(name) == 1, f"expected exactly one {name!r} span"
+    assert "execute" in names
+    for event in spans:
+        assert isinstance(event["ts"], (int, float))
+        assert isinstance(event["dur"], (int, float))
+
+    # Per-procedure rows ride along; their totals must conserve the
+    # counters recorded in otherData.
+    rows = [e["args"] for e in events if e.get("cat") == "vm-profile"]
+    assert rows
+    counters = doc["otherData"]["counters"]
+    assert sum(r["cycles"] for r in rows) == counters["cycles"]
+    assert sum(r["instructions"] for r in rows) == counters["instructions"]
+    assert sum(r["stack_refs"] for r in rows) == counters["stack_refs"]
+    assert sum(r["saves"] for r in rows) == counters["saves"]
+    assert sum(r["restores"] for r in rows) == counters["restores"]
+
+
+def test_trace_cli_text_output(tak_file, capsys):
+    assert main(["trace", tak_file, "--format", "text"]) == 0
+    out = capsys.readouterr().out
+    assert "compiler passes" in out
+    assert "hot procedures" in out
+    assert "tak" in out
+
+
+def test_trace_cli_json_output(tak_file, capsys):
+    assert main(["trace", tak_file, "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["value"] == "5"
+    assert set(PIPELINE_PASSES) <= set(doc["passes"])
+    totals = doc["counters"]
+    assert sum(p["cycles"] for p in doc["procedures"]) == totals["cycles"]
+
+
+def test_run_benchmark_with_tracer_and_profile():
+    # The benchsuite path: the real Gabriel tak under full observation.
+    tracer = Tracer()
+    run = run_benchmark("tak", CompilerConfig(), tracer=tracer, profile=True)
+    assert set(PIPELINE_PASSES) <= set(tracer.pass_timings())
+    totals = run.result.profile.totals()
+    assert totals["cycles"] == run.counters.cycles
+    assert totals["instructions"] == run.counters.instructions
+    assert totals["stack_reads"] == run.counters.stack_reads
+    assert totals["stack_writes"] == run.counters.stack_writes

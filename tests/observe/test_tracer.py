@@ -1,0 +1,118 @@
+"""Tracer semantics: span nesting, event payloads, null-tracer cost."""
+
+import gc
+import sys
+
+import pytest
+
+from repro.observe import NULL_TRACER, TraceError, Tracer
+from repro.observe.tracer import _NULL_SPAN
+
+
+class FakeClock:
+    """A deterministic nanosecond clock advancing 10µs per reading."""
+
+    def __init__(self) -> None:
+        self.t = 0
+
+    def __call__(self) -> int:
+        self.t += 10_000
+        return self.t
+
+
+class TestTracer:
+    def test_span_records_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("expand"):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "expand"
+        assert span.dur is not None and span.dur > 0
+        assert span.dur_s == span.dur / 1e9
+
+    def test_span_nesting_well_formed(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("compile"):
+            with tracer.span("expand"):
+                pass
+            with tracer.span("allocate"):
+                with tracer.span("liveness"):
+                    pass
+        names = [s.name for s in tracer.spans]
+        # Completion order: children before parents.
+        assert names == ["expand", "liveness", "allocate", "compile"]
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["compile"].depth == 0 and by_name["compile"].parent is None
+        assert by_name["expand"].parent == "compile" and by_name["expand"].depth == 1
+        assert by_name["liveness"].parent == "allocate"
+        assert by_name["liveness"].depth == 2
+        assert tracer.open_spans == []
+        # Children are contained within their parent's interval.
+        parent, child = by_name["compile"], by_name["expand"]
+        assert parent.start <= child.start
+        assert child.start + child.dur <= parent.start + parent.dur
+
+    def test_out_of_order_exit_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(TraceError):
+            outer.__exit__(None, None, None)
+
+    def test_events_carry_typed_payloads(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.event("save", reg="t0", proc="tak", pc=12)
+        (event,) = tracer.events
+        assert event.name == "save"
+        assert event.args == {"reg": "t0", "proc": "tak", "pc": 12}
+        assert event.ts > 0
+
+    def test_span_set_attaches_stats(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("allocate") as sp:
+            sp.set(registers_assigned=50)
+        assert tracer.spans[0].args == {"registers_assigned": 50}
+
+    def test_pass_timings_aggregates_repeats(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("expand"):
+                pass
+        timings = tracer.pass_timings()
+        assert set(timings) == {"expand"}
+        assert timings["expand"] > 0
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.events == ()
+
+    def test_span_is_shared_singleton(self):
+        # No per-call allocation: every span() call returns the one
+        # module-level null span.
+        a = NULL_TRACER.span("x", attr=1)
+        b = NULL_TRACER.span("y")
+        assert a is b is _NULL_SPAN
+        with a as sp:
+            assert sp.set(anything=2) is sp
+        assert sp.dur_s == 0.0
+
+    def test_event_short_circuits(self):
+        assert NULL_TRACER.event("save") is None
+        assert NULL_TRACER.events == ()
+
+    def test_event_zero_net_allocation(self):
+        # The VM dispatch path relies on the null tracer being free:
+        # hammering event() must not grow the heap.
+        for _ in range(100):  # warm up any caches
+            NULL_TRACER.event("save")
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            NULL_TRACER.event("save")
+        after = sys.getallocatedblocks()
+        assert after - before <= 4

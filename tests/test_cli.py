@@ -1,5 +1,7 @@
 """CLI tests (invoked in-process via repro.cli.main)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -55,6 +57,70 @@ class TestRun:
         main(["run", "-"])
         assert capsys.readouterr().out.strip() == "42"
 
+    def test_run_json(self, tak_file, capsys):
+        assert main(["run", tak_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["value"] == "3"
+        counters = doc["counters"]
+        assert counters["instructions"] > 0
+        assert counters["stack_refs"] == sum(
+            counters["stack_reads"].values()
+        ) + sum(counters["stack_writes"].values())
+        # --json also carries the per-pass and per-procedure data.
+        assert "allocate" in doc["passes"]
+        assert doc["procedures"]
+
+    def test_run_trace_file(self, tak_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["run", tak_file, "--trace", str(trace)]) == 0
+        assert capsys.readouterr().out.strip().endswith("3")
+        doc = json.loads(trace.read_text())
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert "allocate" in names and "execute" in names
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["run", "/no/such/file.scm"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "Traceback" not in err
+
+    def test_reader_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.scm"
+        path.write_text("(foo")
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: read error:")
+        assert "Traceback" not in err
+
+    def test_compile_error(self, tmp_path, capsys):
+        path = tmp_path / "unbound.scm"
+        path.write_text("(this-is-unbound 1)")
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: compile error:")
+        assert "unbound" in err
+
+    def test_runtime_error(self, tmp_path, capsys):
+        path = tmp_path / "rt.scm"
+        path.write_text("(car 1)")
+        assert main(["run", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: runtime error:")
+
+    def test_disasm_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.scm"
+        path.write_text("(")
+        assert main(["disasm", str(path)]) == 1
+        assert "repro: read error" in capsys.readouterr().err
+
+    def test_report_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.scm"
+        path.write_text("(set! nope 1)")
+        assert main(["report", str(path)]) == 1
+        assert "repro:" in capsys.readouterr().err
+
 
 class TestDisasm:
     def test_disasm_whole_program(self, tak_file, capsys):
@@ -90,6 +156,19 @@ class TestBenchAndTables:
 
     def test_bench_unknown(self, capsys):
         assert main(["bench", "nope"]) == 1
+
+    def test_bench_json(self, capsys):
+        assert main(["bench", "tak", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["benchmark"] == "tak"
+        assert rows[0]["counters"]["cycles"] > 0
+
+    def test_bench_trace(self, tmp_path, capsys):
+        trace = tmp_path / "bench-trace.json"
+        assert main(["bench", "tak", "--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert "bench" in names and "allocate" in names
 
     def test_table2_subset(self, capsys):
         assert main(["table", "2", "--names", "tak"]) == 0
