@@ -26,7 +26,7 @@ order chosen by the greedy shuffler.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence
 
 
 class Var:
@@ -364,6 +364,67 @@ def walk(expr: Expr) -> List[Expr]:
 
 def count_nodes(expr: Expr) -> int:
     return len(walk(expr))
+
+
+def copy_expr(expr: Expr) -> Expr:
+    """A fresh, annotation-free copy of a post-expansion expression.
+
+    Later passes hang state off the tree in place (``Var.location``,
+    ``Call.shuffle_plan``, tail marks), so one expanded tree cannot be
+    compiled under two configurations.  ``copy_expr`` gives each
+    compilation its own tree: every ``Var`` is re-created (the
+    pre-conversion ``assigned`` flag is preserved; analysis results are
+    not) and every reference is rewired to the copy.  Quoted constants
+    are shared, not copied — the callers that need this (the fuzzing
+    oracle) only quote immutable data.
+
+    Only the node types that exist before closure conversion are
+    supported; ``MakeClosure``/``ClosureRef``/``Save`` raise
+    ``TypeError``.
+    """
+    vars_map: Dict[Var, Var] = {}
+
+    def copy_var(var: Var) -> Var:
+        new = vars_map.get(var)
+        if new is None:
+            new = Var(var.name)
+            new.assigned = var.assigned
+            vars_map[var] = new
+        return new
+
+    def go(node: Expr) -> Expr:
+        if isinstance(node, Quote):
+            return Quote(node.value)
+        if isinstance(node, Ref):
+            return Ref(copy_var(node.var))
+        if isinstance(node, PrimCall):
+            return PrimCall(node.op, [go(a) for a in node.args])
+        if isinstance(node, If):
+            return If(go(node.test), go(node.then), go(node.otherwise))
+        if isinstance(node, Seq):
+            return Seq([go(e) for e in node.exprs])
+        if isinstance(node, Let):
+            rhs = go(node.rhs)
+            return Let(copy_var(node.var), rhs, go(node.body))
+        if isinstance(node, Lambda):
+            params = [copy_var(p) for p in node.params]
+            return Lambda(params, go(node.body), node.name)
+        if isinstance(node, Fix):
+            fixvars = [copy_var(v) for v in node.vars]
+            lambdas = [go(lam) for lam in node.lambdas]
+            return Fix(fixvars, lambdas, go(node.body))
+        if isinstance(node, CallCC):
+            return CallCC(go(node.fn), [], node.tail)
+        if isinstance(node, Call):
+            return Call(go(node.fn), [go(a) for a in node.args], node.tail)
+        if isinstance(node, SetBang):
+            return SetBang(copy_var(node.var), go(node.value))
+        raise TypeError(
+            f"copy_expr: {type(node).__name__} only exists after closure "
+            "conversion; copy the pre-conversion tree instead"
+        )
+
+    return go(expr)
 
 
 # ---------------------------------------------------------------------------

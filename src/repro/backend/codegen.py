@@ -41,7 +41,7 @@ from repro.config import CompilerConfig
 from repro.core.allocator import ProgramAllocation
 from repro.core.liveness import CodeAllocation
 from repro.core.locations import FrameSlot
-from repro.core.registers import Register, RegisterFile
+from repro.core.registers import Register
 from repro.core.shuffle import ShuffleItem, ShufflePlan, contains_call
 from repro.errors import CompilerError
 
@@ -146,6 +146,10 @@ class _CodeGenerator:
         # rv is deliberately NOT pooled: it is the emergency conduit
         # register every transient use can fall back on (its value is
         # always consumed by the immediately following instruction).
+        # Callee-save registers never enter the pool: save placement
+        # only wraps callee regions around *variable* homes, so a
+        # scratch write to one would silently clobber a caller's
+        # variable that the callee convention promises to preserve.
         pool = [
             r
             for r in (
@@ -153,7 +157,7 @@ class _CodeGenerator:
                 *self.regfile.temp_regs,
                 *self.regfile.arg_regs,
             )
-            if r not in owned
+            if r not in owned and not r.callee_save
         ]
         self.scratch = _Scratch(pool)
         self.reserved: Set[Register] = set()
@@ -227,8 +231,19 @@ class _CodeGenerator:
             self.gen_into(expr.body, dst)
         elif isinstance(expr, Save):
             self.gen_save_entry(expr, tail=False)
-            self.gen_into(expr.body, dst)
-            self.gen_save_exit(expr, tail=False)
+            if self.lazy_restores and self._save_exit_may_reload(expr, dst):
+                # The Figure 2c region-exit flush may reload a variable
+                # whose register is *dst* — it must not clobber the
+                # region's value, so the value waits in rv until the
+                # flush has run.
+                rv = self.regfile.rv
+                self.gen_into(expr.body, rv)
+                self.gen_save_exit(expr, tail=False)
+                if dst is not rv:
+                    self.emit("mov", dst.index, rv.index)
+            else:
+                self.gen_into(expr.body, dst)
+                self.gen_save_exit(expr, tail=False)
         elif isinstance(expr, Fix):
             self.gen_fix_bindings(expr)
             self.gen_into(expr.body, dst)
@@ -499,6 +514,11 @@ class _CodeGenerator:
                 region.append((reg, slot))
             self.active_callee.append(region)
 
+    def _save_exit_may_reload(self, save: Save, dst: Register) -> bool:
+        """Whether the lazy region-exit flush for *save* could write
+        *dst* (a variable referenced beyond the region lives there)."""
+        return any(var.location is dst for var in save.refs_after or ())
+
     def gen_save_exit(self, save: Save, tail: bool) -> None:
         if save.callee_regs:
             self.active_callee.pop()
@@ -517,9 +537,15 @@ class _CodeGenerator:
         call_positions = [i for i, a in enumerate(args) if contains_call(a)]
         last_call = call_positions[-1] if call_positions else -1
         # dst may serve as an evaluation conduit unless some sibling
-        # argument reads the variable living in dst.
+        # argument reads the variable living in dst — anywhere inside
+        # it, not just at the top: a nested operand's reference is just
+        # as clobbered by a conduit write.
+        from repro.core.liveness import _referenced_vars
+
         dst_conduit_ok = not any(
-            isinstance(a, Ref) and a.var.location is dst for a in args
+            var.location is dst
+            for a in args
+            for var in _referenced_vars(a, self.alloc)
         )
 
         staged: List[Tuple[str, Any]] = []
@@ -550,11 +576,15 @@ class _CodeGenerator:
                 # depth is unbounded.
                 reg = self.scratch.acquire(self.reserved, keep_free=2)
                 if reg is None and not dst_conduit_ok:
-                    reg = self._acquire_scratch()  # last resort
+                    reg = self.scratch.acquire(self.reserved)  # last resort
                 if reg is None:
-                    self.gen_into(arg, dst)
+                    # rv is the conduit of last resort: produce-then-
+                    # consume (the store follows immediately), and no
+                    # variable ever lives there.
+                    conduit = dst if dst_conduit_ok else self.regfile.rv
+                    self.gen_into(arg, conduit)
                     slot = self.temp_slots.acquire()
-                    self.emit("st", slot.index, dst.index, "temp")
+                    self.emit("st", slot.index, conduit.index, "temp")
                     staged.append(("slot", slot))
                     slots.append(slot)
                 else:
@@ -570,17 +600,33 @@ class _CodeGenerator:
             for kind, payload in staged
         )
 
+        rv = self.regfile.rv
+        rv_used = False
+
         def materialize_target() -> int:
             # One memory-staged source may flow through dst itself (its
             # old value is dead and the prim writes it last), which
-            # bounds the registers resolution needs.
-            nonlocal dst_used
+            # bounds the registers resolution needs.  Under total
+            # exhaustion one more source may flow through rv: nothing
+            # between here and the prim writes it.
+            nonlocal dst_used, rv_used
             if not dst_used:
                 dst_used = True
+                if dst is rv:
+                    rv_used = True
                 return dst.index
-            reg = self._acquire_scratch()
-            releases.append(reg)
-            return reg.index
+            reg = self.scratch.acquire(self.reserved)
+            if reg is not None:
+                releases.append(reg)
+                return reg.index
+            if not rv_used and dst is not rv:
+                rv_used = True
+                return rv.index
+            raise CompilerError(
+                "scratch register pool exhausted — expression too deep "
+                "for register-free evaluation (frame-temp fallback not "
+                "reached)"
+            )
 
         for kind, payload in staged:
             if kind == "imm":

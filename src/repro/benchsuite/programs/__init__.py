@@ -9,7 +9,7 @@ every entry records its scaling relative to the paper's version.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.benchsuite.programs import apps, gabriel, micro
 

@@ -9,7 +9,6 @@ from repro.config import CompilerConfig
 from repro.interp.interpreter import Interpreter
 from repro.pipeline import compile_source, run_compiled
 from repro.sexp.writer import write_datum
-from repro.vm.callgraph import CATEGORIES
 
 _expected_cache: Dict[str, str] = {}
 

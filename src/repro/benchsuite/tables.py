@@ -27,9 +27,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.astnodes import Call, walk
 from repro.benchsuite.programs import BENCHMARKS, get_benchmark
-from repro.benchsuite.runner import BenchmarkRun, run_benchmark
+from repro.benchsuite.runner import run_benchmark
 from repro.config import CompilerConfig, CostModel
-from repro.core.shuffle import dependency_edges, minimum_evictions, plan_shuffle
+from repro.core.shuffle import dependency_edges, minimum_evictions
 from repro.pipeline import CompileTimes, compile_source
 from repro.vm.callgraph import CATEGORIES
 

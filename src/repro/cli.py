@@ -30,7 +30,7 @@ from repro.config import (
     SAVE_STRATEGIES,
     SHUFFLE_STRATEGIES,
 )
-from repro.errors import CompilerError
+from repro.errors import CompilerError, FuzzError
 from repro.observe import Tracer, chrome_trace, metrics_dict, text_profile
 from repro.pipeline import compile_source, expand_source, run_compiled
 from repro.runtime.values import SchemeError
@@ -311,6 +311,69 @@ def cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import load_entry, run_fuzz
+    from repro.fuzz.engine import replay_entry
+
+    if args.replay:
+        entry = load_entry(args.replay)
+        report = replay_entry(entry, shrink=args.shrink)
+    else:
+        def progress(done: int, partial) -> None:
+            if not args.json and done % 25 == 0:
+                print(
+                    f"; {done} programs checked, "
+                    f"{len(partial.failures)} failure(s), "
+                    f"{partial.configs_checked} config runs",
+                    file=sys.stderr,
+                )
+
+        report = run_fuzz(
+            seed=args.seed,
+            iterations=args.iterations,
+            time_budget=args.time_budget,
+            jobs=args.jobs,
+            shrink=args.shrink,
+            corpus_dir=args.corpus,
+            keep_interesting=args.keep_interesting,
+            on_progress=progress,
+        )
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"fuzz: {report.iterations} program(s), "
+            f"{report.configs_checked} config runs, "
+            f"{report.invalid} invalid, "
+            f"{report.shuffle_cycles} shuffle cycles, "
+            f"{len(report.failures)} failure(s) "
+            f"in {report.elapsed:.1f}s"
+        )
+        for failure in report.failures:
+            print(f"--- failure at iteration {failure.iteration}")
+            for div in failure.divergences[:5]:
+                cfg = div.get("config", {})
+                print(
+                    f"    {div['kind']}: expected {div['expected']!r}, "
+                    f"got {div['got']!r} "
+                    f"[save={cfg.get('save_strategy')} "
+                    f"restore={cfg.get('restore_strategy')} "
+                    f"shuffle={cfg.get('shuffle_strategy')} "
+                    f"conv={cfg.get('save_convention')} "
+                    f"c={cfg.get('num_arg_regs')}]"
+                )
+            if len(failure.divergences) > 5:
+                print(f"    ... and {len(failure.divergences) - 5} more")
+            if failure.shrunk is not None:
+                print(f"    shrunk to {failure.shrunk_size} node(s):")
+                for line in failure.shrunk.splitlines():
+                    print(f"      {line}")
+            if failure.corpus_path:
+                print(f"    saved: {failure.corpus_path}")
+    return 0 if report.ok else 1
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.benchsuite import BENCHMARKS
 
@@ -409,6 +472,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("--names", nargs="*", help="benchmark subset")
     p_table.set_defaults(fn=cmd_table)
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the compiler against the interpreter",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, metavar="N")
+    p_fuzz.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        metavar="N",
+        help="programs to generate and check (default: 100)",
+    )
+    p_fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this many seconds (iterations becomes a cap)",
+    )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1)",
+    )
+    p_fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug each failing program to a local minimum",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="re-check one corpus entry instead of generating programs",
+    )
+    p_fuzz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default="fuzzcorpus",
+        help="directory for failure artifacts (default: fuzzcorpus)",
+    )
+    p_fuzz.add_argument(
+        "--keep-interesting",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also persist up to N cycle-heavy passing programs",
+    )
+    p_fuzz.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_fuzz.set_defaults(fn=cmd_fuzz)
+
     p_list = sub.add_parser("list", help="list benchmarks")
     p_list.set_defaults(fn=cmd_list)
 
@@ -427,6 +544,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     except CompilerError as exc:
         print(f"repro: compile error: {exc}", file=sys.stderr)
+        return 1
+    except FuzzError as exc:
+        print(f"repro: fuzz error: {exc}", file=sys.stderr)
         return 1
     except SchemeError as exc:
         print(f"repro: runtime error: {exc}", file=sys.stderr)

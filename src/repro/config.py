@@ -11,7 +11,7 @@ parameter and user variable lives on the stack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Iterator, Optional, Sequence, Tuple
 
 SAVE_STRATEGIES = ("lazy", "lazy-simple", "early", "late")
 RESTORE_STRATEGIES = ("eager", "lazy")
@@ -139,3 +139,75 @@ class CompilerConfig:
     def with_(self, **changes) -> "CompilerConfig":
         """A copy of this configuration with the given fields replaced."""
         return replace(self, **changes)
+
+    def summary(self) -> dict:
+        """The fields that identify this point in the design space, as a
+        JSON-serializable dict (the corpus format's ``config:`` header)."""
+        return {
+            "num_arg_regs": self.num_arg_regs,
+            "num_temp_regs": self.num_temp_regs,
+            "save_strategy": self.save_strategy,
+            "restore_strategy": self.restore_strategy,
+            "shuffle_strategy": self.shuffle_strategy,
+            "save_convention": self.save_convention,
+        }
+
+    @staticmethod
+    def from_summary(summary: dict) -> "CompilerConfig":
+        """Rebuild a configuration from :meth:`summary` output."""
+        return CompilerConfig(**summary)
+
+
+# The paper's register sweep: (c, l) points from "no registers" through
+# the headline six-and-six machine (§4's c ∈ {0, 2, 6} discussion).
+REGISTER_SWEEP: Tuple[Tuple[int, int], ...] = ((0, 0), (2, 1), (6, 6))
+
+
+def strategy_matrix(
+    num_arg_regs: int = 6, num_temp_regs: int = 6
+) -> Iterator[CompilerConfig]:
+    """Every save × restore × shuffle × convention point, at one
+    register-file size — the full cross-product the paper's
+    semantics-preservation claim quantifies over."""
+    for save in SAVE_STRATEGIES:
+        for restore in RESTORE_STRATEGIES:
+            for shuffle in SHUFFLE_STRATEGIES:
+                for convention in SAVE_CONVENTIONS:
+                    yield CompilerConfig(
+                        num_arg_regs=num_arg_regs,
+                        num_temp_regs=num_temp_regs,
+                        save_strategy=save,
+                        restore_strategy=restore,
+                        shuffle_strategy=shuffle,
+                        save_convention=convention,
+                    )
+
+
+def full_matrix(
+    register_sweep: Sequence[Tuple[int, int]] = REGISTER_SWEEP,
+) -> Tuple[CompilerConfig, ...]:
+    """The differential-testing matrix: the full strategy cross-product
+    at the default register file, plus every strategy at the other
+    register-sweep points (duplicates removed, order deterministic)."""
+    configs: list = []
+    seen = set()
+    for config in strategy_matrix():
+        key = tuple(sorted(config.summary().items()))
+        if key not in seen:
+            seen.add(key)
+            configs.append(config)
+    default = CompilerConfig()
+    for c, temps in register_sweep:
+        for strategy_point in (
+            default,
+            default.with_(save_strategy="late"),
+            default.with_(restore_strategy="lazy"),
+            default.with_(shuffle_strategy="naive"),
+            default.with_(save_convention="callee"),
+        ):
+            config = strategy_point.with_(num_arg_regs=c, num_temp_regs=temps)
+            key = tuple(sorted(config.summary().items()))
+            if key not in seen:
+                seen.add(key)
+                configs.append(config)
+    return tuple(configs)

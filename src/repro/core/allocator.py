@@ -16,7 +16,7 @@ number of argument registers, §3.1).
 from __future__ import annotations
 
 import time
-from typing import Dict, List
+from typing import Dict
 
 from repro.astnodes import Call, CodeObject, If, Program, walk
 from repro.config import CompilerConfig

@@ -23,7 +23,7 @@ assignment into its own pass for clarity (see DESIGN.md).  Two jobs:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.astnodes import (
     Call,

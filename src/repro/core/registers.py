@@ -15,7 +15,7 @@ are plain Python ints used as bit vectors, exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 
 class Register:

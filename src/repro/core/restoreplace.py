@@ -24,7 +24,7 @@ beyond the region — the paper's Figure 2c case).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set, Tuple
+from typing import FrozenSet, Tuple
 
 from repro.astnodes import (
     Call,
@@ -58,7 +58,14 @@ def place_restores(alloc: CodeAllocation, config: CompilerConfig) -> None:
     redundant saves in ``alloc.code.body``."""
     body = alloc.code.body
     _possibly_referenced(body, frozenset([alloc.ret_var]), alloc, config)
-    if config.save_strategy != "late":
+    # Elimination is what makes the lazy placement's duplicate branch
+    # saves safe, so it may only be disabled where saves really do sit
+    # at each call: the caller-convention "late" ablation.  In callee
+    # mode the caller-save variables (cp, argument registers) always
+    # use the lazy placement — a duplicate save surviving there would
+    # store a register a previous call already clobbered (and lazy
+    # restores would not have reloaded), saving garbage.
+    if config.save_strategy != "late" or config.save_convention == "callee":
         body, _ = _eliminate(body, EMPTY)
         alloc.code.body = body
 

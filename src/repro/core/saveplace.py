@@ -303,7 +303,9 @@ def _place_callee(
     strategy = config.save_strategy
     # Caller-save placement for the arg-register variables first (the
     # lazy algorithm; Table 5's variable is the *callee* strategy).
-    keep = lambda v: _caller_saved_in_callee_mode(v, alloc)
+    def keep(v):
+        return _caller_saved_in_callee_mode(v, alloc)
+
     scope = _entry_scope(alloc)
     body = _wrap_lazy(code.body, analysis, alloc, simple=False, keep=keep, scope=scope)
     top_callers = _set_of(code.body, analysis, simple=False, keep=keep) & scope

@@ -49,7 +49,6 @@ from repro.astnodes import (
 from repro.core.liveness import CodeAllocation
 from repro.core.registers import Register
 from repro.errors import CompilerError
-from repro.runtime.primitives import PRIMITIVES
 
 
 class _Top:

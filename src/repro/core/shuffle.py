@@ -34,18 +34,13 @@ Alternative strategies implemented for the paper's comparisons:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.astnodes import (
     Call,
-    ClosureRef,
     Expr,
     Fix,
     Let,
-    MakeClosure,
-    Ref,
-    Var,
-    children,
     walk,
 )
 from repro.core.liveness import CodeAllocation, _referenced_vars
@@ -254,10 +249,16 @@ def plan_shuffle(
             # early must not destroy a register a simple operand still
             # reads (the old value's save is path-conditional inside
             # the complex operand, so it cannot be recovered from its
-            # home).  With no safe candidate, every complex operand
-            # goes through a stack temporary.
+            # home).  ALL simple operands count: simple stack arguments
+            # are evaluated after the direct placement too, and a stale
+            # variable they reference reloads into — and so reads — the
+            # target register.  With no safe candidate, every complex
+            # operand goes through a stack temporary.
             for candidate in complex_regs:
-                if not any(candidate.target in s.reads for s in simple_regs):
+                if not any(
+                    candidate.target in s.reads
+                    for s in (*simple_regs, *simple_stack)
+                ):
                     chosen = candidate
                     break
 
@@ -439,7 +440,10 @@ def _free_registers(
     free: List[Register] = []
     # rv is reserved as the code generator's produce-then-consume
     # conduit and must never hold an eviction across other steps.
+    # Callee-save registers are never free even when no local variable
+    # lives there: the callee convention promises the *caller's* value
+    # survives, and no callee region protects a shuffle temporary.
     for reg in (*regfile.arg_regs, *regfile.temp_regs):
-        if reg not in excluded:
+        if reg not in excluded and not reg.callee_save:
             free.append(reg)
     return free

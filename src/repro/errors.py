@@ -6,3 +6,9 @@ from __future__ import annotations
 class CompilerError(Exception):
     """Raised for malformed programs: bad syntax, unbound variables,
     wrong primitive arity, and similar static errors."""
+
+
+class FuzzError(Exception):
+    """Raised by the fuzzing subsystem for operational failures that are
+    not divergences: malformed corpus files, bad replay targets, and
+    similar.  The CLI reports these as one-line diagnostics."""

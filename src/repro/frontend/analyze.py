@@ -8,7 +8,7 @@ rely on ``Call.tail``.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Set
 
 from repro.astnodes import (
     Call,

@@ -10,7 +10,6 @@ value can never go stale.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.astnodes import (
     Call,
@@ -19,11 +18,9 @@ from repro.astnodes import (
     If,
     Lambda,
     Let,
-    MakeClosure,
     PrimCall,
     Quote,
     Ref,
-    Save,
     Seq,
     SetBang,
     Var,

@@ -15,7 +15,7 @@ to free variables" through it (section 4).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.astnodes import (
     Call,

@@ -1,0 +1,52 @@
+"""``repro.fuzz`` — grammar-aware differential fuzzing.
+
+The paper's claim is that lazy saves, eager restores, and greedy
+shuffling are *semantics-preserving* at every point of the
+configuration space.  This subsystem makes that claim executable:
+
+* :mod:`repro.fuzz.genprog` — a seeded generator of core-language
+  programs biased toward the allocator's hard shapes (calls in ``if``
+  tests, ``and``/``or`` in tests, argument permutations that force
+  shuffle cycles, deep non-tail chains, ``call/cc``, high arity).
+* :mod:`repro.fuzz.oracle` — runs each program through the reference
+  interpreter and through the compiled VM across the full strategy
+  matrix, cross-checking values, output, counter conservation, and the
+  lazy ≤ late save bound.
+* :mod:`repro.fuzz.shrink` — deterministic delta debugging that reduces
+  a failing program to a local minimum.
+* :mod:`repro.fuzz.corpus` — replayable ``.sexp`` artifacts under
+  ``fuzzcorpus/``.
+* :mod:`repro.fuzz.engine` — the fuzzing loop (sequential or
+  ``multiprocessing``) behind ``repro fuzz``.
+"""
+
+from repro.fuzz.corpus import CorpusEntry, load_entry, save_entry
+from repro.fuzz.engine import FuzzFailure, FuzzReport, run_fuzz
+from repro.fuzz.genprog import GenConfig, ProgramGenerator, generate_program
+from repro.fuzz.oracle import (
+    Divergence,
+    InvalidProgram,
+    OracleResult,
+    check_program,
+    interp_reference,
+)
+from repro.fuzz.shrink import shrink_program, sexp_size
+
+__all__ = [
+    "CorpusEntry",
+    "Divergence",
+    "FuzzFailure",
+    "FuzzReport",
+    "GenConfig",
+    "InvalidProgram",
+    "OracleResult",
+    "ProgramGenerator",
+    "check_program",
+    "generate_program",
+    "interp_reference",
+    "load_entry",
+    "run_fuzz",
+    "save_entry",
+    "sexp_size",
+    "shrink_program",
+]

@@ -1,0 +1,150 @@
+"""Replayable corpus artifacts.
+
+Every failure (and, optionally, every "interesting" seed — one whose
+compilation broke shuffle cycles) is persisted under ``fuzzcorpus/`` as
+a plain ``.sexp`` file: a commented metadata header followed by the
+program itself, so an entry is simultaneously machine-replayable
+(``repro fuzz --replay PATH``) and directly runnable
+(``repro run PATH``)::
+
+    ;; repro-fuzz v1
+    ;; kind: value
+    ;; seed: 42
+    ;; iteration: 17
+    ;; config: {"save_strategy": "lazy", ...}
+    (define (h0 fuel a b) ...)
+    (mainf 3 -7 11)
+
+Header lines are ``;; key: value``; unknown keys are preserved in
+``CorpusEntry.extra``.  A file without the magic first line, or whose
+body is not readable s-expression syntax, raises
+:class:`repro.errors.FuzzError` — the CLI turns that into a one-line
+diagnostic, never a traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import CompilerConfig
+from repro.errors import FuzzError
+from repro.sexp.reader import ReaderError, read_all
+
+MAGIC = ";; repro-fuzz v1"
+DEFAULT_CORPUS_DIR = "fuzzcorpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted program with its provenance."""
+
+    source: str
+    kind: str = "failure"  # failure | interesting | manual
+    seed: Optional[int] = None
+    iteration: Optional[int] = None
+    config: Optional[CompilerConfig] = None
+    detail: str = ""
+    extra: Dict[str, str] = field(default_factory=dict)
+
+    def file_name(self) -> str:
+        digest = hashlib.sha256(self.source.encode()).hexdigest()[:10]
+        seed = "x" if self.seed is None else str(self.seed)
+        iteration = "x" if self.iteration is None else str(self.iteration)
+        return f"{self.kind}-s{seed}-i{iteration}-{digest}.sexp"
+
+    def render(self) -> str:
+        lines = [MAGIC, f";; kind: {self.kind}"]
+        if self.seed is not None:
+            lines.append(f";; seed: {self.seed}")
+        if self.iteration is not None:
+            lines.append(f";; iteration: {self.iteration}")
+        if self.config is not None:
+            lines.append(f";; config: {json.dumps(self.config.summary())}")
+        if self.detail:
+            lines.append(f";; detail: {self.detail}")
+        for key in sorted(self.extra):
+            lines.append(f";; {key}: {self.extra[key]}")
+        lines.append(self.source)
+        return "\n".join(lines) + "\n"
+
+
+def save_entry(entry: CorpusEntry, directory: str = DEFAULT_CORPUS_DIR) -> str:
+    """Write *entry* under *directory*; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, entry.file_name())
+    with open(path, "w") as handle:
+        handle.write(entry.render())
+    return path
+
+
+def load_entry(path: str) -> CorpusEntry:
+    """Parse a corpus file back into a :class:`CorpusEntry`.
+
+    Raises :class:`FuzzError` on anything malformed — missing magic,
+    broken header, unreadable program body, unreadable file."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise FuzzError(f"cannot read corpus file {path}: {exc}") from exc
+
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC:
+        raise FuzzError(
+            f"{path} is not a repro-fuzz corpus file (missing '{MAGIC}' header)"
+        )
+    entry = CorpusEntry(source="", kind="manual")
+    body_start = 1
+    for i, line in enumerate(lines[1:], start=1):
+        if not line.startswith(";;"):
+            body_start = i
+            break
+        body_start = i + 1
+        stripped = line[2:].strip()
+        if not stripped:
+            continue
+        key, sep, value = stripped.partition(":")
+        if not sep:
+            raise FuzzError(f"{path}:{i + 1}: malformed header line {line!r}")
+        key, value = key.strip(), value.strip()
+        if key == "kind":
+            entry.kind = value
+        elif key == "seed":
+            entry.seed = _parse_int(path, i, key, value)
+        elif key == "iteration":
+            entry.iteration = _parse_int(path, i, key, value)
+        elif key == "config":
+            try:
+                entry.config = CompilerConfig.from_summary(json.loads(value))
+            except (ValueError, TypeError) as exc:
+                raise FuzzError(
+                    f"{path}:{i + 1}: bad config header: {exc}"
+                ) from exc
+        elif key == "detail":
+            entry.detail = value
+        else:
+            entry.extra[key] = value
+
+    source = "\n".join(lines[body_start:]).strip()
+    if not source:
+        raise FuzzError(f"{path}: corpus entry has no program body")
+    try:
+        if not read_all(source):
+            raise FuzzError(f"{path}: corpus entry has no program body")
+    except ReaderError as exc:
+        raise FuzzError(f"{path}: unreadable program body: {exc}") from exc
+    entry.source = source
+    return entry
+
+
+def _parse_int(path: str, line: int, key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise FuzzError(
+            f"{path}:{line + 1}: header {key!r} is not an integer: {value!r}"
+        ) from exc

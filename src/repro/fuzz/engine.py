@@ -1,0 +1,284 @@
+"""The fuzzing loop.
+
+Each iteration *i* of a run seeded *s* generates program ``(s, i)`` and
+checks it against the configuration matrix; iterations are independent,
+so with ``jobs > 1`` they are distributed over a ``multiprocessing``
+pool (each worker checks its program against every configuration — the
+matrix is the inner loop, the program stream the outer).  Results are
+reported in iteration order regardless of completion order, so a run's
+report is deterministic for a given seed and iteration count.
+
+Failures are shrunk (optionally) in the parent process — shrinking
+re-runs the oracle against only the configurations that failed, which
+makes each delta-debugging probe cheap — and persisted to the corpus.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import CompilerConfig, full_matrix
+from repro.fuzz.corpus import CorpusEntry, save_entry
+from repro.fuzz.genprog import GenConfig, ProgramGenerator
+from repro.fuzz.oracle import InvalidProgram, check_program
+from repro.fuzz.shrink import program_size, shrink_program
+
+
+@dataclass
+class FuzzFailure:
+    """One failing program, before and after shrinking."""
+
+    iteration: int
+    source: str
+    divergences: List[dict]
+    shrunk: Optional[str] = None
+    shrunk_size: Optional[int] = None
+    corpus_path: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "source": self.source,
+            "divergences": self.divergences,
+            "shrunk": self.shrunk,
+            "shrunk_size": self.shrunk_size,
+            "corpus_path": self.corpus_path,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one ``repro fuzz`` run."""
+
+    seed: int
+    iterations: int = 0
+    invalid: int = 0
+    configs_checked: int = 0
+    shuffle_cycles: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    interesting_saved: List[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "invalid": self.invalid,
+            "configs_checked": self.configs_checked,
+            "shuffle_cycles": self.shuffle_cycles,
+            "failures": [f.as_dict() for f in self.failures],
+            "interesting_saved": self.interesting_saved,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class _IterationResult:
+    iteration: int
+    source: str
+    invalid: bool = False
+    configs_checked: int = 0
+    shuffle_cycles: int = 0
+    divergences: List[dict] = field(default_factory=list)
+    failing_configs: List[dict] = field(default_factory=list)
+
+
+# Worker globals (set once per worker via the pool initializer; fork is
+# not guaranteed, so state is passed explicitly).
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(seed: int, gen_config: Optional[GenConfig]) -> None:
+    _WORKER_STATE["generator"] = ProgramGenerator(seed, gen_config)
+    _WORKER_STATE["configs"] = full_matrix()
+
+
+def _check_iteration(iteration: int) -> _IterationResult:
+    generator: ProgramGenerator = _WORKER_STATE["generator"]  # type: ignore[assignment]
+    configs: Sequence[CompilerConfig] = _WORKER_STATE["configs"]  # type: ignore[assignment]
+    program = generator.generate(iteration)
+    result = _IterationResult(iteration=iteration, source=program.source)
+    try:
+        oracle = check_program(program.source, configs=configs)
+    except InvalidProgram:
+        result.invalid = True
+        return result
+    result.configs_checked = oracle.configs_checked
+    result.shuffle_cycles = oracle.shuffle_cycles
+    result.divergences = [d.as_dict() for d in oracle.divergences]
+    result.failing_configs = [d.config.summary() for d in oracle.divergences]
+    return result
+
+
+def run_fuzz(
+    seed: int,
+    iterations: int = 100,
+    time_budget: Optional[float] = None,
+    jobs: int = 1,
+    shrink: bool = False,
+    corpus_dir: Optional[str] = None,
+    keep_interesting: int = 0,
+    gen_config: Optional[GenConfig] = None,
+    on_progress: Optional[Callable[[int, FuzzReport], None]] = None,
+) -> FuzzReport:
+    """Run the fuzzing loop.
+
+    ``time_budget`` (seconds) stops the run early; with a budget set,
+    ``iterations`` is the cap on programs, not a target.  ``on_progress``
+    is called after each completed iteration with ``(done, report)``.
+    """
+    start = time.monotonic()
+    report = FuzzReport(seed=seed)
+    interesting_kept = 0
+
+    def out_of_time() -> bool:
+        return time_budget is not None and time.monotonic() - start >= time_budget
+
+    def absorb(result: _IterationResult) -> None:
+        nonlocal interesting_kept
+        report.iterations += 1
+        if result.invalid:
+            report.invalid += 1
+            return
+        report.configs_checked += result.configs_checked
+        report.shuffle_cycles += result.shuffle_cycles
+        if result.divergences:
+            failure = FuzzFailure(
+                iteration=result.iteration,
+                source=result.source,
+                divergences=result.divergences,
+            )
+            if shrink:
+                _shrink_failure(failure, result.failing_configs)
+            if corpus_dir:
+                failure.corpus_path = _persist_failure(failure, seed, corpus_dir)
+            report.failures.append(failure)
+        elif (
+            keep_interesting
+            and interesting_kept < keep_interesting
+            and result.shuffle_cycles > 0
+            and corpus_dir
+        ):
+            interesting_kept += 1
+            entry = CorpusEntry(
+                source=result.source,
+                kind="interesting",
+                seed=seed,
+                iteration=result.iteration,
+                detail=f"shuffle cycles broken: {result.shuffle_cycles}",
+            )
+            report.interesting_saved.append(save_entry(entry, corpus_dir))
+        if on_progress is not None:
+            on_progress(report.iterations, report)
+
+    if jobs <= 1:
+        _init_worker(seed, gen_config)
+        for i in range(iterations):
+            if out_of_time():
+                break
+            absorb(_check_iteration(i))
+    else:
+        with multiprocessing.Pool(
+            processes=jobs, initializer=_init_worker, initargs=(seed, gen_config)
+        ) as pool:
+            pending = pool.imap(_check_iteration, range(iterations))
+            for result in pending:
+                absorb(result)
+                if out_of_time():
+                    pool.terminate()
+                    break
+
+    report.failures.sort(key=lambda f: f.iteration)
+    report.elapsed = time.monotonic() - start
+    return report
+
+
+def _shrink_failure(failure: FuzzFailure, failing_configs: List[dict]) -> None:
+    """Delta-debug one failure down to a local minimum, probing only the
+    configurations that actually diverged (plus the paper default)."""
+    configs = _probe_configs(failing_configs)
+
+    def still_fails(candidate: str) -> bool:
+        try:
+            return not check_program(candidate, configs=configs).ok
+        except InvalidProgram:
+            return False
+
+    failure.shrunk = shrink_program(failure.source, still_fails)
+    failure.shrunk_size = program_size(failure.shrunk)
+
+
+def _probe_configs(failing_configs: List[dict]) -> List[CompilerConfig]:
+    configs: List[CompilerConfig] = []
+    seen = set()
+    for summary in failing_configs:
+        key = tuple(sorted(summary.items()))
+        if key not in seen:
+            seen.add(key)
+            configs.append(CompilerConfig.from_summary(summary))
+    default = CompilerConfig()
+    if tuple(sorted(default.summary().items())) not in seen:
+        configs.append(default)
+    return configs
+
+
+def _persist_failure(failure: FuzzFailure, seed: int, corpus_dir: str) -> str:
+    first = failure.divergences[0] if failure.divergences else {}
+    config = None
+    if first.get("config"):
+        config = CompilerConfig.from_summary(first["config"])
+    entry = CorpusEntry(
+        source=failure.shrunk or failure.source,
+        kind=str(first.get("kind", "failure")),
+        seed=seed,
+        iteration=failure.iteration,
+        config=config,
+        detail=f"expected {first.get('expected')!r}, got {first.get('got')!r}",
+    )
+    return save_entry(entry, corpus_dir)
+
+
+def replay_entry(
+    entry: CorpusEntry, shrink: bool = False
+) -> FuzzReport:
+    """Re-run one corpus entry against the full matrix (the entry's own
+    configuration first, when recorded)."""
+    start = time.monotonic()
+    configs: List[CompilerConfig] = []
+    if entry.config is not None:
+        configs.append(entry.config)
+    seen = {tuple(sorted(c.summary().items())) for c in configs}
+    for config in full_matrix():
+        key = tuple(sorted(config.summary().items()))
+        if key not in seen:
+            seen.add(key)
+            configs.append(config)
+    report = FuzzReport(seed=entry.seed if entry.seed is not None else -1)
+    report.iterations = 1
+    try:
+        oracle = check_program(entry.source, configs=configs)
+    except InvalidProgram as exc:
+        from repro.errors import FuzzError
+
+        raise FuzzError(f"corpus program is not interpretable: {exc}") from exc
+    report.configs_checked = oracle.configs_checked
+    report.shuffle_cycles = oracle.shuffle_cycles
+    if oracle.divergences:
+        failure = FuzzFailure(
+            iteration=entry.iteration or 0,
+            source=entry.source,
+            divergences=[d.as_dict() for d in oracle.divergences],
+        )
+        if shrink:
+            _shrink_failure(failure, [d.config.summary() for d in oracle.divergences])
+        report.failures.append(failure)
+    report.elapsed = time.monotonic() - start
+    return report

@@ -1,0 +1,332 @@
+"""Seeded, grammar-aware program generation.
+
+Programs are generated *terminating by construction*: every recursive
+helper threads an explicit fuel parameter, self-calls strictly decrease
+it behind a ``(<= fuel 0)`` guard, and cross-helper calls only go to
+earlier helpers (the call graph is a DAG plus fuel-bounded self-loops).
+That discipline matters because the reference interpreter has no step
+budget — an accidentally-divergent program would hang the oracle, not
+fail it.
+
+The grammar is biased toward the shapes the allocator finds hard; see
+DESIGN.md §5.2 for the mapping from each bias to the paper section it
+stresses:
+
+* non-tail calls inside ``if`` tests (§2.1.3's St/Sf split),
+* ``and``/``or`` nested in tests (expanded into nested ``if``),
+* self- and cross-calls whose arguments are *permutations/rotations of
+  the parameters* — bare register-to-register moves that force shuffle
+  cycles (§2.3, §3.1),
+* deep non-tail operator nests (save/restore chains, §2.1–2.2),
+* ``call/cc`` escapes (the stack-copying continuation path),
+* arities above ``num_arg_regs`` so operands spill to outgoing stack
+  slots (§3's calling convention).
+
+Determinism: one :class:`random.Random` seeded from a string derived
+from the user seed drives every choice; the same seed always yields the
+same program text.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_FUEL = "fuel"
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs for the generator; defaults are tuned so a program checks
+    in a few hundred milliseconds against the full config matrix."""
+
+    max_helpers: int = 4
+    min_helpers: int = 2
+    max_arity: int = 8  # value params, beyond the 6 argument registers
+    max_depth: int = 4
+    max_fuel: int = 5
+    # Per-shape weights (relative); the hard shapes are deliberately hot.
+    weights: Tuple[Tuple[str, int], ...] = (
+        ("leaf", 3),
+        ("arith", 5),
+        ("if-plain", 2),
+        ("if-call-test", 4),
+        ("if-andor-test", 4),
+        ("let", 3),
+        ("call-helper", 5),
+        ("call-permuted", 5),
+        ("deep-nest", 3),
+        ("callcc", 2),
+        ("begin", 1),
+        ("setbang", 1),
+        ("display", 1),
+    )
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated program plus the provenance needed to replay it."""
+
+    source: str
+    seed: int
+    index: int
+    helper_arities: List[int] = field(default_factory=list)
+
+
+@dataclass
+class _Helper:
+    name: str
+    arity: int  # value parameters (fuel excluded)
+    params: List[str]
+
+
+class ProgramGenerator:
+    """Generates one program per :meth:`generate` call, deterministically
+    from ``(seed, index)``."""
+
+    def __init__(self, seed: int, config: Optional[GenConfig] = None) -> None:
+        self.seed = seed
+        self.config = config or GenConfig()
+        self._shapes = [name for name, _ in self.config.weights]
+        self._weights = [w for _, w in self.config.weights]
+
+    def generate(self, index: int = 0) -> GeneratedProgram:
+        rng = random.Random(f"repro-fuzz:{self.seed}:{index}")
+        helpers: List[_Helper] = []
+        forms: List[str] = []
+        n_helpers = rng.randint(self.config.min_helpers, self.config.max_helpers)
+        for k in range(n_helpers):
+            helper = self._make_helper(rng, k, helpers)
+            forms.append(self._render_helper(rng, helper, helpers))
+            helpers.append(helper)
+        main = self._gen_expr(
+            rng,
+            depth=self.config.max_depth,
+            scope=["seed-a", "seed-b", "seed-c"],
+            helpers=helpers,
+            self_helper=None,
+        )
+        forms.append(f"(define (mainf seed-a seed-b seed-c) {main})")
+        args = " ".join(str(rng.randint(-20, 20)) for _ in range(3))
+        forms.append(f"(mainf {args})")
+        return GeneratedProgram(
+            source="\n".join(forms),
+            seed=self.seed,
+            index=index,
+            helper_arities=[h.arity for h in helpers],
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _make_helper(
+        self, rng: random.Random, k: int, earlier: List[_Helper]
+    ) -> _Helper:
+        # Bias one helper per program toward arity > num_arg_regs so some
+        # operands always travel through outgoing stack slots.
+        if k == 1 or (k > 1 and rng.random() < 0.2):
+            arity = rng.randint(7, self.config.max_arity)
+        else:
+            arity = rng.randint(2, 4)
+        params = [f"p{k}{chr(ord('a') + i)}" for i in range(arity)]
+        return _Helper(name=f"h{k}", arity=arity, params=params)
+
+    def _render_helper(
+        self, rng: random.Random, helper: _Helper, earlier: List[_Helper]
+    ) -> str:
+        scope = [_FUEL, *helper.params]
+        base = self._gen_expr(
+            rng,
+            depth=rng.randint(1, 2),
+            scope=helper.params,
+            helpers=earlier,
+            self_helper=None,
+        )
+        body = self._gen_expr(
+            rng,
+            depth=self.config.max_depth - 1,
+            scope=scope,
+            helpers=earlier,
+            self_helper=helper,
+        )
+        header = " ".join([helper.name, _FUEL, *helper.params])
+        return f"(define ({header})\n  (if (<= {_FUEL} 0)\n      {base}\n      {body}))"
+
+    # -- expressions -------------------------------------------------------
+
+    def _gen_expr(
+        self,
+        rng: random.Random,
+        depth: int,
+        scope: List[str],
+        helpers: List[_Helper],
+        self_helper: Optional[_Helper],
+    ) -> str:
+        if depth <= 0:
+            return self._leaf(rng, scope)
+        shape = rng.choices(self._shapes, weights=self._weights, k=1)[0]
+        sub = lambda d=depth - 1: self._gen_expr(  # noqa: E731
+            rng, d, scope, helpers, self_helper
+        )
+        if shape == "leaf":
+            return self._leaf(rng, scope)
+        if shape == "arith":
+            op = rng.choice(["+", "-", "*", "+", "-"])
+            return f"({op} {sub()} {sub()})"
+        if shape == "if-plain":
+            return f"(if {self._bool(rng, 1, scope, helpers, self_helper)} {sub()} {sub()})"
+        if shape == "if-call-test":
+            # The §2.1.3 shape: a non-tail call in the test position, so
+            # both save sets St/Sf of the join matter.
+            test = self._bool(
+                rng, 1, scope, helpers, self_helper, force_call=True
+            )
+            return f"(if {test} {sub()} {sub()})"
+        if shape == "if-andor-test":
+            combo = rng.choice(["and", "or"])
+            a = self._bool(rng, 1, scope, helpers, self_helper)
+            b = self._bool(rng, 1, scope, helpers, self_helper)
+            return f"(if ({combo} {a} {b}) {sub()} {sub()})"
+        if shape == "let":
+            var = f"t{rng.randint(0, 99)}"
+            while var in scope:
+                var = f"t{rng.randint(0, 99)}"
+            rhs = sub()
+            inner = self._gen_expr(
+                rng, depth - 1, [*scope, var], helpers, self_helper
+            )
+            return f"(let (({var} {rhs})) {inner})"
+        if shape == "call-helper":
+            call = self._helper_call(rng, depth, scope, helpers, self_helper)
+            if call is not None:
+                return call
+            return f"(+ {sub()} {sub()})"
+        if shape == "call-permuted":
+            call = self._permuted_call(rng, scope, helpers, self_helper)
+            if call is not None:
+                return call
+            return f"(- {sub()} {sub()})"
+        if shape == "deep-nest":
+            # Deep non-tail chains: every inner call's live values must be
+            # saved across the outer ones.
+            return f"(+ (+ {sub()} {sub()}) (- {sub()} {sub()}))"
+        if shape == "callcc":
+            k = f"k{rng.randint(0, 99)}"
+            val = sub()
+            if rng.random() < 0.5:
+                test = self._bool(rng, 1, scope, helpers, self_helper)
+                return f"(call/cc (lambda ({k}) (if {test} ({k} {val}) {sub()})))"
+            return f"(+ {rng.randint(1, 9)} (call/cc (lambda ({k}) ({k} {val}))))"
+        if shape == "begin":
+            return f"(begin {sub()} {sub()})"
+        if shape == "setbang":
+            var = f"s{rng.randint(0, 99)}"
+            inner_scope = [*scope, var]
+            update = self._gen_expr(rng, depth - 1, inner_scope, helpers, self_helper)
+            return (
+                f"(let (({var} {self._leaf(rng, scope)})) "
+                f"(begin (set! {var} {update}) {var}))"
+            )
+        if shape == "display":
+            return f"(begin (display {sub()}) {sub()})"
+        raise AssertionError(f"unknown shape {shape}")  # pragma: no cover
+
+    def _leaf(self, rng: random.Random, scope: List[str]) -> str:
+        value_params = [v for v in scope if v != _FUEL]
+        if value_params and rng.random() < 0.6:
+            return rng.choice(value_params)
+        return str(rng.randint(-30, 30))
+
+    def _bool(
+        self,
+        rng: random.Random,
+        depth: int,
+        scope: List[str],
+        helpers: List[_Helper],
+        self_helper: Optional[_Helper],
+        force_call: bool = False,
+    ) -> str:
+        if force_call:
+            call = self._helper_call(rng, depth, scope, helpers, self_helper)
+            a = call if call is not None else self._leaf(rng, scope)
+        else:
+            a = self._gen_expr(rng, depth, scope, helpers, self_helper)
+        b = self._leaf(rng, scope)
+        op = rng.choice(["<", ">", "=", "<=", ">="])
+        base = f"({op} {a} {b})"
+        wrap = rng.random()
+        if wrap < 0.2:
+            return f"(not {base})"
+        if wrap < 0.35:
+            pred = rng.choice(["odd?", "even?", "zero?"])
+            return f"({rng.choice(['and', 'or'])} {base} ({pred} {self._leaf(rng, scope)}))"
+        return base
+
+    def _helper_call(
+        self,
+        rng: random.Random,
+        depth: int,
+        scope: List[str],
+        helpers: List[_Helper],
+        self_helper: Optional[_Helper],
+    ) -> Optional[str]:
+        """A call to an earlier helper (literal fuel) or a fuel-decrementing
+        self-call; argument expressions are generated at reduced depth."""
+        candidates: List[Tuple[_Helper, bool]] = [(h, False) for h in helpers]
+        if self_helper is not None:
+            candidates.append((self_helper, True))
+            candidates.append((self_helper, True))  # favor recursion
+        if not candidates:
+            return None
+        helper, is_self = rng.choice(candidates)
+        fuel = f"(- {_FUEL} 1)" if is_self else str(rng.randint(0, 3))
+        args = [
+            self._gen_expr(rng, min(depth - 1, 1), scope, helpers, None)
+            for _ in range(helper.arity)
+        ]
+        return f"({helper.name} {fuel} {' '.join(args)})"
+
+    def _permuted_call(
+        self,
+        rng: random.Random,
+        scope: List[str],
+        helpers: List[_Helper],
+        self_helper: Optional[_Helper],
+    ) -> Optional[str]:
+        """The shuffle-cycle shape: call a helper with a permutation or
+        rotation of in-scope variables as *bare references*, so register
+        arguments must be shuffled among themselves (§2.3)."""
+        value_params = [v for v in scope if v != _FUEL]
+        candidates: List[Tuple[_Helper, bool]] = []
+        if self_helper is not None and self_helper.arity <= len(value_params):
+            candidates.extend([(self_helper, True)] * 2)
+        for h in helpers:
+            if h.arity <= len(value_params):
+                candidates.append((h, False))
+        if not candidates:
+            return None
+        helper, is_self = rng.choice(candidates)
+        picks = list(value_params)
+        if is_self and len(picks) >= helper.arity:
+            # A rotation/permutation of the helper's own parameters keeps
+            # every operand register-to-register: the pure cycle case.
+            picks = picks[: helper.arity]
+            if rng.random() < 0.5:
+                rot = rng.randrange(1, max(2, len(picks)))
+                picks = picks[rot:] + picks[:rot]
+            else:
+                rng.shuffle(picks)
+        else:
+            rng.shuffle(picks)
+            picks = picks[: helper.arity]
+            while len(picks) < helper.arity:
+                picks.append(str(rng.randint(-9, 9)))
+        fuel = f"(- {_FUEL} 1)" if is_self else str(rng.randint(0, 2))
+        return f"({helper.name} {fuel} {' '.join(picks)})"
+
+
+def generate_program(
+    seed: int, index: int = 0, config: Optional[GenConfig] = None
+) -> GeneratedProgram:
+    """Convenience: the *index*-th program of the stream seeded *seed*."""
+    return ProgramGenerator(seed, config).generate(index)

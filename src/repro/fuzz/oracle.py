@@ -1,0 +1,288 @@
+"""The differential oracle.
+
+One program, many verdicts: the reference interpreter fixes the expected
+value and output, then the program is compiled and executed at every
+configuration point the caller supplies (by default the full strategy
+matrix plus the register sweep, ~90 points).  Beyond value/output
+equality, two invariants from the observe layer are cross-checked:
+
+* **counter conservation** — the per-procedure profile deltas must sum
+  exactly to the run's global counters (PR 1's conservation property);
+* **lazy ≤ late saves** — the revised lazy-save algorithm (§2.1.3) never
+  performs more dynamic saves than saving immediately before each call;
+  whenever the matrix contains a caller-save ``lazy`` point and its
+  ``late`` counterpart, the bound is asserted on the measured counters.
+
+A program the *interpreter* cannot run (wrong arity the generator
+slipped through, step budget exceeded) is not a divergence — it raises
+:class:`InvalidProgram` and the engine skips it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.astnodes import Expr
+from repro.config import CompilerConfig, full_matrix
+from repro.errors import CompilerError
+from repro.frontend.analyze import mark_tail_calls
+from repro.frontend.expand import expand_program
+from repro.interp.interpreter import BudgetExceeded, Interpreter
+from repro.pipeline import compile_core, run_compiled
+from repro.runtime.values import SchemeError
+from repro.sexp.reader import ReaderError, read_all
+from repro.sexp.writer import write_datum
+from repro.vm.machine import VMError
+
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+DEFAULT_INTERP_STEPS = 2_000_000
+
+
+class InvalidProgram(Exception):
+    """The reference interpreter itself rejected the program; there is
+    nothing to compare, so the fuzzer discards it."""
+
+
+@dataclass
+class Divergence:
+    """One disagreement between the VM and the reference semantics."""
+
+    kind: str  # value | output | compile-crash | vm-crash | conservation | save-bound
+    config: CompilerConfig
+    expected: str
+    got: str
+
+    def describe(self) -> str:
+        cfg = self.config.summary()
+        point = (
+            f"save={cfg['save_strategy']} restore={cfg['restore_strategy']} "
+            f"shuffle={cfg['shuffle_strategy']} conv={cfg['save_convention']} "
+            f"c={cfg['num_arg_regs']} l={cfg['num_temp_regs']}"
+        )
+        return f"{self.kind} at [{point}]: expected {self.expected!r}, got {self.got!r}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "config": self.config.summary(),
+            "expected": self.expected,
+            "got": self.got,
+        }
+
+
+@dataclass
+class OracleResult:
+    """The verdicts for one program across the whole matrix."""
+
+    divergences: List[Divergence] = field(default_factory=list)
+    configs_checked: int = 0
+    shuffle_cycles: int = 0  # corpus "interestingness" signal
+    expected_value: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def interp_reference(
+    source: str, max_steps: Optional[int] = DEFAULT_INTERP_STEPS
+) -> Tuple[str, str]:
+    """Reference (value, output) of *source*, via the interpreter.
+
+    Raises :class:`InvalidProgram` when the interpreter cannot run it."""
+    expr = _expand(source)
+    return _interp_expr(expr, max_steps)
+
+
+def _expand(source: str) -> Expr:
+    try:
+        forms = read_all(source)
+        expr = expand_program(forms)
+        mark_tail_calls(expr)
+    except (ReaderError, CompilerError) as exc:
+        raise InvalidProgram(f"program does not expand: {exc}") from exc
+    return expr
+
+
+def _interp_expr(expr: Expr, max_steps: Optional[int]) -> Tuple[str, str]:
+    interp = Interpreter(max_steps=max_steps)
+    try:
+        value = interp.run(expr)
+    except (SchemeError, BudgetExceeded, RecursionError) as exc:
+        raise InvalidProgram(f"reference interpreter failed: {exc}") from exc
+    return _normalize(write_datum(value)), _normalize(interp.port.contents())
+
+
+# Procedures (and other opaque objects) print differently in the
+# interpreter and the VM — `#<interpclosure>` vs `#<vmclosure>` — which
+# is a representation detail, not a semantic divergence.
+_OPAQUE = re.compile(r"#<[^>]*>")
+
+
+def _normalize(text: str) -> str:
+    return _OPAQUE.sub("#<procedure>", text)
+
+
+def _canon_output(text: str) -> str:
+    """Order-insensitive canonical form of a program's output.
+
+    Scheme leaves call-operand evaluation order unspecified, and the
+    shuffler exploits that freedom (each strategy picks its own order),
+    so ``display`` calls reached from sibling operands may legitimately
+    interleave differently than under the left-to-right reference
+    interpreter.  Comparing the sorted character multiset still catches
+    dropped, duplicated, or wrong output — only pure reorderings are
+    forgiven."""
+    return "".join(sorted(text))
+
+
+def check_program(
+    source: str,
+    configs: Optional[Sequence[CompilerConfig]] = None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    interp_steps: Optional[int] = DEFAULT_INTERP_STEPS,
+    fail_fast: bool = False,
+    check_invariants: bool = True,
+) -> OracleResult:
+    """Differentially test one program.
+
+    The program is expanded once; each configuration compiles its own
+    copy of the tree (``compile_core``) and runs under the poison-checking
+    debug VM with a per-run instruction budget.
+    """
+    expr = _expand(source)
+    expected_value, expected_output = _interp_expr(expr, interp_steps)
+
+    if configs is None:
+        configs = full_matrix()
+    result = OracleResult(expected_value=expected_value)
+    saves_by_point: Dict[tuple, Dict[str, int]] = {}
+
+    for config in configs:
+        result.configs_checked += 1
+        try:
+            compiled = compile_core(expr, config, copy=True)
+        except (CompilerError, RecursionError) as exc:
+            result.divergences.append(
+                Divergence("compile-crash", config, expected_value, f"{exc}")
+            )
+            if fail_fast:
+                return result
+            continue
+        try:
+            run = run_compiled(
+                compiled,
+                debug=True,
+                max_instructions=max_instructions,
+                profile=check_invariants,
+            )
+        except (VMError, SchemeError, RecursionError) as exc:
+            result.divergences.append(
+                Divergence("vm-crash", config, expected_value, f"{exc}")
+            )
+            if fail_fast:
+                return result
+            continue
+
+        got_value = _normalize(write_datum(run.value))
+        if got_value != expected_value:
+            result.divergences.append(
+                Divergence("value", config, expected_value, got_value)
+            )
+            if fail_fast:
+                return result
+        got_output = _normalize(run.output)
+        if _canon_output(got_output) != _canon_output(expected_output):
+            result.divergences.append(
+                Divergence("output", config, expected_output, run.output)
+            )
+            if fail_fast:
+                return result
+
+        if check_invariants:
+            problem = _conservation_problem(run)
+            if problem is not None:
+                result.divergences.append(
+                    Divergence("conservation", config, problem[0], problem[1])
+                )
+                if fail_fast:
+                    return result
+            cfg = config.summary()
+            if cfg["save_convention"] == "caller" and cfg["save_strategy"] in (
+                "lazy",
+                "late",
+            ):
+                point = (
+                    cfg["restore_strategy"],
+                    cfg["shuffle_strategy"],
+                    cfg["num_arg_regs"],
+                    cfg["num_temp_regs"],
+                )
+                saves_by_point.setdefault(point, {})[cfg["save_strategy"]] = (
+                    run.counters.saves
+                )
+        result.shuffle_cycles += _count_shuffle_cycles(compiled)
+
+    if check_invariants:
+        for point, saves in sorted(saves_by_point.items()):
+            if "lazy" in saves and "late" in saves and saves["lazy"] > saves["late"]:
+                config = CompilerConfig(
+                    save_strategy="lazy",
+                    restore_strategy=point[0],
+                    shuffle_strategy=point[1],
+                    num_arg_regs=point[2],
+                    num_temp_regs=point[3],
+                )
+                result.divergences.append(
+                    Divergence(
+                        "save-bound",
+                        config,
+                        f"saves <= {saves['late']} (late)",
+                        f"{saves['lazy']} (lazy)",
+                    )
+                )
+    return result
+
+
+def _conservation_problem(run) -> Optional[Tuple[str, str]]:
+    """PR 1's conservation property, checked per run: profile deltas must
+    sum exactly to the global counters."""
+    profile = run.profile
+    if profile is None:
+        return None
+    totals = profile.totals()
+    counters = run.counters
+    total_refs = sum(totals["stack_reads"].values()) + sum(
+        totals["stack_writes"].values()
+    )
+    for key, expected, got in (
+        ("instructions", counters.instructions, totals["instructions"]),
+        ("cycles", counters.cycles, totals["cycles"]),
+        ("stack_refs", counters.total_stack_refs, total_refs),
+        ("saves", counters.saves, totals["stack_writes"].get("save", 0)),
+        ("restores", counters.restores, totals["stack_reads"].get("restore", 0)),
+        ("calls", counters.calls, totals["calls"]),
+        ("tail_calls", counters.tail_calls, totals["tail_calls"]),
+    ):
+        if got != expected:
+            return (f"{key}={expected} (counters)", f"{key}={got} (profile sum)")
+    return None
+
+
+def _count_shuffle_cycles(compiled) -> int:
+    """Shuffle cycles the allocator broke in this compilation — the
+    signal ``corpus.py`` uses to keep 'interesting' seeds."""
+    from repro.astnodes import Call, walk
+
+    cycles = 0
+    for code in compiled.codes:
+        for node in walk(code.body):
+            if (
+                isinstance(node, Call)
+                and node.shuffle_plan is not None
+                and node.shuffle_plan.had_cycle
+            ):
+                cycles += 1
+    return cycles

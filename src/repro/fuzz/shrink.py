@@ -1,0 +1,235 @@
+"""Deterministic delta-debugging minimizer.
+
+Given a failing program and a ``still_fails`` predicate, reduce the
+program to a *local minimum*: no single applicable transformation keeps
+it failing.  Transformations are tried in a fixed order, so the same
+input always shrinks to the same output:
+
+1. drop a whole top-level form,
+2. replace a subexpression by one of its own subexpressions (hoisting),
+3. replace a subexpression by an atom (``0``, ``1``, ``#f``, ``#t``),
+4. drop an element of a ``begin``/operator body.
+
+Every accepted step strictly decreases the s-expression node count, so
+termination is structural.  Candidates that break the program (unbound
+variables, wrong arity) are rejected by the predicate itself: the oracle
+treats interpreter-invalid programs as non-failures.
+
+The shrinker works on a plain nested-list view of the program (symbols
+and numbers at the leaves), rendered back to text with the standard
+writer, so shrunk artifacts are replayable corpus entries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sexp.datum import NIL, Pair, Symbol, list_to_pairs
+from repro.sexp.reader import read_all
+from repro.sexp.writer import write_datum
+
+_ATOMS = (0, 1, False, True)
+# Forms whose head position must not be replaced/hoisted away.
+_HEADS = {
+    "define",
+    "if",
+    "let",
+    "lambda",
+    "begin",
+    "and",
+    "or",
+    "not",
+    "set!",
+    "quote",
+    "cond",
+    "do",
+    "letrec",
+}
+
+
+def _to_tree(datum: Any) -> Any:
+    """Reader datum -> nested Python lists (proper lists only; dotted
+    pairs and vectors stay opaque leaves)."""
+    if isinstance(datum, Pair):
+        items: List[Any] = []
+        node = datum
+        while isinstance(node, Pair):
+            items.append(_to_tree(node.car))
+            node = node.cdr
+        if node is NIL:
+            return items
+        return datum  # dotted pair: leave as an opaque leaf
+    return datum
+
+
+def _to_datum(tree: Any) -> Any:
+    if isinstance(tree, list):
+        return list_to_pairs([_to_datum(item) for item in tree])
+    return tree
+
+
+def render_forms(forms: List[Any]) -> str:
+    """Nested-list forms back to program text."""
+    return "\n".join(write_datum(_to_datum(form)) for form in forms)
+
+
+def sexp_size(tree: Any) -> int:
+    """Node count of one form: every atom and every list is one node."""
+    if isinstance(tree, list):
+        return 1 + sum(sexp_size(item) for item in tree)
+    return 1
+
+
+def program_size(source: str) -> int:
+    """Total s-expression node count of *source*."""
+    return sum(sexp_size(_to_tree(d)) for d in read_all(source))
+
+
+def shrink_program(
+    source: str,
+    still_fails: Callable[[str], bool],
+    max_steps: int = 5000,
+) -> str:
+    """Minimize *source* while ``still_fails(candidate)`` holds.
+
+    Returns the reduced program text (the original if nothing shrank).
+    ``max_steps`` bounds *accepted* reductions — a safety valve, not a
+    tuning knob; node count strictly decreases per step."""
+    forms = [_to_tree(d) for d in read_all(source)]
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        # 1. Drop top-level forms (never below one form).
+        if len(forms) > 1:
+            for i in range(len(forms)):
+                candidate = forms[:i] + forms[i + 1 :]
+                if still_fails(render_forms(candidate)):
+                    forms = candidate
+                    steps += 1
+                    progress = True
+                    break
+            if progress:
+                continue
+        # 2./3./4. In-place expression reductions, first position first.
+        replaced = _try_reduce_forms(forms, still_fails)
+        if replaced is not None:
+            forms = replaced
+            steps += 1
+            progress = True
+    return render_forms(forms)
+
+
+def _try_reduce_forms(
+    forms: List[Any], still_fails: Callable[[str], bool]
+) -> Optional[List[Any]]:
+    """Try every single-node reduction, in deterministic pre-order over
+    form index then node path; return the first accepted variant."""
+    for i, form in enumerate(forms):
+        for path in _paths(form):
+            node = _get(form, path)
+            for replacement in _replacements(form, path, node):
+                new_form = _set(form, path, replacement)
+                candidate = forms[:i] + [new_form] + forms[i + 1 :]
+                if still_fails(render_forms(candidate)):
+                    return candidate
+    return None
+
+
+def _paths(tree: Any, prefix: Tuple[int, ...] = ()) -> List[Tuple[int, ...]]:
+    """Pre-order paths to every reducible node (the root form itself is
+    excluded: top-level reduction is the drop-a-form rule)."""
+    out: List[Tuple[int, ...]] = []
+    if isinstance(tree, list):
+        for idx, child in enumerate(tree):
+            child_path = prefix + (idx,)
+            out.append(child_path)
+            out.extend(_paths(child, child_path))
+    return out
+
+
+def _get(tree: Any, path: Tuple[int, ...]) -> Any:
+    for idx in path:
+        tree = tree[idx]
+    return tree
+
+
+def _set(tree: Any, path: Tuple[int, ...], value: Any) -> Any:
+    if not path:
+        return value
+    copy = list(tree)
+    copy[path[0]] = _set(copy[path[0]], path[1:], value)
+    return copy
+
+
+def _is_head_position(tree: Any, path: Tuple[int, ...]) -> bool:
+    """True when *path* points at a keyword/operator head or a binding
+    skeleton we must not rewrite into an expression."""
+    if not path:
+        return True
+    parent = _get(tree, path[:-1]) if len(path) > 1 else tree
+    node = _get(tree, path)
+    if path[-1] == 0:
+        return True  # operator/keyword position
+    if isinstance(parent, list) and parent and isinstance(parent[0], Symbol):
+        head = parent[0].name
+        # (define (name args...) body): position 1 is the signature;
+        # (let (bindings) body) / (lambda (params) body) likewise.
+        if head in ("define", "let", "lambda", "letrec", "do") and path[-1] == 1:
+            return True
+        if head == "set!" and path[-1] == 1:
+            return True
+    # Anything *inside* a signature/binding-list skeleton is off limits
+    # except binding right-hand sides, which _replacements handles by
+    # only offering expression replacements at expression positions; to
+    # stay conservative we block descendants of signatures entirely.
+    return _inside_signature(tree, path)
+
+
+def _inside_signature(tree: Any, path: Tuple[int, ...]) -> bool:
+    for depth in range(1, len(path)):
+        parent = _get(tree, path[: depth - 1]) if depth > 1 else tree
+        if (
+            isinstance(parent, list)
+            and parent
+            and isinstance(parent[0], Symbol)
+            and parent[0].name in ("define", "lambda")
+            and path[depth - 1] == 1
+        ):
+            return True
+    return False
+
+
+def _replacements(form: Any, path: Tuple[int, ...], node: Any) -> List[Any]:
+    """Candidate replacements for *node*, smallest-first."""
+    if _is_head_position(form, path):
+        return []
+    out: List[Any] = []
+    node_size = sexp_size(node)
+    if node_size > 1:
+        # Atoms first (max reduction), then shortened variadic bodies,
+        # then hoisted subexpressions.
+        out.extend(_ATOMS)
+        if isinstance(node, list):
+            if (
+                node
+                and isinstance(node[0], Symbol)
+                and node[0].name in ("begin", "and", "or")
+                and len(node) > 2
+            ):
+                for idx in range(1, len(node)):
+                    out.append(node[:idx] + node[idx + 1 :])
+            for idx, child in enumerate(node):
+                if idx == 0 and isinstance(child, Symbol):
+                    continue
+                if sexp_size(child) < node_size:
+                    out.append(child)
+    else:
+        # An atom: only try strictly simpler atoms (ints and booleans
+        # rank above 1/#t, which rank above 0/#f — no cycles).
+        if isinstance(node, Symbol):
+            if node.name not in _HEADS:
+                out.extend(_ATOMS[:2])
+        elif node not in (0, False):
+            out.extend(a for a in (0, 1) if a != node)
+    return out

@@ -107,12 +107,28 @@ class _ContinuationInvoked(Exception):
         self.value = value
 
 
-class Interpreter:
-    """Evaluates expanded core expressions."""
+class BudgetExceeded(Exception):
+    """The interpreter's optional step budget ran out.
 
-    def __init__(self, recursion_limit: int = 200_000) -> None:
+    Distinct from :class:`SchemeError` because it says nothing about the
+    program's semantics — the differential-fuzzing oracle uses it to
+    discard too-expensive generated programs rather than report them."""
+
+
+class Interpreter:
+    """Evaluates expanded core expressions.
+
+    ``max_steps`` bounds the number of evaluation steps (``_eval`` loop
+    iterations); ``None`` means unlimited.  The fuzzing oracle sets it so
+    a pathologically expensive generated program cannot hang the run."""
+
+    def __init__(
+        self, recursion_limit: int = 200_000, max_steps: Optional[int] = None
+    ) -> None:
         self.port = OutputPort()
         self._recursion_limit = recursion_limit
+        self.max_steps = max_steps
+        self._steps = 0
 
     def run_source(self, source: str, prelude: bool = True) -> Any:
         """Expand and evaluate a full program text."""
@@ -137,7 +153,14 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def _eval(self, expr: Expr, env: Environment) -> Any:
+        max_steps = self.max_steps
         while True:
+            if max_steps is not None:
+                self._steps += 1
+                if self._steps > max_steps:
+                    raise BudgetExceeded(
+                        f"interpreter exceeded {max_steps} evaluation steps"
+                    )
             if isinstance(expr, Quote):
                 return expr.value
             if isinstance(expr, Ref):

@@ -21,7 +21,7 @@ defaulting to ``None`` and resolve it with :func:`tracer_for` or
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 from repro.observe.events import Event, Span
 

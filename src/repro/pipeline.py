@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Optional
 
-from repro.astnodes import Expr, Program, count_nodes
+from repro.astnodes import Expr, Program, copy_expr, count_nodes
 from repro.backend.codegen import CompiledProgram, generate_program
 from repro.config import CompilerConfig
 from repro.core.allocator import ProgramAllocation, allocate_program
@@ -140,6 +140,81 @@ def compile_source(
         if tracer.enabled:
             sp.set(nodes=count_nodes(expr))
 
+        t0 = time.perf_counter()
+        with tracer.span("convert") as sp:
+            expr = assignment_convert(expr)
+            mark_tail_calls(expr)
+            check_scopes(expr)
+        t.record("convert", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(nodes=count_nodes(expr))
+
+        if config.lambda_lift:
+            from repro.frontend.lambdalift import lambda_lift
+
+            t0 = time.perf_counter()
+            with tracer.span("lambda-lift") as sp:
+                expr, lift_report = lambda_lift(
+                    expr, max_params=config.lambda_lift_max_params
+                )
+                check_scopes(expr)
+            t.record("lambda-lift", time.perf_counter() - t0)
+            if tracer.enabled:
+                sp.set(lifted=len(lift_report.lifted))
+
+        t0 = time.perf_counter()
+        with tracer.span("closure") as sp:
+            program = closure_convert(expr)
+        t.record("closure", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(procedures=len(program.codes))
+
+        t0 = time.perf_counter()
+        with tracer.span("allocate") as sp:
+            allocation = allocate_program(program, config)
+        t.record("allocate", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(**_allocation_stats(program, allocation))
+
+        t0 = time.perf_counter()
+        with tracer.span("codegen") as sp:
+            compiled = generate_program(program, allocation, config)
+        t.record("codegen", time.perf_counter() - t0)
+        if tracer.enabled:
+            sp.set(
+                instructions=compiled.total_instructions(),
+                peephole_removed=compiled.peephole_removed,
+            )
+    return compiled
+
+
+def compile_core(
+    expr: Expr,
+    config: Optional[CompilerConfig] = None,
+    times: Optional[CompileTimes] = None,
+    tracer=None,
+    copy: bool = True,
+) -> CompiledProgram:
+    """Back half of the pipeline: expanded core AST to compiled program.
+
+    Callers that explore many configurations (the differential fuzzer's
+    oracle, strategy sweeps) expand a program once and compile the same
+    tree repeatedly.  The compilation passes annotate the tree in place,
+    so by default the input is first copied with
+    :func:`repro.astnodes.copy_expr`; pass ``copy=False`` to give the
+    tree up to a single compilation and skip the copy.
+
+    The input is a *post-expansion* tree (what :func:`expand_source`
+    returns): assignment conversion, scope checking, closure conversion,
+    allocation, and code generation all run here.
+    """
+    config = config or CompilerConfig()
+    tracer = tracer if tracer is not None else tracer_for(config)
+    t = times or CompileTimes()
+    if copy:
+        expr = copy_expr(expr)
+
+    with tracer.span("compile-core", nodes=count_nodes(expr)):
         t0 = time.perf_counter()
         with tracer.span("convert") as sp:
             expr = assignment_convert(expr)

@@ -13,7 +13,6 @@ from typing import List
 from repro.astnodes import Call, CodeObject, Save, walk
 from repro.backend.codegen import CompiledProgram
 from repro.core.locations import FrameSlot
-from repro.core.registers import Register
 
 
 def code_report(compiled: CompiledProgram, code: CodeObject) -> str:

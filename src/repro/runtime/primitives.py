@@ -16,7 +16,7 @@ tests.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 from repro.sexp.datum import (
     Char,

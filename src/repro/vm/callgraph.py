@@ -19,7 +19,7 @@ reflects only the non-tail calls it performed itself.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.astnodes import CodeObject
 

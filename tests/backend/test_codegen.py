@@ -1,6 +1,5 @@
 """Code generation tests: instruction-level properties."""
 
-import pytest
 
 from repro.backend.isa import OPCODES, format_code
 from repro.config import CompilerConfig

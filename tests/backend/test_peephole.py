@@ -3,7 +3,7 @@
 import pytest
 
 from repro.astnodes import CodeObject, Quote
-from repro.backend.peephole import peephole_code, peephole_program
+from repro.backend.peephole import peephole_code
 from repro.config import CompilerConfig
 from repro.pipeline import compile_source, run_source
 from repro.sexp.writer import write_datum

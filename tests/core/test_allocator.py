@@ -1,6 +1,5 @@
 """Allocator orchestration tests."""
 
-import pytest
 
 from repro.astnodes import Call, If, walk
 from repro.config import CompilerConfig

@@ -1,8 +1,7 @@
 """Liveness and location assignment (pass 0)."""
 
-import pytest
 
-from repro.astnodes import Call, Let, Ref, walk
+from repro.astnodes import Call, Let, walk
 from repro.core.liveness import analyze_code
 from repro.core.locations import FrameSlot
 from repro.core.registers import Register, RegisterFile

@@ -1,8 +1,7 @@
 """Pass 2: redundant-save elimination and restore placement (§3.2)."""
 
-import pytest
 
-from repro.astnodes import Call, If, Save, Seq, walk
+from repro.astnodes import Call, Save, walk
 from repro.config import CompilerConfig
 from repro.pipeline import compile_source, run_source
 

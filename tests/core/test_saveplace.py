@@ -1,6 +1,5 @@
 """Save placement (pass 1) across all strategies."""
 
-import pytest
 
 from repro.astnodes import Call, If, Save, walk
 from repro.config import CompilerConfig

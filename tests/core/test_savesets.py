@@ -1,6 +1,5 @@
 """The save-set analyses (§2.1), tested in the paper's own terms."""
 
-import pytest
 
 from repro.core.savesets import EMPTY, TOP, rinter, runion, save_set
 

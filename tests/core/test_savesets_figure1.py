@@ -4,7 +4,7 @@ expressions in the paper's simplified language."""
 from hypothesis import given, settings, strategies as st
 
 from repro.astnodes import Call, Expr, If, PrimCall, Quote, Ref, Seq, walk
-from repro.core.savesets import EMPTY, TOP, rinter, runion, save_set
+from repro.core.savesets import EMPTY, rinter, runion
 from tests.core.conftest import PaperWorld
 
 _VAR_NAMES = ("a", "b", "c", "d")

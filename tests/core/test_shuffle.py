@@ -1,11 +1,9 @@
 """Greedy shuffling (§2.3, §3.1)."""
 
-import pytest
 
 from repro.astnodes import Call, walk
 from repro.config import CompilerConfig
 from repro.core.shuffle import (
-    dependency_edges,
     minimum_evictions,
     _graph_cyclic,
 )

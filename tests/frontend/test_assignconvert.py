@@ -1,11 +1,10 @@
 """Assignment conversion: after it, no variable is ever mutated."""
 
-import pytest
 
-from repro.astnodes import Lambda, Let, PrimCall, Ref, SetBang, walk
+from repro.astnodes import Lambda, Let, PrimCall, SetBang, walk
 from repro.frontend.assignconvert import assignment_convert
-from repro.frontend.expand import expand_expr, expand_program
-from repro.sexp.reader import read, read_all
+from repro.frontend.expand import expand_program
+from repro.sexp.reader import read_all
 
 
 def convert(text):

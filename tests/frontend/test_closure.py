@@ -1,13 +1,11 @@
 """Closure conversion tests."""
 
-import pytest
 
 from repro.astnodes import (
     ClosureRef,
     Fix,
     Lambda,
     MakeClosure,
-    Ref,
     walk,
 )
 from repro.frontend.analyze import mark_tail_calls

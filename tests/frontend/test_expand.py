@@ -18,7 +18,7 @@ from repro.astnodes import (
 )
 from repro.errors import CompilerError
 from repro.frontend.expand import expand_expr, expand_program
-from repro.sexp.datum import NIL, Symbol, UNSPECIFIED
+from repro.sexp.datum import NIL, UNSPECIFIED
 from repro.sexp.reader import read, read_all
 
 

@@ -6,7 +6,7 @@ from repro.astnodes import Call, Fix, Lambda, Ref, walk
 from repro.config import CompilerConfig
 from repro.frontend.analyze import check_scopes, mark_tail_calls
 from repro.frontend.assignconvert import assignment_convert
-from repro.frontend.lambdalift import LiftReport, lambda_lift
+from repro.frontend.lambdalift import lambda_lift
 from repro.pipeline import expand_source
 from tests.conftest import assert_compiles_like_interpreter
 

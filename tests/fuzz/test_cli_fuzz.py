@@ -1,0 +1,71 @@
+"""CLI surface of ``repro fuzz`` (in-process via repro.cli.main)."""
+
+import json
+
+from repro.cli import main
+from repro.fuzz.corpus import CorpusEntry, save_entry
+
+
+class TestFuzzRun:
+    def test_small_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            ["fuzz", "--seed", "11", "--iterations", "2", "--corpus", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 program(s)" in out
+        assert "0 failure(s)" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--seed",
+                "11",
+                "--iterations",
+                "2",
+                "--corpus",
+                str(tmp_path),
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["seed"] == 11
+        assert doc["iterations"] == 2
+        assert doc["failures"] == []
+
+
+class TestFuzzReplay:
+    def test_replay_ok(self, tmp_path, capsys):
+        path = save_entry(CorpusEntry(source="(+ 20 22)"), str(tmp_path))
+        assert main(["fuzz", "--replay", path]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_replay_unparseable_is_one_line_diagnostic(self, tmp_path, capsys):
+        # A corpus file the loader rejects must exit 1 with the standard
+        # one-line diagnostic — never a traceback.
+        path = tmp_path / "broken.sexp"
+        path.write_text("this is not a corpus file\n")
+        code = main(["fuzz", "--replay", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        err = captured.err.strip()
+        assert err.startswith("repro: fuzz error:")
+        assert "\n" not in err
+        assert "Traceback" not in captured.err
+
+    def test_replay_missing_file(self, tmp_path, capsys):
+        code = main(["fuzz", "--replay", str(tmp_path / "absent.sexp")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("repro: fuzz error:")
+
+    def test_replay_unreadable_body(self, tmp_path, capsys):
+        path = tmp_path / "body.sexp"
+        path.write_text(";; repro-fuzz v1\n(+ 1 2\n")
+        code = main(["fuzz", "--replay", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "unreadable program body" in captured.err

@@ -1,0 +1,93 @@
+"""Corpus round-trip and malformed-file diagnostics."""
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.errors import FuzzError
+from repro.fuzz.corpus import MAGIC, CorpusEntry, load_entry, save_entry
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        config = CompilerConfig(
+            save_strategy="late",
+            restore_strategy="lazy",
+            save_convention="callee",
+            num_arg_regs=2,
+            num_temp_regs=1,
+        )
+        entry = CorpusEntry(
+            source="(define (f x) x)\n(f 3)",
+            kind="value",
+            seed=42,
+            iteration=17,
+            config=config,
+            detail="expected '3', got '0'",
+            extra={"note": "hand-written"},
+        )
+        path = save_entry(entry, str(tmp_path))
+        loaded = load_entry(path)
+        assert loaded.source == entry.source
+        assert loaded.kind == "value"
+        assert loaded.seed == 42
+        assert loaded.iteration == 17
+        assert loaded.config is not None
+        assert loaded.config.summary() == config.summary()
+        assert loaded.detail == entry.detail
+        assert loaded.extra == {"note": "hand-written"}
+
+    def test_minimal_round_trip(self, tmp_path):
+        entry = CorpusEntry(source="(+ 1 2)")
+        loaded = load_entry(save_entry(entry, str(tmp_path)))
+        assert loaded.source == "(+ 1 2)"
+        assert loaded.seed is None
+        assert loaded.config is None
+
+    def test_file_name_is_stable_and_distinct(self):
+        a = CorpusEntry(source="(+ 1 2)", kind="value", seed=1, iteration=2)
+        b = CorpusEntry(source="(+ 1 3)", kind="value", seed=1, iteration=2)
+        assert a.file_name() == a.file_name()
+        assert a.file_name() != b.file_name()
+        assert a.file_name().endswith(".sexp")
+
+
+class TestMalformed:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FuzzError, match="cannot read corpus file"):
+            load_entry(str(tmp_path / "nope.sexp"))
+
+    def test_missing_magic(self, tmp_path):
+        path = tmp_path / "x.sexp"
+        path.write_text("(+ 1 2)\n")
+        with pytest.raises(FuzzError, match="not a repro-fuzz corpus file"):
+            load_entry(str(path))
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "x.sexp"
+        path.write_text(f"{MAGIC}\n;; no-colon-here\n(+ 1 2)\n")
+        with pytest.raises(FuzzError, match="malformed header"):
+            load_entry(str(path))
+
+    def test_bad_seed(self, tmp_path):
+        path = tmp_path / "x.sexp"
+        path.write_text(f"{MAGIC}\n;; seed: banana\n(+ 1 2)\n")
+        with pytest.raises(FuzzError, match="not an integer"):
+            load_entry(str(path))
+
+    def test_bad_config_json(self, tmp_path):
+        path = tmp_path / "x.sexp"
+        path.write_text(f"{MAGIC}\n;; config: {{not json\n(+ 1 2)\n")
+        with pytest.raises(FuzzError, match="bad config header"):
+            load_entry(str(path))
+
+    def test_empty_body(self, tmp_path):
+        path = tmp_path / "x.sexp"
+        path.write_text(f"{MAGIC}\n;; kind: manual\n")
+        with pytest.raises(FuzzError, match="no program body"):
+            load_entry(str(path))
+
+    def test_unreadable_body(self, tmp_path):
+        path = tmp_path / "x.sexp"
+        path.write_text(f"{MAGIC}\n(+ 1 2\n")
+        with pytest.raises(FuzzError, match="unreadable program body"):
+            load_entry(str(path))

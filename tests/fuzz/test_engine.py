@@ -1,0 +1,75 @@
+"""Fuzzing-loop tests: deterministic reports, corpus persistence, and
+replay round-trips."""
+
+from repro.fuzz.corpus import CorpusEntry, load_entry, save_entry
+from repro.fuzz.engine import replay_entry, run_fuzz
+from repro.fuzz.genprog import GenConfig
+
+
+def _stable(report_dict: dict) -> dict:
+    out = dict(report_dict)
+    out.pop("elapsed_seconds")
+    return out
+
+
+SMALL = GenConfig(max_helpers=2, min_helpers=2, max_depth=3)
+
+
+class TestRunFuzz:
+    def test_clean_run(self):
+        report = run_fuzz(seed=11, iterations=2, gen_config=SMALL)
+        assert report.ok
+        assert report.iterations == 2
+        assert report.configs_checked > 0
+
+    def test_deterministic_report(self):
+        a = run_fuzz(seed=11, iterations=2, gen_config=SMALL)
+        b = run_fuzz(seed=11, iterations=2, gen_config=SMALL)
+        assert _stable(a.as_dict()) == _stable(b.as_dict())
+
+    def test_progress_callback(self):
+        seen = []
+        run_fuzz(
+            seed=11,
+            iterations=2,
+            gen_config=SMALL,
+            on_progress=lambda done, report: seen.append(done),
+        )
+        assert seen == [1, 2]
+
+    def test_keep_interesting_persists_corpus(self, tmp_path):
+        # Permuted self-calls make broken shuffle cycles common; a short
+        # run finds at least one and keeps it.
+        report = run_fuzz(
+            seed=42,
+            iterations=4,
+            corpus_dir=str(tmp_path),
+            keep_interesting=2,
+        )
+        assert report.ok
+        assert report.shuffle_cycles > 0
+        assert report.interesting_saved
+        entry = load_entry(report.interesting_saved[0])
+        assert entry.kind == "interesting"
+        assert entry.seed == 42
+
+
+class TestReplay:
+    def test_replay_round_trip(self, tmp_path):
+        entry = CorpusEntry(source="(+ 20 22)", kind="manual")
+        path = save_entry(entry, str(tmp_path))
+        report = replay_entry(load_entry(path))
+        assert report.ok
+        assert report.configs_checked > 0
+
+    def test_replay_prefers_recorded_config(self, tmp_path):
+        from repro.config import CompilerConfig, full_matrix
+
+        entry = CorpusEntry(
+            source="(+ 1 2)",
+            config=CompilerConfig(num_arg_regs=2, num_temp_regs=1),
+        )
+        report = replay_entry(entry)
+        # The recorded configuration is checked in addition to the
+        # matrix (deduplicated when it is already a matrix point).
+        assert report.configs_checked >= len(full_matrix())

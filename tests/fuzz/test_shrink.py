@@ -1,0 +1,76 @@
+"""Shrinker invariants: the result still fails, stays well-formed, and
+the process is deterministic and strictly size-decreasing."""
+
+from repro.fuzz.genprog import generate_program
+from repro.fuzz.shrink import program_size, shrink_program
+from repro.sexp.reader import read_all
+
+
+def contains_symbol(source: str, name: str) -> bool:
+    return any(name in part for part in source.split())
+
+
+class TestShrink:
+    def test_result_still_fails(self):
+        source = (
+            "(define (noise a b) (+ a b))\n"
+            "(define (target x) (* x magicvar))\n"
+            "(noise 1 2)\n"
+            "(target 3)\n"
+        )
+        still_fails = lambda s: "magicvar" in s  # noqa: E731
+        shrunk = shrink_program(source, still_fails)
+        assert still_fails(shrunk)
+        assert program_size(shrunk) < program_size(source)
+        # The unrelated forms are gone entirely.
+        assert "noise" not in shrunk
+
+    def test_result_is_well_formed(self):
+        source = generate_program(42, 0).source
+        still_fails = lambda s: "h1" in s  # noqa: E731
+        shrunk = shrink_program(source, still_fails)
+        forms = read_all(shrunk)  # must not raise
+        assert forms
+
+    def test_deterministic(self):
+        source = generate_program(42, 1).source
+        still_fails = lambda s: "mainf" in s  # noqa: E731
+        assert shrink_program(source, still_fails) == shrink_program(
+            source, still_fails
+        )
+
+    def test_local_minimum_is_fixpoint(self):
+        source = generate_program(42, 2).source
+        still_fails = lambda s: "h0" in s  # noqa: E731
+        shrunk = shrink_program(source, still_fails)
+        assert shrink_program(shrunk, still_fails) == shrunk
+
+    def test_never_returns_failing_empty(self):
+        # A predicate nothing satisfies leaves the program untouched.
+        source = "(define (f x) x)\n(f 1)"
+        assert shrink_program(source, lambda s: False) == source
+
+    def test_define_heads_survive(self):
+        # Head/keyword positions are protected: a shrunk define is still
+        # a define with a signature.
+        source = "(define (keepme a b c) (+ a (+ b (+ c wanted))))\n(keepme 1 2 3)"
+        shrunk = shrink_program(source, lambda s: "wanted" in s)
+        assert "(define (keepme" in shrunk
+        assert "wanted" in shrunk
+
+    def test_candidates_never_grow(self):
+        # Every candidate the shrinker proposes is no larger than the
+        # current program (atom-for-atom swaps keep the size but strictly
+        # decrease rank — the termination argument is lexicographic).
+        source = generate_program(42, 3).source
+        current = [program_size(source)]
+
+        def still_fails(candidate: str) -> bool:
+            assert program_size(candidate) <= current[0]
+            ok = "mainf" in candidate
+            if ok:
+                current[0] = program_size(candidate)
+            return ok
+
+        shrunk = shrink_program(source, still_fails)
+        assert program_size(shrunk) == current[0]

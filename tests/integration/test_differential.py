@@ -66,7 +66,9 @@ def _int_expr(draw, depth=3, scope=_VARS):
             ["leaf", "add", "sub", "mul", "if", "let", "call1", "call2", "seq"]
         )
     )
-    sub = lambda: draw(_int_expr(depth=depth - 1, scope=scope))
+    def sub():
+        return draw(_int_expr(depth=depth - 1, scope=scope))
+
     if kind == "leaf":
         return draw(_int_expr(depth=0, scope=scope))
     if kind == "add":

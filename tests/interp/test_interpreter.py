@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.interp.interpreter import Interpreter, interpret_source
+from repro.interp.interpreter import Interpreter
 from repro.runtime.values import SchemeError
-from repro.sexp.datum import NIL, Symbol, UNSPECIFIED
+from repro.sexp.datum import Symbol
 from repro.sexp.writer import write_datum
 
 

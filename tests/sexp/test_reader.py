@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sexp.datum import Char, MutableString, NIL, Pair, Symbol, pairs_to_list
+from repro.sexp.datum import Char, NIL, Pair, Symbol, pairs_to_list
 from repro.sexp.reader import ReaderError, read, read_all
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     CompileTimes,
-    CompilerConfig,
     CompilerError,
     SchemeError,
     compile_source,
@@ -60,7 +59,6 @@ class TestRun:
 
     def test_expand_source(self):
         expr = expand_source("(+ 1 2)")
-        from repro.astnodes import PrimCall
 
         # prelude wraps the program in its definitions
         assert expr is not None

@@ -1,6 +1,5 @@
 """Allocation report tests."""
 
-import pytest
 
 from repro.cli import main
 from repro.config import CompilerConfig

@@ -1,7 +1,7 @@
 """Activation classifier unit tests (Table 2 machinery)."""
 
 from repro.astnodes import CodeObject, Quote
-from repro.vm.callgraph import CATEGORIES, ActivationClassifier, classify
+from repro.vm.callgraph import ActivationClassifier, classify
 
 
 def make_code(name, syntactic_leaf=False, always_calls=False):

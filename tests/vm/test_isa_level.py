@@ -8,7 +8,7 @@ from repro.config import CompilerConfig, CostModel
 from repro.core.allocator import ProgramAllocation
 from repro.core.registers import RegisterFile
 from repro.runtime.values import SchemeError
-from repro.vm.machine import Machine, VMClosure, VMError
+from repro.vm.machine import Machine, VMError
 
 
 def build(instructions, frame_size=4, config=None, extra_codes=()):
