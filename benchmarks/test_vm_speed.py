@@ -1,0 +1,53 @@
+"""Fast-path throughput: the trace-compiled VM must beat the legacy
+dispatch loop by at least 2x (geomean over the speed corpus).
+
+This is the performance acceptance test for the VM fast path: the
+equivalence suite (``tests/vm/test_predecode_equiv.py``) proves the
+fast loop changes nothing observable, and this proves it was worth
+building.  Lives in ``benchmarks/`` (outside the tier-1 ``tests/``
+path) because it measures wall-clock time.
+"""
+
+import time
+
+from repro.benchsuite.programs import BENCHMARKS
+from repro.benchsuite.vmbench import SPEED_CORPUS
+from repro.pipeline import compile_source, run_compiled
+
+from benchmarks.conftest import print_block
+
+REPEATS = 3
+REQUIRED_GEOMEAN = 2.0
+
+
+def best_wall_time(compiled, vm_fast):
+    run_compiled(compiled, vm_fast=vm_fast)  # warm (compiles traces)
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        run_compiled(compiled, vm_fast=vm_fast)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fast_loop_twice_as_fast():
+    rows = []
+    product = 1.0
+    for name in SPEED_CORPUS:
+        compiled = compile_source(BENCHMARKS[name].source)
+        fast_s = best_wall_time(compiled, True)
+        legacy_s = best_wall_time(compiled, False)
+        instructions = run_compiled(compiled, vm_fast=True).counters.instructions
+        speedup = legacy_s / fast_s
+        product *= speedup
+        rows.append(
+            f"{name:12s} fast {instructions / fast_s / 1e6:6.2f} M instr/s  "
+            f"legacy {instructions / legacy_s / 1e6:6.2f} M instr/s  "
+            f"speedup {speedup:5.2f}x"
+        )
+    geomean = product ** (1.0 / len(SPEED_CORPUS))
+    rows.append(f"{'geomean':12s} {geomean:.2f}x (required: >= {REQUIRED_GEOMEAN}x)")
+    print_block("VM fast-path throughput", "\n".join(rows))
+    assert geomean >= REQUIRED_GEOMEAN, (
+        f"fast loop geomean speedup {geomean:.2f}x < {REQUIRED_GEOMEAN}x"
+    )

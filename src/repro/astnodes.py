@@ -269,6 +269,12 @@ class CodeObject:
     * ``always_calls``    — ``ret ∈ St[body] ∩ Sf[body]``: every path
                             through the body makes a non-tail call
     * ``instructions``    — generated VM code
+    * ``fast_instructions`` — pre-decoded fused stream for the VM fast
+                            path (``repro.vm.predecode``), cached on
+                            first execution
+    * ``fast_blocks``     — block-compiled form of the fused stream
+                            (``repro.vm.blockcompile``), cached on
+                            first execution under the fast loop
     """
 
     _counter = itertools.count()
@@ -283,6 +289,8 @@ class CodeObject:
         "syntactic_leaf",
         "always_calls",
         "instructions",
+        "fast_instructions",
+        "fast_blocks",
         "entry_saves",
         "callee_saved",
     )
@@ -297,6 +305,8 @@ class CodeObject:
         self.syntactic_leaf = False
         self.always_calls = False
         self.instructions = None
+        self.fast_instructions = None
+        self.fast_blocks = None
         self.entry_saves = []
         self.callee_saved = []
 

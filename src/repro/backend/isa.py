@@ -67,6 +67,270 @@ STACK_KINDS = (
     "temp",      # shuffle/complex-argument temporaries
 )
 
+# ---------------------------------------------------------------------------
+# Structured ISA reference
+# ---------------------------------------------------------------------------
+#
+# One entry per opcode, machine-readable: ``docs/isa.md`` is generated
+# from this table (``python -m repro isa --markdown``; CI diffs the
+# committed file against the generator's output), and the entries
+# double as the authoritative statement of each opcode's cycle cost and
+# counter effects.  Costs reference ``CostModel`` fields symbolically:
+# every instruction charges 1 issue cycle, plus whatever its entry
+# says.
+ISA_SPEC = (
+    {
+        "op": "li",
+        "operands": "dst, value",
+        "effect": "dst ← constant",
+        "cycles": "1",
+        "counters": "—",
+        "fused": "—",
+    },
+    {
+        "op": "mov",
+        "operands": "dst, src",
+        "effect": "dst ← src",
+        "cycles": "1",
+        "counters": "moves +1",
+        "fused": "movm (move chain)",
+    },
+    {
+        "op": "ld",
+        "operands": "dst, slot, kind",
+        "effect": "dst ← stack[sp+slot]",
+        "cycles": "1 issue; dst ready after load_latency (readers stall)",
+        "counters": "stack_reads[kind] +1",
+        "fused": "ldm (load run), ldbrf/ldbrt (load-then-branch)",
+    },
+    {
+        "op": "ld_out",
+        "operands": "dst, offset, kind",
+        "effect": "dst ← stack[sp+frame+offset]",
+        "cycles": "1 issue; dst ready after load_latency (readers stall)",
+        "counters": "stack_reads[kind] +1",
+        "fused": "—",
+    },
+    {
+        "op": "st",
+        "operands": "slot, src, kind",
+        "effect": "stack[sp+slot] ← src",
+        "cycles": "store_cost",
+        "counters": "stack_writes[kind] +1",
+        "fused": "stm (store run)",
+    },
+    {
+        "op": "st_out",
+        "operands": "offset, src, kind",
+        "effect": "stack[sp+frame+offset] ← src",
+        "cycles": "store_cost",
+        "counters": "stack_writes[kind] +1",
+        "fused": "—",
+    },
+    {
+        "op": "prim",
+        "operands": "dst, name, srcs",
+        "effect": "dst ← prim(srcs); a src is a register or (\"imm\", v)",
+        "cycles": "1",
+        "counters": "prim_calls +1",
+        "fused": "—",
+    },
+    {
+        "op": "closure",
+        "operands": "dst, code, srcs",
+        "effect": "dst ← closure(code, values)",
+        "cycles": "1",
+        "counters": "closure_allocs +1",
+        "fused": "—",
+    },
+    {
+        "op": "clo_alloc",
+        "operands": "dst, code, nslots",
+        "effect": "dst ← closure with empty slots (letrec cycles)",
+        "cycles": "1",
+        "counters": "closure_allocs +1",
+        "fused": "—",
+    },
+    {
+        "op": "clo_set",
+        "operands": "clo_src, index, src",
+        "effect": "closure slot write (letrec back-patching)",
+        "cycles": "1",
+        "counters": "—",
+        "fused": "—",
+    },
+    {
+        "op": "clo_ref",
+        "operands": "dst, index",
+        "effect": "dst ← cp-closure free-variable slot",
+        "cycles": "1",
+        "counters": "—",
+        "fused": "—",
+    },
+    {
+        "op": "jmp",
+        "operands": "pc",
+        "effect": "goto pc",
+        "cycles": "1",
+        "counters": "—",
+        "fused": "—",
+    },
+    {
+        "op": "brf",
+        "operands": "src, pc, prediction",
+        "effect": "if src is #f goto pc",
+        "cycles": "1; +branch_mispredict_penalty when predicted wrong",
+        "counters": "branches +1; mispredicts +1 on mispredict",
+        "fused": "ldbrf (load-then-branch)",
+    },
+    {
+        "op": "brt",
+        "operands": "src, pc, prediction",
+        "effect": "if src is not #f goto pc",
+        "cycles": "1; +branch_mispredict_penalty when predicted wrong",
+        "counters": "branches +1; mispredicts +1 on mispredict",
+        "fused": "ldbrt (load-then-branch)",
+    },
+    {
+        "op": "call",
+        "operands": "nargs, frame_size",
+        "effect": "push frame, call closure in cp; ret ← return address",
+        "cycles": "1 + call_overhead",
+        "counters": "calls +1 (continuations_invoked +1 when cp is a continuation)",
+        "fused": "—",
+    },
+    {
+        "op": "tailcall",
+        "operands": "nargs",
+        "effect": "jump to closure in cp, reusing the frame",
+        "cycles": "1 + call_overhead",
+        "counters": "tail_calls +1 (continuations_invoked +1 for continuations)",
+        "fused": "—",
+    },
+    {
+        "op": "callcc",
+        "operands": "frame_size",
+        "effect": "capture continuation, call closure in cp with it",
+        "cycles": "1 + call_overhead",
+        "counters": "calls +1, continuations_captured +1",
+        "fused": "—",
+    },
+    {
+        "op": "return",
+        "operands": "—",
+        "effect": "pop frame, jump through ret; result in rv",
+        "cycles": "1",
+        "counters": "—",
+        "fused": "—",
+    },
+    {
+        "op": "halt",
+        "operands": "—",
+        "effect": "stop; result in rv",
+        "cycles": "1",
+        "counters": "—",
+        "fused": "—",
+    },
+)
+
+# The peephole pass's superinstructions (repro.backend.peephole).  Each
+# executes as its exact component sequence: cycle and counter effects
+# are the sum of the parts, so fusion is invisible to every metric.
+FUSED_SPEC = (
+    {
+        "op": "movm",
+        "operands": "((dst, src), ...)",
+        "components": "mov × n",
+        "origin": "register shuffle sequences at call sites",
+    },
+    {
+        "op": "stm",
+        "operands": "((slot, src, kind), ...)",
+        "components": "st × n",
+        "origin": "save runs (the paper's lazy save expressions)",
+    },
+    {
+        "op": "ldm",
+        "operands": "((dst, slot, kind), ...)",
+        "components": "ld × n",
+        "origin": "restore runs (eager restores after a call)",
+    },
+    {
+        "op": "ldbrf / ldbrt",
+        "operands": "dst, slot, kind, src, pc, prediction",
+        "components": "ld ; brf/brt",
+        "origin": "a restore immediately tested by a branch",
+    },
+)
+
+
+def isa_markdown() -> str:
+    """Render the ISA reference as the ``docs/isa.md`` document.
+
+    CI regenerates this and diffs it against the committed file, so the
+    doc cannot drift from :data:`ISA_SPEC`.
+    """
+    lines = [
+        "# VM instruction set",
+        "",
+        "<!-- Generated by `python -m repro isa --markdown` from",
+        "     src/repro/backend/isa.py (ISA_SPEC).  Do not edit by hand:",
+        "     CI regenerates this file and fails on any difference. -->",
+        "",
+        "A load/store ISA in which stack traffic is explicit: every",
+        "`ld`/`st` is tagged with *why* it happened (`"
+        + "`, `".join(STACK_KINDS)
+        + "`),",
+        "which is how the paper's stack-reference metric is measured",
+        "exactly.  Every instruction charges one issue cycle; the",
+        "**cycles** column lists any extra cost, in terms of the",
+        "`CostModel` fields (`load_latency`, `store_cost`,",
+        "`call_overhead`, `branch_mispredict_penalty`).",
+        "",
+        "## Opcodes",
+        "",
+        "| op | operands | effect | cycles | counter effects | fused variants |",
+        "|---|---|---|---|---|---|",
+    ]
+    for entry in ISA_SPEC:
+        lines.append(
+            "| `{op}` | {operands} | {effect} | {cycles} | {counters} | {fused} |".format(
+                **entry
+            )
+        )
+    lines += [
+        "",
+        "## Superinstructions",
+        "",
+        "The peephole pass (`repro.backend.peephole.fuse_superinstructions`)",
+        "collapses common sequences into *superinstructions* consumed by the",
+        "fast path's pre-decoder.  Each executes as its exact component",
+        "sequence — cycles, counters, and profiles are the sum of the parts,",
+        "so fusion is invisible to every metric (asserted by",
+        "`tests/vm/test_predecode_equiv.py`).",
+        "",
+        "| op | operands | components | typical origin |",
+        "|---|---|---|---|",
+    ]
+    for entry in FUSED_SPEC:
+        lines.append(
+            "| `{op}` | {operands} | {components} | {origin} |".format(**entry)
+        )
+    lines += [
+        "",
+        "## Stack-reference kinds",
+        "",
+        "| kind | meaning |",
+        "|---|---|",
+        "| `save` | register save (the paper's save expressions) |",
+        "| `restore` | register restore after a call |",
+        "| `spill` | variable without a register: its every access |",
+        "| `arg` | argument passed/read on the stack |",
+        "| `temp` | shuffle/complex-argument temporaries |",
+        "",
+    ]
+    return "\n".join(lines)
+
 
 def format_instruction(instr: List[Any], regnames: List[str]) -> str:
     """Human-readable rendering of one instruction (for tests/docs)."""

@@ -12,15 +12,36 @@ straightforward translation).  Three rewrites, iterated to fixpoint:
 
 None of these touch stack references, so the Table 3 metric is
 unaffected; they shave pure control-flow overhead.
+
+A fourth, separate rewrite — :func:`fuse_superinstructions` — collapses
+the idioms this allocator emits in bulk (move chains from greedy
+shuffling, save/restore runs around calls, load-then-branch) into
+*superinstructions*.  Fusion is a pure function over the instruction
+list: it never mutates its input, and a fused op is executed as the
+exact sequence of its components (same instruction count, cycles, and
+stack-reference counters), so every paper metric is bit-identical.  It
+is applied by the pre-decoder (``repro.vm.predecode``) on the VM fast
+path, not to ``code.instructions`` itself — the symbolic stream stays
+canonical for the disassembler and the legacy dispatch loop.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Set
 
 from repro.astnodes import CodeObject
 
 _BRANCH_OPS = {"jmp": 1, "brf": 2, "brt": 2}
+
+# Superinstruction forms produced by fuse_superinstructions:
+#   ["movm", ((dst, src), ...)]          — a register move chain
+#   ["stm",  ((slot, src, kind), ...)]   — a store run (e.g. lazy saves)
+#   ["ldm",  ((dst, slot, kind), ...)]   — a load run (e.g. eager restores)
+#   ["ldbr", dst, slot, kind, brop, pc]  — load immediately tested by a branch
+FUSED_OPS = ("movm", "stm", "ldm", "ldbr")
+
+# Ops whose consecutive runs are collapsed into one superinstruction.
+_RUN_OPS = {"mov": "movm", "st": "stm", "ld": "ldm"}
 
 
 def peephole_code(code: CodeObject) -> int:
@@ -103,3 +124,90 @@ def _drop_dead_jumps(instrs: List[List[Any]]) -> bool:
 def peephole_program(codes: List[CodeObject]) -> int:
     """Optimize every code object; returns total instructions removed."""
     return sum(peephole_code(code) for code in codes)
+
+
+# ---------------------------------------------------------------------------
+# Superinstruction fusion (the VM fast path's second layer)
+# ---------------------------------------------------------------------------
+
+
+def branch_targets(instrs: List[List[Any]]) -> Set[int]:
+    """Every pc that a ``jmp``/``brf``/``brt`` can transfer to.
+
+    Return addresses (the pc after a ``call``/``callcc``) need no entry:
+    the preceding instruction is the call itself, which is never part of
+    a fusable run, so a fused run can only *start* at such a pc — and
+    starting at a join point is always safe.
+    """
+    targets: Set[int] = set()
+    for instr in instrs:
+        slot = _BRANCH_OPS.get(instr[0])
+        if slot is not None:
+            targets.add(instr[slot])
+    return targets
+
+
+def fuse_superinstructions(instrs: List[List[Any]]) -> List[List[Any]]:
+    """Collapse fusable idioms into superinstructions.
+
+    Returns a *new* instruction list (the input is not mutated) in which
+
+    * runs of ≥2 consecutive ``mov``/``st``/``ld`` become one
+      ``movm``/``stm``/``ldm`` carrying the component operand tuples, and
+    * a lone ``ld`` whose value is immediately tested by the following
+      ``brf``/``brt`` becomes one ``ldbr``.
+
+    A run never extends *through* a branch target (a jump may not land
+    inside a superinstruction); branch targets are renumbered for the
+    shorter stream.  Executing a fused op is defined as executing its
+    components in sequence, so ``instructions``, ``cycles`` and every
+    stack-reference counter are conserved exactly.
+    """
+    n = len(instrs)
+    if n == 0:
+        return []
+    targets = branch_targets(instrs)
+    fused: List[List[Any]] = []
+    new_pc: Dict[int, int] = {}
+    pc = 0
+    while pc < n:
+        new_pc[pc] = len(fused)
+        instr = instrs[pc]
+        op = instr[0]
+        fused_name = _RUN_OPS.get(op)
+        if fused_name is not None:
+            end = pc + 1
+            while end < n and instrs[end][0] == op and end not in targets:
+                end += 1
+            if end - pc >= 2:
+                if op == "mov":
+                    items = tuple((i[1], i[2]) for i in instrs[pc:end])
+                else:  # st: (slot, src, kind); ld: (dst, slot, kind)
+                    items = tuple((i[1], i[2], i[3]) for i in instrs[pc:end])
+                fused.append([fused_name, items])
+                pc = end
+                continue
+            if op == "ld" and pc + 1 < n and pc + 1 not in targets:
+                nxt = instrs[pc + 1]
+                if nxt[0] in ("brf", "brt") and nxt[1] == instr[1]:
+                    fused.append(
+                        ["ldbr", instr[1], instr[2], instr[3], nxt[0], nxt[2]]
+                    )
+                    pc += 2
+                    continue
+        fused.append(instr)
+        pc += 1
+    new_pc[n] = len(fused)
+
+    renumbered: List[List[Any]] = []
+    for instr in fused:
+        op = instr[0]
+        slot = _BRANCH_OPS.get(op)
+        if slot is not None:
+            instr = list(instr)
+            instr[slot] = new_pc[instr[slot]]
+        elif op == "ldbr":
+            instr = list(instr)
+            instr[5] = new_pc[instr[5]]
+        renumbered.append(instr)
+    return renumbered

@@ -73,6 +73,11 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--vm-debug", action="store_true", help="poison-checking VM mode"
     )
+    group.add_argument(
+        "--no-vm-fast",
+        action="store_true",
+        help="use the legacy dispatch loop instead of the trace-compiled fast path",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> CompilerConfig:
@@ -87,6 +92,7 @@ def _config_from(args: argparse.Namespace) -> CompilerConfig:
         save_convention=args.convention,
         branch_prediction=args.predict,
         lambda_lift=args.lift,
+        vm_fast=not args.no_vm_fast,
     )
 
 
@@ -234,6 +240,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.benchsuite import BENCHMARKS
     from repro.benchsuite.runner import run_benchmark
 
+    if args.baseline_out or args.check_baseline:
+        return _bench_baseline(args)
+
     names = args.names or sorted(BENCHMARKS)
     config = _config_from(args)
     tracer = Tracer() if args.trace else None
@@ -278,6 +287,58 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if tracer is not None:
         _write_out(args.trace, json.dumps(chrome_trace(tracer)))
         print(f"; trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _bench_baseline(args: argparse.Namespace) -> int:
+    """The ``bench --baseline-out`` / ``--check-baseline`` modes: VM
+    throughput baseline collection and the CI regression gate."""
+    from repro.benchsuite import vmbench
+
+    def progress(name: str, entry) -> None:
+        speed = (
+            f"  {entry['instructions_per_sec'] / 1e6:5.2f} M instr/s"
+            f"  ({entry['speedup_vs_legacy']:.2f}x vs legacy)"
+            if "speedup_vs_legacy" in entry
+            else ""
+        )
+        print(f"; {name:16s} {entry['instructions']:>11,} instr{speed}", file=sys.stderr)
+
+    doc = vmbench.collect_baseline(
+        names=args.names or None,
+        config=_config_from(args),
+        repeats=args.repeats,
+        progress=progress,
+    )
+    if "geomean_speedup" in doc:
+        print(f"; geomean speedup {doc['geomean_speedup']:.2f}x", file=sys.stderr)
+    if args.baseline_out:
+        vmbench.write_baseline(doc, args.baseline_out)
+        print(f"; baseline written to {args.baseline_out}", file=sys.stderr)
+        if not args.check_baseline:
+            return 0
+    baseline = vmbench.load_baseline(args.check_baseline)
+    problems = vmbench.compare_baseline(doc, baseline, tolerance=args.tolerance)
+    if problems:
+        for problem in problems:
+            print(f"bench regression: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"; baseline check passed against {args.check_baseline}", file=sys.stderr
+    )
+    return 0
+
+
+def cmd_isa(args: argparse.Namespace) -> int:
+    from repro.backend.isa import isa_markdown
+
+    if args.markdown:
+        _write_out(args.out, isa_markdown())
+        return 0
+    from repro.backend.isa import ISA_SPEC
+
+    for entry in ISA_SPEC:
+        print(f"{entry['op']:10s} {entry['operands']:28s} {entry['effect']}")
     return 0
 
 
@@ -462,8 +523,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a Chrome trace of per-benchmark compile spans",
     )
+    p_bench.add_argument(
+        "--baseline-out",
+        metavar="PATH",
+        help="measure the fast VM and write a BENCH_vm.json baseline",
+    )
+    p_bench.add_argument(
+        "--check-baseline",
+        metavar="PATH",
+        help="re-measure and fail on regression vs a committed baseline",
+    )
+    p_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing repetitions per benchmark (default: 3)",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        metavar="F",
+        help="allowed relative speedup regression for --check-baseline",
+    )
     _add_config_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_isa = sub.add_parser("isa", help="show the VM instruction set reference")
+    p_isa.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the docs/isa.md document (CI checks it for drift)",
+    )
+    p_isa.add_argument(
+        "--out", metavar="PATH", help="output path (default: stdout)"
+    )
+    p_isa.set_defaults(fn=cmd_isa)
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument(

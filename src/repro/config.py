@@ -86,6 +86,15 @@ class CompilerConfig:
         null tracer (the default; zero hot-path cost); ``"compile"`` —
         record per-pass compile spans; ``"vm"`` — per-procedure VM
         profiles; ``"all"`` — both.
+    vm_fast:
+        Use the VM fast path (``repro.vm.predecode``): instructions are
+        pre-decoded to a flat specialized form and common idioms fused
+        into superinstructions.  Semantics, counters, cycles and
+        profiles are bit-identical to the legacy tuple-dispatch loop —
+        this knob exists for differential testing and for measuring the
+        dispatch overhead itself, not as a design-space point (it is
+        deliberately absent from :meth:`summary`).  The poison-checking
+        debug VM always uses the legacy loop.
     lambda_lift:
         Enable the §6 future-work pass: known procedures' free
         variables become extra (register) arguments, bounded by
@@ -103,6 +112,7 @@ class CompilerConfig:
     save_convention: str = "caller"
     branch_prediction: Optional[str] = None
     trace: str = "off"
+    vm_fast: bool = True
     cost_model: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

@@ -1,4 +1,19 @@
-"""Run-time locations for variables, and per-procedure frame layout."""
+"""Run-time locations for variables, and per-procedure frame layout.
+
+The paper's run-time model (§1, §3) gives every variable a *home*: a
+register (``a``/``t`` from :mod:`repro.core.registers`) or a stack
+frame slot.  This module supplies the stack half — :class:`FrameSlot`
+values and the :class:`FrameLayout` allocator that hands them out —
+and the :data:`Location` union that the allocation passes traffic in.
+
+Frames grow upward from ``sp``.  Incoming stack-passed arguments
+occupy the base (the caller wrote them past its own frame, §3.1's
+calling convention); spill homes, save homes (the targets of the lazy
+``save`` forms of §2.1), and shuffle temporaries (§2.3) follow in
+allocation order.  Each slot records its *purpose*, which is how stack
+references acquire the ``save``/``restore``/``spill``/``arg``/``temp``
+kinds that the VM counts for the paper's Table 3.
+"""
 
 from __future__ import annotations
 

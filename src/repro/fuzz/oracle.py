@@ -11,7 +11,13 @@ equality, two invariants from the observe layer are cross-checked:
 * **lazy ≤ late saves** — the revised lazy-save algorithm (§2.1.3) never
   performs more dynamic saves than saving immediately before each call;
   whenever the matrix contains a caller-save ``lazy`` point and its
-  ``late`` counterpart, the bound is asserted on the measured counters.
+  ``late`` counterpart, the bound is asserted on the measured counters;
+* **vm-fast** — the trace-compiled fast loop and the legacy dispatch
+  loop must agree exactly (value, output, counters) on the same
+  compiled program; checked on the first few configurations of each
+  program to bound cost.  Budget-exceeded runs only assert agreement on
+  the error class: the fast loop checks its budget once per trace, so
+  the raise point may trail the legacy loop's by up to one trace.
 
 A program the *interpreter* cannot run (wrong arity the generator
 slipped through, step budget exceeded) is not a divergence — it raises
@@ -39,6 +45,10 @@ from repro.vm.machine import VMError
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000
 DEFAULT_INTERP_STEPS = 2_000_000
 
+#: Configurations per program on which the fast-vs-legacy loop
+#: comparison runs (each costs two extra non-debug executions).
+FAST_CHECK_LIMIT = 4
+
 
 class InvalidProgram(Exception):
     """The reference interpreter itself rejected the program; there is
@@ -49,7 +59,8 @@ class InvalidProgram(Exception):
 class Divergence:
     """One disagreement between the VM and the reference semantics."""
 
-    kind: str  # value | output | compile-crash | vm-crash | conservation | save-bound
+    kind: str  # value | output | compile-crash | vm-crash | conservation
+    #            | save-bound | vm-fast
     config: CompilerConfig
     expected: str
     got: str
@@ -159,6 +170,7 @@ def check_program(
         configs = full_matrix()
     result = OracleResult(expected_value=expected_value)
     saves_by_point: Dict[tuple, Dict[str, int]] = {}
+    fast_checks = 0
 
     for config in configs:
         result.configs_checked += 1
@@ -223,6 +235,15 @@ def check_program(
                 saves_by_point.setdefault(point, {})[cfg["save_strategy"]] = (
                     run.counters.saves
                 )
+        if check_invariants and fast_checks < FAST_CHECK_LIMIT:
+            fast_checks += 1
+            problem = _vm_fast_problem(compiled, max_instructions)
+            if problem is not None:
+                result.divergences.append(
+                    Divergence("vm-fast", config, problem[0], problem[1])
+                )
+                if fail_fast:
+                    return result
         result.shuffle_cycles += _count_shuffle_cycles(compiled)
 
     if check_invariants:
@@ -244,6 +265,52 @@ def check_program(
                     )
                 )
     return result
+
+
+def _vm_fast_problem(compiled, max_instructions: int) -> Optional[Tuple[str, str]]:
+    """The fast/legacy loop agreement invariant for one compiled
+    program: identical value, output, and counters, or the same error.
+
+    Budget errors (``VMError``) compare by class only — the fast loop's
+    once-per-trace budget check may raise a few instructions after the
+    legacy loop's exact check."""
+
+    def attempt(vm_fast: bool):
+        try:
+            run = run_compiled(
+                compiled, max_instructions=max_instructions, vm_fast=vm_fast
+            )
+            return ("ok", run)
+        except VMError:
+            return ("budget", None)
+        except SchemeError as exc:
+            return ("error", str(exc))
+        except RecursionError:
+            return ("recursion", None)
+
+    slow_kind, slow = attempt(False)
+    fast_kind, fast = attempt(True)
+    if slow_kind != fast_kind:
+        return (f"legacy: {slow_kind}", f"fast: {fast_kind}")
+    if slow_kind == "ok":
+        slow_value = write_datum(slow.value)
+        fast_value = write_datum(fast.value)
+        if slow_value != fast_value:
+            return (f"value {slow_value}", f"value {fast_value}")
+        if slow.output != fast.output:
+            return (f"output {slow.output!r}", f"output {fast.output!r}")
+        slow_counts = slow.counters.as_dict()
+        fast_counts = fast.counters.as_dict()
+        if slow_counts != fast_counts:
+            diff = {
+                key: (slow_counts.get(key), fast_counts.get(key))
+                for key in set(slow_counts) | set(fast_counts)
+                if slow_counts.get(key) != fast_counts.get(key)
+            }
+            return ("counters equal", f"counters differ: {diff}")
+    elif slow_kind == "error" and slow != fast:
+        return (f"error {slow}", f"error {fast}")
+    return None
 
 
 def _conservation_problem(run) -> Optional[Tuple[str, str]]:

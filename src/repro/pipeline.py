@@ -296,13 +296,17 @@ def run_compiled(
     max_instructions: Optional[int] = None,
     tracer=None,
     profile: bool = False,
+    vm_fast: Optional[bool] = None,
 ) -> ExecutionResult:
     """Execute a compiled program.
 
     With ``profile=True`` the machine carries a
     :class:`repro.observe.VMProfiler` whose per-procedure table lands
     on ``ExecutionResult.profile``; *tracer* (if recording) wraps the
-    run in an ``execute`` span.
+    run in an ``execute`` span.  *vm_fast* overrides the config's loop
+    selection (``True`` = pre-decoded fast loop, ``False`` = legacy
+    loop); differential tests use it to run one compiled program under
+    both dispatch loops.
     """
     tracer = tracer or NULL_TRACER
     profiler = VMProfiler() if profile else None
@@ -311,6 +315,7 @@ def run_compiled(
         debug=debug,
         max_instructions=max_instructions,
         profiler=profiler,
+        vm_fast=vm_fast,
     )
     with tracer.span("execute") as sp:
         value = machine.run()

@@ -199,3 +199,39 @@ class TestClassifier:
     def test_totals_match_activations(self):
         r = run("(define (f x) (if (zero? x) 0 (+ 1 (f (- x 1))))) (f 5)")
         assert r.classifier.total >= 6
+
+
+class TestStackShrink:
+    """The VM stack must not stay at its high-water mark forever: once
+    the live prefix drops below a quarter of an oversized stack, the
+    dead tail is released (regression test for the ever-growing-stack
+    bug)."""
+
+    SOURCE = """
+    (define (grow n) (if (zero? n) 0 (+ 1 (grow (- n 1)))))
+    (define (leaf-loop n acc) (if (zero? n) acc (leaf-loop (- n 1) (+ acc 1))))
+    (begin (grow 20000) (leaf-loop 1000 0))
+    """
+
+    @pytest.mark.parametrize("vm_fast", [False, True], ids=["legacy", "fast"])
+    def test_stack_released_after_deep_recursion(self, vm_fast):
+        from repro.pipeline import compile_source, run_compiled
+        from repro.vm.machine import STACK_SHRINK_TRIGGER
+
+        compiled = compile_source(self.SOURCE, CompilerConfig(), prelude=False)
+        result = run_compiled(compiled, vm_fast=vm_fast)
+        assert result.value == 1000
+        machine = result.machine
+        assert machine.stack_shrinks >= 1
+        # Capacity ends near the shrink floor, far below the deep
+        # recursion's high-water mark.
+        assert machine.stack_capacity <= STACK_SHRINK_TRIGGER
+
+    @pytest.mark.parametrize("vm_fast", [False, True], ids=["legacy", "fast"])
+    def test_shallow_programs_never_shrink(self, vm_fast):
+        from repro.pipeline import compile_source, run_compiled
+
+        compiled = compile_source("(+ 20 22)", CompilerConfig(), prelude=False)
+        result = run_compiled(compiled, vm_fast=vm_fast)
+        assert result.value == 42
+        assert result.machine.stack_shrinks == 0
