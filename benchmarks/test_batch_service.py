@@ -1,0 +1,105 @@
+"""The batch service's two speed levers, measured.
+
+* **Cache**: a warm-cache ``repro batch`` over the benchmark suite
+  recompiles nothing; the wall-clock ratio against a cold pass is the
+  headline number in EXPERIMENTS.md §"Batch service".
+* **Pool**: ``--jobs N`` fan-out.  The speedup assertion is gated on
+  the machine actually having more than one core — on a single-core
+  container the pool can only add overhead, and the honest measurement
+  is the cache one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.benchsuite import BENCHMARKS
+from repro.serve.service import BatchService, Request
+from benchmarks.conftest import print_block
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _requests():
+    return [
+        Request(op="compile", source=bench.source, id=name)
+        for name, bench in sorted(BENCHMARKS.items())
+    ]
+
+
+def test_warm_cache_recompiles_nothing(tmp_path, benchmark):
+    cache = str(tmp_path / "cache")
+
+    cold_start = time.perf_counter()
+    cold = BatchService(jobs=1, cache_dir=cache)
+    cold_responses = cold.run(_requests())
+    cold_s = time.perf_counter() - cold_start
+    assert all(r.ok and not r.cached for r in cold_responses)
+
+    warm = BatchService(jobs=1, cache_dir=cache)
+    warm_start = time.perf_counter()
+    warm_responses = benchmark.pedantic(
+        warm.run, args=(_requests(),), rounds=1, iterations=1
+    )
+    warm_s = time.perf_counter() - warm_start
+
+    # The acceptance bar: zero recompiles on a warm cache.
+    assert all(r.ok and r.cached for r in warm_responses)
+    stats = warm.stats()
+    assert stats["cache"]["misses"] == 0
+    assert stats["cache"]["hits"] == len(BENCHMARKS)
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    print_block(
+        "Batch service: cold vs warm cache (full suite, compile-only)",
+        f"cold  {cold_s:8.3f}s   ({len(cold_responses)} compiles)\n"
+        f"warm  {warm_s:8.3f}s   (0 compiles, {stats['cache']['hits']} hits)\n"
+        f"speedup {speedup:6.1f}x",
+    )
+    # Loading a pickled program must beat running the whole compiler.
+    assert speedup > 2.0
+
+
+def test_pool_fanout(tmp_path, benchmark):
+    jobs = min(4, _cores())
+    requests = [
+        Request(op="run", source=BENCHMARKS[name].source, id=f"{name}-{i}")
+        for name in ("tak", "deriv", "destruct", "triang")
+        for i in range(2)
+    ]
+
+    serial_start = time.perf_counter()
+    serial = BatchService(jobs=1, cache=False)
+    serial_responses = serial.run(requests)
+    serial_s = time.perf_counter() - serial_start
+    assert all(r.ok for r in serial_responses)
+
+    pooled = BatchService(jobs=jobs, cache=False)
+    pooled_start = time.perf_counter()
+    pooled_responses = benchmark.pedantic(
+        pooled.run, args=(requests,), rounds=1, iterations=1
+    )
+    pooled_s = time.perf_counter() - pooled_start
+    assert all(r.ok for r in pooled_responses)
+
+    speedup = serial_s / pooled_s if pooled_s else float("inf")
+    print_block(
+        f"Batch service: --jobs {jobs} fan-out ({_cores()} cores visible)",
+        f"serial {serial_s:8.3f}s\n"
+        f"pooled {pooled_s:8.3f}s   (jobs={jobs})\n"
+        f"speedup {speedup:6.2f}x",
+    )
+    if _cores() < 2:
+        pytest.skip(
+            f"single-core machine ({_cores()} visible): fan-out speedup "
+            "is unmeasurable; cache speedup above is the relevant number"
+        )
+    assert speedup > 1.5

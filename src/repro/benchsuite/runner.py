@@ -12,6 +12,21 @@ from repro.sexp.writer import write_datum
 
 _expected_cache: Dict[str, str] = {}
 
+# Process-wide memory-only compile cache.  Sweeps (tables, the bench
+# matrix, the test suite) recompile the same (program, config) pairs
+# many times; keying on the cache collapses those to one compile each.
+_compile_cache = None
+
+
+def shared_compile_cache():
+    """The process-wide in-memory compile cache (created on first use)."""
+    global _compile_cache
+    if _compile_cache is None:
+        from repro.serve.cache import CompileCache
+
+        _compile_cache = CompileCache(disk=False, memory_entries=512)
+    return _compile_cache
+
 
 class BenchmarkRun:
     """Results of one benchmark under one configuration."""
@@ -65,6 +80,7 @@ def run_benchmark(
     debug: bool = False,
     tracer=None,
     profile: bool = False,
+    cache: Optional[bool] = None,
 ) -> BenchmarkRun:
     """Compile and execute one benchmark, checking its value against
     the reference interpreter.
@@ -72,6 +88,11 @@ def run_benchmark(
     Pass a ``repro.observe.Tracer`` to record per-phase compile spans
     (and, with ``profile=True``, a per-procedure VM profile on
     ``run.result.profile``).
+
+    ``cache`` controls the process-wide compile cache: ``None`` (the
+    default) uses it unless a recording tracer is attached — cached
+    compiles would produce no compile spans — ``False`` always compiles
+    fresh, ``True`` forces the cache.
     """
     bench = (
         name_or_bench
@@ -79,7 +100,12 @@ def run_benchmark(
         else get_benchmark(name_or_bench)
     )
     config = config or CompilerConfig()
-    compiled = compile_source(bench.source, config, tracer=tracer)
+    if cache is None:
+        cache = not (tracer is not None and getattr(tracer, "enabled", False))
+    if cache:
+        compiled, _ = shared_compile_cache().compile(bench.source, config)
+    else:
+        compiled = compile_source(bench.source, config, tracer=tracer)
     result = run_compiled(compiled, debug=debug, tracer=tracer, profile=profile)
     if validate:
         expect = expected_value(bench)

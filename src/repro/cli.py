@@ -30,7 +30,7 @@ from repro.config import (
     SAVE_STRATEGIES,
     SHUFFLE_STRATEGIES,
 )
-from repro.errors import CompilerError, FuzzError
+from repro.errors import CompilerError, FuzzError, ServeError
 from repro.observe import Tracer, chrome_trace, metrics_dict, text_profile
 from repro.pipeline import compile_source, expand_source, run_compiled
 from repro.runtime.values import SchemeError
@@ -435,6 +435,142 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _batch_requests(args: argparse.Namespace) -> list:
+    """Build the request list for ``repro batch``: either every
+    benchsuite program (``--bench``) or a JSON-lines request file."""
+    from repro.serve.service import Request
+
+    config = _config_from(args)
+    if args.bench:
+        from repro.benchsuite import BENCHMARKS
+
+        names = args.input or sorted(BENCHMARKS)
+        requests = []
+        for name in names:
+            if name not in BENCHMARKS:
+                raise ServeError(f"unknown benchmark {name!r}")
+            requests.append(
+                Request(
+                    op="run" if args.run else "compile",
+                    source=BENCHMARKS[name].source,
+                    config=config,
+                    id=name,
+                    max_instructions=args.max_instructions,
+                    timeout=args.timeout,
+                )
+            )
+        return requests
+    if not args.input:
+        raise ServeError("batch: give a request file (or - for stdin), or --bench")
+    path = args.input[0]
+    handle = sys.stdin if path == "-" else open(path)
+    requests = []
+    try:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                doc = json.loads(line)
+                request = Request.from_dict(doc)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ServeError(f"batch: bad request on line {lineno}: {exc}")
+            if request.id is None:
+                request.id = lineno
+            if request.config is None:
+                request.config = config
+            if request.timeout is None:
+                request.timeout = args.timeout
+            if request.max_instructions is None:
+                request.max_instructions = args.max_instructions
+            requests.append(request)
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    return requests
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.serve.service import BatchService, summarize
+
+    requests = _batch_requests(args)
+    service = BatchService(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        disk_cache=not args.memory_cache,
+    )
+
+    def progress(response) -> None:
+        if args.json:
+            return
+        print(json.dumps(response.as_dict()))
+
+    responses = service.run(requests, on_response=progress)
+    summary = summarize(responses)
+    summary["jobs"] = args.jobs
+    if args.json:
+        doc = {
+            "summary": summary,
+            "stats": service.stats(),
+            "responses": [r.as_dict() for r in responses],
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        print(
+            f"; batch: {summary['requests']} request(s), {summary['ok']} ok, "
+            f"{summary['cache_hits']} cache hit(s), "
+            f"{summary['cache_misses']} miss(es)",
+            file=sys.stderr,
+        )
+        for kind, count in sorted(summary["errors"].items()):
+            print(f";   {kind}: {count}", file=sys.stderr)
+    return 0 if summary["ok"] == summary["requests"] else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    if not args.stdio:
+        print("repro: serve: only --stdio transport is available", file=sys.stderr)
+        return 2
+    from repro.serve.stdio import serve_stdio
+
+    return serve_stdio(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        disk_cache=not args.memory_cache,
+    )
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.serve.cache import CompileCache, default_cache_dir
+
+    root = args.cache_dir or default_cache_dir()
+    cache = CompileCache(root=root)
+    if args.action == "stats":
+        entries, size = cache.disk_usage()
+        doc = {"path": root, "entries": entries, "bytes": size}
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            print(f"path     {root}")
+            print(f"entries  {entries}")
+            print(f"bytes    {size:,}")
+        return 0
+    if args.action == "gc":
+        if args.max_entries is None and args.max_bytes is None:
+            print("repro: cache gc: give --max-entries and/or --max-bytes",
+                  file=sys.stderr)
+            return 2
+        removed = cache.gc(max_entries=args.max_entries, max_bytes=args.max_bytes)
+        print(f"; removed {removed} entry(ies)", file=sys.stderr)
+        return 0
+    # clear: the explicit invalidation command.
+    removed = cache.clear()
+    print(f"; cleared {removed} entry(ies) from {root}", file=sys.stderr)
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.benchsuite import BENCHMARKS
 
@@ -622,6 +758,120 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.set_defaults(fn=cmd_fuzz)
 
+    p_batch = sub.add_parser(
+        "batch",
+        help="compile (or run) many programs through the cache and worker pool",
+    )
+    p_batch.add_argument(
+        "input",
+        nargs="*",
+        help="JSON-lines request file (or - for stdin); with --bench, "
+        "benchmark names (default: all)",
+    )
+    p_batch.add_argument(
+        "--bench",
+        action="store_true",
+        help="take requests from the benchmark suite instead of a file",
+    )
+    p_batch.add_argument(
+        "--run",
+        action="store_true",
+        help="with --bench, execute programs instead of compile-only",
+    )
+    p_batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; 1 runs inline in this process (default: 1)",
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="on-disk cache root (default: ~/.cache/repro)",
+    )
+    p_batch.add_argument(
+        "--no-cache", action="store_true", help="disable the compile cache"
+    )
+    p_batch.add_argument(
+        "--memory-cache",
+        action="store_true",
+        help="cache in memory only; do not touch the disk store",
+    )
+    p_batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request timeout (pooled mode only)",
+    )
+    p_batch.add_argument(
+        "--max-instructions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-request VM instruction budget",
+    )
+    p_batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one summary document instead of per-response lines",
+    )
+    _add_config_flags(p_batch)
+    p_batch.set_defaults(fn=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived JSON-lines compile daemon"
+    )
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="speak the JSON-lines protocol over stdin/stdout",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1; requests still run out of process)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="on-disk cache root (default: ~/.cache/repro)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true", help="disable the compile cache"
+    )
+    p_serve.add_argument(
+        "--memory-cache",
+        action="store_true",
+        help="cache in memory only; do not touch the disk store",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_cache = sub.add_parser("cache", help="inspect or prune the compile cache")
+    p_cache.add_argument(
+        "action",
+        choices=["stats", "gc", "clear"],
+        help="stats: show usage; gc: prune to limits; clear: invalidate all",
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="on-disk cache root (default: ~/.cache/repro)",
+    )
+    p_cache.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="gc: keep at most N entries (oldest evicted first)",
+    )
+    p_cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="gc: keep at most N bytes of entries",
+    )
+    p_cache.add_argument("--json", action="store_true")
+    p_cache.set_defaults(fn=cmd_cache)
+
     p_list = sub.add_parser("list", help="list benchmarks")
     p_list.set_defaults(fn=cmd_list)
 
@@ -643,6 +893,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     except FuzzError as exc:
         print(f"repro: fuzz error: {exc}", file=sys.stderr)
+        return 1
+    except ServeError as exc:
+        print(f"repro: serve error: {exc}", file=sys.stderr)
         return 1
     except SchemeError as exc:
         print(f"repro: runtime error: {exc}", file=sys.stderr)

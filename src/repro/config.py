@@ -10,8 +10,9 @@ parameter and user variable lives on the stack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional, Sequence, Tuple
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 SAVE_STRATEGIES = ("lazy", "lazy-simple", "early", "late")
 RESTORE_STRATEGIES = ("eager", "lazy")
@@ -166,6 +167,57 @@ class CompilerConfig:
     def from_summary(summary: dict) -> "CompilerConfig":
         """Rebuild a configuration from :meth:`summary` output."""
         return CompilerConfig(**summary)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Every field (recursively, ``cost_model`` included) as a
+        JSON-round-trippable dict.
+
+        Unlike :meth:`summary`, which names only the design-space axes,
+        this is the *complete* configuration — the wire format of the
+        batch/serve protocol and the basis of :meth:`fingerprint`.  It
+        is derived from ``dataclasses.fields`` so a newly added field
+        can never be silently left out.
+        """
+        return _field_dict(self)
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "CompilerConfig":
+        """Rebuild a configuration from :meth:`as_dict` output.
+
+        Unknown keys are rejected (a config produced by a newer version
+        of the compiler must not be silently reinterpreted)."""
+        doc = dict(doc)
+        cost = doc.pop("cost_model", None)
+        known = {f.name for f in fields(CompilerConfig)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown config fields: {sorted(unknown)}")
+        if cost is not None:
+            doc["cost_model"] = CostModel(**cost)
+        return CompilerConfig(**doc)
+
+    def fingerprint(self) -> str:
+        """A stable, canonical identity of this configuration.
+
+        Canonical JSON over **every** field (sorted keys, no
+        whitespace) — the configuration half of the compile-cache key
+        (``repro.serve.cache``).  Two configs share a fingerprint iff
+        every field, including the cost model, is equal; the
+        exhaustiveness is asserted field-by-field in
+        ``tests/serve/test_cache.py``.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _field_dict(obj: Any) -> Dict[str, Any]:
+    """``dataclasses.fields``-driven recursive dict: exhaustive by
+    construction (``dataclasses.asdict`` would work too, but this stays
+    shallow and predictable for the JSON wire format)."""
+    out: Dict[str, Any] = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        out[f.name] = _field_dict(value) if is_dataclass(value) else value
+    return out
 
 
 # The paper's register sweep: (c, l) points from "no registers" through

@@ -12,3 +12,9 @@ class FuzzError(Exception):
     """Raised by the fuzzing subsystem for operational failures that are
     not divergences: malformed corpus files, bad replay targets, and
     similar.  The CLI reports these as one-line diagnostics."""
+
+
+class ServeError(Exception):
+    """Raised by the batch/serve subsystem for operational failures:
+    malformed request files, unknown benchmark names, and similar.  The
+    CLI reports these as one-line diagnostics."""

@@ -2,11 +2,14 @@
 
 Each iteration *i* of a run seeded *s* generates program ``(s, i)`` and
 checks it against the configuration matrix; iterations are independent,
-so with ``jobs > 1`` they are distributed over a ``multiprocessing``
-pool (each worker checks its program against every configuration — the
-matrix is the inner loop, the program stream the outer).  Results are
-reported in iteration order regardless of completion order, so a run's
-report is deterministic for a given seed and iteration count.
+so with ``jobs > 1`` they are distributed over the serve subsystem's
+crash-isolated :class:`~repro.serve.pool.WorkerPool` (each worker
+checks its program against every configuration — the matrix is the
+inner loop, the program stream the outer).  Results are absorbed in
+iteration order regardless of completion order, so a run's report is
+deterministic for a given seed and iteration count.  A worker that
+crashes or wedges fails only its own iteration — it surfaces as a
+``worker-*`` failure in the report instead of poisoning the run.
 
 Failures are shrunk (optionally) in the parent process — shrinking
 re-runs the oracle against only the configurations that failed, which
@@ -15,7 +18,6 @@ makes each delta-debugging probe cheap — and persisted to the corpus.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -156,7 +158,9 @@ def run_fuzz(
                 source=result.source,
                 divergences=result.divergences,
             )
-            if shrink:
+            # worker-* failures (crash/timeout) have no failing configs
+            # and no program to shrink against.
+            if shrink and result.failing_configs:
                 _shrink_failure(failure, result.failing_configs)
             if corpus_dir:
                 failure.corpus_path = _persist_failure(failure, seed, corpus_dir)
@@ -186,19 +190,87 @@ def run_fuzz(
                 break
             absorb(_check_iteration(i))
     else:
-        with multiprocessing.Pool(
-            processes=jobs, initializer=_init_worker, initargs=(seed, gen_config)
-        ) as pool:
-            pending = pool.imap(_check_iteration, range(iterations))
-            for result in pending:
-                absorb(result)
-                if out_of_time():
-                    pool.terminate()
-                    break
+        _run_pooled(seed, iterations, jobs, gen_config, absorb, out_of_time)
 
     report.failures.sort(key=lambda f: f.iteration)
     report.elapsed = time.monotonic() - start
     return report
+
+
+def _run_pooled(
+    seed: int,
+    iterations: int,
+    jobs: int,
+    gen_config: Optional[GenConfig],
+    absorb: Callable[[_IterationResult], None],
+    out_of_time: Callable[[], bool],
+) -> None:
+    """Distribute iterations over the serve worker pool.
+
+    Every iteration is submitted up front; results are buffered and
+    absorbed in iteration order so the report matches a ``jobs=1`` run.
+    When the time budget expires, not-yet-started iterations are
+    cancelled (in-flight ones are allowed to finish).  The compile cache
+    is disabled — fuzzing never sees the same program twice.
+    """
+    from repro.serve.pool import WorkerPool
+
+    with WorkerPool(jobs=jobs, cache=False) as pool:
+        iteration_of = {}
+        for i in range(iterations):
+            task_id = pool.submit(
+                "fuzz",
+                {"seed": seed, "gen_config": gen_config, "iteration": i},
+            )
+            iteration_of[task_id] = i
+        buffered: Dict[int, Optional[_IterationResult]] = {}
+        next_index = 0
+        cancelled = False
+        for result in pool.results():
+            if not cancelled and out_of_time():
+                pool.cancel_pending()
+                cancelled = True
+            i = iteration_of[result.task_id]
+            buffered[i] = _pooled_result(i, result, seed, gen_config)
+            while next_index in buffered:
+                ready = buffered.pop(next_index)
+                next_index += 1
+                if ready is not None:
+                    absorb(ready)
+
+
+def _pooled_result(
+    iteration: int, result, seed: int, gen_config: Optional[GenConfig]
+) -> Optional[_IterationResult]:
+    """Translate one pool result into an iteration result (``None`` for
+    iterations cancelled by the time budget — they never ran)."""
+    if result.ok:
+        value = result.value
+        return _IterationResult(
+            iteration=iteration,
+            source=value["source"],
+            invalid=value["invalid"],
+            configs_checked=value["configs_checked"],
+            shuffle_cycles=value["shuffle_cycles"],
+            divergences=value["divergences"],
+            failing_configs=value["failing_configs"],
+        )
+    if result.error_kind == "cancelled":
+        return None
+    # The worker crashed, timed out, or hit an unexpected error.  The
+    # program stream is deterministic in (seed, iteration), so the
+    # offending source can be regenerated parent-side for the report.
+    source = ProgramGenerator(seed, gen_config).generate(iteration).source
+    out = _IterationResult(iteration=iteration, source=source)
+    out.divergences = [
+        {
+            "kind": f"worker-{result.error_kind or 'error'}",
+            "config": {},
+            "expected": None,
+            "got": result.error,
+        }
+    ]
+    return out
 
 
 def _shrink_failure(failure: FuzzFailure, failing_configs: List[dict]) -> None:

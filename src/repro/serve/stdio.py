@@ -1,0 +1,221 @@
+"""``repro serve --stdio`` — a long-lived JSON-lines compile daemon.
+
+Protocol (one JSON document per line, in both directions):
+
+* client → server, work requests::
+
+    {"id": 1, "op": "compile", "source": "(+ 1 2)"}
+    {"id": 2, "op": "run", "source": "(f 10)", "config": {...},
+     "max_instructions": 500000, "timeout": 5.0}
+
+* client → server, control requests::
+
+    {"id": 3, "op": "ping"}
+    {"id": 4, "op": "stats"}
+    {"id": 5, "op": "cancel", "target": 2}
+    {"id": 6, "op": "shutdown"}
+
+* server → client: one ``{"event": "ready", ...}`` line at startup,
+  then one response line per request, **in completion order** (match on
+  ``id``).  Work responses are the :class:`repro.serve.service.Response`
+  dict form; a request that cannot even be parsed gets
+  ``{"ok": false, "error_kind": "protocol", ...}``.
+
+A worked request/response transcript lives in ``docs/serving.md``.
+
+Requests are dispatched to the worker pool immediately, so a slow
+request does not block later ones, and a worker crash or timeout fails
+only the request that caused it.  ``shutdown`` (or EOF on stdin)
+cancels queued requests, drains in-flight ones, and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import sys
+import threading
+from typing import Any, Dict, Optional
+
+from repro import __version__
+from repro.serve.pool import WorkerPool
+from repro.serve.service import Request, response_from_task
+
+PROTOCOL_VERSION = 1
+
+_CONTROL_OPS = ("ping", "stats", "cancel", "shutdown")
+
+
+class _Session:
+    """One daemon session over a pair of line streams."""
+
+    def __init__(self, stdin, stdout, pool: WorkerPool) -> None:
+        self.stdin = stdin
+        self.stdout = stdout
+        self.pool = pool
+        self.tasks: Dict[int, Request] = {}  # task_id -> request
+        self.task_of_id: Dict[Any, int] = {}  # client id -> newest task_id
+        self.lines: "queue.Queue[Optional[str]]" = queue.Queue()
+        self.eof = False
+        self.shutting_down = False
+
+    # -- I/O ------------------------------------------------------------
+
+    def write(self, doc: Dict[str, Any]) -> None:
+        self.stdout.write(json.dumps(doc) + "\n")
+        self.stdout.flush()
+
+    def _reader(self) -> None:
+        # Read the raw fd when there is one.  A thread blocked inside
+        # sys.stdin's buffered read holds the stream's lock; a worker
+        # forked at that moment inherits the held lock and deadlocks in
+        # multiprocessing's _close_stdin before it ever reaches
+        # worker_main.  os.read holds no Python-level lock, so worker
+        # spawns (including respawns after a crash) are safe while this
+        # thread blocks here.
+        try:
+            fd: Optional[int] = self.stdin.fileno()
+        except (AttributeError, OSError, ValueError):
+            fd = None  # in-process streams (tests) have no fd
+        if fd is None:
+            for line in self.stdin:
+                self.lines.put(line)
+            self.lines.put(None)
+            return
+        buf = b""
+        while True:
+            try:
+                chunk = os.read(fd, 65536)
+            except OSError:
+                break
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                self.lines.put(line.decode("utf-8", errors="replace"))
+        if buf:
+            self.lines.put(buf.decode("utf-8", errors="replace"))
+        self.lines.put(None)
+
+    # -- request handling ----------------------------------------------
+
+    def handle_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            self.write(
+                {"id": None, "ok": False, "error_kind": "protocol",
+                 "error": f"unparseable request: {exc}"}
+            )
+            return
+        op = doc.get("op")
+        if op in _CONTROL_OPS:
+            self.handle_control(doc)
+            return
+        try:
+            request = Request.from_dict(doc)
+        except (KeyError, ValueError, TypeError) as exc:
+            self.write(
+                {"id": doc.get("id"), "ok": False, "error_kind": "protocol",
+                 "error": f"bad request: {exc}"}
+            )
+            return
+        task_id = self.pool.submit(
+            request.op, request.payload(), timeout=request.timeout
+        )
+        self.tasks[task_id] = request
+        if request.id is not None:
+            self.task_of_id[request.id] = task_id
+
+    def handle_control(self, doc: Dict[str, Any]) -> None:
+        op = doc["op"]
+        rid = doc.get("id")
+        if op == "ping":
+            self.write({"id": rid, "ok": True, "pong": True})
+        elif op == "stats":
+            stats = self.pool.stats()
+            self.write({"id": rid, "ok": True, "stats": stats})
+        elif op == "cancel":
+            target = doc.get("target")
+            task_id = self.task_of_id.get(target)
+            cancelled = task_id is not None and self.pool.cancel(task_id)
+            self.write(
+                {"id": rid, "ok": True, "cancelled": bool(cancelled),
+                 "target": target}
+            )
+        elif op == "shutdown":
+            self.shutting_down = True
+            self.pool.cancel_pending()
+            self.write({"id": rid, "ok": True, "shutdown": True})
+
+    def drain_results(self, block: bool) -> None:
+        timeout = 0.05 if block else 0.0
+        for result in self.pool.poll(timeout):
+            request = self.tasks.pop(result.task_id, None)
+            if request is None:  # pragma: no cover - cancelled unknown task
+                continue
+            if request.id is not None and self.task_of_id.get(request.id) == result.task_id:
+                del self.task_of_id[request.id]
+            self.write(response_from_task(request, 0, result).as_dict())
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> int:
+        self.write(
+            {
+                "event": "ready",
+                "protocol": PROTOCOL_VERSION,
+                "version": __version__,
+                "jobs": self.pool.jobs,
+            }
+        )
+        reader = threading.Thread(target=self._reader, daemon=True)
+        reader.start()
+        while True:
+            try:
+                line = self.lines.get(timeout=0.05)
+            except queue.Empty:
+                line = ""
+            if line is None:
+                self.eof = True
+            elif line:
+                self.handle_line(line)
+            self.drain_results(block=False)
+            if self.shutting_down or self.eof:
+                break
+        # Drain what is still in flight (queued tasks were cancelled on
+        # shutdown; on EOF we let them finish).
+        if self.shutting_down:
+            self.pool.cancel_pending()
+        while self.tasks:
+            self.drain_results(block=True)
+        self.write({"event": "bye"})
+        return 0
+
+
+def serve_stdio(
+    stdin=None,
+    stdout=None,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+    disk_cache: bool = True,
+) -> int:
+    """Run the daemon until ``shutdown`` or EOF; returns the exit code.
+
+    Work always goes through the pool — even at ``jobs=1`` — so a
+    crashing program can never take the daemon itself down.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    with WorkerPool(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, disk_cache=disk_cache
+    ) as pool:
+        return _Session(stdin, stdout, pool).run()

@@ -151,6 +151,9 @@ class Char:
     def __repr__(self) -> str:
         return "#\\" + self.value
 
+    def __reduce__(self):
+        return (Char, (self.value,))
+
     def __lt__(self, other: "Char") -> bool:
         return self.value < other.value
 

@@ -1,0 +1,145 @@
+"""The ``repro batch`` and ``repro cache`` CLI surfaces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+NAMES = ["tak", "takl", "deriv"]
+
+
+def _batch(capsys, *argv):
+    code = main(["batch", *argv])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_bench_batch_cold_then_warm(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    code, out, err = _batch(
+        capsys, "--bench", *NAMES, "--cache-dir", cache, "--json"
+    )
+    assert code == 0
+    cold = json.loads(out)
+    assert cold["summary"]["cache_misses"] == len(NAMES)
+
+    code, out, err = _batch(
+        capsys, "--bench", *NAMES, "--cache-dir", cache, "--json"
+    )
+    assert code == 0
+    warm = json.loads(out)
+    # The acceptance bar: a warm-cache pass recompiles nothing.
+    assert warm["summary"]["cache_hits"] == len(NAMES)
+    assert warm["summary"]["cache_misses"] == 0
+    assert warm["stats"]["cache"]["misses"] == 0
+
+
+def test_bench_batch_run_mode(tmp_path, capsys):
+    code, out, _ = _batch(
+        capsys, "--bench", "tak", "--run",
+        "--cache-dir", str(tmp_path), "--json",
+    )
+    assert code == 0
+    (response,) = json.loads(out)["responses"]
+    assert response["op"] == "run"
+    assert response["value"] is not None
+
+
+def test_bench_batch_unknown_name(tmp_path, capsys):
+    code, _, err = _batch(
+        capsys, "--bench", "nonesuch", "--cache-dir", str(tmp_path)
+    )
+    assert code == 1
+    assert "unknown benchmark" in err
+
+
+def test_batch_requires_input(capsys):
+    code, _, err = _batch(capsys)
+    assert code == 1
+    assert "request file" in err
+
+
+def test_request_file_batch(tmp_path, capsys):
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text(
+        "\n".join(
+            [
+                "# comment lines are skipped",
+                json.dumps({"id": "a", "op": "run", "source": "(+ 1 2)"}),
+                json.dumps({"op": "compile", "source": "(* 2 3)"}),
+                json.dumps({"id": "bad", "op": "run", "source": "(car 9)"}),
+            ]
+        )
+        + "\n"
+    )
+    code, out, _ = _batch(
+        capsys, str(requests), "--cache-dir", str(tmp_path / "c"), "--json"
+    )
+    assert code == 1  # one failing request fails the batch
+    doc = json.loads(out)
+    by_id = {r["id"]: r for r in doc["responses"]}
+    assert by_id["a"]["value"] == "3"
+    assert by_id[3]["ok"]  # unnamed request gets its line number
+    assert by_id["bad"]["error_kind"] == "runtime-error"
+
+
+def test_request_file_bad_line(tmp_path, capsys):
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text("{not json}\n")
+    code, _, err = _batch(capsys, str(requests))
+    assert code == 1
+    assert "line 1" in err
+
+
+def test_batch_per_line_output(tmp_path, capsys):
+    code, out, err = _batch(
+        capsys, "--bench", "tak", "--cache-dir", str(tmp_path)
+    )
+    assert code == 0
+    (line,) = out.strip().splitlines()
+    assert json.loads(line)["id"] == "tak"
+    assert "1 request(s)" in err
+
+
+def test_no_cache_never_hits(tmp_path, capsys):
+    for _ in range(2):
+        code, out, _ = _batch(capsys, "--bench", "tak", "--no-cache", "--json")
+        assert code == 0
+        assert json.loads(out)["summary"]["cache_hits"] == 0
+
+
+@pytest.mark.parametrize("flag", ["stats", "clear"])
+def test_cache_cli(tmp_path, capsys, flag):
+    cache = str(tmp_path / "cache")
+    assert main(["batch", "--bench", "tak", "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", flag, "--cache-dir", cache]) == 0
+    captured = capsys.readouterr()
+    if flag == "stats":
+        assert "entries  1" in captured.out
+    else:
+        assert "cleared 1" in captured.err
+
+
+def test_cache_gc_cli(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    main(["batch", "--bench", *NAMES, "--cache-dir", cache])
+    capsys.readouterr()
+    assert main(["cache", "gc", "--cache-dir", cache, "--max-entries", "1"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["entries"] == 1
+
+
+def test_cache_gc_requires_a_bound(tmp_path, capsys):
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+    assert "give --max-entries" in capsys.readouterr().err
+
+
+def test_serve_requires_stdio(capsys):
+    assert main(["serve"]) == 2
+    assert "--stdio" in capsys.readouterr().err

@@ -1,0 +1,327 @@
+"""The content-addressed compile cache: keys, serialization, tiers.
+
+The correctness bar here is the one docs/serving.md promises: a cache
+hit is observationally identical to a fresh compile (values, output,
+counters, profiles, under both VM dispatch loops), the key covers every
+input that can change the generated code, and a damaged store degrades
+to misses, never to errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.config import CompilerConfig, CostModel
+from repro.pipeline import compile_source, run_compiled
+from repro.serve.cache import (
+    CacheCorrupt,
+    CompileCache,
+    cache_key,
+    canonical_source,
+    default_cache_dir,
+    deserialize_compiled,
+    serialize_compiled,
+)
+from repro.sexp.reader import ReaderError
+from repro.sexp.writer import write_datum
+
+TAK = "(define (tak x y z) (if (not (< y x)) z (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y)))) (tak 8 4 2)"
+
+CONFIG_SPREAD = [
+    pytest.param(CompilerConfig(), id="paper-default"),
+    pytest.param(CompilerConfig.baseline(), id="baseline"),
+    pytest.param(CompilerConfig(save_strategy="early"), id="early-save"),
+    pytest.param(
+        CompilerConfig(save_convention="callee", save_strategy="lazy"),
+        id="callee-lazy",
+    ),
+    pytest.param(CompilerConfig(shuffle_strategy="naive"), id="naive-shuffle"),
+    pytest.param(CompilerConfig(vm_fast=False), id="legacy-vm"),
+]
+
+
+# -- canonicalization and keys -----------------------------------------
+
+
+def test_canonical_source_ignores_formatting():
+    a = canonical_source("(define (f x)\n  ; doubles\n  (+ x   x))\n(f 3)")
+    b = canonical_source("(define (f x) (+ x x)) (f 3)")
+    assert a == b
+
+
+def test_canonical_source_distinguishes_prelude():
+    assert canonical_source("(+ 1 2)", prelude=True) != canonical_source(
+        "(+ 1 2)", prelude=False
+    )
+
+
+def test_canonical_source_rejects_unreadable():
+    with pytest.raises(ReaderError):
+        canonical_source("(unbalanced")
+
+
+def test_cache_key_stable_across_formatting():
+    config = CompilerConfig()
+    assert cache_key("(+ 1 ; comment\n 2)", config) == cache_key("(+ 1 2)", config)
+
+
+def test_cache_key_distinguishes_programs():
+    assert cache_key("(+ 1 2)") != cache_key("(+ 1 3)")
+
+
+# -- config fingerprint exhaustiveness ---------------------------------
+
+# One mutation per CompilerConfig field, each producing a *valid*
+# config that differs from the default only in that field.  The test
+# below fails if a field is added without a mutation here, so a new
+# knob can never be silently left out of the cache key.
+FIELD_MUTATIONS = {
+    "num_arg_regs": 4,
+    "num_temp_regs": 3,
+    "lambda_lift": True,
+    "lambda_lift_max_params": 4,
+    "peephole": False,
+    "save_strategy": "early",
+    "restore_strategy": "lazy",
+    "shuffle_strategy": "naive",
+    "save_convention": "callee",
+    "branch_prediction": "static-calls",
+    "trace": "all",
+    "vm_fast": False,
+    "cost_model": CostModel(load_latency=5),
+}
+
+
+def test_fingerprint_mutation_table_is_exhaustive():
+    names = {f.name for f in dataclasses.fields(CompilerConfig)}
+    assert names == set(FIELD_MUTATIONS), (
+        "CompilerConfig grew a field without a FIELD_MUTATIONS entry; "
+        "add one so the cache key is known to cover it"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FIELD_MUTATIONS))
+def test_fingerprint_changes_on_every_field(name):
+    default = CompilerConfig()
+    mutated = default.with_(**{name: FIELD_MUTATIONS[name]})
+    assert mutated.fingerprint() != default.fingerprint()
+    assert cache_key("(+ 1 2)", mutated) != cache_key("(+ 1 2)", default)
+
+
+def test_fingerprint_covers_cost_model_fields():
+    default = CompilerConfig()
+    for f in dataclasses.fields(CostModel):
+        model = dataclasses.replace(default.cost_model, **{f.name: 99})
+        assert default.with_(cost_model=model).fingerprint() != default.fingerprint()
+
+
+def test_as_dict_round_trips():
+    config = CompilerConfig(
+        save_strategy="early", vm_fast=False, cost_model=CostModel(load_latency=7)
+    )
+    again = CompilerConfig.from_dict(config.as_dict())
+    assert again == config
+    assert again.fingerprint() == config.fingerprint()
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown config fields"):
+        CompilerConfig.from_dict({"num_arg_regs": 6, "turbo": True})
+
+
+# -- serialization ------------------------------------------------------
+
+
+def _run_all_ways(compiled):
+    """(value, output, counters, profile rows) under both VM loops."""
+    out = {}
+    for fast in (True, False):
+        result = run_compiled(compiled, profile=True, vm_fast=fast)
+        # The profile "label" embeds the CodeObject uid — a per-process
+        # counter, not an observable of the compiled program.
+        rows = sorted(
+            (
+                {k: v for k, v in p.as_dict().items() if k != "label"}
+                for p in result.profile.profiles.values()
+            ),
+            key=lambda d: d["name"],
+        )
+        out[fast] = (
+            write_datum(result.value),
+            result.output,
+            result.counters.as_dict(),
+            rows,
+        )
+    return out
+
+
+@pytest.mark.parametrize("config", CONFIG_SPREAD)
+def test_roundtrip_is_observationally_identical(config):
+    fresh = compile_source(TAK, config)
+    thawed = deserialize_compiled(serialize_compiled(fresh))
+    assert _run_all_ways(thawed) == _run_all_ways(compile_source(TAK, config))
+
+
+def test_serialize_restores_fast_caches():
+    compiled = compile_source(TAK, CompilerConfig())
+    run_compiled(compiled)  # populate the lazily built fast caches
+    populated = [c.fast_instructions for c in compiled.codes]
+    serialize_compiled(compiled)
+    assert [c.fast_instructions for c in compiled.codes] == populated
+
+
+def test_deserialize_rejects_bad_magic():
+    with pytest.raises(CacheCorrupt, match="header"):
+        deserialize_compiled(b"NOPE" + b"\x00" * 40)
+
+
+def test_deserialize_rejects_truncation():
+    blob = serialize_compiled(compile_source("(+ 1 2)", CompilerConfig()))
+    with pytest.raises(CacheCorrupt):
+        deserialize_compiled(blob[: len(blob) // 2])
+
+
+def test_deserialize_rejects_flipped_byte():
+    blob = bytearray(serialize_compiled(compile_source("(+ 1 2)", CompilerConfig())))
+    blob[-1] ^= 0xFF
+    with pytest.raises(CacheCorrupt, match="checksum"):
+        deserialize_compiled(bytes(blob))
+
+
+def test_deserialize_rejects_wrong_payload_type():
+    body = pickle.dumps({"not": "a program"})
+    import hashlib
+
+    from repro.serve.cache import MAGIC
+
+    framed = MAGIC + hashlib.sha256(body).digest() + body
+    with pytest.raises(CacheCorrupt, match="payload type"):
+        deserialize_compiled(framed)
+
+
+# -- the cache proper ---------------------------------------------------
+
+
+def test_hit_matches_fresh_compile(tmp_path):
+    cache = CompileCache(root=str(tmp_path))
+    config = CompilerConfig()
+    first, hit1 = cache.compile(TAK, config)
+    second, hit2 = cache.compile(TAK.replace(" ", "  ") + " ; same program", config)
+    assert (hit1, hit2) == (False, True)
+    assert second is first  # memory tier returns the same object
+    assert _run_all_ways(second) == _run_all_ways(compile_source(TAK, config))
+
+
+def test_disk_hit_survives_new_process_object(tmp_path):
+    CompileCache(root=str(tmp_path)).compile(TAK, CompilerConfig())
+    fresh_cache = CompileCache(root=str(tmp_path))
+    compiled, hit = fresh_cache.compile(TAK, CompilerConfig())
+    assert hit
+    assert fresh_cache.stats.disk_hits == 1
+    assert _run_all_ways(compiled) == _run_all_ways(
+        compile_source(TAK, CompilerConfig())
+    )
+
+
+def test_config_spread_gets_distinct_entries(tmp_path):
+    cache = CompileCache(root=str(tmp_path))
+    for param in CONFIG_SPREAD:
+        _, hit = cache.compile(TAK, param.values[0])
+        assert not hit
+    assert cache.disk_usage()[0] == len(CONFIG_SPREAD)
+
+
+def test_corrupted_entry_is_a_miss_not_a_crash(tmp_path):
+    cache = CompileCache(root=str(tmp_path))
+    cache.compile(TAK, CompilerConfig())
+    (entry,) = cache.entries()
+    with open(entry.path, "wb") as handle:
+        handle.write(b"garbage")
+    fresh = CompileCache(root=str(tmp_path))
+    compiled, hit = fresh.compile(TAK, CompilerConfig())
+    assert not hit
+    assert fresh.stats.corrupt == 1
+    # The bad entry was discarded and rewritten; next time hits.
+    _, hit2 = CompileCache(root=str(tmp_path)).compile(TAK, CompilerConfig())
+    assert hit2
+    assert compiled.total_instructions() > 0
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache = CompileCache(root=str(tmp_path))
+    cache.compile(TAK, CompilerConfig())
+    (entry,) = cache.entries()
+    with open(entry.path, "rb") as handle:
+        data = handle.read()
+    with open(entry.path, "wb") as handle:
+        handle.write(data[: len(data) // 3])
+    fresh = CompileCache(root=str(tmp_path))
+    _, hit = fresh.compile(TAK, CompilerConfig())
+    assert not hit
+    assert fresh.stats.corrupt == 1
+
+
+def test_memory_lru_evicts_oldest(tmp_path):
+    cache = CompileCache(root=str(tmp_path), memory_entries=2)
+    sources = ["(+ 1 1)", "(+ 2 2)", "(+ 3 3)"]
+    for source in sources:
+        cache.compile(source, CompilerConfig())
+    assert cache.stats.evictions == 1
+    # Oldest fell out of memory but still hits from disk.
+    _, hit = cache.compile(sources[0], CompilerConfig())
+    assert hit
+    assert cache.stats.disk_hits == 1
+
+
+def test_memory_only_mode_touches_no_disk(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "never"))
+    cache = CompileCache(disk=False)
+    _, hit1 = cache.compile("(+ 1 2)", CompilerConfig())
+    _, hit2 = cache.compile("(+ 1 2)", CompilerConfig())
+    assert (hit1, hit2) == (False, True)
+    assert not os.path.exists(str(tmp_path / "never"))
+
+
+def test_gc_evicts_lru_first(tmp_path):
+    cache = CompileCache(root=str(tmp_path))
+    sources = ["(+ 1 1)", "(+ 2 2)", "(+ 3 3)"]
+    for source in sources:
+        cache.compile(source, CompilerConfig())
+    entries = cache.entries()
+    os.utime(entries[0].path, (1, 1))  # force a stale mtime
+    removed = cache.gc(max_entries=2)
+    assert removed == 1
+    keys = {e.key for e in cache.entries()}
+    assert entries[0].key not in keys
+
+
+def test_gc_max_bytes(tmp_path):
+    cache = CompileCache(root=str(tmp_path))
+    for source in ["(+ 1 1)", "(+ 2 2)"]:
+        cache.compile(source, CompilerConfig())
+    _, total = cache.disk_usage()
+    assert cache.gc(max_bytes=total - 1) >= 1
+
+
+def test_clear_invalidates_everything(tmp_path):
+    cache = CompileCache(root=str(tmp_path))
+    cache.compile("(+ 1 2)", CompilerConfig())
+    assert cache.clear() == 1
+    assert cache.disk_usage() == (0, 0)
+    _, hit = cache.compile("(+ 1 2)", CompilerConfig())
+    assert not hit
+
+
+def test_default_cache_dir_honours_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/explicit/dir")
+    assert default_cache_dir() == "/explicit/dir"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", "/xdg")
+    assert default_cache_dir() == os.path.join("/xdg", "repro")
+    monkeypatch.delenv("XDG_CACHE_HOME")
+    monkeypatch.setenv("HOME", "/home/someone")
+    assert default_cache_dir() == "/home/someone/.cache/repro"

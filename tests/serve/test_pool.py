@@ -1,0 +1,137 @@
+"""The worker pool's scheduling guarantees: crash isolation, timeouts,
+cancellation, and telemetry — exercised through the deterministic
+``selftest`` task handlers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.pool import WorkerPool, default_jobs
+
+
+def _collect(pool):
+    return {r.task_id: r for r in pool.results()}
+
+
+@pytest.fixture
+def pool():
+    with WorkerPool(jobs=2, cache=False) as p:
+        yield p
+
+
+def test_echo_round_trip(pool):
+    tid = pool.submit("selftest", {"action": "echo", "value": 42})
+    results = _collect(pool)
+    assert results[tid].ok
+    assert results[tid].value["echo"] == 42
+
+
+def test_tasks_spread_over_workers(pool):
+    ids = [
+        pool.submit("selftest", {"action": "echo", "value": i}) for i in range(8)
+    ]
+    results = _collect(pool)
+    assert all(results[t].ok for t in ids)
+    assert {results[t].value["echo"] for t in ids} == set(range(8))
+
+
+def test_handler_exception_is_classified_not_fatal(pool):
+    bad = pool.submit("selftest", {"action": "raise", "message": "boom"})
+    good = pool.submit("selftest", {"action": "echo", "value": "fine"})
+    results = _collect(pool)
+    assert not results[bad].ok
+    assert results[bad].error_kind == "error"
+    assert "boom" in results[bad].error
+    assert results[good].ok
+
+
+def test_worker_crash_fails_only_its_task(pool):
+    crash = pool.submit("selftest", {"action": "exit", "code": 13})
+    okay = [
+        pool.submit("selftest", {"action": "echo", "value": i}) for i in range(3)
+    ]
+    results = _collect(pool)
+    assert results[crash].error_kind == "crash"
+    assert "13" in results[crash].error
+    assert all(results[t].ok for t in okay)
+    assert pool.stats()["crashes"] == 1
+
+
+def test_pool_survives_repeated_crashes(pool):
+    crashes = [
+        pool.submit("selftest", {"action": "exit", "code": 9}) for _ in range(3)
+    ]
+    okay = pool.submit("selftest", {"action": "echo", "value": "alive"})
+    results = _collect(pool)
+    assert all(results[t].error_kind == "crash" for t in crashes)
+    assert results[okay].ok
+
+
+def test_timeout_kills_the_worker(pool):
+    slow = pool.submit(
+        "selftest", {"action": "sleep", "seconds": 60.0}, timeout=0.3
+    )
+    fast = pool.submit("selftest", {"action": "echo", "value": "quick"})
+    results = _collect(pool)
+    assert results[slow].error_kind == "timeout"
+    assert results[fast].ok
+    assert pool.stats()["timeouts"] == 1
+
+
+def test_cancel_queued_task():
+    with WorkerPool(jobs=1, cache=False) as pool:
+        running = pool.submit("selftest", {"action": "sleep", "seconds": 0.4})
+        queued = pool.submit("selftest", {"action": "echo", "value": "no"})
+        assert pool.cancel(queued)
+        results = _collect(pool)
+        assert results[queued].error_kind == "cancelled"
+        assert results[running].ok
+
+
+def test_cancel_running_task(pool):
+    slow = pool.submit("selftest", {"action": "sleep", "seconds": 60.0})
+    # Give the scheduler a beat to hand the task to a worker.
+    pool.poll(0.2)
+    assert pool.cancel(slow)
+    results = _collect(pool)
+    assert results[slow].error_kind == "cancelled"
+
+
+def test_cancel_unknown_id(pool):
+    assert not pool.cancel(999)
+
+
+def test_cancel_pending_drops_only_queued():
+    with WorkerPool(jobs=1, cache=False) as pool:
+        running = pool.submit("selftest", {"action": "sleep", "seconds": 0.3})
+        queued = [
+            pool.submit("selftest", {"action": "echo", "value": i})
+            for i in range(3)
+        ]
+        dropped = pool.cancel_pending()
+        assert dropped == len(queued)
+        results = _collect(pool)
+        assert results[running].ok
+        assert all(results[t].error_kind == "cancelled" for t in queued)
+        assert pool.stats()["cancelled"] == len(queued)
+
+
+def test_stats_shape(pool):
+    pool.submit("selftest", {"action": "echo", "value": 1})
+    _collect(pool)
+    stats = pool.stats()
+    assert stats["jobs"] == 2
+    assert stats["completed"] == 1
+    assert stats["queue_depth"] == 0
+    assert stats["queue_depth_max"] >= 1
+    assert stats["latency_max_s"] >= stats["latency_avg_s"] >= 0
+
+
+def test_unknown_kind_is_an_error(pool):
+    tid = pool.submit("no-such-kind", {})
+    results = _collect(pool)
+    assert not results[tid].ok
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1

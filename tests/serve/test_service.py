@@ -1,0 +1,156 @@
+"""BatchService: request/response shapes, inline vs pooled execution,
+cache accounting, and observe integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CompilerConfig
+from repro.observe import Tracer
+from repro.serve.service import BatchService, Request, Response, summarize
+
+GOOD = "(define (f x) (* x x)) (f 7)"
+LOOPS = "(define (spin n) (if (= n 0) 'done (spin (- n 1)))) (spin 100000000)"
+
+
+def test_request_rejects_unknown_op():
+    with pytest.raises(ValueError, match="unknown op"):
+        Request(op="transmogrify", source="(+ 1 2)")
+
+
+def test_request_dict_round_trip():
+    request = Request.from_dict(
+        {
+            "id": "r1",
+            "op": "run",
+            "source": GOOD,
+            "config": {"save_strategy": "early"},
+            "max_instructions": 1000,
+        }
+    )
+    assert request.id == "r1"
+    assert request.config.save_strategy == "early"
+    assert request.payload()["max_instructions"] == 1000
+
+
+def test_inline_run_request():
+    service = BatchService(jobs=1, cache=False)
+    (response,) = service.run([Request(op="run", source=GOOD)])
+    assert response.ok
+    assert response.value == "49"
+    assert response.counters["instructions"] > 0
+
+
+def test_inline_compile_request():
+    service = BatchService(jobs=1, cache=False)
+    (response,) = service.run([Request(op="compile", source=GOOD, id="c")])
+    assert response.ok
+    assert response.id == "c"
+    assert response.instructions > 0
+    assert response.procedures > 0
+    assert response.value is None
+
+
+def test_inline_error_classification():
+    service = BatchService(jobs=1, cache=False)
+    responses = service.run(
+        [
+            Request(op="run", source="(unbound-proc 1)", id="compile-err"),
+            Request(op="run", source="(car 5)", id="runtime-err"),
+            Request(op="run", source="(", id="read-err"),
+            Request(op="run", source=LOOPS, id="budget", max_instructions=10_000),
+            Request(op="run", source=GOOD, id="fine"),
+        ]
+    )
+    kinds = {r.id: (r.ok, r.error_kind) for r in responses}
+    assert kinds["compile-err"] == (False, "compile-error")
+    assert kinds["runtime-err"] == (False, "runtime-error")
+    assert kinds["read-err"] == (False, "read-error")
+    assert kinds["budget"] == (False, "budget")
+    assert kinds["fine"] == (True, None)
+
+
+def test_inline_cache_hits(tmp_path):
+    service = BatchService(jobs=1, cache_dir=str(tmp_path))
+    requests = [Request(op="compile", source=GOOD, id=i) for i in range(3)]
+    responses = service.run(requests)
+    assert [r.cached for r in responses] == [False, True, True]
+    stats = service.stats()
+    assert stats["cache"]["hits"] == 2
+    assert stats["cache"]["misses"] == 1
+
+
+def test_responses_in_request_order_ids_default_to_index():
+    service = BatchService(jobs=1, cache=False)
+    responses = service.run(
+        [Request(op="compile", source=f"(+ {i} {i})") for i in range(4)]
+    )
+    assert [r.id for r in responses] == [0, 1, 2, 3]
+
+
+def test_pooled_batch_matches_inline(tmp_path):
+    requests = [
+        Request(op="run", source=GOOD, id="a"),
+        Request(op="run", source="(car 5)", id="b"),
+        Request(op="compile", source="(+ 1 2)", id="c"),
+    ]
+    inline = BatchService(jobs=1, cache=False).run(requests)
+    pooled = BatchService(jobs=2, cache=False).run(requests)
+    strip = lambda r: (r.id, r.op, r.ok, r.value, r.error_kind)  # noqa: E731
+    assert [strip(r) for r in inline] == [strip(r) for r in pooled]
+
+
+def test_pooled_cache_hits_via_disk(tmp_path):
+    requests = [Request(op="compile", source=GOOD, id=i) for i in range(2)]
+    BatchService(jobs=2, cache_dir=str(tmp_path)).run(requests)
+    service = BatchService(jobs=2, cache_dir=str(tmp_path))
+    responses = service.run(requests)
+    assert all(r.cached for r in responses)
+    assert service.stats()["cache"]["hits"] == len(requests)
+    assert service.stats()["pool"]["completed"] == len(requests)
+
+
+def test_on_response_fires_per_completion():
+    seen = []
+    service = BatchService(jobs=1, cache=False)
+    service.run(
+        [Request(op="compile", source="(+ 1 2)", id=i) for i in range(3)],
+        on_response=lambda r: seen.append(r.id),
+    )
+    assert sorted(seen) == [0, 1, 2]
+
+
+def test_tracer_records_batch_span_and_request_events():
+    tracer = Tracer()
+    service = BatchService(jobs=1, cache=False, tracer=tracer)
+    service.run([Request(op="compile", source="(+ 1 2)")])
+    names = [s.name for s in tracer.spans]
+    assert "batch" in names
+    events = [e for e in tracer.events if e.name == "request"]
+    assert len(events) == 1
+    assert events[0].args["ok"] is True
+
+
+def test_summarize():
+    responses = [
+        Response(id=0, op="run", ok=True, cached=True),
+        Response(id=1, op="run", ok=True, cached=False),
+        Response(id=2, op="run", ok=False, error_kind="budget"),
+    ]
+    doc = summarize(responses)
+    assert doc == {
+        "requests": 3,
+        "ok": 2,
+        "errors": {"budget": 1},
+        "cache_hits": 1,
+        "cache_misses": 1,
+    }
+
+
+def test_response_dict_shapes():
+    ok = Response(id=1, op="run", ok=True, value="3", counters={}).as_dict()
+    assert ok["value"] == "3"
+    assert "error" not in ok
+    bad = Response(id=2, op="run", ok=False, error_kind="crash", error="x").as_dict()
+    assert bad["error_kind"] == "crash"
+    assert "value" not in bad

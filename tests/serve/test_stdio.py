@@ -1,0 +1,186 @@
+"""The ``repro serve --stdio`` JSON-lines daemon, run in-process over
+string streams."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.serve.stdio import PROTOCOL_VERSION, serve_stdio
+
+
+def _serve(lines, jobs=1):
+    """Feed *lines* (dicts or raw strings) to the daemon; return the
+    parsed response documents in emission order and the exit code."""
+    raw = "\n".join(
+        line if isinstance(line, str) else json.dumps(line) for line in lines
+    )
+    stdout = io.StringIO()
+    code = serve_stdio(
+        stdin=io.StringIO(raw + "\n"), stdout=stdout, jobs=jobs, cache=False
+    )
+    docs = [json.loads(line) for line in stdout.getvalue().splitlines()]
+    return docs, code
+
+
+def _by_id(docs):
+    return {d["id"]: d for d in docs if "id" in d and d.get("event") is None}
+
+
+def test_ready_banner_and_bye():
+    docs, code = _serve([{"id": 1, "op": "ping"}, {"id": 2, "op": "shutdown"}])
+    assert code == 0
+    assert docs[0]["event"] == "ready"
+    assert docs[0]["protocol"] == PROTOCOL_VERSION
+    assert docs[0]["jobs"] == 1
+    assert docs[-1]["event"] == "bye"
+
+
+def test_ping_pong():
+    docs, _ = _serve([{"id": "p", "op": "ping"}, {"op": "shutdown"}])
+    assert _by_id(docs)["p"] == {"id": "p", "ok": True, "pong": True}
+
+
+def test_run_request_round_trip():
+    docs, _ = _serve(
+        [
+            {"id": 1, "op": "run", "source": "(+ 20 22)"},
+            {"id": 2, "op": "shutdown"},
+        ]
+    )
+    response = _by_id(docs)[1]
+    assert response["ok"]
+    assert response["value"] == "42"
+    assert response["op"] == "run"
+
+
+def test_compile_request_and_config():
+    docs, _ = _serve(
+        [
+            {
+                "id": "c",
+                "op": "compile",
+                "source": "(define (f x) (+ x 1)) (f 1)",
+                "config": {"save_strategy": "early"},
+            },
+            {"op": "shutdown"},
+        ]
+    )
+    response = _by_id(docs)["c"]
+    assert response["ok"]
+    assert response["instructions"] > 0
+
+
+def test_errors_are_per_request():
+    # No shutdown line: shutdown cancels queued requests, EOF drains them.
+    docs, _ = _serve(
+        [
+            {"id": "bad", "op": "run", "source": "(car 5)"},
+            {"id": "good", "op": "run", "source": "(+ 1 1)"},
+        ]
+    )
+    by_id = _by_id(docs)
+    assert by_id["bad"]["ok"] is False
+    assert by_id["bad"]["error_kind"] == "runtime-error"
+    assert by_id["good"]["value"] == "2"
+
+
+def test_unparseable_line_is_protocol_error():
+    docs, _ = _serve(["this is not json", {"op": "shutdown"}])
+    errors = [d for d in docs if d.get("error_kind") == "protocol"]
+    assert len(errors) == 1
+    assert errors[0]["id"] is None
+
+
+def test_bad_request_shape_is_protocol_error():
+    docs, _ = _serve(
+        [
+            {"id": 7, "op": "run"},  # no source
+            {"id": 8, "op": "frobnicate", "source": "(+ 1 2)"},
+            {"op": "shutdown"},
+        ]
+    )
+    by_id = _by_id(docs)
+    assert by_id[7]["error_kind"] == "protocol"
+    assert by_id[8]["error_kind"] == "protocol"
+
+
+def test_stats_control():
+    docs, _ = _serve([{"id": "s", "op": "stats"}, {"op": "shutdown"}])
+    stats = _by_id(docs)["s"]["stats"]
+    assert stats["jobs"] == 1
+    assert "queue_depth" in stats
+
+
+def test_budget_enforced():
+    docs, _ = _serve(
+        [
+            {
+                "id": "b",
+                "op": "run",
+                "source": "(define (spin n) (if (= n 0) 0 (spin (- n 1)))) (spin 100000000)",
+                "max_instructions": 10000,
+            },
+            {"op": "shutdown"},
+        ]
+    )
+    response = _by_id(docs)["b"]
+    assert response["ok"] is False
+    assert response["error_kind"] == "budget"
+
+
+def test_eof_drains_in_flight():
+    # No shutdown line: EOF should still deliver the pending response.
+    docs, code = _serve([{"id": 1, "op": "run", "source": "(* 6 7)"}])
+    assert code == 0
+    assert _by_id(docs)[1]["value"] == "42"
+    assert docs[-1]["event"] == "bye"
+
+
+def test_shutdown_cancels_queued_requests():
+    lines = [
+        {"id": "slow", "op": "run",
+         "source": "(define (spin n) (if (= n 0) 0 (spin (- n 1)))) (spin 2000000)"},
+        {"id": "queued", "op": "run", "source": "(+ 1 1)"},
+        {"id": "bye", "op": "shutdown"},
+    ]
+    docs, _ = _serve(lines, jobs=1)
+    by_id = _by_id(docs)
+    # The queued request either ran before shutdown was processed or
+    # was cancelled — but it must have been answered either way.
+    assert "queued" in by_id
+    assert by_id["queued"]["ok"] or by_id["queued"]["error_kind"] == "cancelled"
+
+
+def test_daemon_subprocess_round_trip():
+    # Regression test: run the daemon as a real subprocess over real
+    # pipes.  A worker forked while the reader thread held sys.stdin's
+    # buffered-stream lock used to inherit the held lock and deadlock
+    # in multiprocessing's _close_stdin, so the daemon never answered.
+    # The in-process StringIO harness above cannot reproduce that; only
+    # a blocking read on a real fd can.
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    lines = "\n".join(
+        [
+            json.dumps({"id": 1, "op": "run", "source": "(+ 20 22)"}),
+            json.dumps({"id": 2, "op": "shutdown"}),
+        ]
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--stdio", "--no-cache"],
+        input=lines + "\n",
+        capture_output=True,
+        text=True,
+        timeout=60,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    assert proc.returncode == 0, proc.stderr
+    docs = [json.loads(line) for line in proc.stdout.splitlines()]
+    assert _by_id(docs)[1]["value"] == "42"
+    assert docs[-1]["event"] == "bye"
