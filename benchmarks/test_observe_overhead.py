@@ -81,3 +81,80 @@ def test_null_tracer_vm_counters_identical():
     )
     assert plain.counters.as_dict() == traced.counters.as_dict()
     assert plain.value == traced.value
+
+
+def test_disabled_registry_pipeline_within_noise():
+    """With no exporter attached the default registry stays disabled and
+    every instrumentation point short-circuits on one attribute test.
+    The telemetry design budgets <2% for this; the assertion uses the
+    same noise margin as the tracer guard above (best-of-N wall clock
+    wobbles well past 2% on shared CI hardware)."""
+    from repro.observe.metrics import REGISTRY
+
+    was_enabled = REGISTRY.enabled
+    REGISTRY.enabled = False
+    try:
+        families_before = set(REGISTRY.families)
+        source = get_benchmark("tak").source
+        config = CompilerConfig()
+        for _ in range(2):
+            _bare_compile(source, config)
+            compile_source(source, config)
+
+        bare = _best_of(lambda: _bare_compile(source, config))
+        instrumented = _best_of(lambda: compile_source(source, config))
+        ratio = instrumented / bare if bare else 1.0
+        print_block(
+            "observe: disabled-registry compile overhead",
+            f"bare         {bare * 1e3:8.3f} ms\n"
+            f"instrumented {instrumented * 1e3:8.3f} ms\n"
+            f"ratio        {ratio:8.3f}x",
+        )
+        assert instrumented <= bare * 1.30 + 0.002, (
+            f"disabled-registry pipeline {ratio:.2f}x slower than bare passes"
+        )
+        # And a disabled registry never accretes families from a run.
+        assert set(REGISTRY.families) == families_before
+    finally:
+        REGISTRY.enabled = was_enabled
+
+
+def test_enabled_registry_observes_run_metrics():
+    """The flip side of the null-overhead guard: enabling the registry
+    actually captures the VM and allocator distributions."""
+    from repro.observe.metrics import REGISTRY
+
+    source = get_benchmark("tak").source.replace("(tak 18 12 6)", "(tak 12 8 4)")
+    config = CompilerConfig()
+    saved = REGISTRY.enabled, dict(REGISTRY.families)
+    REGISTRY.families.clear()
+    REGISTRY.enabled = True
+    try:
+        run_compiled(compile_source(source, config))
+        snap = REGISTRY.snapshot()
+        assert snap["counters"]["repro_vm_runs"] == 1
+        assert sum(snap["histograms"]["repro_vm_instructions"]["counts"]) == 1
+        assert sum(snap["histograms"]["repro_shuffle_size"]["counts"]) > 0
+    finally:
+        REGISTRY.enabled = saved[0]
+        REGISTRY.families.clear()
+        REGISTRY.families.update(saved[1])
+
+
+def test_flight_recorder_record_is_cheap():
+    """One record() is a deque append; 10k of them must be far under a
+    millisecond each even on loaded CI machines."""
+    from repro.observe.recorder import FlightRecorder
+
+    recorder = FlightRecorder(capacity=512)
+    t0 = time.perf_counter()
+    for i in range(10_000):
+        recorder.record("tick", i=i)
+    elapsed = time.perf_counter() - t0
+    print_block(
+        "observe: flight recorder throughput",
+        f"10k records in {elapsed * 1e3:.2f} ms "
+        f"({elapsed / 10_000 * 1e9:.0f} ns/event)",
+    )
+    assert elapsed < 0.5
+    assert len(recorder) == 512

@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.astnodes import pretty
@@ -25,6 +26,7 @@ from repro.backend.isa import format_code
 from repro.config import (
     BRANCH_PREDICTION_MODES,
     CompilerConfig,
+    ObserveConfig,
     RESTORE_STRATEGIES,
     SAVE_CONVENTIONS,
     SAVE_STRATEGIES,
@@ -77,6 +79,28 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
         "--no-vm-fast",
         action="store_true",
         help="use the legacy dispatch loop instead of the trace-compiled fast path",
+    )
+
+
+def _add_observe_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="metrics snapshot path (default: $REPRO_METRICS_PATH or "
+        "~/.cache/repro/metrics.json)",
+    )
+    group.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="do not write a metrics snapshot",
+    )
+    group.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=ObserveConfig.from_env().flight_dir,
+        help="where flight-recorder crash dumps go "
+        "(default: $REPRO_FLIGHT_DIR, else disabled)",
     )
 
 
@@ -287,7 +311,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if tracer is not None:
         _write_out(args.trace, json.dumps(chrome_trace(tracer)))
         print(f"; trace written to {args.trace}", file=sys.stderr)
+    if args.history:
+        record = {
+            "kind": "bench",
+            "benchmarks": names,
+            "config": config.summary(),
+        }
+        if rows:
+            record["rows"] = rows
+        _append_history(args.history, record)
+        print(f"; history appended to {args.history}", file=sys.stderr)
     return 0
+
+
+def _append_history(path: str, record: dict) -> None:
+    """Append one timestamped JSON record (one line) to a history file —
+    the longitudinal record ``repro bench --history`` accumulates."""
+    from repro import __version__
+
+    record = {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "unix_s": round(time.time(), 3),
+        "version": __version__,
+        **record,
+    }
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record) + "\n")
 
 
 def _bench_baseline(args: argparse.Namespace) -> int:
@@ -398,6 +447,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             corpus_dir=args.corpus,
             keep_interesting=args.keep_interesting,
             on_progress=progress,
+            flight_dir=args.corpus,
         )
 
     if args.json:
@@ -432,6 +482,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                     print(f"      {line}")
             if failure.corpus_path:
                 print(f"    saved: {failure.corpus_path}")
+            if failure.flight_path:
+                print(f"    flight recording: {failure.flight_path}")
     return 0 if report.ok else 1
 
 
@@ -490,15 +542,31 @@ def _batch_requests(args: argparse.Namespace) -> list:
     return requests
 
 
+def _metrics_out_path(args: argparse.Namespace) -> Optional[str]:
+    """Where the registry snapshot goes: ``--metrics-out`` wins, then the
+    environment/default path, and ``--no-metrics`` turns it off."""
+    if args.no_metrics:
+        return None
+    return args.metrics_out or ObserveConfig.from_env().metrics_path
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.serve.service import BatchService, summarize
 
     requests = _batch_requests(args)
+    tracer = Tracer() if args.trace else None
+    # One batch = one metrics lifetime: the snapshot written below covers
+    # exactly this run (matters for in-process main() reuse too).
+    from repro.observe.metrics import get_registry
+
+    get_registry().clear()
     service = BatchService(
         jobs=args.jobs,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
         disk_cache=not args.memory_cache,
+        tracer=tracer,
+        flight_dir=args.flight_dir,
     )
 
     def progress(response) -> None:
@@ -525,6 +593,19 @@ def cmd_batch(args: argparse.Namespace) -> int:
         )
         for kind, count in sorted(summary["errors"].items()):
             print(f";   {kind}: {count}", file=sys.stderr)
+    if tracer is not None:
+        _write_out(
+            args.trace,
+            json.dumps(chrome_trace(tracer, workers=service.worker_spans)),
+        )
+        print(f"; trace written to {args.trace}", file=sys.stderr)
+    metrics_out = _metrics_out_path(args)
+    if metrics_out:
+        service.write_metrics(metrics_out)
+        if not args.json:
+            print(f"; metrics written to {metrics_out}", file=sys.stderr)
+    for path in service.flight_dumps:
+        print(f"; flight recording: {path}", file=sys.stderr)
     return 0 if summary["ok"] == summary["requests"] else 1
 
 
@@ -539,6 +620,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
         disk_cache=not args.memory_cache,
+        metrics_out=_metrics_out_path(args),
+        flight_dir=args.flight_dir,
     )
 
 
@@ -550,13 +633,24 @@ def cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "stats":
         entries, size = cache.disk_usage()
         doc = {"path": root, "entries": entries, "bytes": size}
+        if args.verify:
+            doc["verify"] = cache.verify(remove=args.remove_corrupt)
+        doc["counters"] = cache.stats.as_dict()
         if args.json:
             print(json.dumps(doc, indent=2))
         else:
             print(f"path     {root}")
             print(f"entries  {entries}")
             print(f"bytes    {size:,}")
-        return 0
+            for key, value in sorted(doc["counters"].items()):
+                print(f"{key:12s} {value}")
+            if args.verify:
+                v = doc["verify"]
+                print(
+                    f"verify   {v['scanned']} scanned, {v['ok']} ok, "
+                    f"{v['corrupt']} corrupt, {v['removed']} removed"
+                )
+        return 1 if args.verify and doc["verify"]["corrupt"] else 0
     if args.action == "gc":
         if args.max_entries is None and args.max_bytes is None:
             print("repro: cache gc: give --max-entries and/or --max-bytes",
@@ -569,6 +663,54 @@ def cmd_cache(args: argparse.Namespace) -> int:
     removed = cache.clear()
     print(f"; cleared {removed} entry(ies) from {root}", file=sys.stderr)
     return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.observe.metrics import (
+        lint_openmetrics,
+        load_snapshot,
+        render_openmetrics,
+    )
+
+    path = args.path or ObserveConfig.from_env().metrics_path
+    try:
+        snapshot = load_snapshot(path)
+    except OSError as exc:
+        print(f"repro: metrics: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"repro: metrics: corrupt snapshot {path}: {exc}", file=sys.stderr)
+        return 1
+    if args.lint:
+        problems = lint_openmetrics(render_openmetrics(snapshot))
+        for problem in problems:
+            print(f"openmetrics lint: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"; openmetrics lint passed for {path}", file=sys.stderr)
+        return 1 if problems else 0
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    if args.openmetrics:
+        sys.stdout.write(render_openmetrics(snapshot))
+        return 0
+    from repro.observe.top import render_dashboard
+
+    sys.stdout.write(render_dashboard(snapshot))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.observe.top import top_loop
+
+    path = args.path or ObserveConfig.from_env().metrics_path
+    iterations = 1 if args.once else args.iterations
+    return top_loop(
+        path,
+        interval=args.interval,
+        iterations=iterations,
+        clear=not args.once,
+    )
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -682,6 +824,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.15,
         metavar="F",
         help="allowed relative speedup regression for --check-baseline",
+    )
+    p_bench.add_argument(
+        "--history",
+        metavar="PATH",
+        help="append one timestamped JSON record of this run to PATH",
     )
     _add_config_flags(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
@@ -817,6 +964,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one summary document instead of per-response lines",
     )
+    p_batch.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace merging worker compile spans",
+    )
+    _add_observe_flags(p_batch)
     _add_config_flags(p_batch)
     p_batch.set_defaults(fn=cmd_batch)
 
@@ -848,6 +1001,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cache in memory only; do not touch the disk store",
     )
+    _add_observe_flags(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
     p_cache = sub.add_parser("cache", help="inspect or prune the compile cache")
@@ -869,8 +1023,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None, metavar="N",
         help="gc: keep at most N bytes of entries",
     )
+    p_cache.add_argument(
+        "--verify",
+        action="store_true",
+        help="stats: integrity-scan every disk entry's checksum",
+    )
+    p_cache.add_argument(
+        "--remove-corrupt",
+        action="store_true",
+        help="with --verify, delete entries that fail validation",
+    )
     p_cache.add_argument("--json", action="store_true")
     p_cache.set_defaults(fn=cmd_cache)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="inspect a service metrics snapshot"
+    )
+    p_metrics.add_argument(
+        "--path",
+        metavar="PATH",
+        help="snapshot file (default: $REPRO_METRICS_PATH or "
+        "~/.cache/repro/metrics.json)",
+    )
+    p_metrics.add_argument(
+        "--json", action="store_true", help="print the raw snapshot JSON"
+    )
+    p_metrics.add_argument(
+        "--openmetrics",
+        action="store_true",
+        help="render the snapshot as OpenMetrics exposition text",
+    )
+    p_metrics.add_argument(
+        "--lint",
+        action="store_true",
+        help="render as OpenMetrics and check it for format violations",
+    )
+    p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top", help="refresh-loop dashboard over the metrics snapshot"
+    )
+    p_top.add_argument(
+        "--path",
+        metavar="PATH",
+        help="snapshot file (default: $REPRO_METRICS_PATH or "
+        "~/.cache/repro/metrics.json)",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: 2.0)",
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame without clearing the screen",
+    )
+    p_top.set_defaults(fn=cmd_top)
 
     p_list = sub.add_parser("list", help="list benchmarks")
     p_list.set_defaults(fn=cmd_list)

@@ -11,6 +11,7 @@ parameter and user variable lives on the stack.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field, fields, is_dataclass, replace
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
@@ -218,6 +219,42 @@ def _field_dict(obj: Any) -> Dict[str, Any]:
         value = getattr(obj, f.name)
         out[f.name] = _field_dict(value) if is_dataclass(value) else value
     return out
+
+
+@dataclass
+class ObserveConfig:
+    """Where the observability subsystem persists its artifacts.
+
+    ``metrics_path`` is the JSON registry snapshot that ``repro batch``
+    and ``repro serve`` write and that ``repro metrics`` / ``repro top``
+    read; ``flight_dir`` (optional) is where flight-recorder dumps go.
+    Resolved from the environment by :meth:`from_env`:
+
+    * ``REPRO_METRICS_PATH`` — snapshot path (default
+      ``$XDG_CACHE_HOME/repro/metrics.json``, else
+      ``~/.cache/repro/metrics.json``);
+    * ``REPRO_FLIGHT_DIR`` — flight-dump directory (no default: dumps
+      are opt-in outside the fuzzer, which uses its corpus directory).
+    """
+
+    metrics_path: str = ""
+    flight_dir: Optional[str] = None
+
+    @staticmethod
+    def default_metrics_path() -> str:
+        env = os.environ.get("REPRO_METRICS_PATH")
+        if env:
+            return env
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+        return os.path.join(base, "repro", "metrics.json")
+
+    @classmethod
+    def from_env(cls) -> "ObserveConfig":
+        return cls(
+            metrics_path=cls.default_metrics_path(),
+            flight_dir=os.environ.get("REPRO_FLIGHT_DIR") or None,
+        )
 
 
 # The paper's register sweep: (c, l) points from "no registers" through

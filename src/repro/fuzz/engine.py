@@ -27,6 +27,7 @@ from repro.fuzz.corpus import CorpusEntry, save_entry
 from repro.fuzz.genprog import GenConfig, ProgramGenerator
 from repro.fuzz.oracle import InvalidProgram, check_program
 from repro.fuzz.shrink import program_size, shrink_program
+from repro.observe.recorder import get_flight_recorder
 
 
 @dataclass
@@ -39,6 +40,7 @@ class FuzzFailure:
     shrunk: Optional[str] = None
     shrunk_size: Optional[int] = None
     corpus_path: Optional[str] = None
+    flight_path: Optional[str] = None
 
     def as_dict(self) -> dict:
         return {
@@ -48,6 +50,7 @@ class FuzzFailure:
             "shrunk": self.shrunk,
             "shrunk_size": self.shrunk_size,
             "corpus_path": self.corpus_path,
+            "flight_path": self.flight_path,
         }
 
 
@@ -130,15 +133,20 @@ def run_fuzz(
     keep_interesting: int = 0,
     gen_config: Optional[GenConfig] = None,
     on_progress: Optional[Callable[[int, FuzzReport], None]] = None,
+    flight_dir: Optional[str] = None,
 ) -> FuzzReport:
     """Run the fuzzing loop.
 
     ``time_budget`` (seconds) stops the run early; with a budget set,
     ``iterations`` is the cap on programs, not a target.  ``on_progress``
     is called after each completed iteration with ``(done, report)``.
+    ``flight_dir`` enables flight-recorder dumps: each failure (oracle
+    divergence or worker crash) writes the recent iteration timeline
+    plus the failing program as a JSON artifact there.
     """
     start = time.monotonic()
     report = FuzzReport(seed=seed)
+    recorder = get_flight_recorder()
     interesting_kept = 0
 
     def out_of_time() -> bool:
@@ -152,6 +160,12 @@ def run_fuzz(
             return
         report.configs_checked += result.configs_checked
         report.shuffle_cycles += result.shuffle_cycles
+        recorder.record(
+            "fuzz.iteration",
+            iteration=result.iteration,
+            configs_checked=result.configs_checked,
+            divergences=len(result.divergences),
+        )
         if result.divergences:
             failure = FuzzFailure(
                 iteration=result.iteration,
@@ -164,6 +178,18 @@ def run_fuzz(
                 _shrink_failure(failure, result.failing_configs)
             if corpus_dir:
                 failure.corpus_path = _persist_failure(failure, seed, corpus_dir)
+            if flight_dir:
+                kind = result.divergences[0].get("kind", "divergence")
+                failure.flight_path = recorder.dump_to(
+                    flight_dir,
+                    f"fuzz-{kind}",
+                    extra={
+                        "seed": seed,
+                        "iteration": result.iteration,
+                        "source": result.source,
+                        "divergences": result.divergences,
+                    },
+                )
             report.failures.append(failure)
         elif (
             keep_interesting
@@ -190,7 +216,9 @@ def run_fuzz(
                 break
             absorb(_check_iteration(i))
     else:
-        _run_pooled(seed, iterations, jobs, gen_config, absorb, out_of_time)
+        _run_pooled(
+            seed, iterations, jobs, gen_config, absorb, out_of_time, flight_dir
+        )
 
     report.failures.sort(key=lambda f: f.iteration)
     report.elapsed = time.monotonic() - start
@@ -204,6 +232,7 @@ def _run_pooled(
     gen_config: Optional[GenConfig],
     absorb: Callable[[_IterationResult], None],
     out_of_time: Callable[[], bool],
+    flight_dir: Optional[str] = None,
 ) -> None:
     """Distribute iterations over the serve worker pool.
 
@@ -215,7 +244,7 @@ def _run_pooled(
     """
     from repro.serve.pool import WorkerPool
 
-    with WorkerPool(jobs=jobs, cache=False) as pool:
+    with WorkerPool(jobs=jobs, cache=False, flight_dir=flight_dir) as pool:
         iteration_of = {}
         for i in range(iterations):
             task_id = pool.submit(

@@ -12,12 +12,30 @@ nothing when off.
 
 from repro.observe.events import Event, Span
 from repro.observe.export import chrome_trace, metrics_dict, text_profile
+from repro.observe.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    lint_openmetrics,
+    load_snapshot,
+    render_openmetrics,
+)
 from repro.observe.profile import ProcProfile, VMProfiler
+from repro.observe.recorder import (
+    FLIGHT_RECORDER,
+    FlightRecorder,
+    get_flight_recorder,
+)
 from repro.observe.tracer import (
     NULL_TRACER,
     NullTracer,
     TraceError,
     Tracer,
+    new_trace_id,
+    span_payload,
     tracer_for,
 )
 
@@ -29,9 +47,23 @@ __all__ = [
     "NULL_TRACER",
     "TraceError",
     "tracer_for",
+    "new_trace_id",
+    "span_payload",
     "ProcProfile",
     "VMProfiler",
     "chrome_trace",
     "metrics_dict",
     "text_profile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "render_openmetrics",
+    "lint_openmetrics",
+    "load_snapshot",
+    "FlightRecorder",
+    "FLIGHT_RECORDER",
+    "get_flight_recorder",
 ]

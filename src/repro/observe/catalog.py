@@ -1,0 +1,117 @@
+"""The metric catalog: every metric the repro service exposes.
+
+One declaration per metric family — name, type, help text, label
+names, and (for histograms) the fixed bucket family.  Instrumentation
+sites resolve families through :func:`declare`, so a metric can never
+be emitted that is not in the catalog, and the table in
+``docs/observability.md`` is checked against this module by
+``tests/observe/test_metrics.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.observe.metrics import (
+    BYTES_BUCKETS,
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+#: (name, kind, labels, buckets, help)
+CATALOG: Tuple[Tuple[str, str, Tuple[str, ...], Optional[Sequence[float]], str], ...] = (
+    # -- compile cache (repro.serve.cache) -----------------------------
+    ("repro_cache_hits", "counter", ("tier",),
+     None, "Compile-cache hits by tier (memory/disk)."),
+    ("repro_cache_misses", "counter", (),
+     None, "Compile-cache misses (entry absent)."),
+    ("repro_cache_corruptions", "counter", (),
+     None, "On-disk cache entries that failed validation (served as misses)."),
+    ("repro_cache_evictions", "counter", (),
+     None, "Cache entries evicted (memory LRU overflow and disk gc)."),
+    ("repro_cache_stores", "counter", (),
+     None, "Compiled programs written to the cache."),
+    ("repro_cache_bytes_written", "counter", (),
+     None, "Bytes written to the on-disk cache store."),
+    ("repro_cache_entry_bytes", "histogram", (),
+     BYTES_BUCKETS, "Serialized size of cache entries written."),
+    ("repro_compile_seconds", "histogram", (),
+     LATENCY_BUCKETS, "Wall-clock seconds per uncached compile."),
+    # -- worker pool (repro.serve.pool) --------------------------------
+    ("repro_pool_submitted", "counter", (),
+     None, "Tasks submitted to the pool scheduler."),
+    ("repro_pool_tasks", "counter", ("outcome",),
+     None, "Resolved pool tasks by outcome (ok/error/cancelled); "
+           "conserves against repro_pool_submitted."),
+    ("repro_pool_worker_events", "counter", ("event",),
+     None, "Worker lifecycle events (spawn/respawn/crash/timeout/cancel)."),
+    ("repro_pool_queue_depth", "gauge", (),
+     None, "Tasks waiting for a worker right now."),
+    ("repro_pool_queued_seconds", "histogram", (),
+     LATENCY_BUCKETS, "Seconds a task waited for a worker."),
+    ("repro_pool_run_seconds", "histogram", (),
+     LATENCY_BUCKETS, "Seconds a task executed on a worker."),
+    # -- service / daemon (repro.serve.service, repro.serve.stdio) -----
+    ("repro_requests", "counter", ("op", "status"),
+     None, "Service requests by operation and status (ok/error kind)."),
+    ("repro_request_seconds", "histogram", ("op",),
+     LATENCY_BUCKETS, "End-to-end seconds per request (queued + run)."),
+    ("repro_flight_dumps", "counter", ("reason",),
+     None, "Flight-recorder dumps written, by reason."),
+    # -- VM run distributions (repro.vm.machine) -----------------------
+    ("repro_vm_runs", "counter", (),
+     None, "Completed VM runs observed by the registry."),
+    ("repro_vm_instructions", "histogram", (),
+     COUNT_BUCKETS, "Instructions executed per VM run."),
+    ("repro_vm_saves", "histogram", (),
+     COUNT_BUCKETS, "Register saves per VM run (Table 3's save column)."),
+    ("repro_vm_restores", "histogram", (),
+     COUNT_BUCKETS, "Register restores per VM run (Table 3's restore column)."),
+    ("repro_vm_proc_saves", "histogram", (),
+     COUNT_BUCKETS, "Saves per procedure, from profiled runs (Figure 1)."),
+    ("repro_vm_proc_restores", "histogram", (),
+     COUNT_BUCKETS, "Restores per procedure, from profiled runs (Figure 2)."),
+    # -- allocator distributions (repro.pipeline) ----------------------
+    ("repro_shuffle_size", "histogram", (),
+     SIZE_BUCKETS, "Moves per call-site shuffle plan (the Buchwald et al. "
+                   "shuffle-code distribution)."),
+    ("repro_shuffle_cycles", "counter", (),
+     None, "Shuffle plans that contained a register cycle."),
+)
+
+_BY_NAME = {entry[0]: entry for entry in CATALOG}
+
+
+def declare(registry: MetricsRegistry, name: str) -> MetricFamily:
+    """The catalog family *name* on *registry* (declared on first use)."""
+    entry = _BY_NAME.get(name)
+    if entry is None:
+        raise KeyError(f"metric {name!r} is not in the catalog")
+    _, kind, labels, buckets, help_text = entry
+    if kind == "counter":
+        return registry.counter(name, help_text, labels)
+    if kind == "gauge":
+        return registry.gauge(name, help_text, labels)
+    return registry.histogram(name, help_text, labels, buckets or LATENCY_BUCKETS)
+
+
+def declare_all(registry: MetricsRegistry) -> Dict[str, MetricFamily]:
+    """Every catalog family, declared (zero-valued) on *registry* — used
+    by exposition so a scrape always sees the full metric set."""
+    return {name: declare(registry, name) for name in _BY_NAME}
+
+
+def markdown_table() -> str:
+    """The docs table (``docs/observability.md`` embeds this; a test
+    keeps them in sync)."""
+    lines = [
+        "| metric | type | labels | help |",
+        "|---|---|---|---|",
+    ]
+    for name, kind, labels, _, help_text in CATALOG:
+        label_text = ", ".join(f"`{label}`" for label in labels) or "—"
+        lines.append(f"| `{name}` | {kind} | {label_text} | {help_text} |")
+    return "\n".join(lines)

@@ -24,9 +24,16 @@ _TID_COMPILE = 1
 _TID_PROFILE = 2
 
 
-def chrome_trace(tracer, counters=None, profile=None) -> Dict[str, Any]:
+def chrome_trace(tracer, counters=None, profile=None, workers=None) -> Dict[str, Any]:
     """Chrome ``trace_event`` JSON (the object format, so metadata can
-    ride along in ``otherData``)."""
+    ride along in ``otherData``).
+
+    *workers* is an optional list of worker span payloads
+    (:func:`repro.observe.tracer.span_payload`): each worker becomes
+    its own process row, its span timestamps shifted onto the parent
+    timeline by the wall-clock offset between the two tracers' epochs,
+    so one coherent trace covers the whole multi-process service.
+    """
     events: List[Dict[str, Any]] = []
     events.append(
         {
@@ -81,9 +88,48 @@ def chrome_trace(tracer, counters=None, profile=None) -> Dict[str, Any]:
                     "args": row,
                 }
             )
+    if workers:
+        parent_epoch = getattr(tracer, "wall_epoch_ns", None)
+        trace_id = getattr(tracer, "trace_id", None)
+        for n, payload in enumerate(workers, 1):
+            if trace_id and payload.get("trace_id") not in (None, trace_id):
+                continue  # a stale payload from some other trace
+            pid = payload.get("pid") or (_PID + n)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": _TID_COMPILE,
+                    "args": {"name": f"repro worker (pid {pid})"},
+                }
+            )
+            # Clock offset: the worker's wall epoch minus the parent's,
+            # in microseconds (chrome ts units).
+            offset_us = 0.0
+            if parent_epoch is not None and payload.get("wall_epoch_ns") is not None:
+                offset_us = (payload["wall_epoch_ns"] - parent_epoch) / 1000.0
+            for span in payload.get("spans", ()):
+                events.append(
+                    {
+                        "name": span["name"],
+                        "cat": "pass",
+                        "ph": "X",
+                        "ts": offset_us + span["start"] / 1000.0,
+                        "dur": (span["dur"] or 0) / 1000.0,
+                        "pid": pid,
+                        "tid": _TID_COMPILE,
+                        "args": _jsonable(span.get("args", {})),
+                    }
+                )
     out: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    other: Dict[str, Any] = {}
     if counters is not None:
-        out["otherData"] = {"counters": counters.as_dict()}
+        other["counters"] = counters.as_dict()
+    if getattr(tracer, "trace_id", None):
+        other["trace_id"] = tracer.trace_id
+    if other:
+        out["otherData"] = other
     return out
 
 

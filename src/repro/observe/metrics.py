@@ -1,0 +1,773 @@
+"""``repro.observe.metrics`` — a process-wide metrics registry.
+
+Three metric types, modelled on the Prometheus data model but with no
+external dependency:
+
+* :class:`Counter` — a monotonically increasing count (cache hits,
+  worker crashes, requests served);
+* :class:`Gauge` — a value that goes up and down (pool queue depth);
+* :class:`Histogram` — a distribution over **fixed, log-scaled bucket
+  bounds**.  Because every process derives the same bounds from the
+  same literals, merging two processes' histograms is *exact* —
+  element-wise summation of bucket counts — and quantile estimates
+  (p50/p90/p99) are derived from the buckets with linear interpolation,
+  so they are within one bucket width of the true value.
+
+A :class:`MetricsRegistry` owns one family per metric name; families
+with labels hand out children per label-value tuple.  The module-level
+default registry (:func:`get_registry`) starts **disabled**: every
+instrumentation point short-circuits on ``registry.enabled``, so code
+that never turns metrics on pays a single attribute test.  The serve
+layer (:mod:`repro.serve`) and the metrics-producing CLI subcommands
+enable it.
+
+Cross-process aggregation is delta-based, like the VM profiler: a pool
+worker snapshots the registry before a task and ships
+``diff_snapshot`` with its result; the parent ``merge_snapshot``\\ s the
+delta, so parent-side totals are exact by conservation (asserted in
+``tests/serve/test_telemetry.py``).
+
+Exposition formats: :meth:`MetricsRegistry.snapshot` (JSON),
+:func:`render_openmetrics` (Prometheus/OpenMetrics text), and
+:func:`lint_openmetrics` — an in-repo format checker used by CI in
+place of ``promtool``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+SNAPSHOT_VERSION = 1
+
+#: Valid metric / label name (the OpenMetrics grammar, minus colons for
+#: label names — checked by the lint too).
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _valid_name(name: str, label: bool = False) -> bool:
+    if not name or name[0].isdigit():
+        return False
+    allowed = _NAME_OK - {":"} if label else _NAME_OK
+    return all(ch in allowed for ch in name)
+
+
+# ---------------------------------------------------------------------------
+# Bucket bounds
+# ---------------------------------------------------------------------------
+
+
+def log_buckets(
+    lo_exp: int, hi_exp: int, mantissas: Sequence[float] = (1.0, 2.0, 5.0)
+) -> Tuple[float, ...]:
+    """Log-scaled bounds: ``m * 10**e`` for every mantissa and decade.
+
+    The bounds are a pure function of literal inputs, so every process
+    (and every PR against the same code) derives bit-identical floats —
+    the property that makes cross-process histogram merge exact.
+    """
+    out: List[float] = []
+    for e in range(lo_exp, hi_exp + 1):
+        for m in mantissas:
+            # Divide for negative decades: 5 / 1e6 rounds to the double
+            # spelled "5e-06", where 5 * 1e-06 would not.
+            out.append(m * 10.0 ** e if e >= 0 else m / 10.0 ** -e)
+    return tuple(out)
+
+
+#: Latency distributions (seconds): 1 µs up to 500 s in a 1-2-5 series.
+LATENCY_BUCKETS = log_buckets(-6, 2)
+#: Event-count distributions (saves, restores, instructions): 1 .. 5e9.
+COUNT_BUCKETS = log_buckets(0, 9)
+#: Small-size distributions (shuffle sizes, register counts).
+SIZE_BUCKETS = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 24.0, 32.0)
+#: Byte-size distributions: 1 B up to 5 GB.
+BYTES_BUCKETS = log_buckets(0, 9)
+
+
+# ---------------------------------------------------------------------------
+# Metric children (one per label-value tuple)
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A distribution over fixed bucket bounds.
+
+    ``counts[i]`` counts observations ``<= bounds[i]`` (exclusive of
+    earlier buckets); ``counts[-1]`` is the overflow (+Inf) bucket.
+    Rendering uses the *cumulative* convention Prometheus expects.
+    """
+
+    __slots__ = ("bounds", "counts", "sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        if not bounds:
+            raise ValueError("histogram needs at least one bound")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        # bisect_left: bucket i holds values <= bounds[i] (le semantics).
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate.
+
+        Exact to within one bucket width: the target observation is
+        located in its bucket by cumulative count, and the estimate
+        interpolates linearly across that bucket's bounds.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        total = self.count
+        if total == 0:
+            return 0.0
+        target = q * total
+        cum = 0
+        for i, n in enumerate(self.counts):
+            cum += n
+            if cum >= target and n:
+                hi = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                if i >= len(self.bounds):
+                    return hi  # overflow bucket: clamp to the last bound
+                frac = (target - (cum - n)) / n
+                return lo + (hi - lo) * frac
+        return self.bounds[-1]
+
+    def merge(self, counts: Sequence[int], total: float) -> None:
+        """Exact merge: element-wise summation (bounds must be equal —
+        they are, by construction, for same-named metrics)."""
+        if len(counts) != len(self.counts):
+            raise ValueError("histogram shape mismatch")
+        for i, n in enumerate(counts):
+            self.counts[i] += n
+        self.sum += total
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric plus its per-label-value children.
+
+    A family declared without labels has exactly one child, and the
+    family proxies the child's methods (``inc``/``set``/``observe``)
+    directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if not _valid_name(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _valid_name(label, label=True):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.children: Dict[Tuple[str, ...], Any] = {}
+        if not self.label_names:
+            self._default = self._new_child()
+            self.children[()] = self._default
+        else:
+            self._default = None
+
+    def _new_child(self):
+        if self.kind == "histogram":
+            return Histogram(self.buckets or LATENCY_BUCKETS)
+        return _KINDS[self.kind]()
+
+    def labels(self, **labels: str):
+        """The child for one label-value assignment (created on first
+        use).  Label *names* must match the declaration exactly."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self.children.get(key)
+        if child is None:
+            child = self._new_child()
+            self.children[key] = child
+        return child
+
+    # Label-less convenience proxies.
+    def inc(self, amount: float = 1) -> None:
+        self._default.inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def dec(self, amount: float = 1) -> None:
+        self._default.dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def _child_key(name: str, label_names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    if not label_names:
+        return name
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in zip(label_names, values)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+class MetricsRegistry:
+    """All metric families of one process.
+
+    ``enabled`` is the global on/off switch: instrumentation points in
+    hot code guard on it (one attribute test when off), and ``inc`` /
+    ``observe`` on a disabled registry's families still work — the flag
+    is advisory for the *callers*, which is what keeps the null path
+    free.  Registries are independent; tests build private ones.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.families: Dict[str, MetricFamily] = {}
+        self.created_s = time.time()
+
+    # -- declaration ----------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self.families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} re-declared as {kind} (was {family.kind})"
+                )
+            return family
+        family = MetricFamily(name, kind, help, labels, buckets)
+        self.families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labels: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Tuple[str, ...] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labels, buckets)
+
+    def enable(self) -> "MetricsRegistry":
+        self.enabled = True
+        return self
+
+    def clear(self) -> None:
+        """Drop every family (tests, and worker startup hygiene)."""
+        self.families.clear()
+        self.created_s = time.time()
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The registry as plain JSON-able data (stable key order)."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        meta: Dict[str, Dict[str, str]] = {}
+        for name in sorted(self.families):
+            family = self.families[name]
+            meta[name] = {"type": family.kind, "help": family.help}
+            if family.label_names:
+                meta[name]["labels"] = ",".join(family.label_names)
+            for values in sorted(family.children):
+                child = family.children[values]
+                key = _child_key(name, family.label_names, values)
+                if family.kind == "counter":
+                    counters[key] = child.value
+                elif family.kind == "gauge":
+                    gauges[key] = child.value
+                else:
+                    histograms[key] = {
+                        "bounds": list(child.bounds),
+                        "counts": list(child.counts),
+                        "sum": child.sum,
+                    }
+        return {
+            "version": SNAPSHOT_VERSION,
+            "pid": os.getpid(),
+            "created_s": self.created_s,
+            "updated_s": time.time(),
+            "meta": meta,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def diff_snapshot(self, base: Dict[str, Any]) -> Dict[str, Any]:
+        """The delta between now and an earlier :meth:`snapshot`.
+
+        Counters and histogram buckets subtract exactly; gauges are
+        excluded (a gauge level is not additive across processes).
+        Zero entries are dropped, so an idle interval diffs to an
+        (almost) empty document.
+        """
+        now = self.snapshot()
+        counters = {}
+        for key, value in now["counters"].items():
+            delta = value - base.get("counters", {}).get(key, 0)
+            if delta:
+                counters[key] = delta
+        histograms = {}
+        for key, doc in now["histograms"].items():
+            old = base.get("histograms", {}).get(key)
+            if old is None:
+                if sum(doc["counts"]):
+                    histograms[key] = doc
+                continue
+            counts = [n - m for n, m in zip(doc["counts"], old["counts"])]
+            if any(counts):
+                histograms[key] = {
+                    "bounds": doc["bounds"],
+                    "counts": counts,
+                    "sum": doc["sum"] - old["sum"],
+                }
+        return {
+            "version": SNAPSHOT_VERSION,
+            "meta": now["meta"],
+            "counters": counters,
+            "gauges": {},
+            "histograms": histograms,
+        }
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold a snapshot (typically a worker delta) into this
+        registry: counters and histogram buckets sum exactly; gauges
+        take the incoming value (last write wins)."""
+        meta = snap.get("meta", {})
+
+        def family_for(key: str, kind: str) -> Tuple[MetricFamily, Tuple[str, ...]]:
+            name, values = _parse_child_key(key)
+            declared = meta.get(name, {})
+            labels = tuple(
+                label for label in declared.get("labels", "").split(",") if label
+            )
+            if kind == "histogram":
+                family = self.histogram(
+                    name, declared.get("help", ""), labels,
+                    buckets=snap["histograms"][key]["bounds"],
+                )
+            elif kind == "counter":
+                family = self.counter(name, declared.get("help", ""), labels)
+            else:
+                family = self.gauge(name, declared.get("help", ""), labels)
+            return family, values
+
+        for key, value in snap.get("counters", {}).items():
+            family, values = family_for(key, "counter")
+            child = family.labels(**dict(zip(family.label_names, values))) if values else family._default
+            child.inc(value)
+        for key, value in snap.get("gauges", {}).items():
+            family, values = family_for(key, "gauge")
+            child = family.labels(**dict(zip(family.label_names, values))) if values else family._default
+            child.set(value)
+        for key, doc in snap.get("histograms", {}).items():
+            family, values = family_for(key, "histogram")
+            child = family.labels(**dict(zip(family.label_names, values))) if values else family._default
+            if list(child.bounds) != [float(b) for b in doc["bounds"]]:
+                raise ValueError(f"histogram {key!r}: bucket bounds mismatch")
+            child.merge(doc["counts"], doc["sum"])
+
+    # -- persistence ----------------------------------------------------
+
+    def dump(self, path: str) -> None:
+        """Atomically write :meth:`snapshot` as JSON (the artifact
+        ``repro metrics`` and ``repro top`` read)."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        payload = json.dumps(self.snapshot())
+        fd, tmp = tempfile.mkstemp(dir=parent, prefix=".metrics-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def _parse_child_key(key: str) -> Tuple[str, Tuple[str, ...]]:
+    if "{" not in key:
+        return key, ()
+    name, _, rest = key.partition("{")
+    rest = rest.rstrip("}")
+    values = []
+    for part in _split_labels(rest):
+        _, _, raw = part.partition("=")
+        values.append(_unescape_label(raw.strip('"')))
+    return name, tuple(values)
+
+
+def _split_labels(text: str) -> List[str]:
+    """Split ``k="v",k2="v2"`` on commas outside quotes."""
+    parts: List[str] = []
+    current = ""
+    quoted = False
+    escaped = False
+    for ch in text:
+        if escaped:
+            current += ch
+            escaped = False
+        elif ch == "\\":
+            current += ch
+            escaped = True
+        elif ch == '"':
+            current += ch
+            quoted = not quoted
+        elif ch == "," and not quoted:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    return parts
+
+
+def _unescape_label(value: str) -> str:
+    out = ""
+    escaped = False
+    for ch in value:
+        if escaped:
+            out += {"n": "\n", '"': '"', "\\": "\\"}.get(ch, ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        else:
+            out += ch
+    return out
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read a snapshot written by :meth:`MetricsRegistry.dump`."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "counters" not in doc:
+        raise ValueError(f"{path}: not a metrics snapshot")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# The default (process-wide) registry
+# ---------------------------------------------------------------------------
+
+#: The process-wide registry.  Disabled until a serve-layer component or
+#: a metrics-producing CLI subcommand enables it, so the hot paths'
+#: ``registry.enabled`` guards cost one attribute test by default.
+REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics exposition + lint
+# ---------------------------------------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - never stored
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot: Dict[str, Any]) -> str:
+    """The snapshot in OpenMetrics text format (Prometheus-compatible),
+    terminated by the mandatory ``# EOF`` line."""
+    lines: List[str] = []
+    meta = snapshot.get("meta", {})
+    by_family: Dict[str, List[Tuple[str, Any]]] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        by_family.setdefault(_parse_child_key(key)[0], []).append((key, value))
+    for key, value in snapshot.get("gauges", {}).items():
+        by_family.setdefault(_parse_child_key(key)[0], []).append((key, value))
+    for key, doc in snapshot.get("histograms", {}).items():
+        by_family.setdefault(_parse_child_key(key)[0], []).append((key, doc))
+
+    for name in sorted(by_family):
+        kind = meta.get(name, {}).get("type", "gauge")
+        help_text = meta.get(name, {}).get("help", "")
+        lines.append(f"# TYPE {name} {kind}")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        for key, value in sorted(by_family[name]):
+            _, label_values = _parse_child_key(key)
+            label_text = key[len(name):]  # "" or "{...}"
+            if kind == "counter":
+                lines.append(f"{name}_total{label_text} {_format_value(value)}")
+            elif kind == "gauge":
+                lines.append(f"{name}{label_text} {_format_value(value)}")
+            else:
+                cum = 0
+                inner = label_text[1:-1] if label_text else ""
+                for bound, count in zip(value["bounds"], value["counts"]):
+                    cum += count
+                    labels = (inner + "," if inner else "") + f'le="{_format_value(bound)}"'
+                    lines.append(f"{name}_bucket{{{labels}}} {cum}")
+                cum += value["counts"][-1]
+                labels = (inner + "," if inner else "") + 'le="+Inf"'
+                lines.append(f"{name}_bucket{{{labels}}} {cum}")
+                lines.append(f"{name}_sum{label_text} {_format_value(value['sum'])}")
+                lines.append(f"{name}_count{label_text} {cum}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_sample(line: str) -> Optional[Tuple[str, Dict[str, str], str]]:
+    """Parse one exposition sample line into (name, labels, value)."""
+    rest = line
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        labels_text, _, rest = rest.partition("}")
+        labels: Dict[str, str] = {}
+        for part in _split_labels(labels_text):
+            if "=" not in part:
+                return None
+            k, _, v = part.partition("=")
+            if not (v.startswith('"') and v.endswith('"') and len(v) >= 2):
+                return None
+            labels[k.strip()] = _unescape_label(v[1:-1])
+        rest = rest.strip()
+    else:
+        name, _, rest = line.partition(" ")
+        labels = {}
+        rest = rest.strip()
+    value = rest.split()[0] if rest.split() else ""
+    return name.strip(), labels, value
+
+
+_SUFFIXES = ("_total", "_bucket", "_sum", "_count", "_created")
+
+
+def lint_openmetrics(text: str) -> List[str]:
+    """An in-repo OpenMetrics format check (no external promtool).
+
+    Returns a list of problems (empty = clean).  Checks: EOF marker,
+    sample syntax, metric/label name validity, TYPE-before-samples,
+    counter ``_total`` suffixes, histogram bucket structure (``le``
+    labels, cumulative monotonicity, ``+Inf`` == ``_count``, ``_sum``
+    present), and duplicate series.
+    """
+    problems: List[str] = []
+    lines = text.splitlines()
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    if not lines or lines[-1] != "# EOF":
+        problems.append("missing terminal '# EOF' line")
+    types: Dict[str, str] = {}
+    seen_series: set = set()
+    buckets: Dict[str, List[Tuple[float, int]]] = {}
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    body = lines[:-1] if lines and lines[-1] == "# EOF" else lines
+    for lineno, line in enumerate(body, 1):
+        if not line.strip():
+            problems.append(f"line {lineno}: blank line in exposition")
+            continue
+        if line == "# EOF":
+            problems.append(f"line {lineno}: '# EOF' before end of exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                family, kind = parts[2], (parts[3] if len(parts) > 3 else "")
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "info", "stateset", "unknown"):
+                    problems.append(f"line {lineno}: unknown type {kind!r}")
+                if family in types:
+                    problems.append(f"line {lineno}: duplicate TYPE for {family}")
+                types[family] = kind
+            continue
+        parsed = _parse_sample(line)
+        if parsed is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, labels, value = parsed
+        if not _valid_name(name):
+            problems.append(f"line {lineno}: invalid metric name {name!r}")
+        for label in labels:
+            if not _valid_name(label, label=True) and label != "le":
+                problems.append(f"line {lineno}: invalid label name {label!r}")
+        try:
+            number = float(value)
+        except ValueError:
+            problems.append(f"line {lineno}: non-numeric value {value!r}")
+            continue
+        family = name
+        for suffix in _SUFFIXES:
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and base in types:
+                family = base
+                break
+        if family not in types:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE declaration")
+            continue
+        kind = types[family]
+        if kind == "counter" and not (
+            name.endswith("_total") or name.endswith("_created")
+        ):
+            problems.append(
+                f"line {lineno}: counter sample {name!r} must end in _total"
+            )
+        series = name + "|" + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if series in seen_series:
+            problems.append(f"line {lineno}: duplicate series {series!r}")
+        seen_series.add(series)
+        if kind == "histogram":
+            hist_key = family + "|" + ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items()) if k != "le"
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(f"line {lineno}: histogram bucket without le label")
+                    continue
+                le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+                buckets.setdefault(hist_key, []).append((le, int(number)))
+            elif name.endswith("_sum"):
+                sums[hist_key] = number
+            elif name.endswith("_count"):
+                counts[hist_key] = int(number)
+    for hist_key, series_buckets in buckets.items():
+        les = [le for le, _ in series_buckets]
+        values = [n for _, n in series_buckets]
+        if les != sorted(les):
+            problems.append(f"{hist_key}: bucket le values not increasing")
+        if values != sorted(values):
+            problems.append(f"{hist_key}: bucket counts not cumulative")
+        if not les or les[-1] != float("inf"):
+            problems.append(f"{hist_key}: missing le=\"+Inf\" bucket")
+        elif hist_key in counts and values[-1] != counts[hist_key]:
+            problems.append(
+                f"{hist_key}: +Inf bucket {values[-1]} != _count {counts[hist_key]}"
+            )
+        if hist_key not in sums:
+            problems.append(f"{hist_key}: missing _sum sample")
+        if hist_key not in counts:
+            problems.append(f"{hist_key}: missing _count sample")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Snapshot-level helpers (shared by `repro metrics` and `repro top`)
+# ---------------------------------------------------------------------------
+
+
+def histogram_summary(doc: Dict[str, Any]) -> Dict[str, float]:
+    """count/sum/p50/p90/p99 for one snapshot histogram entry."""
+    hist = Histogram(doc["bounds"])
+    hist.merge(doc["counts"], doc["sum"])
+    return hist.summary()
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Exact merge of many snapshots (equal to a single combined
+    registry — the property the tests assert)."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.merge_snapshot(snap)
+    return registry.snapshot()

@@ -1,0 +1,148 @@
+"""``repro.observe.recorder`` — the flight recorder.
+
+An always-on, bounded ring buffer of recent service events (requests,
+cache decisions, worker lifecycle).  Recording one event is a tuple
+append to a ``deque(maxlen=...)`` — a few hundred nanoseconds — and an
+idle recorder costs nothing at all, so it stays on even in production
+paths.
+
+When something goes wrong (a worker crash, an oracle divergence, a
+daemon error), :meth:`FlightRecorder.dump_to` writes the buffered
+timeline as a JSON artifact: the last N things the service did before
+the failure, in order, with both wall-clock and monotonic timestamps.
+The serve layer wires this into the pool (crash dumps), the stdio
+daemon (error dumps), and ``repro fuzz --jobs`` (divergence dumps).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+DEFAULT_CAPACITY = 512
+
+#: Cap on one recorded field's rendered size, so a pathological payload
+#: cannot bloat the ring (the ring holds references until overwritten).
+_FIELD_LIMIT = 4096
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, str):
+        return value if len(value) <= _FIELD_LIMIT else value[:_FIELD_LIMIT] + "…"
+    if isinstance(value, (int, float, bool)) or value is None:
+        return value
+    text = repr(value)
+    return text if len(text) <= _FIELD_LIMIT else text[:_FIELD_LIMIT] + "…"
+
+
+class FlightRecorder:
+    """A bounded ring buffer of ``(seq, wall_s, mono_s, kind, fields)``
+    events.
+
+    ``record`` is safe to call from anywhere in the serve layer; the
+    ring keeps only the most recent ``capacity`` events.  ``dump``
+    renders the ring (oldest first) plus failure context; ``dump_to``
+    writes the artifact atomically and counts dumps.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self.dumps = 0
+
+    def record(self, kind: str, /, **fields: Any) -> None:
+        self._seq += 1
+        self._ring.append(
+            (self._seq, time.time(), time.monotonic(), kind, fields)
+        )
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (≥ ``len``: the ring forgets)."""
+        return self._seq
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The ring's events, oldest first, as plain dicts."""
+        return [
+            {
+                "seq": seq,
+                "wall_s": wall,
+                "mono_s": mono,
+                "kind": kind,
+                "args": _jsonable(fields),
+            }
+            for seq, wall, mono, kind, fields in self._ring
+        ]
+
+    def dump(self, reason: str, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The dump document: failure context plus the buffered
+        timeline."""
+        from repro import __version__  # deferred: repro/__init__ imports observe
+
+        doc: Dict[str, Any] = {
+            "flight_recorder": 1,
+            "version": __version__,
+            "pid": os.getpid(),
+            "reason": reason,
+            "dumped_s": time.time(),
+            "capacity": self.capacity,
+            "recorded": self._seq,
+            "dropped": max(0, self._seq - len(self._ring)),
+            "events": self.events(),
+        }
+        if extra:
+            doc["context"] = _jsonable(extra)
+        return doc
+
+    def dump_to(
+        self,
+        directory: str,
+        reason: str,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Write the dump as ``flight-<reason>-<pid>-<n>.json`` under
+        *directory* (created if needed); returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        self.dumps += 1
+        slug = "".join(ch if ch.isalnum() or ch == "-" else "-" for ch in reason)
+        path = os.path.join(
+            directory, f"flight-{slug}-{os.getpid()}-{self.dumps}.json"
+        )
+        payload = json.dumps(self.dump(reason, extra), indent=2)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".flight-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+#: The process-wide recorder, shared by the serve layer.  Always on —
+#: an idle ring costs nothing, and a populated one costs one tuple
+#: append per service-level event.
+FLIGHT_RECORDER = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    return FLIGHT_RECORDER

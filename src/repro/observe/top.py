@@ -1,0 +1,184 @@
+"""``repro top`` — a refresh-loop text dashboard over the metrics
+snapshot.
+
+Reads the JSON snapshot ``repro batch``/``repro serve`` write (see
+:meth:`repro.observe.metrics.MetricsRegistry.dump`), renders the
+service's vital signs — request rates, cache effectiveness, pool
+queue/latency percentiles, VM run distributions — and repeats.  Pure
+text over a file: it works over ssh, in CI logs, and against a daemon
+on another machine via a shared filesystem.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.observe.metrics import histogram_summary, load_snapshot
+
+_BAR_WIDTH = 30
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _family(doc: Dict[str, Any], name: str) -> List[Tuple[str, Any]]:
+    """Entries of one metric family, ``(labelled key, value)`` pairs."""
+    out = []
+    for section in ("counters", "gauges", "histograms"):
+        for key, value in doc.get(section, {}).items():
+            if key == name or key.startswith(name + "{"):
+                out.append((key, value))
+    return out
+
+
+def _total(doc: Dict[str, Any], name: str) -> float:
+    return sum(v for _, v in _family(doc, name) if isinstance(v, (int, float)))
+
+
+def _labels_of(key: str) -> str:
+    if "{" not in key:
+        return ""
+    return key[key.index("{") + 1 : -1]
+
+
+def _hist_line(label: str, doc: Dict[str, Any]) -> str:
+    s = histogram_summary(doc)
+    return (
+        f"  {label:<22s} n={int(s['count']):<8d} "
+        f"p50={_fmt_seconds(s['p50']):>8s} p90={_fmt_seconds(s['p90']):>8s} "
+        f"p99={_fmt_seconds(s['p99']):>8s}"
+    )
+
+
+def _count_hist_line(label: str, doc: Dict[str, Any]) -> str:
+    s = histogram_summary(doc)
+    return (
+        f"  {label:<22s} n={int(s['count']):<8d} "
+        f"p50={s['p50']:>10.0f} p90={s['p90']:>10.0f} p99={s['p99']:>10.0f}"
+    )
+
+
+def render_dashboard(snapshot: Dict[str, Any], now: Optional[float] = None) -> str:
+    """One dashboard frame as text."""
+    now = now if now is not None else time.time()
+    age = max(0.0, now - snapshot.get("updated_s", now))
+    lines: List[str] = []
+    lines.append(
+        f"repro top — pid {snapshot.get('pid', '?')} — "
+        f"snapshot {age:.1f}s old"
+    )
+    lines.append("=" * 72)
+
+    requests = _family(snapshot, "repro_requests")
+    if requests:
+        lines.append("requests")
+        for key, value in sorted(requests):
+            lines.append(f"  {_labels_of(key) or 'total':<40s} {value:>10.0f}")
+    latency = _family(snapshot, "repro_request_seconds")
+    for key, doc in sorted(latency):
+        lines.append(_hist_line(f"latency {_labels_of(key)}", doc))
+
+    hits = _total(snapshot, "repro_cache_hits")
+    misses = _total(snapshot, "repro_cache_misses")
+    if hits or misses:
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        filled = int(rate * _BAR_WIDTH)
+        lines.append("cache")
+        lines.append(
+            f"  hit rate  [{'#' * filled}{'.' * (_BAR_WIDTH - filled)}] "
+            f"{rate:6.1%}  ({hits:.0f} hit / {misses:.0f} miss)"
+        )
+        for name in ("repro_cache_corruptions", "repro_cache_evictions"):
+            total = _total(snapshot, name)
+            if total:
+                lines.append(f"  {name.split('_', 2)[2]:<10s} {total:>10.0f}")
+    compile_hist = _family(snapshot, "repro_compile_seconds")
+    for _, doc in compile_hist:
+        lines.append(_hist_line("compile seconds", doc))
+
+    pool_submitted = _total(snapshot, "repro_pool_submitted")
+    if pool_submitted:
+        lines.append("pool")
+        lines.append(f"  submitted              {pool_submitted:>10.0f}")
+        for key, value in sorted(_family(snapshot, "repro_pool_tasks")):
+            lines.append(f"  {_labels_of(key):<22s} {value:>10.0f}")
+        depth = _family(snapshot, "repro_pool_queue_depth")
+        for _, value in depth:
+            lines.append(f"  queue depth            {value:>10.0f}")
+        for key, doc in _family(snapshot, "repro_pool_queued_seconds"):
+            lines.append(_hist_line("queued", doc))
+        for key, doc in _family(snapshot, "repro_pool_run_seconds"):
+            lines.append(_hist_line("run", doc))
+        events = sorted(_family(snapshot, "repro_pool_worker_events"))
+        if events:
+            lines.append(
+                "  workers: "
+                + "  ".join(f"{_labels_of(k)}={v:.0f}" for k, v in events)
+            )
+
+    vm_runs = _total(snapshot, "repro_vm_runs")
+    if vm_runs:
+        lines.append("vm")
+        lines.append(f"  runs                   {vm_runs:>10.0f}")
+        for name, label in (
+            ("repro_vm_instructions", "instructions/run"),
+            ("repro_vm_saves", "saves/run"),
+            ("repro_vm_restores", "restores/run"),
+        ):
+            for _, doc in _family(snapshot, name):
+                lines.append(_count_hist_line(label, doc))
+
+    shuffle = _family(snapshot, "repro_shuffle_size")
+    for _, doc in shuffle:
+        lines.append("allocator")
+        lines.append(_count_hist_line("shuffle moves/plan", doc))
+
+    dumps = sorted(_family(snapshot, "repro_flight_dumps"))
+    if dumps:
+        lines.append(
+            "flight dumps: "
+            + "  ".join(f"{_labels_of(k)}={v:.0f}" for k, v in dumps)
+        )
+    if len(lines) == 2:
+        lines.append("(no service metrics recorded yet)")
+    return "\n".join(lines) + "\n"
+
+
+def top_loop(
+    path: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    write: Optional[Callable[[str], None]] = None,
+    clear: bool = True,
+) -> int:
+    """The refresh loop: load → render → sleep, until *iterations*
+    frames (None = forever) or interrupt.  Missing/corrupt snapshot
+    files render as a waiting frame rather than erroring — the daemon
+    may simply not have dumped yet."""
+    import sys
+
+    write = write or sys.stdout.write
+    frame = 0
+    while iterations is None or frame < iterations:
+        if frame and clear:
+            write("\x1b[2J\x1b[H")
+        try:
+            snapshot = load_snapshot(path)
+        except (OSError, ValueError):
+            write(f"repro top — waiting for metrics at {path}\n")
+        else:
+            write(render_dashboard(snapshot))
+        frame += 1
+        if iterations is not None and frame >= iterations:
+            break
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+    return 0

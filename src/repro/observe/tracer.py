@@ -20,8 +20,9 @@ defaulting to ``None`` and resolve it with :func:`tracer_for` or
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.observe.events import Event, Span
 
@@ -29,6 +30,11 @@ from repro.observe.events import Event, Span
 class TraceError(Exception):
     """Raised on malformed span nesting (exiting a span that is not
     the innermost open one)."""
+
+
+def new_trace_id() -> str:
+    """A 16-hex-digit trace id (random, per top-level operation)."""
+    return os.urandom(8).hex()
 
 
 class _NullSpan:
@@ -90,9 +96,19 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], int] = time.perf_counter_ns,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self._clock = clock
         self.epoch = clock()
+        # Wall-clock anchor for cross-process merging: a child process'
+        # span timestamps are shifted onto the parent timeline by the
+        # difference of the two tracers' wall epochs (the clock offset
+        # of the propagated trace context).
+        self.wall_epoch_ns = time.time_ns()
+        self.trace_id = trace_id or new_trace_id()
         self.spans: List[Span] = []
         self.events: List[Event] = []
         self._stack: List[Span] = []
@@ -140,6 +156,49 @@ class Tracer:
         for s in self.spans:
             out[s.name] = out.get(s.name, 0.0) + s.dur_s
         return out
+
+    # -- cross-process propagation --------------------------------------
+
+    def context(self, parent_span: Optional[str] = None) -> Dict[str, Any]:
+        """The trace context propagated to child processes: trace id,
+        the parent span the child's work hangs under, and this tracer's
+        wall-clock epoch (so the child can be merged with an exact
+        clock offset)."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_span": parent_span
+            or (self._stack[-1].name if self._stack else None),
+            "wall_epoch_ns": self.wall_epoch_ns,
+            "pid": os.getpid(),
+        }
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        """Finished spans as plain picklable data, for shipping across
+        a process boundary (see :func:`span_payload`)."""
+        return [
+            {
+                "name": s.name,
+                "start": s.start,
+                "dur": s.dur or 0,
+                "depth": s.depth,
+                "parent": s.parent,
+                "args": dict(s.args),
+            }
+            for s in self.spans
+        ]
+
+
+def span_payload(tracer: "Tracer", context: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Everything a worker ships so its spans merge into the parent's
+    timeline: the spans, the worker's own wall epoch (for the clock
+    offset), its pid, and the trace context it inherited."""
+    return {
+        "pid": os.getpid(),
+        "wall_epoch_ns": tracer.wall_epoch_ns,
+        "trace_id": (context or {}).get("trace_id", tracer.trace_id),
+        "parent_span": (context or {}).get("parent_span"),
+        "spans": tracer.export_spans(),
+    }
 
 
 def tracer_for(config) -> "Tracer | NullTracer":

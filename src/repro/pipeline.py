@@ -21,7 +21,8 @@ from repro.frontend.analyze import check_scopes, mark_tail_calls
 from repro.frontend.assignconvert import assignment_convert
 from repro.frontend.closure import closure_convert
 from repro.frontend.expand import expand_program
-from repro.observe import NULL_TRACER, VMProfiler, tracer_for
+from repro.observe import NULL_TRACER, REGISTRY, VMProfiler, tracer_for
+from repro.observe.catalog import declare
 from repro.sexp.reader import read_all
 from repro.vm.machine import Machine
 
@@ -175,6 +176,8 @@ def compile_source(
         t.record("allocate", time.perf_counter() - t0)
         if tracer.enabled:
             sp.set(**_allocation_stats(program, allocation))
+        if REGISTRY.enabled:
+            _observe_shuffles(program)
 
         t0 = time.perf_counter()
         with tracer.span("codegen") as sp:
@@ -250,6 +253,8 @@ def compile_core(
         t.record("allocate", time.perf_counter() - t0)
         if tracer.enabled:
             sp.set(**_allocation_stats(program, allocation))
+        if REGISTRY.enabled:
+            _observe_shuffles(program)
 
         t0 = time.perf_counter()
         with tracer.span("codegen") as sp:
@@ -290,6 +295,23 @@ def _allocation_stats(program: Program, allocation: ProgramAllocation) -> Dict[s
     return stats
 
 
+def _observe_shuffles(program: Program) -> None:
+    """Feed the per-call-site shuffle-plan sizes into the metrics
+    registry (the greedy-shuffling distribution).  Only called when the
+    registry is enabled, so the normal compile path never pays for the
+    extra tree walk."""
+    from repro.astnodes import Call, walk
+
+    sizes = declare(REGISTRY, "repro_shuffle_size")
+    cycles = declare(REGISTRY, "repro_shuffle_cycles")
+    for code in program.codes:
+        for node in walk(code.body):
+            if isinstance(node, Call) and node.shuffle_plan is not None:
+                sizes.observe(len(node.shuffle_plan.steps))
+                if node.shuffle_plan.had_cycle:
+                    cycles.inc()
+
+
 def run_compiled(
     compiled: CompiledProgram,
     debug: bool = False,
@@ -322,6 +344,8 @@ def run_compiled(
     if tracer.enabled:
         c = machine.counters
         sp.set(instructions=c.instructions, cycles=c.cycles)
+    if REGISTRY.enabled:
+        machine.observe_metrics(REGISTRY)
     return ExecutionResult(value, machine, compiled)
 
 

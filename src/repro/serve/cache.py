@@ -30,6 +30,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
@@ -37,6 +38,8 @@ from typing import Iterator, List, Optional, Tuple
 from repro import __version__
 from repro.backend.codegen import CompiledProgram
 from repro.config import CompilerConfig
+from repro.observe.catalog import declare
+from repro.observe.metrics import get_registry
 from repro.pipeline import compile_source
 from repro.sexp.reader import read_all
 from repro.sexp.writer import write_datum
@@ -151,7 +154,7 @@ class CacheStats:
     disk_hits: int = 0
     stores: int = 0
     evictions: int = 0
-    corrupt: int = 0
+    corruptions: int = 0
     bytes_written: int = 0
 
     def as_dict(self) -> dict:
@@ -162,7 +165,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "stores": self.stores,
             "evictions": self.evictions,
-            "corrupt": self.corrupt,
+            "corruptions": self.corruptions,
             "bytes_written": self.bytes_written,
         }
 
@@ -193,6 +196,7 @@ class CompileCache:
         root: Optional[str] = None,
         memory_entries: int = 256,
         disk: bool = True,
+        registry=None,
     ) -> None:
         self.disk = disk
         self.root = root if root is not None else (
@@ -200,6 +204,7 @@ class CompileCache:
         )
         self.memory_entries = memory_entries
         self.stats = CacheStats()
+        self.registry = registry if registry is not None else get_registry()
         self._memory: "OrderedDict[str, CompiledProgram]" = OrderedDict()
 
     # -- key/value interface -------------------------------------------
@@ -210,6 +215,10 @@ class CompileCache:
             self._memory.move_to_end(key)
             self.stats.hits += 1
             self.stats.memory_hits += 1
+            if self.registry.enabled:
+                declare(self.registry, "repro_cache_hits").labels(
+                    tier="memory"
+                ).inc()
             return cached
         if self.disk:
             path = self._path(key)
@@ -217,13 +226,15 @@ class CompileCache:
                 with open(path, "rb") as handle:
                     data = handle.read()
             except OSError:
-                self.stats.misses += 1
+                self._count_miss()
                 return None
             try:
                 compiled = deserialize_compiled(data)
             except CacheCorrupt:
-                self.stats.corrupt += 1
-                self.stats.misses += 1
+                self.stats.corruptions += 1
+                if self.registry.enabled:
+                    declare(self.registry, "repro_cache_corruptions").inc()
+                self._count_miss()
                 self._discard(path)
                 return None
             try:
@@ -233,9 +244,18 @@ class CompileCache:
             self._remember(key, compiled)
             self.stats.hits += 1
             self.stats.disk_hits += 1
+            if self.registry.enabled:
+                declare(self.registry, "repro_cache_hits").labels(
+                    tier="disk"
+                ).inc()
             return compiled
-        self.stats.misses += 1
+        self._count_miss()
         return None
+
+    def _count_miss(self) -> None:
+        self.stats.misses += 1
+        if self.registry.enabled:
+            declare(self.registry, "repro_cache_misses").inc()
 
     def put(self, key: str, compiled: CompiledProgram) -> None:
         self._remember(key, compiled)
@@ -255,6 +275,10 @@ class CompileCache:
             raise
         self.stats.stores += 1
         self.stats.bytes_written += len(data)
+        if self.registry.enabled:
+            declare(self.registry, "repro_cache_stores").inc()
+            declare(self.registry, "repro_cache_bytes_written").inc(len(data))
+            declare(self.registry, "repro_cache_entry_bytes").observe(len(data))
 
     # -- the one-call compile front door --------------------------------
 
@@ -278,9 +302,14 @@ class CompileCache:
         cached = self.get(key)
         if cached is not None:
             return cached, True
+        started = time.perf_counter()
         compiled = compile_source(
             source, config, prelude=prelude, tracer=tracer, times=times
         )
+        if self.registry.enabled:
+            declare(self.registry, "repro_compile_seconds").observe(
+                time.perf_counter() - started
+            )
         self.put(key, compiled)
         return compiled, False
 
@@ -332,7 +361,45 @@ class CompileCache:
             total_bytes -= entry.size
             removed += 1
             self.stats.evictions += 1
+        if removed and self.registry.enabled:
+            declare(self.registry, "repro_cache_evictions").inc(removed)
         return removed
+
+    def verify(self, remove: bool = False) -> dict:
+        """Integrity-scan the on-disk store: re-validate every entry's
+        framing and checksum without deserializing the pickle bodies
+        into live objects that hit the memory tier.
+
+        Corrupt entries are counted (``stats.corruptions`` and the
+        ``repro_cache_corruptions`` metric) and, with ``remove=True``,
+        deleted.  Returns ``{"scanned", "ok", "corrupt", "removed",
+        "bytes"}``.
+        """
+        scanned = ok = corrupt = removed = total_bytes = 0
+        for entry in self.entries():
+            scanned += 1
+            total_bytes += entry.size
+            try:
+                with open(entry.path, "rb") as handle:
+                    deserialize_compiled(handle.read())
+            except (OSError, CacheCorrupt):
+                corrupt += 1
+                self.stats.corruptions += 1
+                if self.registry.enabled:
+                    declare(self.registry, "repro_cache_corruptions").inc()
+                if remove:
+                    self._discard(entry.path)
+                    self._memory.pop(entry.key, None)
+                    removed += 1
+            else:
+                ok += 1
+        return {
+            "scanned": scanned,
+            "ok": ok,
+            "corrupt": corrupt,
+            "removed": removed,
+            "bytes": total_bytes,
+        }
 
     def clear(self) -> int:
         """Drop every entry (memory and disk).  Returns the number of
@@ -364,6 +431,8 @@ class CompileCache:
         while len(self._memory) > self.memory_entries:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+            if self.registry.enabled:
+                declare(self.registry, "repro_cache_evictions").inc()
 
     @staticmethod
     def _discard(path: str) -> None:

@@ -29,6 +29,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.observe.catalog import declare
+from repro.observe.metrics import get_registry
+from repro.observe.recorder import get_flight_recorder
 from repro.serve.work import worker_main
 
 #: Seconds the result-poll blocks between liveness/deadline sweeps.
@@ -45,6 +48,8 @@ class TaskResult:
     ``"runtime-error"``, ``"vm-error"``, or ``"error"``) and a one-line
     ``error`` message.  ``queued_s``/``run_s`` are the scheduler-side
     latency split (time waiting for a worker vs. time executing).
+    ``meta`` is the worker's telemetry shipment (registry delta and/or
+    span payload); the pool absorbs it before handing the result out.
     """
 
     task_id: int
@@ -55,6 +60,7 @@ class TaskResult:
     error: Optional[str] = None
     queued_s: float = 0.0
     run_s: float = 0.0
+    meta: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -125,6 +131,10 @@ class WorkerPool:
         cache_dir: Optional[str] = None,
         disk_cache: bool = True,
         mp_context: Optional[str] = None,
+        trace: Optional[Dict[str, Any]] = None,
+        registry=None,
+        recorder=None,
+        flight_dir: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self._ctx = multiprocessing.get_context(mp_context)
@@ -132,7 +142,15 @@ class WorkerPool:
             "cache": cache,
             "cache_dir": cache_dir,
             "disk_cache": disk_cache,
+            "trace": trace,
         }
+        self.registry = registry if registry is not None else get_registry()
+        self.recorder = recorder if recorder is not None else get_flight_recorder()
+        self.flight_dir = flight_dir
+        self.flight_dumps: List[str] = []
+        #: Worker span payloads absorbed from task meta, in completion
+        #: order — feed these to ``chrome_trace(..., workers=...)``.
+        self.worker_spans: List[Dict[str, Any]] = []
         self._results = self._ctx.Queue()
         self._workers: Dict[int, _Worker] = {}
         self._next_worker_id = 0
@@ -143,12 +161,19 @@ class WorkerPool:
         # cancelled while still queued), delivered by the next poll.
         self._ready: List[TaskResult] = []
         self._outstanding = 0
+        # Workers killed by the scheduler (crash/timeout/cancel): the
+        # next spawn that replaces one counts as a respawn.
+        self._dead_workers = 0
         # Telemetry for the observe layer / service stats.
         self.queue_depth_max = 0
+        self.submitted = 0
         self.completed = 0
+        self.ok_count = 0
+        self.error_count = 0
         self.crashes = 0
         self.timeouts = 0
         self.cancelled_count = 0
+        self.respawns = 0
         self.latency_total_s = 0.0
         self.latency_max_s = 0.0
 
@@ -163,8 +188,13 @@ class WorkerPool:
         self._next_task_id += 1
         self._pending.append(task)
         self._outstanding += 1
+        self.submitted += 1
         self.queue_depth_max = max(self.queue_depth_max, len(self._pending))
+        self.recorder.record("pool.submit", task_id=task.task_id, kind=kind)
+        if self.registry.enabled:
+            declare(self.registry, "repro_pool_submitted").inc()
         self._dispatch()
+        self._gauge_depth()
         return task.task_id
 
     def cancel(self, task_id: int) -> bool:
@@ -225,17 +255,28 @@ class WorkerPool:
         return sum(1 for w in self._workers.values() if w.busy)
 
     def stats(self) -> Dict[str, Any]:
-        """Scheduler telemetry (queue depth, latency, failure counts)."""
+        """Scheduler telemetry (queue depth, latency, failure counts).
+
+        Conservation invariant: every submitted task resolves exactly
+        once, so ``submitted == ok + errors + cancelled + outstanding``
+        (and with the pool drained, ``outstanding`` is zero).
+        """
         avg = self.latency_total_s / self.completed if self.completed else 0.0
         return {
             "jobs": self.jobs,
+            "submitted": self.submitted,
             "completed": self.completed,
+            "ok": self.ok_count,
+            "errors": self.error_count,
+            "cancelled": self.cancelled_count,
+            "outstanding": self._outstanding,
             "queue_depth": self.queue_depth,
             "queue_depth_max": self.queue_depth_max,
             "in_flight": self.in_flight,
             "crashes": self.crashes,
             "timeouts": self.timeouts,
-            "cancelled": self.cancelled_count,
+            "respawns": self.respawns,
+            "flight_dumps": len(self.flight_dumps),
             "latency_avg_s": avg,
             "latency_max_s": self.latency_max_s,
         }
@@ -298,6 +339,18 @@ class WorkerPool:
             )
             self._next_worker_id += 1
             self._workers[worker.worker_id] = worker
+            event = "spawn"
+            if self._dead_workers:
+                self._dead_workers -= 1
+                self.respawns += 1
+                event = "respawn"
+            self.recorder.record(
+                f"pool.{event}", worker_id=worker.worker_id, pid=worker.proc.pid
+            )
+            if self.registry.enabled:
+                declare(self.registry, "repro_pool_worker_events").labels(
+                    event=event
+                ).inc()
             return worker
         return None
 
@@ -336,10 +389,11 @@ class WorkerPool:
                     )
                 )
         self._dispatch()
+        self._gauge_depth()
         return out
 
     def _absorb(self, message) -> List[TaskResult]:
-        worker_id, task_id, ok, value, error_kind, error, run_s = message
+        worker_id, task_id, ok, value, error_kind, error, run_s, meta = message
         worker = self._workers.get(worker_id)
         if worker is None or worker.task is None or worker.task.task_id != task_id:
             # A terminated worker's last gasp (result raced the kill).
@@ -347,6 +401,13 @@ class WorkerPool:
         task = worker.task
         worker.task = None
         queued_s = worker.started_at - task.submitted_at
+        if meta:
+            delta = meta.get("metrics")
+            if delta and self.registry.enabled:
+                self.registry.merge_snapshot(delta)
+            spans = meta.get("spans")
+            if spans:
+                self.worker_spans.append(spans)
         return [
             self._finish(
                 TaskResult(
@@ -358,6 +419,7 @@ class WorkerPool:
                     error=error,
                     queued_s=queued_s,
                     run_s=run_s,
+                    meta=meta,
                 )
             )
         ]
@@ -370,10 +432,44 @@ class WorkerPool:
         worker.task = None
         worker.kill()
         del self._workers[worker.worker_id]
+        self._dead_workers += 1
         if kind == "timeout":
             self.timeouts += 1
         elif kind == "crash":
             self.crashes += 1
+        event = "cancel" if kind == "cancelled" else kind
+        self.recorder.record(
+            f"pool.worker-{event}",
+            worker_id=worker.worker_id,
+            task_id=task.task_id,
+            kind=task.kind,
+            error=message,
+        )
+        if self.registry.enabled:
+            declare(self.registry, "repro_pool_worker_events").labels(
+                event=event
+            ).inc()
+        if kind == "crash" and self.flight_dir:
+            # The post-mortem artifact: the recent event timeline plus
+            # the crashed task's request, so the failure is reproducible
+            # from the dump alone.
+            self.flight_dumps.append(
+                self.recorder.dump_to(
+                    self.flight_dir,
+                    "worker-crash",
+                    extra={
+                        "worker_id": worker.worker_id,
+                        "task_id": task.task_id,
+                        "task_kind": task.kind,
+                        "payload": task.payload,
+                        "error": message,
+                    },
+                )
+            )
+            if self.registry.enabled:
+                declare(self.registry, "repro_flight_dumps").labels(
+                    reason="worker-crash"
+                ).inc()
         return self._finish(
             TaskResult(
                 task.task_id,
@@ -391,10 +487,34 @@ class WorkerPool:
         self.completed += 1
         if result.error_kind == "cancelled":
             self.cancelled_count += 1
+            outcome = "cancelled"
+        elif result.ok:
+            self.ok_count += 1
+            outcome = "ok"
+        else:
+            self.error_count += 1
+            outcome = "error"
         total = result.queued_s + result.run_s
         self.latency_total_s += total
         self.latency_max_s = max(self.latency_max_s, total)
+        if self.registry.enabled:
+            declare(self.registry, "repro_pool_tasks").labels(
+                outcome=outcome
+            ).inc()
+            declare(self.registry, "repro_pool_queued_seconds").observe(
+                max(0.0, result.queued_s)
+            )
+            declare(self.registry, "repro_pool_run_seconds").observe(
+                max(0.0, result.run_s)
+            )
+        self._gauge_depth()
         return result
+
+    def _gauge_depth(self) -> None:
+        if self.registry.enabled:
+            declare(self.registry, "repro_pool_queue_depth").set(
+                len(self._pending)
+            )
 
 
 def default_jobs() -> int:

@@ -27,6 +27,9 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.config import CompilerConfig
 from repro.observe import NULL_TRACER
+from repro.observe.catalog import declare
+from repro.observe.metrics import get_registry
+from repro.observe.recorder import get_flight_recorder
 from repro.serve import work
 from repro.serve.cache import CompileCache
 from repro.serve.pool import TaskResult, WorkerPool
@@ -161,16 +164,30 @@ class BatchService:
         cache_dir: Optional[str] = None,
         disk_cache: bool = True,
         tracer=None,
+        registry=None,
+        recorder=None,
+        flight_dir: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.tracer = tracer or NULL_TRACER
+        # The service layer is where telemetry is *on*: per-request
+        # counting happens at request granularity, so enabling the
+        # registry here costs nothing measurable on the compile path.
+        self.registry = registry if registry is not None else get_registry()
+        self.registry.enable()
+        self.recorder = recorder if recorder is not None else get_flight_recorder()
+        self.flight_dir = flight_dir
+        #: Worker span payloads from pooled batches (chrome_trace input).
+        self.worker_spans: List[Dict[str, Any]] = []
+        #: Flight-recorder dump paths written during pooled batches.
+        self.flight_dumps: List[str] = []
         self._cache_enabled = cache
         self._cache_dir = cache_dir
         self._disk_cache = disk_cache
         # Inline-mode cache; pool workers each open their own (same
         # disk root, process-local memory tier).
         self.cache: Optional[CompileCache] = (
-            CompileCache(root=cache_dir, disk=disk_cache)
+            CompileCache(root=cache_dir, disk=disk_cache, registry=self.registry)
             if cache and self.jobs <= 1
             else None
         )
@@ -223,6 +240,10 @@ class BatchService:
             cache=self._cache_enabled,
             cache_dir=self._cache_dir,
             disk_cache=self._disk_cache,
+            trace=self.tracer.context() if self.tracer.enabled else None,
+            registry=self.registry,
+            recorder=self.recorder,
+            flight_dir=self.flight_dir,
         ) as pool:
             self._pool = pool
             for index, request in enumerate(requests):
@@ -238,6 +259,8 @@ class BatchService:
                     on_response(response)
                 responses[index] = response
             self.pool_stats = pool.stats()
+            self.worker_spans.extend(pool.worker_spans)
+            self.flight_dumps.extend(pool.flight_dumps)
             self._pool = None
         return [r for r in responses if r is not None]
 
@@ -251,6 +274,21 @@ class BatchService:
         else:
             kind = response.error_kind or "error"
             self._errors[kind] = self._errors.get(kind, 0) + 1
+        status = "ok" if response.ok else (response.error_kind or "error")
+        if self.registry.enabled:
+            declare(self.registry, "repro_requests").labels(
+                op=response.op, status=status
+            ).inc()
+            declare(self.registry, "repro_request_seconds").labels(
+                op=response.op
+            ).observe(max(0.0, response.queued_s + response.run_s))
+        self.recorder.record(
+            "request",
+            id=response.id,
+            op=response.op,
+            status=status,
+            cached=response.cached,
+        )
         if self.tracer.enabled:
             self.tracer.event(
                 "request",
@@ -283,7 +321,13 @@ class BatchService:
         pool = self._pool.stats() if self._pool is not None else self.pool_stats
         if pool is not None:
             doc["pool"] = pool
+        if self.flight_dumps:
+            doc["flight_dumps"] = list(self.flight_dumps)
         return doc
+
+    def write_metrics(self, path: str) -> None:
+        """Persist the registry snapshot (the ``repro metrics`` input)."""
+        self.registry.dump(path)
 
 
 def summarize(responses: List[Response]) -> Dict[str, Any]:

@@ -36,25 +36,49 @@ import os
 import queue
 import sys
 import threading
+import time
 from typing import Any, Dict, Optional
 
 from repro import __version__
+from repro.observe.catalog import declare
+from repro.observe.metrics import get_registry, render_openmetrics
+from repro.observe.recorder import get_flight_recorder
 from repro.serve.pool import WorkerPool
 from repro.serve.service import Request, response_from_task
 
 PROTOCOL_VERSION = 1
 
-_CONTROL_OPS = ("ping", "stats", "cancel", "shutdown")
+_CONTROL_OPS = ("ping", "stats", "cancel", "shutdown", "metrics", "health")
+
+#: Seconds between periodic registry dumps when ``metrics_out`` is set.
+_METRICS_DUMP_INTERVAL = 5.0
 
 
 class _Session:
     """One daemon session over a pair of line streams."""
 
-    def __init__(self, stdin, stdout, pool: WorkerPool) -> None:
+    def __init__(
+        self,
+        stdin,
+        stdout,
+        pool: WorkerPool,
+        registry=None,
+        recorder=None,
+        flight_dir: Optional[str] = None,
+        metrics_out: Optional[str] = None,
+    ) -> None:
         self.stdin = stdin
         self.stdout = stdout
         self.pool = pool
+        self.registry = registry if registry is not None else get_registry()
+        self.registry.enable()
+        self.recorder = recorder if recorder is not None else get_flight_recorder()
+        self.flight_dir = flight_dir
+        self.metrics_out = metrics_out
+        self.started_at = time.monotonic()
+        self._last_dump = self.started_at
         self.tasks: Dict[int, Request] = {}  # task_id -> request
+        self.received_at: Dict[int, float] = {}  # task_id -> monotonic intake
         self.task_of_id: Dict[Any, int] = {}  # client id -> newest task_id
         self.lines: "queue.Queue[Optional[str]]" = queue.Queue()
         self.eof = False
@@ -110,10 +134,7 @@ class _Session:
             if not isinstance(doc, dict):
                 raise ValueError("request must be a JSON object")
         except ValueError as exc:
-            self.write(
-                {"id": None, "ok": False, "error_kind": "protocol",
-                 "error": f"unparseable request: {exc}"}
-            )
+            self._protocol_error(None, "?", f"unparseable request: {exc}")
             return
         op = doc.get("op")
         if op in _CONTROL_OPS:
@@ -122,17 +143,27 @@ class _Session:
         try:
             request = Request.from_dict(doc)
         except (KeyError, ValueError, TypeError) as exc:
-            self.write(
-                {"id": doc.get("id"), "ok": False, "error_kind": "protocol",
-                 "error": f"bad request: {exc}"}
+            self._protocol_error(
+                doc.get("id"), str(op or "?"), f"bad request: {exc}"
             )
             return
         task_id = self.pool.submit(
             request.op, request.payload(), timeout=request.timeout
         )
         self.tasks[task_id] = request
+        self.received_at[task_id] = time.monotonic()
         if request.id is not None:
             self.task_of_id[request.id] = task_id
+
+    def _protocol_error(self, rid: Any, op: str, message: str) -> None:
+        self.recorder.record("stdio.protocol-error", id=rid, op=op, error=message)
+        if self.registry.enabled:
+            declare(self.registry, "repro_requests").labels(
+                op=op, status="protocol"
+            ).inc()
+        self.write(
+            {"id": rid, "ok": False, "error_kind": "protocol", "error": message}
+        )
 
     def handle_control(self, doc: Dict[str, Any]) -> None:
         op = doc["op"]
@@ -154,20 +185,96 @@ class _Session:
             self.shutting_down = True
             self.pool.cancel_pending()
             self.write({"id": rid, "ok": True, "shutdown": True})
+        elif op == "metrics":
+            snapshot = self.registry.snapshot()
+            if doc.get("format") == "openmetrics":
+                self.write(
+                    {"id": rid, "ok": True, "openmetrics": render_openmetrics(snapshot)}
+                )
+            else:
+                self.write({"id": rid, "ok": True, "metrics": snapshot})
+        elif op == "health":
+            self.write(
+                {
+                    "id": rid,
+                    "ok": True,
+                    "health": {
+                        "status": "ok",
+                        "pid": os.getpid(),
+                        "version": __version__,
+                        "uptime_s": time.monotonic() - self.started_at,
+                        "jobs": self.pool.jobs,
+                        "queue_depth": self.pool.queue_depth,
+                        "in_flight": self.pool.in_flight,
+                        "flight_events": len(self.recorder),
+                    },
+                }
+            )
 
     def drain_results(self, block: bool) -> None:
         timeout = 0.05 if block else 0.0
         for result in self.pool.poll(timeout):
             request = self.tasks.pop(result.task_id, None)
+            received = self.received_at.pop(result.task_id, None)
             if request is None:  # pragma: no cover - cancelled unknown task
                 continue
             if request.id is not None and self.task_of_id.get(request.id) == result.task_id:
                 del self.task_of_id[request.id]
-            self.write(response_from_task(request, 0, result).as_dict())
+            response = response_from_task(request, 0, result)
+            status = "ok" if response.ok else (response.error_kind or "error")
+            if self.registry.enabled:
+                declare(self.registry, "repro_requests").labels(
+                    op=response.op, status=status
+                ).inc()
+                # Daemon-side end-to-end latency: intake to response.
+                elapsed = (
+                    time.monotonic() - received
+                    if received is not None
+                    else response.queued_s + response.run_s
+                )
+                declare(self.registry, "repro_request_seconds").labels(
+                    op=response.op
+                ).observe(max(0.0, elapsed))
+            self.recorder.record(
+                "stdio.response",
+                id=response.id,
+                op=response.op,
+                status=status,
+            )
+            self.write(response.as_dict())
+
+    def _maybe_dump_metrics(self, force: bool = False) -> None:
+        if not self.metrics_out:
+            return
+        now = time.monotonic()
+        if force or now - self._last_dump >= _METRICS_DUMP_INTERVAL:
+            self._last_dump = now
+            self.registry.dump(self.metrics_out)
 
     # -- main loop ------------------------------------------------------
 
     def run(self) -> int:
+        try:
+            return self._run()
+        except Exception as exc:
+            # The daemon itself failed (not a request): preserve the
+            # recent event timeline as a post-mortem artifact.
+            self.recorder.record(
+                "stdio.daemon-error", error=f"{type(exc).__name__}: {exc}"
+            )
+            if self.flight_dir:
+                self.recorder.dump_to(
+                    self.flight_dir,
+                    "daemon-error",
+                    extra={"error": f"{type(exc).__name__}: {exc}"},
+                )
+                if self.registry.enabled:
+                    declare(self.registry, "repro_flight_dumps").labels(
+                        reason="daemon-error"
+                    ).inc()
+            raise
+
+    def _run(self) -> int:
         self.write(
             {
                 "event": "ready",
@@ -188,6 +295,7 @@ class _Session:
             elif line:
                 self.handle_line(line)
             self.drain_results(block=False)
+            self._maybe_dump_metrics()
             if self.shutting_down or self.eof:
                 break
         # Drain what is still in flight (queued tasks were cancelled on
@@ -196,6 +304,7 @@ class _Session:
             self.pool.cancel_pending()
         while self.tasks:
             self.drain_results(block=True)
+        self._maybe_dump_metrics(force=True)
         self.write({"event": "bye"})
         return 0
 
@@ -207,15 +316,38 @@ def serve_stdio(
     cache: bool = True,
     cache_dir: Optional[str] = None,
     disk_cache: bool = True,
+    metrics_out: Optional[str] = None,
+    flight_dir: Optional[str] = None,
 ) -> int:
     """Run the daemon until ``shutdown`` or EOF; returns the exit code.
 
     Work always goes through the pool — even at ``jobs=1`` — so a
     crashing program can never take the daemon itself down.
+
+    ``metrics_out`` (a JSON path) enables periodic registry snapshots —
+    the file ``repro metrics`` and ``repro top`` read; ``flight_dir``
+    enables flight-recorder dumps on worker crashes and daemon errors.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    # A daemon's metrics cover its own lifetime: start from a clean
+    # registry (also keeps back-to-back in-process sessions independent).
+    registry = get_registry()
+    registry.clear()
+    registry.enable()
     with WorkerPool(
-        jobs=jobs, cache=cache, cache_dir=cache_dir, disk_cache=disk_cache
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        disk_cache=disk_cache,
+        registry=registry,
+        flight_dir=flight_dir,
     ) as pool:
-        return _Session(stdin, stdout, pool).run()
+        return _Session(
+            stdin,
+            stdout,
+            pool,
+            registry=registry,
+            flight_dir=flight_dir,
+            metrics_out=metrics_out,
+        ).run()

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.config import CompilerConfig
 from repro.errors import CompilerError
+from repro.observe.metrics import get_registry
+from repro.observe.tracer import Tracer, span_payload
 from repro.pipeline import compile_source, run_compiled
 from repro.runtime.values import SchemeError
 from repro.sexp.reader import ReaderError
@@ -68,9 +70,13 @@ def _compile(payload: Dict[str, Any], state: Dict[str, Any]):
     config = _config_of(payload)
     prelude = payload.get("prelude", True)
     cache = state.get("cache")
+    tracer = state.get("tracer")
     if cache is not None:
-        return cache.compile(source, config, prelude=prelude)
-    return compile_source(source, config, prelude=prelude), False
+        return cache.compile(source, config, prelude=prelude, tracer=tracer)
+    return (
+        compile_source(source, config, prelude=prelude, tracer=tracer),
+        False,
+    )
 
 
 @handler("compile")
@@ -149,15 +155,46 @@ def task_selftest(payload: Dict[str, Any], state: Dict[str, Any]) -> Dict[str, A
     raise ValueError(f"unknown selftest action {action!r}")
 
 
+def _task_meta(
+    registry,
+    base: Dict[str, Any],
+    tracer: Optional[Tracer],
+    trace_ctx: Optional[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """The telemetry a worker ships with each result: the registry
+    delta since the task started (so parent aggregation is exact
+    summation — fork inheritance can never double count) plus the
+    task's compiler-pass spans when a trace context was propagated."""
+    meta: Dict[str, Any] = {}
+    delta = registry.diff_snapshot(base)
+    if delta.get("counters") or delta.get("histograms"):
+        meta["metrics"] = delta
+    if tracer is not None and tracer.spans:
+        meta["spans"] = span_payload(tracer, trace_ctx)
+    return meta or None
+
+
 def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
     """The worker process body: loop over the private inbox until the
-    ``None`` sentinel, posting one result per task to the shared outbox."""
+    ``None`` sentinel, posting one result per task to the shared outbox.
+
+    Every worker enables (and empties) the process-wide metrics
+    registry at startup, then ships a per-task ``diff_snapshot`` with
+    each result, so the parent's merged registry equals what a single
+    process would have recorded.
+    """
+    registry = get_registry()
+    registry.enable()
+    registry.clear()  # drop anything inherited across a fork
+    trace_ctx = init.get("trace")
     state: Dict[str, Any] = {}
     if init.get("cache", True):
         from repro.serve.cache import CompileCache
 
         state["cache"] = CompileCache(
-            root=init.get("cache_dir"), disk=init.get("disk_cache", True)
+            root=init.get("cache_dir"),
+            disk=init.get("disk_cache", True),
+            registry=registry,
         )
     while True:
         try:
@@ -167,13 +204,19 @@ def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
         if message is None:
             return
         task_id, kind, payload = message
+        base = registry.snapshot()
+        tracer: Optional[Tracer] = None
+        if trace_ctx is not None:
+            tracer = Tracer(trace_id=trace_ctx.get("trace_id"))
+            state["tracer"] = tracer
         started = time.perf_counter()
         try:
             fn = HANDLERS[kind]
             value = fn(payload, state)
             outbox.put(
                 (worker_id, task_id, True, value, None, None,
-                 time.perf_counter() - started)
+                 time.perf_counter() - started,
+                 _task_meta(registry, base, tracer, trace_ctx))
             )
         except KeyboardInterrupt:  # pragma: no cover - interactive abort
             return
@@ -187,5 +230,8 @@ def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
                     error_kind(exc),
                     f"{type(exc).__name__}: {exc}",
                     time.perf_counter() - started,
+                    _task_meta(registry, base, tracer, trace_ctx),
                 )
             )
+        finally:
+            state.pop("tracer", None)

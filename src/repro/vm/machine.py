@@ -184,6 +184,26 @@ class Machine:
                 tb = tb.tb_next
             raise
 
+    def observe_metrics(self, registry) -> None:
+        """Fold this run's counters into a metrics registry: run totals
+        as histogram observations (saves/restores/instructions per run —
+        the Table 3 columns as distributions) and, when the run was
+        profiled, per-procedure save/restore distributions (Figures
+        1–2).  Called once per run, never from the dispatch loop."""
+        from repro.observe.catalog import declare
+
+        c = self.counters
+        declare(registry, "repro_vm_runs").inc()
+        declare(registry, "repro_vm_instructions").observe(c.instructions)
+        declare(registry, "repro_vm_saves").observe(c.saves)
+        declare(registry, "repro_vm_restores").observe(c.restores)
+        if self.profiler is not None:
+            proc_saves = declare(registry, "repro_vm_proc_saves")
+            proc_restores = declare(registry, "repro_vm_proc_restores")
+            for prof in self.profiler.profiles.values():
+                proc_saves.observe(prof.saves)
+                proc_restores.observe(prof.restores)
+
     def _run(self) -> Any:
         cm = self.config.cost_model
         load_latency = cm.load_latency

@@ -73,3 +73,52 @@ class TestReplay:
         # The recorded configuration is checked in addition to the
         # matrix (deduplicated when it is already a matrix point).
         assert report.configs_checked >= len(full_matrix())
+
+
+class TestFlightDumps:
+    def test_divergence_writes_flight_recording(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.config import CompilerConfig
+        from repro.fuzz import engine
+        from repro.fuzz.oracle import Divergence, OracleResult
+
+        calls = []
+
+        def fake_check(source, configs=None):
+            calls.append(source)
+            result = OracleResult(configs_checked=1)
+            if len(calls) == 2:  # the second program "diverges"
+                result.divergences.append(
+                    Divergence(
+                        kind="value",
+                        config=CompilerConfig(),
+                        expected="1",
+                        got="2",
+                    )
+                )
+            return result
+
+        monkeypatch.setattr(engine, "check_program", fake_check)
+        flights = tmp_path / "flights"
+        report = engine.run_fuzz(
+            seed=7, iterations=3, gen_config=SMALL, flight_dir=str(flights)
+        )
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.flight_path
+        assert failure.as_dict()["flight_path"] == failure.flight_path
+        doc = json.loads(open(failure.flight_path).read())
+        assert doc["reason"] == "fuzz-value"
+        # The dump carries the failing program and the divergences...
+        assert doc["context"]["source"] == failure.source
+        assert doc["context"]["seed"] == 7
+        assert doc["context"]["divergences"][0]["kind"] == "value"
+        # ...and the per-iteration timeline leading up to the failure.
+        kinds = [e["kind"] for e in doc["events"]]
+        assert "fuzz.iteration" in kinds
+
+    def test_no_flight_dump_without_flight_dir(self, tmp_path):
+        report = run_fuzz(seed=11, iterations=2, gen_config=SMALL)
+        assert report.ok
+        assert all(f.flight_path is None for f in report.failures)

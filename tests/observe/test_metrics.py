@@ -1,0 +1,341 @@
+"""The metrics registry: bucket semantics, exact cross-process merge,
+quantile error bounds, exposition formats, and the catalog."""
+
+import json
+import math
+
+import pytest
+
+from repro.observe.catalog import CATALOG, declare, declare_all, markdown_table
+from repro.observe.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    histogram_summary,
+    lint_openmetrics,
+    load_snapshot,
+    log_buckets,
+    merge_snapshots,
+    render_openmetrics,
+)
+
+
+# ---------------------------------------------------------------------------
+# Buckets
+# ---------------------------------------------------------------------------
+
+
+def test_log_buckets_are_1_2_5_series():
+    assert log_buckets(0, 2) == (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
+
+def test_log_buckets_negative_decades_are_clean_doubles():
+    # 5 / 1e6 is the double that renders as "5e-06"; 5 * 1e-06 is not.
+    bounds = log_buckets(-6, -6)
+    assert [repr(b) for b in bounds] == ["1e-06", "2e-06", "5e-06"]
+
+
+def test_bucket_bounds_deterministic_across_calls():
+    assert log_buckets(-6, 2) == LATENCY_BUCKETS
+    assert log_buckets(0, 9) == COUNT_BUCKETS
+
+
+def test_histogram_boundary_value_lands_in_le_bucket():
+    hist = Histogram((1.0, 10.0, 100.0))
+    hist.observe(10.0)  # exactly on a bound: belongs to le="10" (le semantics)
+    assert hist.counts == [0, 1, 0, 0]
+    hist.observe(10.0000001)
+    assert hist.counts == [0, 1, 1, 0]
+    hist.observe(0.0)
+    assert hist.counts == [1, 1, 1, 0]
+    hist.observe(1e9)  # overflow bucket
+    assert hist.counts == [1, 1, 1, 1]
+    assert hist.count == 4
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram(())
+    with pytest.raises(ValueError):
+        Histogram((1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        Histogram((2.0, 1.0))
+
+
+def test_quantile_within_one_bucket_width():
+    hist = Histogram(LATENCY_BUCKETS)
+    values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+    for v in values:
+        hist.observe(v)
+    values.sort()
+    for q in (0.50, 0.90, 0.99):
+        true = values[min(len(values) - 1, int(q * len(values)))]
+        estimate = hist.quantile(q)
+        # The estimate must land inside the true value's bucket, i.e. be
+        # within one bucket width.
+        import bisect
+
+        i = bisect.bisect_left(hist.bounds, true)
+        lo = hist.bounds[i - 1] if i > 0 else 0.0
+        hi = hist.bounds[min(i, len(hist.bounds) - 1)]
+        width = hi - lo
+        assert abs(estimate - true) <= width + 1e-12, (q, true, estimate, width)
+
+
+def test_quantile_edge_cases():
+    hist = Histogram((1.0, 2.0))
+    assert hist.quantile(0.5) == 0.0  # empty
+    hist.observe(100.0)  # overflow only
+    assert hist.quantile(0.5) == 2.0  # clamped to last bound
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+# ---------------------------------------------------------------------------
+# Registry + exact merge
+# ---------------------------------------------------------------------------
+
+
+def _populate(registry, scale=1):
+    c = registry.counter("repro_test_hits", "hits", ("tier",))
+    c.labels(tier="memory").inc(3 * scale)
+    c.labels(tier="disk").inc(scale)
+    registry.gauge("repro_test_depth", "queue depth").set(7 * scale)
+    h = registry.histogram("repro_test_seconds", "latency", buckets=LATENCY_BUCKETS)
+    for i in range(10 * scale):
+        h.observe((i + 1) / 1000.0)
+
+
+def test_merge_two_registries_equals_combined_registry():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    _populate(a, scale=1)
+    _populate(b, scale=3)
+    combined = MetricsRegistry()
+    _populate(combined, scale=1)
+    _populate(combined, scale=3)
+
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    want = combined.snapshot()
+    # Exact, not approximate: counters and every bucket count match.
+    assert merged["counters"] == want["counters"]
+    assert merged["histograms"] == want["histograms"]
+
+
+def test_diff_snapshot_then_merge_is_exact():
+    worker = MetricsRegistry()
+    _populate(worker, scale=2)
+    base = worker.snapshot()
+    # More work happens after the base snapshot...
+    worker.counter("repro_test_hits", labels=("tier",)).labels(tier="memory").inc(5)
+    worker.histogram("repro_test_seconds").observe(0.25)
+    delta = worker.diff_snapshot(base)
+
+    # ...and only the delta lands in the parent.
+    parent = MetricsRegistry()
+    parent.merge_snapshot(delta)
+    snap = parent.snapshot()
+    assert snap["counters"] == {'repro_test_hits{tier="memory"}': 5}
+    assert sum(snap["histograms"]["repro_test_seconds"]["counts"]) == 1
+    assert snap["histograms"]["repro_test_seconds"]["sum"] == pytest.approx(0.25)
+
+
+def test_diff_snapshot_idle_interval_is_empty():
+    registry = MetricsRegistry()
+    _populate(registry)
+    base = registry.snapshot()
+    delta = registry.diff_snapshot(base)
+    assert delta["counters"] == {}
+    assert delta["histograms"] == {}
+
+
+def test_merge_rejects_mismatched_bounds():
+    a = MetricsRegistry()
+    a.histogram("repro_test_seconds", buckets=(1.0, 2.0)).observe(1.5)
+    b = MetricsRegistry()
+    b.histogram("repro_test_seconds", buckets=(1.0, 2.0, 3.0)).observe(1.5)
+    with pytest.raises(ValueError):
+        b.merge_snapshot(a.snapshot())
+
+
+def test_label_values_with_quotes_round_trip():
+    registry = MetricsRegistry()
+    family = registry.counter("repro_test_ops", "ops", ("op",))
+    family.labels(op='we"ird\nop').inc(2)
+    merged = merge_snapshots([registry.snapshot(), registry.snapshot()])
+    (key,) = merged["counters"]
+    assert merged["counters"][key] == 4
+    text = render_openmetrics(merged)
+    assert lint_openmetrics(text) == []
+
+
+def test_counter_rejects_negative():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("repro_test_hits").inc(-1)
+
+
+def test_registry_redeclaration_kind_conflict():
+    registry = MetricsRegistry()
+    registry.counter("repro_test_x")
+    with pytest.raises(ValueError):
+        registry.gauge("repro_test_x")
+
+
+def test_dump_and_load_round_trip(tmp_path):
+    registry = MetricsRegistry()
+    _populate(registry)
+    path = tmp_path / "nested" / "metrics.json"
+    registry.dump(str(path))
+    snap = load_snapshot(str(path))
+    assert snap["counters"] == registry.snapshot()["counters"]
+    with pytest.raises(ValueError):
+        (tmp_path / "bad.json").write_text(json.dumps({"not": "a snapshot"}))
+        load_snapshot(str(tmp_path / "bad.json"))
+
+
+def test_histogram_summary_matches_histogram():
+    registry = MetricsRegistry()
+    h = registry.histogram("repro_test_seconds")
+    for v in (0.001, 0.002, 0.004, 0.5):
+        h.observe(v)
+    doc = registry.snapshot()["histograms"]["repro_test_seconds"]
+    summary = histogram_summary(doc)
+    assert summary["count"] == 4
+    assert summary["sum"] == pytest.approx(0.507)
+    assert 0 < summary["p50"] <= summary["p90"] <= summary["p99"]
+
+
+# ---------------------------------------------------------------------------
+# OpenMetrics exposition + lint
+# ---------------------------------------------------------------------------
+
+
+def test_render_openmetrics_shape():
+    registry = MetricsRegistry()
+    _populate(registry)
+    text = render_openmetrics(registry.snapshot())
+    assert text.endswith("# EOF\n")
+    assert "# TYPE repro_test_hits counter" in text
+    assert 'repro_test_hits_total{tier="memory"} 3' in text
+    assert "repro_test_depth 7" in text
+    assert 'repro_test_seconds_bucket{le="+Inf"} 10' in text
+    assert "repro_test_seconds_count 10" in text
+    assert "repro_test_seconds_sum" in text
+
+
+def test_lint_accepts_own_rendering():
+    registry = MetricsRegistry()
+    _populate(registry)
+    assert lint_openmetrics(render_openmetrics(registry.snapshot())) == []
+
+
+def test_lint_catches_violations():
+    assert any(
+        "EOF" in p for p in lint_openmetrics("# TYPE x counter\nx_total 1\n")
+    )
+    assert any(
+        "_total" in p
+        for p in lint_openmetrics("# TYPE x counter\nx 1\n# EOF\n")
+    )
+    assert any(
+        "no TYPE" in p for p in lint_openmetrics("y_total 1\n# EOF\n")
+    )
+    assert any(
+        "duplicate series" in p
+        for p in lint_openmetrics(
+            "# TYPE x gauge\nx 1\nx 2\n# EOF\n"
+        )
+    )
+    bad_hist = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\n'
+        'h_bucket{le="2"} 3\n'  # not cumulative
+        'h_bucket{le="+Inf"} 5\n'
+        "h_sum 1\n"
+        "h_count 5\n"
+        "# EOF\n"
+    )
+    assert any("cumulative" in p for p in lint_openmetrics(bad_hist))
+    no_inf = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\n'
+        "h_sum 1\n"
+        "h_count 5\n"
+        "# EOF\n"
+    )
+    assert any("+Inf" in p for p in lint_openmetrics(no_inf))
+    assert any(
+        "non-numeric" in p
+        for p in lint_openmetrics("# TYPE x gauge\nx nope\n# EOF\n")
+    )
+
+
+def test_openmetrics_merge_then_render_consistent():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    _populate(a, 1)
+    _populate(b, 2)
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    text = render_openmetrics(merged)
+    assert lint_openmetrics(text) == []
+    assert 'repro_test_hits_total{tier="memory"} 9' in text  # 3 + 6
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+
+def test_declare_all_covers_catalog_and_is_lintable():
+    registry = MetricsRegistry()
+    families = declare_all(registry)
+    assert set(families) == {entry[0] for entry in CATALOG}
+    assert lint_openmetrics(render_openmetrics(registry.snapshot())) == []
+
+
+def test_declare_unknown_metric_is_an_error():
+    with pytest.raises(KeyError):
+        declare(MetricsRegistry(), "repro_not_a_metric")
+
+
+def test_declare_is_idempotent():
+    registry = MetricsRegistry()
+    first = declare(registry, "repro_cache_hits")
+    again = declare(registry, "repro_cache_hits")
+    assert first is again
+
+
+def test_catalog_names_follow_conventions():
+    for name, kind, labels, buckets, help_text in CATALOG:
+        assert name.startswith("repro_"), name
+        assert help_text, f"{name}: missing help text"
+        if kind == "histogram":
+            assert buckets, f"{name}: histogram without buckets"
+            assert list(buckets) == sorted(set(buckets))
+            assert all(math.isfinite(b) for b in buckets)
+        else:
+            assert buckets is None, f"{name}: buckets on a {kind}"
+
+
+def test_markdown_table_lists_every_metric():
+    table = markdown_table()
+    for entry in CATALOG:
+        assert entry[0] in table
+    assert table.splitlines()[0].startswith("| metric ")
+
+
+def test_docs_table_in_sync_with_catalog():
+    import os
+
+    doc_path = os.path.join(
+        os.path.dirname(__file__), "..", "..", "docs", "observability.md"
+    )
+    text = open(doc_path).read()
+    begin = text.index("<!-- metric-catalog:begin -->")
+    end = text.index("<!-- metric-catalog:end -->")
+    embedded = text[begin:end].splitlines()[1:]
+    embedded = "\n".join(line for line in embedded if line.strip())
+    assert embedded == markdown_table(), (
+        "docs/observability.md metric table is stale — regenerate with "
+        "repro.observe.catalog.markdown_table()"
+    )

@@ -1,0 +1,100 @@
+"""The flight recorder: ring-buffer bounds, dump artifacts, field
+sanitization."""
+
+import json
+
+from repro import __version__
+from repro.observe.recorder import FlightRecorder, get_flight_recorder
+
+
+def test_ring_keeps_only_most_recent_events():
+    recorder = FlightRecorder(capacity=4)
+    for i in range(10):
+        recorder.record("tick", i=i)
+    assert len(recorder) == 4
+    assert recorder.recorded == 10
+    events = recorder.events()
+    assert [e["args"]["i"] for e in events] == [6, 7, 8, 9]
+    # Sequence numbers are global, not ring-relative.
+    assert [e["seq"] for e in events] == [7, 8, 9, 10]
+
+
+def test_events_are_ordered_and_timestamped():
+    recorder = FlightRecorder(capacity=8)
+    recorder.record("a")
+    recorder.record("b", detail="x")
+    first, second = recorder.events()
+    assert first["kind"] == "a" and second["kind"] == "b"
+    assert second["mono_s"] >= first["mono_s"]
+    assert second["args"] == {"detail": "x"}
+
+
+def test_record_kind_cannot_collide_with_fields():
+    recorder = FlightRecorder(capacity=2)
+    # ``kind`` is positional-only, so a payload field named "kind" is fine.
+    recorder.record("task", kind="compile")
+    (event,) = recorder.events()
+    assert event["kind"] == "task"
+    assert event["args"]["kind"] == "compile"
+
+
+def test_large_fields_are_truncated():
+    recorder = FlightRecorder(capacity=2)
+    recorder.record("big", payload="x" * 100_000)
+    (event,) = recorder.events()
+    assert len(event["args"]["payload"]) < 5000
+    assert event["args"]["payload"].endswith("…")
+
+
+def test_non_jsonable_fields_become_reprs():
+    recorder = FlightRecorder(capacity=2)
+    recorder.record("obj", value={1, 2})
+    (event,) = recorder.events()
+    json.dumps(event)  # must be serializable
+    assert "1" in event["args"]["value"]
+
+
+def test_dump_document_shape():
+    recorder = FlightRecorder(capacity=2)
+    for i in range(5):
+        recorder.record("tick", i=i)
+    doc = recorder.dump("worker-crash", extra={"task_id": 7})
+    assert doc["flight_recorder"] == 1
+    assert doc["version"] == __version__
+    assert doc["reason"] == "worker-crash"
+    assert doc["recorded"] == 5
+    assert doc["dropped"] == 3
+    assert doc["context"] == {"task_id": 7}
+    assert [e["args"]["i"] for e in doc["events"]] == [3, 4]
+
+
+def test_dump_to_writes_artifact(tmp_path):
+    recorder = FlightRecorder(capacity=4)
+    recorder.record("request", op="compile")
+    out = tmp_path / "flights"
+    path = recorder.dump_to(str(out), "oracle divergence!", extra={"seed": 3})
+    assert path.startswith(str(out))
+    assert "oracle-divergence" in path  # slugged reason
+    doc = json.loads(open(path).read())
+    assert doc["reason"] == "oracle divergence!"
+    assert doc["context"] == {"seed": 3}
+    # A second dump gets a distinct file.
+    path2 = recorder.dump_to(str(out), "oracle divergence!")
+    assert path2 != path
+    assert recorder.dumps == 2
+    # No temp droppings left behind.
+    leftovers = [p.name for p in out.iterdir() if p.name.startswith(".flight-")]
+    assert leftovers == []
+
+
+def test_clear_resets_ring_not_seq():
+    recorder = FlightRecorder(capacity=4)
+    recorder.record("a")
+    recorder.clear()
+    assert len(recorder) == 0
+    recorder.record("b")
+    assert recorder.events()[0]["seq"] == 2
+
+
+def test_global_recorder_is_shared():
+    assert get_flight_recorder() is get_flight_recorder()

@@ -1,0 +1,108 @@
+"""``repro top``'s dashboard rendering and refresh loop, and the
+``repro metrics`` / ``repro top`` CLI surface."""
+
+import json
+
+from repro.cli import main
+from repro.observe.catalog import declare
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.top import render_dashboard, top_loop
+
+
+def _service_registry():
+    registry = MetricsRegistry()
+    declare(registry, "repro_requests").labels(op="compile", status="ok").inc(8)
+    declare(registry, "repro_requests").labels(op="compile", status="compile").inc(2)
+    lat = declare(registry, "repro_request_seconds").labels(op="compile")
+    for _ in range(10):
+        lat.observe(0.015)
+    declare(registry, "repro_cache_hits").labels(tier="memory").inc(6)
+    declare(registry, "repro_cache_misses").inc(4)
+    declare(registry, "repro_cache_corruptions").inc(1)
+    declare(registry, "repro_pool_submitted").inc(10)
+    declare(registry, "repro_pool_tasks").labels(outcome="ok").inc(9)
+    declare(registry, "repro_pool_tasks").labels(outcome="error").inc(1)
+    declare(registry, "repro_pool_worker_events").labels(event="spawn").inc(2)
+    declare(registry, "repro_vm_runs").inc(3)
+    declare(registry, "repro_vm_instructions").observe(120000)
+    declare(registry, "repro_shuffle_size").observe(3)
+    declare(registry, "repro_flight_dumps").labels(reason="worker-crash").inc(1)
+    return registry
+
+
+def test_render_dashboard_sections():
+    text = render_dashboard(_service_registry().snapshot())
+    assert "requests" in text
+    assert 'op="compile",status="ok"' in text
+    assert "hit rate" in text
+    assert "60.0%" in text
+    assert "corruptions" in text
+    assert "submitted" in text
+    assert "instructions/run" in text
+    assert "shuffle moves/plan" in text
+    assert 'flight dumps: reason="worker-crash"=1' in text
+
+
+def test_render_dashboard_empty_snapshot():
+    text = render_dashboard(MetricsRegistry().snapshot())
+    assert "(no service metrics recorded yet)" in text
+
+
+def test_top_loop_renders_and_waits(tmp_path):
+    path = tmp_path / "metrics.json"
+    frames = []
+    # Missing file: a waiting frame, not an error.
+    assert top_loop(str(path), interval=0, iterations=1, write=frames.append) == 0
+    assert "waiting for metrics" in frames[0]
+    _service_registry().dump(str(path))
+    frames.clear()
+    assert top_loop(
+        str(path), interval=0, iterations=2, write=frames.append, clear=True
+    ) == 0
+    rendered = "".join(frames)
+    assert rendered.count("repro top — pid") == 2
+    assert "\x1b[2J" in rendered  # screen clear between frames
+    # Corrupt file: back to waiting.
+    path.write_text("{broken")
+    frames.clear()
+    top_loop(str(path), interval=0, iterations=1, write=frames.append)
+    assert "waiting for metrics" in frames[0]
+
+
+def test_cli_metrics_human_json_openmetrics_lint(tmp_path, capsys):
+    path = tmp_path / "metrics.json"
+    _service_registry().dump(str(path))
+
+    assert main(["metrics", "--path", str(path)]) == 0
+    assert "hit rate" in capsys.readouterr().out
+
+    assert main(["metrics", "--path", str(path), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counters"]['repro_cache_hits{tier="memory"}'] == 6
+
+    assert main(["metrics", "--path", str(path), "--openmetrics"]) == 0
+    out = capsys.readouterr().out
+    assert out.endswith("# EOF\n")
+    assert "repro_cache_hits_total" in out
+
+    assert main(["metrics", "--path", str(path), "--lint"]) == 0
+    assert "lint passed" in capsys.readouterr().err
+
+
+def test_cli_metrics_missing_and_corrupt(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["metrics", "--path", str(missing)]) == 1
+    assert "cannot read" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"not": "a snapshot"}')
+    assert main(["metrics", "--path", str(bad)]) == 1
+    assert "corrupt snapshot" in capsys.readouterr().err
+
+
+def test_cli_top_once(tmp_path, capsys):
+    path = tmp_path / "metrics.json"
+    _service_registry().dump(str(path))
+    assert main(["top", "--path", str(path), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("repro top — pid") == 1
+    assert "\x1b[2J" not in out  # --once never clears the screen

@@ -143,3 +143,78 @@ def test_cache_gc_requires_a_bound(tmp_path, capsys):
 def test_serve_requires_stdio(capsys):
     assert main(["serve"]) == 2
     assert "--stdio" in capsys.readouterr().err
+
+
+def test_cache_stats_verify_cli(tmp_path, capsys):
+    cache = str(tmp_path / "cc")
+    assert main(["batch", "--bench", "tak", "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(
+        ["cache", "stats", "--cache-dir", cache, "--verify", "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verify"]["scanned"] == doc["entries"] == 1
+    assert doc["verify"]["corrupt"] == 0
+    assert doc["counters"]["corruptions"] == 0
+
+    # Corrupt the entry on disk: verify reports it and exits non-zero.
+    from repro.serve.cache import CompileCache
+
+    (entry,) = CompileCache(root=cache).entries()
+    with open(entry.path, "wb") as handle:
+        handle.write(b"junk")
+    assert main(["cache", "stats", "--cache-dir", cache, "--verify"]) == 1
+    out = capsys.readouterr().out
+    assert "1 corrupt" in out
+
+
+def test_batch_writes_metrics_snapshot(tmp_path, capsys):
+    path = str(tmp_path / "metrics.json")
+    code, _, err = _batch(
+        capsys, "--bench", "tak", "--memory-cache", "--metrics-out", path
+    )
+    assert code == 0
+    assert f"metrics written to {path}" in err
+    doc = json.loads(open(path).read())
+    assert doc["counters"]['repro_requests{op="compile",status="ok"}'] == 1
+
+    # --no-metrics suppresses the snapshot entirely.
+    missing = str(tmp_path / "none.json")
+    code, _, err = _batch(
+        capsys, "--bench", "tak", "--memory-cache",
+        "--metrics-out", missing, "--no-metrics",
+    )
+    assert code == 0
+    import os
+
+    assert not os.path.exists(missing)
+
+
+def test_batch_trace_merges_worker_spans(tmp_path, capsys):
+    trace = str(tmp_path / "trace.json")
+    code, _, err = _batch(
+        capsys, "--bench", "tak", "deriv", "--jobs", "2",
+        "--memory-cache", "--no-metrics", "--trace", trace,
+    )
+    assert code == 0
+    doc = json.loads(open(trace).read())
+    span_pids = {
+        e["pid"] for e in doc["traceEvents"] if e.get("ph") == "X"
+    }
+    assert len(span_pids) >= 2, "worker compile spans missing from trace"
+
+
+def test_bench_history_appends_records(tmp_path, capsys):
+    path = str(tmp_path / "bench.jsonl")
+    assert main(["bench", "tak", "--history", path]) == 0
+    assert main(["bench", "tak", "--json", "--history", path]) == 0
+    capsys.readouterr()
+    records = [json.loads(line) for line in open(path)]
+    assert len(records) == 2
+    for record in records:
+        assert record["kind"] == "bench"
+        assert record["benchmarks"] == ["tak"]
+        assert "ts" in record and "unix_s" in record and "version" in record
+        assert record["config"]["save_strategy"] == "lazy"
+    assert "rows" in records[1]
+    assert records[1]["rows"][0]["counters"]["instructions"] > 0

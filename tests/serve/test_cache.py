@@ -244,7 +244,7 @@ def test_corrupted_entry_is_a_miss_not_a_crash(tmp_path):
     fresh = CompileCache(root=str(tmp_path))
     compiled, hit = fresh.compile(TAK, CompilerConfig())
     assert not hit
-    assert fresh.stats.corrupt == 1
+    assert fresh.stats.corruptions == 1
     # The bad entry was discarded and rewritten; next time hits.
     _, hit2 = CompileCache(root=str(tmp_path)).compile(TAK, CompilerConfig())
     assert hit2
@@ -262,7 +262,7 @@ def test_truncated_entry_is_a_miss(tmp_path):
     fresh = CompileCache(root=str(tmp_path))
     _, hit = fresh.compile(TAK, CompilerConfig())
     assert not hit
-    assert fresh.stats.corrupt == 1
+    assert fresh.stats.corruptions == 1
 
 
 def test_memory_lru_evicts_oldest(tmp_path):
@@ -325,3 +325,27 @@ def test_default_cache_dir_honours_env(monkeypatch):
     monkeypatch.delenv("XDG_CACHE_HOME")
     monkeypatch.setenv("HOME", "/home/someone")
     assert default_cache_dir() == "/home/someone/.cache/repro"
+
+
+def test_verify_scans_and_removes_corrupt_entries(tmp_path):
+    cache = CompileCache(root=str(tmp_path))
+    cache.compile(TAK, CompilerConfig())
+    cache.compile("(+ 1 2)", CompilerConfig())
+    entries = cache.entries()
+    with open(entries[0].path, "wb") as handle:
+        handle.write(b"garbage")
+
+    fresh = CompileCache(root=str(tmp_path))
+    report = fresh.verify()
+    assert report["scanned"] == 2
+    assert report["ok"] == 1
+    assert report["corrupt"] == 1
+    assert report["removed"] == 0
+    assert fresh.stats.corruptions == 1
+    assert fresh.disk_usage()[0] == 2  # scan-only leaves the store alone
+
+    report = fresh.verify(remove=True)
+    assert report["removed"] == 1
+    assert fresh.disk_usage()[0] == 1
+    # After removal the store is clean.
+    assert CompileCache(root=str(tmp_path)).verify()["corrupt"] == 0
