@@ -1,0 +1,47 @@
+"""``repro.alloc`` — the pluggable allocator arena.
+
+The paper's register allocator (lazy saves, eager restores, greedy
+shuffling) competes here against two classic rivals behind one
+:class:`~repro.alloc.base.AllocatorStrategy` interface:
+
+* ``lazy`` — the paper's scope-driven first-free assignment (default;
+  bit-identical to the pre-arena compiler);
+* ``linearscan`` — second-chance binpacking over lifetime intervals
+  (Traub, Holloway & Smith);
+* ``graphcolor`` — Chaitin-Briggs coloring with move biasing and
+  iterated spill-cost recomputation.
+
+``CompilerConfig.allocator`` selects the strategy; the driver
+(:mod:`repro.alloc.driver`) runs the shared liveness /
+save-placement / restore-placement / shuffle passes around whichever
+binding assignment the strategy produces.  See ``docs/allocators.md``
+for the interface contract and a worked three-way example.
+"""
+
+from repro.alloc.base import (
+    AllocatorStrategy,
+    StrategyStats,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.alloc.driver import ProgramAllocation, allocate_program
+from repro.alloc.model import AllocationModel, BindingSite, build_model
+
+# Importing the strategy modules registers them.
+from repro.alloc import lazy as _lazy  # noqa: F401
+from repro.alloc import linearscan as _linearscan  # noqa: F401
+from repro.alloc import graphcolor as _graphcolor  # noqa: F401
+
+__all__ = [
+    "AllocationModel",
+    "AllocatorStrategy",
+    "BindingSite",
+    "ProgramAllocation",
+    "StrategyStats",
+    "allocate_program",
+    "available_strategies",
+    "build_model",
+    "get_strategy",
+    "register_strategy",
+]

@@ -1,0 +1,119 @@
+"""The allocator-strategy interface.
+
+A strategy owns one decision: which register (or frame slot) each
+let/fix-bound variable lives in.  Everything around that decision is
+shared machinery — parameter placement is fixed by the calling
+convention, liveness is computed once (``repro.core.liveness``), and
+the lazy-save / eager-restore / greedy-shuffle passes run downstream of
+*any* assignment, because they depend only on which variables are
+register-resident, not on how those registers were chosen.
+
+Inputs a strategy sees:
+
+* the per-procedure :class:`~repro.core.liveness.CodeAllocation`
+  (core AST + liveness annotations + the convention-placed parameters),
+* an :class:`~repro.alloc.model.AllocationModel` (binding sites with
+  interference/busy sets, linearized live intervals, use counts, and
+  call-argument affinities) when the strategy asks for one,
+* the :class:`~repro.config.CompilerConfig`.
+
+Outputs: ``var.location`` set on every binding variable (a
+:class:`~repro.core.registers.Register` or a
+:class:`~repro.core.locations.FrameSlot` spill home) and a
+:class:`StrategyStats` accounting of the spill decisions.  Save and
+restore placements and shuffle plans are produced by the shared passes
+the driver runs next (see ``repro.alloc.driver``).
+
+Strategies register themselves by name; ``CompilerConfig.allocator``
+selects one.  The names here and ``config.ALLOCATOR_STRATEGIES`` are
+kept in sync by a test.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Type
+
+from repro.errors import CompilerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.alloc.model import AllocationModel
+    from repro.config import CompilerConfig
+    from repro.core.liveness import CodeAllocation
+
+
+@dataclass
+class StrategyStats:
+    """What one strategy did to one procedure's binding variables."""
+
+    candidates: int = 0  # binding variables the strategy placed
+    assigned: int = 0  # of those, how many got registers
+    spilled: int = 0  # of those, how many got frame slots
+
+    def absorb(self, other: "StrategyStats") -> None:
+        self.candidates += other.candidates
+        self.assigned += other.assigned
+        self.spilled += other.spilled
+
+
+class AllocatorStrategy(ABC):
+    """One register-assignment algorithm behind the common interface."""
+
+    #: The ``CompilerConfig.allocator`` name selecting this strategy.
+    name: str = ""
+
+    #: Whether the driver should build an :class:`AllocationModel`
+    #: (binding sites, intervals, affinities) before calling
+    #: :meth:`assign`.  The paper's lazy strategy works straight off the
+    #: liveness annotations and skips the model entirely, keeping the
+    #: default compile path byte-for-byte what it was pre-arena.
+    needs_model: bool = True
+
+    #: Whether the driver should cross-check the finished assignment
+    #: against the interference model (register sharing between
+    #: simultaneously-live variables is a compiler bug, not a
+    #: performance problem).  On for the rivals, off for the proven
+    #: paper strategy.
+    verify: bool = True
+
+    @abstractmethod
+    def assign(
+        self,
+        alloc: "CodeAllocation",
+        model: Optional["AllocationModel"],
+        config: "CompilerConfig",
+    ) -> StrategyStats:
+        """Set ``var.location`` for every binding variable of
+        ``alloc.code`` and return the spill accounting."""
+
+
+_REGISTRY: Dict[str, Type[AllocatorStrategy]] = {}
+
+
+def register_strategy(cls: Type[AllocatorStrategy]) -> Type[AllocatorStrategy]:
+    """Class decorator: make *cls* selectable by its ``name``."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} has no strategy name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_strategies() -> tuple:
+    """Registered strategy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_strategy(name: str) -> AllocatorStrategy:
+    """Instantiate the strategy registered as *name*.
+
+    ``CompilerConfig`` validates the name at construction, so reaching
+    this error means a config bypassed validation — still a one-line
+    diagnostic, not a traceback."""
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise CompilerError(
+            f"unknown allocator: {name!r} "
+            f"(choose from {', '.join(_REGISTRY)})"
+        )
+    return cls()

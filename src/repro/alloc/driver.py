@@ -1,0 +1,166 @@
+"""Orchestration of the register-allocation passes over a program.
+
+Per code object, in order:
+
+0. parameter placement + liveness           (``repro.core.liveness``)
+1. binding assignment by the configured
+   :class:`~repro.alloc.base.AllocatorStrategy` (``lazy`` /
+   ``linearscan`` / ``graphcolor``)
+2. St/Sf analysis, branch-prediction annotation, save placement,
+   shuffle planning                         (``savesets``/``saveplace``/``shuffle``)
+3. redundant-save elimination + restores    (``restoreplace``)
+
+Only step 1 varies by strategy: the save/restore/shuffle machinery
+depends on *which* variables are register-resident, not on how the
+registers were chosen, so the paper's lazy-save and eager-restore
+placements apply unchanged to the rival assignments (and the ablation
+tables measure exactly that difference).
+
+The paper implements its passes as two linear traversals (§3); the
+decomposition here is finer-grained but each sub-pass is still linear
+in the program size (the shuffler's :math:`O(n^3)` is over the fixed
+number of argument registers, §3.1).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.alloc.base import StrategyStats, get_strategy
+from repro.alloc.model import build_model, verify_assignment
+from repro.astnodes import Call, CodeObject, If, Program, walk
+from repro.config import CompilerConfig
+from repro.core.liveness import (
+    CodeAllocation,
+    analyze_liveness,
+    collect_register_vars,
+)
+from repro.core.registers import RegisterFile
+from repro.core.restoreplace import place_restores
+from repro.core.saveplace import place_saves
+from repro.core.savesets import SaveAnalysis
+from repro.core.shuffle import plan_shuffle
+from repro.observe import REGISTRY
+from repro.observe.catalog import declare
+
+
+class ProgramAllocation:
+    """The result of register allocation for a whole program."""
+
+    def __init__(self, regfile: RegisterFile, strategy: str = "lazy") -> None:
+        self.regfile = regfile
+        self.strategy = strategy
+        self.by_code: Dict[int, CodeAllocation] = {}
+        self.analyses: Dict[int, SaveAnalysis] = {}
+        #: Register/spill outcomes over every binding variable, summed
+        #: across code objects (``spilled`` feeds ``repro_alloc_spills``
+        #: and the ablation tables' static-spill column).
+        self.stats = StrategyStats()
+        self.pass_times: Dict[str, float] = {
+            "liveness": 0.0,
+            "assign": 0.0,
+            "save-placement": 0.0,
+            "restore-placement": 0.0,
+            "shuffle": 0.0,
+        }
+
+    def alloc_for(self, code: CodeObject) -> CodeAllocation:
+        return self.by_code[code.uid]
+
+    def analysis_for(self, code: CodeObject) -> SaveAnalysis:
+        return self.analyses[code.uid]
+
+
+def allocate_program(program: Program, config: CompilerConfig) -> ProgramAllocation:
+    """Run all allocation passes over *program* (mutates the ASTs)."""
+    strategy = get_strategy(config.allocator)
+    regfile = RegisterFile(
+        config.num_arg_regs,
+        config.num_temp_regs,
+        callee_save_temps=(config.save_convention == "callee"),
+    )
+    result = ProgramAllocation(regfile, strategy=strategy.name)
+    t_start = time.perf_counter()
+    for code in program.codes:
+        _allocate_code(code, config, result, strategy)
+    if REGISTRY.enabled:
+        _observe_allocation(program, result, time.perf_counter() - t_start)
+    return result
+
+
+def _allocate_code(
+    code: CodeObject,
+    config: CompilerConfig,
+    result: ProgramAllocation,
+    strategy,
+) -> None:
+    times = result.pass_times
+
+    t0 = time.perf_counter()
+    alloc = analyze_liveness(code, result.regfile)
+    times["liveness"] += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    model = build_model(alloc) if strategy.needs_model else None
+    result.stats.absorb(strategy.assign(alloc, model, config))
+    if strategy.verify and model is not None:
+        verify_assignment(model)
+    collect_register_vars(alloc)
+    times["assign"] += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    analysis = SaveAnalysis(alloc)
+    analysis.analyze()
+    if config.branch_prediction == "static-calls":
+        _annotate_predictions(code, analysis)
+    place_saves(alloc, analysis, config)
+    times["save-placement"] += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    place_restores(alloc, config)
+    times["restore-placement"] += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for node in walk(code.body):
+        if isinstance(node, Call):
+            node.shuffle_plan = plan_shuffle(node, alloc, config.shuffle_strategy)
+    times["shuffle"] += time.perf_counter() - t0
+
+    result.by_code[code.uid] = alloc
+    result.analyses[code.uid] = analysis
+
+
+def _annotate_predictions(code: CodeObject, analysis: SaveAnalysis) -> None:
+    """The §6 static branch-prediction heuristic: "paths without calls
+    are assumed to be more likely than paths with calls" — predict the
+    branch that can complete without calling."""
+    from repro.core.shuffle import contains_call
+
+    for node in walk(code.body):
+        if not isinstance(node, If):
+            continue
+        then_calls = contains_call(node.then)
+        else_calls = contains_call(node.otherwise)
+        if then_calls and not else_calls:
+            node.prediction = "else"
+        elif else_calls and not then_calls:
+            node.prediction = "then"
+
+
+def _observe_allocation(
+    program: Program, result: ProgramAllocation, seconds: float
+) -> None:
+    """Feed the strategy's outcomes into the metrics registry.  Only
+    called when the registry is enabled, so the normal compile path
+    never pays for the extra tree walk."""
+    declare(REGISTRY, "repro_alloc_spills").inc(result.stats.spilled)
+    moves = 0
+    for code in program.codes:
+        for node in walk(code.body):
+            if isinstance(node, Call) and node.shuffle_plan is not None:
+                moves += len(node.shuffle_plan.steps)
+    declare(REGISTRY, "repro_alloc_moves").inc(moves)
+    declare(REGISTRY, "repro_alloc_strategy_seconds").labels(
+        strategy=result.strategy
+    ).observe(seconds)

@@ -1,0 +1,180 @@
+"""Graph-coloring rival: Chaitin-Briggs with move biasing.
+
+Classic Chaitin allocation with Briggs' optimistic twist: build the
+interference graph, repeatedly *simplify* (remove trivially colorable
+nodes, degree < K), push would-be spills on the stack anyway instead of
+spilling immediately, and discover in the *select* phase whether a
+color really ran out.  Spill costs are Chaitin's ``uses / (degree+1)``;
+after an actual spill the graph is rebuilt without the spilled nodes
+and costs/degrees recomputed, iterating until a full coloring of the
+surviving nodes succeeds (the "iterated spill-cost recomputation" of
+the Briggs lineage).
+
+Interference comes straight from the liveness pass's ``busy`` sets —
+the exact constraint system the paper's lazy strategy obeys — plus
+cliques over simultaneously-bound ``fix`` siblings.  Parameters are
+precolored by the calling convention and appear as fixed colors on
+their neighbours.
+
+**Move biasing.**  The greedy shuffler turns a call argument already
+sitting in its argument register into a no-op move, so during select
+each node prefers, among its allowed colors, the argument register it
+is most often passed in (``AllocationModel.affinity``).  This is the
+biased-coloring form of move coalescing: copies are removed by color
+choice rather than by merging nodes, which keeps the graph build
+simple and can never introduce new spills.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.alloc.base import AllocatorStrategy, StrategyStats, register_strategy
+from repro.astnodes import Var
+from repro.core.registers import Register
+from repro.errors import CompilerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.alloc.model import AllocationModel
+    from repro.config import CompilerConfig
+    from repro.core.liveness import CodeAllocation
+
+
+@register_strategy
+class GraphColorStrategy(AllocatorStrategy):
+    """Chaitin-Briggs simplify/select with affinity-biased colors."""
+
+    name = "graphcolor"
+    needs_model = True
+    verify = True
+
+    def assign(
+        self,
+        alloc: "CodeAllocation",
+        model: Optional["AllocationModel"],
+        config: "CompilerConfig",
+    ) -> StrategyStats:
+        if model is None:
+            raise CompilerError("graphcolor requires the allocation model")
+        regfile = alloc.regfile
+        palette: List[Register] = [*regfile.temp_regs, *regfile.arg_regs]
+        palette_set = set(palette)
+        k = len(palette)
+
+        stats = StrategyStats()
+        stats.candidates = len(model.sites)
+        nodes = [site.var for site in model.sites]
+        node_set = set(nodes)
+        refs = {site.var: site.refs for site in model.sites}
+
+        # Interference: busy-set edges plus fix-sibling cliques, with
+        # precolored parameter registers as fixed colors on neighbours.
+        adj: Dict[Var, Set[Var]] = {v: set() for v in nodes}
+        fixed: Dict[Var, Set[Register]] = {v: set() for v in nodes}
+        for site in model.sites:
+            v = site.var
+            for w in site.busy:
+                if w in node_set:
+                    adj[v].add(w)
+                    adj[w].add(v)
+                elif isinstance(w.location, Register) and w.location in palette_set:
+                    fixed[v].add(w.location)
+            for sibling in site.group:
+                if sibling is not v and sibling in node_set:
+                    adj[v].add(sibling)
+                    adj[sibling].add(v)
+
+        # Per-node color preference from call-argument affinities.
+        prefer: Dict[Var, Dict[Register, int]] = {}
+        for (var, index), count in model.affinity.items():
+            if var in node_set and index < len(regfile.arg_regs):
+                reg = regfile.arg_regs[index]
+                if reg in palette_set:
+                    prefer.setdefault(var, {})[reg] = (
+                        prefer.get(var, {}).get(reg, 0) + count
+                    )
+
+        spilled: Set[Var] = set()
+        colors: Dict[Var, Register] = {}
+        if k == 0:
+            spilled = set(nodes)
+        else:
+            while True:
+                colors = {}
+                new_spills = self._color_round(
+                    nodes, adj, fixed, refs, palette, spilled, prefer, colors
+                )
+                if not new_spills:
+                    break
+                # An actual spill shrinks the graph; rebuild degrees
+                # and costs and try the survivors again.
+                spilled |= new_spills
+
+        for site in model.sites:
+            var = site.var
+            if var in spilled:
+                var.location = alloc.layout.alloc(f"spill:{var.name}")
+                stats.spilled += 1
+            else:
+                var.location = colors[var]
+                stats.assigned += 1
+        return stats
+
+    @staticmethod
+    def _color_round(
+        nodes: List[Var],
+        adj: Dict[Var, Set[Var]],
+        fixed: Dict[Var, Set[Register]],
+        refs: Dict[Var, int],
+        palette: List[Register],
+        spilled: Set[Var],
+        prefer: Dict[Var, Dict[Register, int]],
+        colors: Dict[Var, Register],
+    ) -> Set[Var]:
+        """One simplify/select pass over the unspilled nodes.  Fills
+        *colors* and returns the nodes that actually ran out of colors
+        (empty set = success)."""
+        k = len(palette)
+        active = [v for v in nodes if v not in spilled]
+        active_set = set(active)
+
+        def degree(v: Var) -> int:
+            return len(adj[v] & active_set) + len(fixed[v])
+
+        stack: List[Var] = []
+        work = set(active)
+        while work:
+            simplifiable = [v for v in work if degree(v) < k]
+            if simplifiable:
+                # Deterministic: lowest uid among trivially colorable.
+                v = min(simplifiable, key=lambda v: v.uid)
+            else:
+                # Spill candidate by Chaitin cost, pushed optimistically
+                # (Briggs): it may still color if its neighbours happen
+                # to share colors.
+                v = min(
+                    work,
+                    key=lambda v: (refs[v] / (degree(v) + 1), v.uid),
+                )
+            work.discard(v)
+            active_set.discard(v)
+            stack.append(v)
+
+        failed: Set[Var] = set()
+        while stack:
+            v = stack.pop()
+            forbidden = set(fixed[v])
+            for w in adj[v]:
+                if w in colors:
+                    forbidden.add(colors[w])
+            allowed = [c for c in palette if c not in forbidden]
+            if not allowed:
+                failed.add(v)
+                continue
+            scores = prefer.get(v)
+            if scores:
+                best = max(scores.get(c, 0) for c in allowed)
+                if best > 0:
+                    allowed = [c for c in allowed if scores.get(c, 0) == best]
+            colors[v] = allowed[0]
+        return failed

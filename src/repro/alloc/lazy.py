@@ -1,0 +1,64 @@
+"""The paper's allocator as a strategy: scope-driven first-free
+assignment (§1–2 of Burger, Waddell & Dybvig).
+
+This is a thin adapter over ``repro.core.liveness.assign_bindings`` —
+the exact code the pipeline ran before the strategy arena existed — so
+selecting ``lazy`` (the default) produces bit-identical assignments,
+and therefore bit-identical saves/restores/shuffles, to the pre-arena
+compiler.  It opts out of the allocation model and the post-assignment
+verification pass: both are pure overhead on a path whose behaviour is
+pinned by the tier-1 suite and the benchmark goldens.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.alloc.base import AllocatorStrategy, StrategyStats, register_strategy
+from repro.astnodes import Fix, Let, walk
+from repro.core.liveness import assign_bindings
+from repro.core.locations import FrameSlot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.alloc.model import AllocationModel
+    from repro.config import CompilerConfig
+    from repro.core.liveness import CodeAllocation
+
+
+def binding_stats(alloc: "CodeAllocation") -> StrategyStats:
+    """Tally register/spill outcomes over the binding variables of an
+    already-assigned procedure."""
+    stats = StrategyStats()
+    for node in walk(alloc.code.body):
+        if isinstance(node, Let):
+            bound = (node.var,)
+        elif isinstance(node, Fix):
+            bound = tuple(node.vars)
+        else:
+            continue
+        for var in bound:
+            stats.candidates += 1
+            if isinstance(var.location, FrameSlot):
+                stats.spilled += 1
+            else:
+                stats.assigned += 1
+    return stats
+
+
+@register_strategy
+class LazyStrategy(AllocatorStrategy):
+    """First free register in scope order; temporaries before idle
+    argument registers; spill when none is free."""
+
+    name = "lazy"
+    needs_model = False
+    verify = False
+
+    def assign(
+        self,
+        alloc: "CodeAllocation",
+        model: Optional["AllocationModel"],
+        config: "CompilerConfig",
+    ) -> StrategyStats:
+        assign_bindings(alloc)
+        return binding_stats(alloc)

@@ -1,0 +1,146 @@
+"""Linear-scan rival: second-chance binpacking over lifetime intervals.
+
+After Traub, Holloway & Smith ("Quality and Speed in Linear-scan
+Register Allocation"), adapted to this compiler's whole-lifetime
+location model: every variable has exactly one home for its entire
+life (a register or a frame slot), because the downstream lazy-save /
+eager-restore / shuffle passes key off ``var.location``, not off
+program points.  That adaptation shapes the algorithm:
+
+* **Binpacking with lifetime holes.**  Each register is a bin packed
+  with any number of *disjoint* live intervals (Traub's central idea):
+  a variable whose life ends before another begins shares its register,
+  including the holes left by argument registers once the incoming
+  parameter dies.
+* **Second chance = spill the furthest end.**  When no bin has room,
+  the conflicting lifetime that ends furthest away is the one that goes
+  to the stack.  If that is the newcomer, it spills; if it is an
+  already-packed temporary, the newcomer takes its bin and the evicted
+  variable's "second chance" is its frame home — the whole-lifetime
+  analogue of Traub's split-and-respill, since splitting a lifetime in
+  two locations is not expressible here.
+
+Intervals come from :mod:`repro.alloc.model`, whose linearization is
+conservative w.r.t. the busy-set interference the shared downstream
+passes assume (see that module's docstring), so any overlap-respecting
+packing is sound.  Parameters are precolored by the calling convention
+and reserve their bins up to their last use; they are never evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.alloc.base import AllocatorStrategy, StrategyStats, register_strategy
+from repro.core.registers import Register
+from repro.errors import CompilerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.alloc.model import AllocationModel, BindingSite
+    from repro.config import CompilerConfig
+    from repro.core.liveness import CodeAllocation
+
+
+@dataclass
+class _Packed:
+    """One interval packed into a register bin."""
+
+    start: int
+    end: int
+    site: Optional["BindingSite"]  # None for a precolored parameter
+
+
+def _overlaps(a_start: int, a_end: int, b_start: int, b_end: int) -> bool:
+    return a_start <= b_end and b_start <= a_end
+
+
+@register_strategy
+class LinearScanStrategy(AllocatorStrategy):
+    """Second-chance binpacking in one pass over binding order."""
+
+    name = "linearscan"
+    needs_model = True
+    verify = True
+
+    def assign(
+        self,
+        alloc: "CodeAllocation",
+        model: Optional["AllocationModel"],
+        config: "CompilerConfig",
+    ) -> StrategyStats:
+        if model is None:
+            raise CompilerError("linearscan requires the allocation model")
+        regfile = alloc.regfile
+        order = (*regfile.temp_regs, *regfile.arg_regs)
+        bins: Dict[Register, List[_Packed]] = {reg: [] for reg in order}
+        # Parameters reserve their convention-assigned bins until their
+        # last use; an unused parameter's register is free from entry.
+        for param, end in model.param_end.items():
+            if end > 0 and param.location in bins:
+                bins[param.location].append(_Packed(0, end, None))
+
+        stats = StrategyStats()
+        # Sites arrive in binding (pre-order) order, so starts are
+        # non-decreasing — the classic scan order.
+        for site in model.sites:
+            stats.candidates += 1
+            chosen: Optional[Register] = None
+            for reg in order:
+                if not any(
+                    _overlaps(site.start, site.end, p.start, p.end)
+                    for p in bins[reg]
+                ):
+                    chosen = reg
+                    break
+            if chosen is not None:
+                site.var.location = chosen
+                bins[chosen].append(_Packed(site.start, site.end, site))
+                stats.assigned += 1
+                continue
+            self._second_chance(site, bins, order, alloc, stats)
+        return stats
+
+    def _second_chance(
+        self,
+        site: "BindingSite",
+        bins: Dict[Register, List[_Packed]],
+        order: tuple,
+        alloc: "CodeAllocation",
+        stats: StrategyStats,
+    ) -> None:
+        """No bin has a hole: spill whichever conflicting lifetime ends
+        furthest.  Evicting an occupant is only possible when it is the
+        *sole* conflict in its bin and is not a precolored parameter."""
+        victim_reg: Optional[Register] = None
+        victim: Optional[_Packed] = None
+        for reg in order:
+            conflicts = [
+                p
+                for p in bins[reg]
+                if _overlaps(site.start, site.end, p.start, p.end)
+            ]
+            if len(conflicts) != 1 or conflicts[0].site is None:
+                continue
+            p = conflicts[0]
+            # Fix siblings must stay in distinct registers; taking a
+            # sibling's bin would merely move the conflict.
+            if p.site.var in site.group:
+                continue
+            if victim is None or p.end > victim.end:
+                victim, victim_reg = p, reg
+        if victim is not None and victim.end > site.end:
+            evicted = victim.site
+            assert evicted is not None and victim_reg is not None
+            bins[victim_reg].remove(victim)
+            evicted.var.location = alloc.layout.alloc(
+                f"spill:{evicted.var.name}"
+            )
+            stats.assigned -= 1
+            stats.spilled += 1
+            site.var.location = victim_reg
+            bins[victim_reg].append(_Packed(site.start, site.end, site))
+            stats.assigned += 1
+        else:
+            site.var.location = alloc.layout.alloc(f"spill:{site.var.name}")
+            stats.spilled += 1

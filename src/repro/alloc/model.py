@@ -1,0 +1,253 @@
+"""The shared allocation model rival strategies consume.
+
+The paper's lazy strategy assigns registers scope-by-scope straight off
+the ``busy`` sets the liveness pass leaves on ``Let``/``Fix`` nodes, so
+it needs nothing further.  Linear scan wants linearized live intervals;
+graph coloring wants an interference relation, use counts for spill
+costs, and move affinities.  This module derives all of that in one
+extra walk, performed only when the selected strategy asks for it
+(``AllocatorStrategy.needs_model``), so the default path does no extra
+work.
+
+**Linearization.**  The core language is tree-shaped (no loops — the
+source's loops are recursive calls to separate code objects), so a
+pre-order numbering of the body is a valid linear order and a
+variable's live interval is ``[binding position, last use position]``.
+Two wrinkles make the intervals conservative enough to subsume the
+``busy``-set interference the downstream save/restore/shuffle passes
+assume:
+
+* *Deferred primitive operands.*  The code generator reads top-level
+  variable operands of a primitive at issue time — after any embedded
+  call — so those reads are recorded at a position *after* the whole
+  ``PrimCall`` subtree (mirroring ``_split_prim_operands`` in the
+  liveness pass).
+* *Call operands.*  The greedy shuffler may evaluate and move call
+  operands in any order, so every variable referenced by any operand
+  stays live until the call issues: their last uses are extended to a
+  position after the whole ``Call`` subtree.
+
+With those two extensions, interval overlap is a superset of the
+busy-set interference relation: any assignment that keeps overlapping
+intervals in distinct registers is sound for the shared downstream
+passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Tuple
+
+from repro.astnodes import (
+    Call,
+    ClosureRef,
+    Expr,
+    Fix,
+    If,
+    Let,
+    MakeClosure,
+    PrimCall,
+    Quote,
+    Ref,
+    Seq,
+    Var,
+)
+from repro.core.liveness import referenced_vars, split_prim_operands
+from repro.core.registers import Register
+from repro.errors import CompilerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import CompilerConfig
+    from repro.core.liveness import CodeAllocation
+
+
+@dataclass
+class BindingSite:
+    """One let/fix-bound variable awaiting a location."""
+
+    var: Var
+    #: Variables live during this variable's scope (the liveness pass's
+    #: ``busy`` annotation) — the interference neighbourhood.
+    busy: FrozenSet[Var]
+    #: Simultaneously-bound fix siblings (including ``var`` itself);
+    #: a singleton for ``let``.  Siblings must get distinct registers.
+    group: Tuple[Var, ...]
+    #: Pre-order position of the binding point.
+    start: int
+    #: Position of the last use (``>= start``; equal when unused).
+    end: int
+    #: Number of uses — the numerator of the Chaitin spill cost.
+    refs: int
+
+
+@dataclass
+class AllocationModel:
+    """Everything a rival strategy needs about one procedure."""
+
+    #: Binding sites in source (assignment) order — the order the lazy
+    #: strategy visits them, kept for deterministic tie-breaking.
+    sites: List[BindingSite]
+    #: Last-use position of each register-resident parameter (0 when
+    #: the parameter is never used and its register is free from entry).
+    param_end: Dict[Var, int]
+    #: ``(var, argument index) -> count`` of calls passing ``var``
+    #: unchanged as argument *index*: assigning ``var`` the matching
+    #: argument register turns that shuffle move into a no-op.
+    affinity: Dict[Tuple[Var, int], int]
+    #: Total number of positions in the linearization.
+    length: int
+
+
+class _ModelBuilder:
+    def __init__(self, alloc: "CodeAllocation") -> None:
+        self.alloc = alloc
+        self.pos = 0
+        self.last_use: Dict[Var, int] = {}
+        self.refs: Dict[Var, int] = {}
+        self.sites: List[BindingSite] = []
+        self.affinity: Dict[Tuple[Var, int], int] = {}
+
+    def bump(self) -> int:
+        self.pos += 1
+        return self.pos
+
+    def use(self, var: Var, pos: int) -> None:
+        self.refs[var] = self.refs.get(var, 0) + 1
+        if pos > self.last_use.get(var, -1):
+            self.last_use[var] = pos
+
+    def visit(self, expr: Expr) -> None:
+        alloc = self.alloc
+        if isinstance(expr, Quote):
+            self.bump()
+            return
+        if isinstance(expr, Ref):
+            self.use(expr.var, self.bump())
+            return
+        if isinstance(expr, ClosureRef):
+            self.use(alloc.cp_var, self.bump())
+            return
+        if isinstance(expr, PrimCall):
+            deferred, ordered = split_prim_operands(expr, alloc)
+            for arg in ordered:
+                self.visit(arg)
+            # Top-level variable operands are read when the primitive
+            # issues — after everything above, including embedded calls.
+            issue = self.bump()
+            for var in deferred:
+                self.use(var, issue)
+            return
+        if isinstance(expr, If):
+            self.visit(expr.test)
+            self.visit(expr.then)
+            self.visit(expr.otherwise)
+            return
+        if isinstance(expr, Let):
+            self.visit(expr.rhs)
+            start = self.bump()
+            self.sites.append(
+                BindingSite(
+                    var=expr.var,
+                    busy=expr.busy,
+                    group=(expr.var,),
+                    start=start,
+                    end=start,
+                    refs=0,
+                )
+            )
+            self.visit(expr.body)
+            return
+        if isinstance(expr, Fix):
+            start = self.bump()
+            group = tuple(expr.vars)
+            for var in group:
+                self.sites.append(
+                    BindingSite(
+                        var=var,
+                        busy=expr.busy,
+                        group=group,
+                        start=start,
+                        end=start,
+                        refs=0,
+                    )
+                )
+            for closure in expr.lambdas:
+                self.visit(closure)
+            self.visit(expr.body)
+            return
+        if isinstance(expr, Call):  # includes CallCC
+            subs = [expr.fn, *expr.args]
+            for sub in subs:
+                self.visit(sub)
+            # The shuffler orders operand moves at the call point, so
+            # every operand variable must survive until the call
+            # issues, whatever order it picks.
+            issue = self.bump()
+            for sub in subs:
+                for var in referenced_vars(sub, alloc):
+                    if issue > self.last_use.get(var, -1):
+                        self.last_use[var] = issue
+            for i, arg in enumerate(expr.args):
+                if i >= alloc.regfile.num_arg_regs:
+                    break
+                if isinstance(arg, Ref):
+                    key = (arg.var, i)
+                    self.affinity[key] = self.affinity.get(key, 0) + 1
+            return
+        if isinstance(expr, MakeClosure):
+            for sub in expr.free_exprs:
+                self.visit(sub)
+            return
+        if isinstance(expr, Seq):
+            for sub in expr.exprs:
+                self.visit(sub)
+            return
+        raise CompilerError(
+            f"allocation model: unexpected node {type(expr).__name__}"
+        )
+
+
+def build_model(alloc: "CodeAllocation") -> AllocationModel:
+    """Derive the binding sites, live intervals and affinities of one
+    procedure from its liveness-annotated body."""
+    builder = _ModelBuilder(alloc)
+    builder.visit(alloc.code.body)
+    for site in builder.sites:
+        site.end = max(site.start, builder.last_use.get(site.var, site.start))
+        site.refs = builder.refs.get(site.var, 0)
+    param_end: Dict[Var, int] = {}
+    for param in alloc.code.params:
+        if isinstance(param.location, Register):
+            param_end[param] = builder.last_use.get(param, 0)
+    return AllocationModel(
+        sites=builder.sites,
+        param_end=param_end,
+        affinity=builder.affinity,
+        length=builder.pos,
+    )
+
+
+def verify_assignment(model: AllocationModel) -> None:
+    """Cross-check a finished assignment against the interference
+    model.  A violation is a compiler bug (it would produce wrong code,
+    not slow code), so it raises rather than warns."""
+    for site in model.sites:
+        loc = site.var.location
+        if loc is None:
+            raise CompilerError(f"variable {site.var!r} was never placed")
+        if not isinstance(loc, Register):
+            continue
+        for other in site.busy:
+            if isinstance(other.location, Register) and other.location == loc:
+                raise CompilerError(
+                    f"allocator bug: {site.var.name} and {other.name} "
+                    f"share {loc} while simultaneously live"
+                )
+        for sibling in site.group:
+            if sibling is site.var:
+                continue
+            if isinstance(sibling.location, Register) and sibling.location == loc:
+                raise CompilerError(
+                    f"allocator bug: fix siblings {site.var.name} and "
+                    f"{sibling.name} share {loc}"
+                )

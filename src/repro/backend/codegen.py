@@ -603,6 +603,21 @@ class _CodeGenerator:
         rv = self.regfile.rv
         rv_used = False
 
+        # Registers the issue sequence must not clobber: dst, rv, every
+        # register a staged source reads at prim time, and (as they are
+        # chosen) the materialized targets themselves.  Anything else in
+        # the pool can be *borrowed* around the prim under total
+        # exhaustion — spilled to a frame temp, used as a load target,
+        # and restored immediately after the prim, before any outer
+        # holder can look at it again.
+        pinned = {dst.index, rv.index}
+        for kind, payload in staged:
+            if kind == "var" and isinstance(payload.location, Register):
+                pinned.add(payload.location.index)
+            elif kind == "reg":
+                pinned.add(payload.index)
+        borrowed: List[Tuple[Register, Any]] = []
+
         def materialize_target() -> int:
             # One memory-staged source may flow through dst itself (its
             # old value is dead and the prim writes it last), which
@@ -618,10 +633,22 @@ class _CodeGenerator:
             reg = self.scratch.acquire(self.reserved)
             if reg is not None:
                 releases.append(reg)
+                pinned.add(reg.index)
                 return reg.index
             if not rv_used and dst is not rv:
                 rv_used = True
                 return rv.index
+            # Every conduit is spent (deep nesting can consume both dst
+            # and rv before this prim issues): borrow a live register
+            # for the duration of the issue sequence.
+            for victim in self.scratch.pool:
+                if victim.index in pinned:
+                    continue
+                slot = self.temp_slots.acquire()
+                self.emit("st", slot.index, victim.index, "temp")
+                borrowed.append((victim, slot))
+                pinned.add(victim.index)
+                return victim.index
             raise CompilerError(
                 "scratch register pool exhausted — expression too deep "
                 "for register-free evaluation (frame-temp fallback not "
@@ -651,6 +678,9 @@ class _CodeGenerator:
             else:  # "reg"
                 srcs.append(payload.index)
         self.emit("prim", dst.index, expr.op, srcs)
+        for victim, slot in reversed(borrowed):
+            self.emit("ld", victim.index, slot.index, "temp")
+            self.temp_slots.release(slot)
         for reg in releases:
             self.scratch.release(reg)
         for slot in slots:

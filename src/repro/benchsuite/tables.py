@@ -19,6 +19,8 @@ Experiment index (see DESIGN.md §3):
 * :func:`compile_time_profile`  — §4 allocator share of compile time
 * :func:`branch_prediction_experiment` — §6 static branch prediction
 * :func:`save_placement_ablation`      — §2.1 simple vs revised algorithm
+* :func:`allocator_ablation`           — lazy vs linear scan vs graph
+  coloring under the shared save/restore/shuffle machinery
 """
 
 from __future__ import annotations
@@ -434,6 +436,91 @@ def branch_prediction_experiment(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Allocator arena: lazy vs linear scan vs graph coloring
+# ---------------------------------------------------------------------------
+
+ALLOCATORS: Tuple[str, ...] = ("lazy", "linearscan", "graphcolor")
+
+
+def allocator_ablation(
+    names: Optional[Iterable[str]] = None,
+    allocators: Sequence[str] = ALLOCATORS,
+    base_config: Optional[CompilerConfig] = None,
+) -> List[Dict[str, object]]:
+    """Per benchmark and allocator strategy: dynamic saves, restores,
+    shuffle moves, spill stack references, static spill count, and
+    cycles — the apples-to-apples comparison the paper never ran.  All
+    strategies share the lazy-save / eager-restore / greedy-shuffle
+    machinery; only the binding assignment differs, so the deltas
+    isolate the register-assignment policy itself.
+
+    ``base_config`` fixes every other knob (defaults to the paper
+    configuration); each allocator point is ``base_config.with_(
+    allocator=...)``.
+    """
+    base = base_config or CompilerConfig()
+    rows: List[Dict[str, object]] = []
+    for name in _names(names):
+        row: Dict[str, object] = {"benchmark": name}
+        for allocator in allocators:
+            run = run_benchmark(name, base.with_(allocator=allocator))
+            counters = run.counters
+            spill_refs = counters.stack_reads.get(
+                "spill", 0
+            ) + counters.stack_writes.get("spill", 0)
+            allocation = run.result.compiled.allocation
+            row[f"{allocator}-saves"] = counters.saves
+            row[f"{allocator}-restores"] = counters.restores
+            row[f"{allocator}-moves"] = counters.moves
+            row[f"{allocator}-spill-refs"] = spill_refs
+            row[f"{allocator}-spilled-vars"] = allocation.stats.spilled
+            row[f"{allocator}-stack-refs"] = run.stack_refs
+            row[f"{allocator}-cycles"] = run.cycles
+        rows.append(row)
+    if rows:
+        total: Dict[str, object] = {"benchmark": "TOTAL"}
+        for allocator in allocators:
+            for metric in (
+                "saves",
+                "restores",
+                "moves",
+                "spill-refs",
+                "spilled-vars",
+                "stack-refs",
+                "cycles",
+            ):
+                key = f"{allocator}-{metric}"
+                total[key] = sum(r[key] for r in rows)
+        rows.append(total)
+    return rows
+
+
+def format_allocator_ablation(
+    rows: Sequence[Dict[str, object]],
+    allocators: Sequence[str] = ALLOCATORS,
+) -> str:
+    header = f"{'Benchmark':15s}"
+    for allocator in allocators:
+        header += (
+            f" | {allocator + ' saves':>12s} {'restores':>9s} {'moves':>9s}"
+            f" {'spills':>7s} {'cycles':>10s}"
+        )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        line = f"{r['benchmark']:15s}"
+        for allocator in allocators:
+            line += (
+                f" | {r[f'{allocator}-saves']:>12d}"
+                f" {r[f'{allocator}-restores']:>9d}"
+                f" {r[f'{allocator}-moves']:>9d}"
+                f" {r[f'{allocator}-spilled-vars']:>7d}"
+                f" {r[f'{allocator}-cycles']:>10d}"
+            )
+        lines.append(line)
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

@@ -6,6 +6,8 @@
     python -m repro disasm program.scm --proc tak
     python -m repro expand program.scm
     python -m repro bench tak deriv --baseline
+    python -m repro bench tak --allocator all
+    python -m repro alloc program.scm --compare
     python -m repro table 3
     python -m repro list
 
@@ -24,6 +26,7 @@ from typing import List, Optional
 from repro.astnodes import pretty
 from repro.backend.isa import format_code
 from repro.config import (
+    ALLOCATOR_STRATEGIES,
     BRANCH_PREDICTION_MODES,
     CompilerConfig,
     ObserveConfig,
@@ -41,8 +44,20 @@ from repro.sexp.writer import write_datum
 from repro.vm.machine import VMError
 
 
-def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+def _add_config_flags(
+    parser: argparse.ArgumentParser, allocator_all: bool = False
+) -> None:
     group = parser.add_argument_group("allocator configuration")
+    allocator_choices = list(ALLOCATOR_STRATEGIES)
+    if allocator_all:
+        allocator_choices.append("all")
+    group.add_argument(
+        "--allocator",
+        choices=allocator_choices,
+        default="lazy",
+        help="binding-assignment strategy"
+        + (" ('all' sweeps every strategy)" if allocator_all else ""),
+    )
     group.add_argument(
         "--save-strategy", choices=SAVE_STRATEGIES, default="lazy"
     )
@@ -107,7 +122,11 @@ def _add_observe_flags(parser: argparse.ArgumentParser) -> None:
 def _config_from(args: argparse.Namespace) -> CompilerConfig:
     arg_regs = 0 if args.baseline else args.arg_regs
     temp_regs = 0 if args.baseline else args.temp_regs
+    allocator = getattr(args, "allocator", "lazy")
+    if allocator == "all":  # sweeping callers expand it themselves
+        allocator = "lazy"
     return CompilerConfig(
+        allocator=allocator,
         num_arg_regs=arg_regs,
         num_temp_regs=temp_regs,
         save_strategy=args.save_strategy,
@@ -260,6 +279,70 @@ def cmd_expand(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_alloc(args: argparse.Namespace) -> int:
+    """Inspect register allocation: a static summary for the selected
+    strategy, or (``--compare``) an ablation table running the same
+    program under every registered strategy."""
+    source = _read_program(args.file)
+    config = _config_from(args)
+    if not args.compare:
+        compiled = compile_source(source, config, prelude=not args.no_prelude)
+        alloc = compiled.allocation
+        stats = alloc.stats
+        print(f"allocator    {config.allocator}")
+        print(f"procedures   {len(compiled.codes)}")
+        print(f"candidates   {stats.candidates}")
+        print(f"registered   {stats.assigned}")
+        print(f"spilled      {stats.spilled}")
+        for phase in sorted(alloc.pass_times):
+            print(f"pass {phase:17s} {alloc.pass_times[phase] * 1e3:8.2f} ms")
+        return 0
+
+    rows = []
+    for allocator in ALLOCATOR_STRATEGIES:
+        cfg = config.with_(allocator=allocator)
+        compiled = compile_source(source, cfg, prelude=not args.no_prelude)
+        result = run_compiled(compiled, debug=args.vm_debug)
+        c = result.counters
+        rows.append(
+            {
+                "allocator": allocator,
+                "value": write_datum(result.value),
+                "saves": c.saves,
+                "restores": c.restores,
+                "moves": c.moves,
+                "spill-refs": c.stack_reads.get("spill", 0)
+                + c.stack_writes.get("spill", 0),
+                "spilled-vars": compiled.allocation.stats.spilled,
+                "stack-refs": c.total_stack_refs,
+                "cycles": c.cycles,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        header = (
+            f"{'allocator':11s} {'saves':>9s} {'restores':>9s} {'moves':>9s} "
+            f"{'spill-refs':>10s} {'spilled':>8s} {'stack-refs':>10s} "
+            f"{'cycles':>11s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            print(
+                f"{row['allocator']:11s} {row['saves']:>9,} "
+                f"{row['restores']:>9,} {row['moves']:>9,} "
+                f"{row['spill-refs']:>10,} {row['spilled-vars']:>8,} "
+                f"{row['stack-refs']:>10,} {row['cycles']:>11,}"
+            )
+        print(f"value: {rows[0]['value']}")
+    if len({row["value"] for row in rows}) > 1:
+        print("error: allocator strategies disagree on the program value",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.benchsuite import BENCHMARKS
     from repro.benchsuite.runner import run_benchmark
@@ -269,11 +352,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     names = args.names or sorted(BENCHMARKS)
     config = _config_from(args)
+    sweep = getattr(args, "allocator", "lazy") == "all"
+    allocators = ALLOCATOR_STRATEGIES if sweep else (config.allocator,)
     tracer = Tracer() if args.trace else None
     rows = []
+    alloc_col = f"{'allocator':>11s} " if sweep else ""
     header = (
-        f"{'benchmark':16s} {'value':>12s} {'instrs':>11s} {'cycles':>11s} "
-        f"{'stack refs':>11s} {'eff-leaf':>9s}"
+        f"{'benchmark':16s} {alloc_col}{'value':>12s} {'instrs':>11s} "
+        f"{'cycles':>11s} {'stack refs':>11s} {'eff-leaf':>9s}"
     )
     if not args.json:
         print(header)
@@ -282,16 +368,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if name not in BENCHMARKS:
             print(f"unknown benchmark {name!r}", file=sys.stderr)
             return 1
-        span = tracer.span("bench", benchmark=name) if tracer else None
-        if span:
-            with span:
-                run = run_benchmark(name, config, debug=args.vm_debug, tracer=tracer)
-        else:
-            run = run_benchmark(name, config, debug=args.vm_debug)
-        c = run.counters
-        if args.json:
-            rows.append(
-                {
+        for allocator in allocators:
+            run_config = config.with_(allocator=allocator)
+            span = tracer.span("bench", benchmark=name) if tracer else None
+            if span:
+                with span:
+                    run = run_benchmark(
+                        name, run_config, debug=args.vm_debug, tracer=tracer
+                    )
+            else:
+                run = run_benchmark(name, run_config, debug=args.vm_debug)
+            c = run.counters
+            if args.json:
+                row = {
                     "benchmark": name,
                     "value": run.value_text,
                     "effective_leaf_fraction": (
@@ -299,13 +388,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     ),
                     "counters": c.as_dict(),
                 }
-            )
-        else:
-            print(
-                f"{name:16s} {run.value_text[:12]:>12s} {c.instructions:>11,} "
-                f"{c.cycles:>11,} {c.total_stack_refs:>11,} "
-                f"{run.classifier.effective_leaf_fraction:>9.1%}"
-            )
+                if sweep:
+                    row["allocator"] = allocator
+                rows.append(row)
+            else:
+                alloc_cell = f"{allocator:>11s} " if sweep else ""
+                print(
+                    f"{name:16s} {alloc_cell}{run.value_text[:12]:>12s} "
+                    f"{c.instructions:>11,} "
+                    f"{c.cycles:>11,} {c.total_stack_refs:>11,} "
+                    f"{run.classifier.effective_leaf_fraction:>9.1%}"
+                )
     if args.json:
         print(json.dumps(rows, indent=2))
     if tracer is not None:
@@ -448,6 +541,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             keep_interesting=args.keep_interesting,
             on_progress=progress,
             flight_dir=args.corpus,
+            allocator=args.allocator,
         )
 
     if args.json:
@@ -472,7 +566,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                     f"restore={cfg.get('restore_strategy')} "
                     f"shuffle={cfg.get('shuffle_strategy')} "
                     f"conv={cfg.get('save_convention')} "
-                    f"c={cfg.get('num_arg_regs')}]"
+                    f"c={cfg.get('num_arg_regs')} "
+                    f"alloc={cfg.get('allocator', 'lazy')}]"
                 )
             if len(failure.divergences) > 5:
                 print(f"    ... and {len(failure.divergences) - 5} more")
@@ -830,8 +925,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append one timestamped JSON record of this run to PATH",
     )
-    _add_config_flags(p_bench)
+    _add_config_flags(p_bench, allocator_all=True)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_alloc = sub.add_parser(
+        "alloc", help="inspect register allocation for one program"
+    )
+    p_alloc.add_argument("file")
+    p_alloc.add_argument(
+        "--compare",
+        action="store_true",
+        help="run the program under every allocator strategy and tabulate "
+        "saves/restores/moves/spills/cycles",
+    )
+    p_alloc.add_argument(
+        "--json", action="store_true", help="emit --compare rows as JSON"
+    )
+    _add_config_flags(p_alloc)
+    p_alloc.set_defaults(fn=cmd_alloc)
 
     p_isa = sub.add_parser("isa", help="show the VM instruction set reference")
     p_isa.add_argument(
@@ -899,6 +1010,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="also persist up to N cycle-heavy passing programs",
+    )
+    p_fuzz.add_argument(
+        "--allocator",
+        choices=ALLOCATOR_STRATEGIES,
+        default=None,
+        help="restrict the oracle to one binding allocator's config "
+        "matrix (default: sweep the full matrix)",
     )
     p_fuzz.add_argument(
         "--json", action="store_true", help="emit the report as JSON"

@@ -19,6 +19,10 @@ SAVE_STRATEGIES = ("lazy", "lazy-simple", "early", "late")
 RESTORE_STRATEGIES = ("eager", "lazy")
 SHUFFLE_STRATEGIES = ("greedy", "naive", "spill-all", "optimal", "none")
 SAVE_CONVENTIONS = ("caller", "callee")
+# Allocator strategies (repro.alloc): which algorithm assigns variables
+# to registers.  The paper's allocator is "lazy"; the rivals exist for
+# the ablation the paper never had.
+ALLOCATOR_STRATEGIES = ("lazy", "linearscan", "graphcolor")
 BRANCH_PREDICTION_MODES = (None, "static-calls", "fallthrough")
 TRACE_MODES = ("off", "compile", "vm", "all")
 
@@ -55,6 +59,15 @@ class CompilerConfig:
     num_temp_regs:
         The paper's ``l`` — registers for user variables and compiler
         temporaries.
+    allocator:
+        Which register-assignment strategy maps variables to registers
+        (``repro.alloc``): ``lazy`` — the paper's scope-driven
+        first-free assignment (the default; exactly the pre-strategy
+        behavior); ``linearscan`` — Traub/Holloway/Smith-style
+        second-chance binpacking over linearized live intervals;
+        ``graphcolor`` — Chaitin–Briggs simplify/select coloring with
+        move biasing and iterated spill-cost recomputation.  Every
+        strategy feeds the same save/restore/shuffle machinery.
     save_strategy:
         ``lazy`` — the paper's revised St/Sf algorithm (§2.1.3);
         ``lazy-simple`` — the deficient simple algorithm (§2.1.1),
@@ -105,6 +118,7 @@ class CompilerConfig:
 
     num_arg_regs: int = 6
     num_temp_regs: int = 6
+    allocator: str = "lazy"
     lambda_lift: bool = False
     lambda_lift_max_params: int = 6
     peephole: bool = True
@@ -118,6 +132,11 @@ class CompilerConfig:
     cost_model: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
+        if self.allocator not in ALLOCATOR_STRATEGIES:
+            raise ValueError(
+                f"unknown allocator: {self.allocator!r} "
+                f"(choose from {', '.join(ALLOCATOR_STRATEGIES)})"
+            )
         if self.save_strategy not in SAVE_STRATEGIES:
             raise ValueError(f"unknown save strategy: {self.save_strategy}")
         if self.restore_strategy not in RESTORE_STRATEGIES:
@@ -155,7 +174,7 @@ class CompilerConfig:
     def summary(self) -> dict:
         """The fields that identify this point in the design space, as a
         JSON-serializable dict (the corpus format's ``config:`` header)."""
-        return {
+        summary = {
             "num_arg_regs": self.num_arg_regs,
             "num_temp_regs": self.num_temp_regs,
             "save_strategy": self.save_strategy,
@@ -163,6 +182,11 @@ class CompilerConfig:
             "shuffle_strategy": self.shuffle_strategy,
             "save_convention": self.save_convention,
         }
+        # Kept out of the common case so pre-arena corpus headers (and
+        # their golden copies in tests) stay byte-identical.
+        if self.allocator != "lazy":
+            summary["allocator"] = self.allocator
+        return summary
 
     @staticmethod
     def from_summary(summary: dict) -> "CompilerConfig":
@@ -287,16 +311,57 @@ def full_matrix(
 ) -> Tuple[CompilerConfig, ...]:
     """The differential-testing matrix: the full strategy cross-product
     at the default register file, plus every strategy at the other
-    register-sweep points (duplicates removed, order deterministic)."""
+    register-sweep points, plus each rival allocator at the points that
+    stress it (duplicates removed, order deterministic)."""
     configs: list = []
     seen = set()
-    for config in strategy_matrix():
+
+    def add(config: CompilerConfig) -> None:
         key = tuple(sorted(config.summary().items()))
         if key not in seen:
             seen.add(key)
             configs.append(config)
+
+    for config in strategy_matrix():
+        add(config)
     default = CompilerConfig()
     for c, temps in register_sweep:
+        for strategy_point in (
+            default,
+            default.with_(save_strategy="late"),
+            default.with_(restore_strategy="lazy"),
+            default.with_(shuffle_strategy="naive"),
+            default.with_(save_convention="callee"),
+        ):
+            add(strategy_point.with_(num_arg_regs=c, num_temp_regs=temps))
+    # Rival allocators: the default machine, a tiny register file (which
+    # forces the spilling paths), the no-register degenerate case, and
+    # the callee-save convention.
+    for allocator in ALLOCATOR_STRATEGIES[1:]:
+        rival = default.with_(allocator=allocator)
+        add(rival)
+        add(rival.with_(num_arg_regs=2, num_temp_regs=1))
+        add(rival.with_(num_arg_regs=0, num_temp_regs=0))
+        add(rival.with_(save_convention="callee"))
+    return tuple(configs)
+
+
+def allocator_matrix(
+    allocator: str,
+    register_sweep: Sequence[Tuple[int, int]] = REGISTER_SWEEP,
+) -> Tuple[CompilerConfig, ...]:
+    """A focused differential matrix for one allocator strategy: the
+    register sweep crossed with one variation along each of the other
+    strategy axes (``repro fuzz --allocator``)."""
+    if allocator not in ALLOCATOR_STRATEGIES:
+        raise ValueError(
+            f"unknown allocator: {allocator!r} "
+            f"(choose from {', '.join(ALLOCATOR_STRATEGIES)})"
+        )
+    default = CompilerConfig(allocator=allocator)
+    configs: list = []
+    seen = set()
+    for c, temps in (*register_sweep, (2, 1)):
         for strategy_point in (
             default,
             default.with_(save_strategy="late"),

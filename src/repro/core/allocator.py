@@ -1,110 +1,14 @@
-"""Orchestration of the register-allocation passes over a program.
+"""Back-compat home of the allocation driver.
 
-Per code object, in order:
-
-0. liveness + location assignment          (``repro.core.liveness``)
-1. St/Sf analysis, branch-prediction annotation, save placement,
-   shuffle planning                        (``savesets``/``saveplace``/``shuffle``)
-2. redundant-save elimination + restores   (``restoreplace``)
-
-The paper implements passes 1 and 2 as two linear traversals (§3); the
-decomposition here is finer-grained but each sub-pass is still linear
-in the program size (the shuffler's :math:`O(n^3)` is over the fixed
-number of argument registers, §3.1).
+The orchestration that lived here moved to :mod:`repro.alloc` when the
+allocator became pluggable (``CompilerConfig.allocator`` selects
+``lazy`` / ``linearscan`` / ``graphcolor``); this module re-exports the
+public names so existing importers — the code generator, the pipeline,
+tests — keep working.  New code should import from ``repro.alloc``.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict
+from repro.alloc.driver import ProgramAllocation, allocate_program
 
-from repro.astnodes import Call, CodeObject, If, Program, walk
-from repro.config import CompilerConfig
-from repro.core.liveness import CodeAllocation, analyze_code
-from repro.core.registers import RegisterFile
-from repro.core.restoreplace import place_restores
-from repro.core.saveplace import place_saves
-from repro.core.savesets import SaveAnalysis
-from repro.core.shuffle import plan_shuffle
-
-
-class ProgramAllocation:
-    """The result of register allocation for a whole program."""
-
-    def __init__(self, regfile: RegisterFile) -> None:
-        self.regfile = regfile
-        self.by_code: Dict[int, CodeAllocation] = {}
-        self.analyses: Dict[int, SaveAnalysis] = {}
-        self.pass_times: Dict[str, float] = {
-            "liveness": 0.0,
-            "save-placement": 0.0,
-            "restore-placement": 0.0,
-            "shuffle": 0.0,
-        }
-
-    def alloc_for(self, code: CodeObject) -> CodeAllocation:
-        return self.by_code[code.uid]
-
-    def analysis_for(self, code: CodeObject) -> SaveAnalysis:
-        return self.analyses[code.uid]
-
-
-def allocate_program(program: Program, config: CompilerConfig) -> ProgramAllocation:
-    """Run all allocation passes over *program* (mutates the ASTs)."""
-    regfile = RegisterFile(
-        config.num_arg_regs,
-        config.num_temp_regs,
-        callee_save_temps=(config.save_convention == "callee"),
-    )
-    result = ProgramAllocation(regfile)
-    for code in program.codes:
-        _allocate_code(code, config, result)
-    return result
-
-
-def _allocate_code(
-    code: CodeObject, config: CompilerConfig, result: ProgramAllocation
-) -> None:
-    times = result.pass_times
-
-    t0 = time.perf_counter()
-    alloc = analyze_code(code, result.regfile)
-    times["liveness"] += time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    analysis = SaveAnalysis(alloc)
-    analysis.analyze()
-    if config.branch_prediction == "static-calls":
-        _annotate_predictions(code, analysis)
-    place_saves(alloc, analysis, config)
-    times["save-placement"] += time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    place_restores(alloc, config)
-    times["restore-placement"] += time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    for node in walk(code.body):
-        if isinstance(node, Call):
-            node.shuffle_plan = plan_shuffle(node, alloc, config.shuffle_strategy)
-    times["shuffle"] += time.perf_counter() - t0
-
-    result.by_code[code.uid] = alloc
-    result.analyses[code.uid] = analysis
-
-
-def _annotate_predictions(code: CodeObject, analysis: SaveAnalysis) -> None:
-    """The §6 static branch-prediction heuristic: "paths without calls
-    are assumed to be more likely than paths with calls" — predict the
-    branch that can complete without calling."""
-    from repro.core.shuffle import contains_call
-
-    for node in walk(code.body):
-        if not isinstance(node, If):
-            continue
-        then_calls = contains_call(node.then)
-        else_calls = contains_call(node.otherwise)
-        if then_calls and not else_calls:
-            node.prediction = "else"
-        elif else_calls and not then_calls:
-            node.prediction = "then"
+__all__ = ["ProgramAllocation", "allocate_program"]

@@ -87,13 +87,41 @@ class CodeAllocation:
 
 
 def analyze_code(code: CodeObject, regfile: RegisterFile) -> CodeAllocation:
-    """Run liveness + location assignment over one code object."""
+    """Run liveness + location assignment over one code object.
+
+    This is the paper's allocator in one call: liveness, then the
+    scope-driven first-free binding assignment.  The allocator-strategy
+    driver (``repro.alloc``) composes the pieces itself —
+    :func:`analyze_liveness`, a strategy's binding assignment, then
+    :func:`collect_register_vars`."""
+    alloc = analyze_liveness(code, regfile)
+    assign_bindings(alloc)
+    collect_register_vars(alloc)
+    return alloc
+
+
+def analyze_liveness(code: CodeObject, regfile: RegisterFile) -> CodeAllocation:
+    """Pass 0a: parameter placement (fixed by the calling convention)
+    plus backward liveness.  Let/fix-bound variables have no locations
+    yet; a binding-assignment strategy supplies them."""
     alloc = CodeAllocation(code, regfile)
     _assign_params(alloc)
     _live(code.body, frozenset([alloc.ret_var]), alloc)
-    _assign_bindings(code.body, alloc)
-    _collect_register_vars(alloc)
     return alloc
+
+
+def assign_bindings(alloc: CodeAllocation) -> None:
+    """Pass 0b, the paper's strategy: walk binding forms outside-in and
+    give each variable the first register free of every variable live
+    during its scope (temporaries first, then idle argument registers),
+    else a spill slot."""
+    _assign_bindings(alloc.code.body, alloc)
+
+
+def collect_register_vars(alloc: CodeAllocation) -> None:
+    """Pass 0c: record the register-resident variables (including the
+    ``ret``/``cp`` pseudo-variables) that the save machinery tracks."""
+    _collect_register_vars(alloc)
 
 
 def _assign_params(alloc: CodeAllocation) -> None:
@@ -328,6 +356,13 @@ def _assign_variable(
         return chosen
     var.location = alloc.layout.alloc(f"spill:{var.name}")
     return var.location
+
+
+# Shared with the allocator-strategy model builder (repro.alloc.model),
+# which must stage operand reads exactly the way liveness (and the code
+# generator) do.
+referenced_vars = _referenced_vars
+split_prim_operands = _split_prim_operands
 
 
 def _collect_register_vars(alloc: CodeAllocation) -> None:

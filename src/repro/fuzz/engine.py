@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.config import CompilerConfig, full_matrix
+from repro.config import CompilerConfig, allocator_matrix, full_matrix
 from repro.fuzz.corpus import CorpusEntry, save_entry
 from repro.fuzz.genprog import GenConfig, ProgramGenerator
 from repro.fuzz.oracle import InvalidProgram, check_program
@@ -101,9 +101,15 @@ class _IterationResult:
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_worker(seed: int, gen_config: Optional[GenConfig]) -> None:
+def _init_worker(
+    seed: int,
+    gen_config: Optional[GenConfig],
+    allocator: Optional[str] = None,
+) -> None:
     _WORKER_STATE["generator"] = ProgramGenerator(seed, gen_config)
-    _WORKER_STATE["configs"] = full_matrix()
+    _WORKER_STATE["configs"] = (
+        allocator_matrix(allocator) if allocator else full_matrix()
+    )
 
 
 def _check_iteration(iteration: int) -> _IterationResult:
@@ -134,6 +140,7 @@ def run_fuzz(
     gen_config: Optional[GenConfig] = None,
     on_progress: Optional[Callable[[int, FuzzReport], None]] = None,
     flight_dir: Optional[str] = None,
+    allocator: Optional[str] = None,
 ) -> FuzzReport:
     """Run the fuzzing loop.
 
@@ -142,7 +149,10 @@ def run_fuzz(
     is called after each completed iteration with ``(done, report)``.
     ``flight_dir`` enables flight-recorder dumps: each failure (oracle
     divergence or worker crash) writes the recent iteration timeline
-    plus the failing program as a JSON artifact there.
+    plus the failing program as a JSON artifact there.  ``allocator``
+    restricts the configuration matrix to one binding strategy
+    (:func:`repro.config.allocator_matrix`); the default checks the
+    full matrix, which sweeps every strategy.
     """
     start = time.monotonic()
     report = FuzzReport(seed=seed)
@@ -210,14 +220,21 @@ def run_fuzz(
             on_progress(report.iterations, report)
 
     if jobs <= 1:
-        _init_worker(seed, gen_config)
+        _init_worker(seed, gen_config, allocator)
         for i in range(iterations):
             if out_of_time():
                 break
             absorb(_check_iteration(i))
     else:
         _run_pooled(
-            seed, iterations, jobs, gen_config, absorb, out_of_time, flight_dir
+            seed,
+            iterations,
+            jobs,
+            gen_config,
+            absorb,
+            out_of_time,
+            flight_dir,
+            allocator,
         )
 
     report.failures.sort(key=lambda f: f.iteration)
@@ -233,6 +250,7 @@ def _run_pooled(
     absorb: Callable[[_IterationResult], None],
     out_of_time: Callable[[], bool],
     flight_dir: Optional[str] = None,
+    allocator: Optional[str] = None,
 ) -> None:
     """Distribute iterations over the serve worker pool.
 
@@ -249,7 +267,12 @@ def _run_pooled(
         for i in range(iterations):
             task_id = pool.submit(
                 "fuzz",
-                {"seed": seed, "gen_config": gen_config, "iteration": i},
+                {
+                    "seed": seed,
+                    "gen_config": gen_config,
+                    "iteration": i,
+                    "allocator": allocator,
+                },
             )
             iteration_of[task_id] = i
         buffered: Dict[int, Optional[_IterationResult]] = {}

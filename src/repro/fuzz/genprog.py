@@ -18,6 +18,9 @@ stresses:
   the parameters* — bare register-to-register moves that force shuffle
   cycles (§2.3, §3.1),
 * deep non-tail operator nests (save/restore chains, §2.1–2.2),
+* high register pressure: more simultaneously-live temporaries than any
+  configuration has registers, all used after an embedded call (spill
+  paths in every allocator strategy, wide save sets),
 * ``call/cc`` escapes (the stack-copying continuation path),
 * arities above ``num_arg_regs`` so operands spill to outgoing stack
   slots (§3's calling convention).
@@ -57,6 +60,7 @@ class GenConfig:
         ("call-helper", 5),
         ("call-permuted", 5),
         ("deep-nest", 3),
+        ("pressure", 4),
         ("callcc", 2),
         ("begin", 1),
         ("setbang", 1),
@@ -210,6 +214,8 @@ class ProgramGenerator:
             # Deep non-tail chains: every inner call's live values must be
             # saved across the outer ones.
             return f"(+ (+ {sub()} {sub()}) (- {sub()} {sub()}))"
+        if shape == "pressure":
+            return self._pressure(rng, depth, scope, helpers, self_helper)
         if shape == "callcc":
             k = f"k{rng.randint(0, 99)}"
             val = sub()
@@ -230,6 +236,46 @@ class ProgramGenerator:
         if shape == "display":
             return f"(begin (display {sub()}) {sub()})"
         raise AssertionError(f"unknown shape {shape}")  # pragma: no cover
+
+    def _pressure(
+        self,
+        rng: random.Random,
+        depth: int,
+        scope: List[str],
+        helpers: List[_Helper],
+        self_helper: Optional[_Helper],
+    ) -> str:
+        """The register-pressure shape: bind more simultaneous
+        temporaries than any configuration has registers (the sweep
+        bottoms out at c=0, l=0), then use *every one of them after* an
+        embedded call.  All the temporaries' live ranges overlap each
+        other and cross the call, so allocators must exercise their
+        spill paths (linear scan's second chance, graph coloring's
+        iterated spill rounds) and the save machinery must carry a wide
+        live set across the call."""
+        n = rng.randint(4, 9)
+        temps: List[str] = []
+        while len(temps) < n:
+            var = f"q{rng.randint(0, 99)}"
+            if var not in scope and var not in temps:
+                temps.append(var)
+        # The expression every temporary must survive: a helper call
+        # when one is available, else a nested arithmetic chain.
+        middle = self._helper_call(rng, depth, scope, helpers, self_helper)
+        if middle is None:
+            middle = self._gen_expr(rng, 1, scope, helpers, self_helper)
+        # Uses after the call, one per temporary, alternating ops so the
+        # chain never collapses to something a simplifier could narrow.
+        body = middle
+        for i, var in enumerate(temps):
+            op = "+" if i % 2 == 0 else "-"
+            body = f"({op} {var} {body})"
+        for var in reversed(temps):
+            rhs = self._leaf(rng, scope)
+            if rng.random() < 0.3:
+                rhs = f"(+ {rhs} {self._leaf(rng, scope)})"
+            body = f"(let (({var} {rhs})) {body})"
+        return body
 
     def _leaf(self, rng: random.Random, scope: List[str]) -> str:
         value_params = [v for v in scope if v != _FUEL]

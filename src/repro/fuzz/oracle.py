@@ -72,6 +72,8 @@ class Divergence:
             f"shuffle={cfg['shuffle_strategy']} conv={cfg['save_convention']} "
             f"c={cfg['num_arg_regs']} l={cfg['num_temp_regs']}"
         )
+        if "allocator" in cfg:
+            point += f" alloc={cfg['allocator']}"
         return f"{self.kind} at [{point}]: expected {self.expected!r}, got {self.got!r}"
 
     def as_dict(self) -> Dict[str, object]:
@@ -226,11 +228,16 @@ def check_program(
                 "lazy",
                 "late",
             ):
+                # The bound only holds between points that differ in
+                # nothing but the save strategy — in particular the
+                # binding allocator must match, since different register
+                # assignments legitimately change the save counts.
                 point = (
                     cfg["restore_strategy"],
                     cfg["shuffle_strategy"],
                     cfg["num_arg_regs"],
                     cfg["num_temp_regs"],
+                    cfg.get("allocator", "lazy"),
                 )
                 saves_by_point.setdefault(point, {})[cfg["save_strategy"]] = (
                     run.counters.saves
@@ -255,6 +262,7 @@ def check_program(
                     shuffle_strategy=point[1],
                     num_arg_regs=point[2],
                     num_temp_regs=point[3],
+                    allocator=point[4],
                 )
                 result.divergences.append(
                     Divergence(

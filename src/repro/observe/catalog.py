@@ -80,6 +80,14 @@ CATALOG: Tuple[Tuple[str, str, Tuple[str, ...], Optional[Sequence[float]], str],
                    "shuffle-code distribution)."),
     ("repro_shuffle_cycles", "counter", (),
      None, "Shuffle plans that contained a register cycle."),
+    # -- allocator strategies (repro.alloc.driver) ---------------------
+    ("repro_alloc_spills", "counter", (),
+     None, "Binding variables the allocator sent to frame slots."),
+    ("repro_alloc_moves", "counter", (),
+     None, "Shuffle moves planned across all call sites of a compile."),
+    ("repro_alloc_strategy_seconds", "histogram", ("strategy",),
+     LATENCY_BUCKETS, "Wall-clock seconds per program spent in register "
+                      "allocation, by strategy (lazy/linearscan/graphcolor)."),
 )
 
 _BY_NAME = {entry[0]: entry for entry in CATALOG}

@@ -16,7 +16,7 @@ from typing import Any, Dict, Optional
 from repro.astnodes import Expr, Program, copy_expr, count_nodes
 from repro.backend.codegen import CompiledProgram, generate_program
 from repro.config import CompilerConfig
-from repro.core.allocator import ProgramAllocation, allocate_program
+from repro.alloc import ProgramAllocation, allocate_program
 from repro.frontend.analyze import check_scopes, mark_tail_calls
 from repro.frontend.assignconvert import assignment_convert
 from repro.frontend.closure import closure_convert

@@ -1,0 +1,307 @@
+"""The pluggable allocator arena: registry, shared model, rivals.
+
+Three layers of coverage:
+
+* the strategy registry (lookup, diagnostics, registration guards);
+* the shared :mod:`repro.alloc.model` every rival consumes (interval
+  sanity, the :func:`verify_assignment` cross-check);
+* end-to-end differential runs — every registered strategy must compute
+  the same values as the paper's lazy allocator at every register-file
+  size, because strategies only choose *where* bindings live, never
+  *what* the program means.
+"""
+
+import pytest
+
+from repro.alloc import (
+    available_strategies,
+    build_model,
+    get_strategy,
+    register_strategy,
+)
+from repro.alloc.base import AllocatorStrategy
+from repro.alloc.model import AllocationModel, BindingSite, verify_assignment
+from repro.astnodes import Var
+from repro.config import ALLOCATOR_STRATEGIES, CompilerConfig
+from repro.core.registers import Register
+from repro.errors import CompilerError
+from repro.pipeline import compile_source, run_compiled
+from repro.sexp.writer import write_datum
+
+# Deep expression with many simultaneously-live temporaries spanning
+# calls: small register files force every strategy to make real
+# spill/placement decisions.
+PRESSURE = """
+(define (mix a b c d e n)
+  (let ((p (+ a b))
+        (q (+ c d))
+        (r (+ e a))
+        (s (- b c)))
+    (if (< n 1)
+        (+ p (+ q (+ r s)))
+        (let ((t (mix b c d e a (- n 1)))
+              (u (mix c d e a b (- n 1))))
+          (+ (* p t) (+ (* q u) (+ (* r t) (* s u))))))))
+(mix 6 5 4 3 2 5)
+"""
+
+FIB = """
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(fib 12)
+"""
+
+REG_POINTS = [(6, 6), (4, 2), (2, 1), (1, 0), (0, 0)]
+
+
+def run_value(source, **overrides):
+    config = CompilerConfig(**overrides)
+    compiled = compile_source(source, config)
+    result = run_compiled(compiled)
+    return write_datum(result.value), result.output, compiled
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_registry_matches_config_constant(self):
+        assert set(available_strategies()) == set(ALLOCATOR_STRATEGIES)
+
+    def test_lookup_resolves_every_name(self):
+        for name in ALLOCATOR_STRATEGIES:
+            strategy = get_strategy(name)
+            assert strategy.name == name
+            assert isinstance(strategy, AllocatorStrategy)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(CompilerError, match="unknown allocator"):
+            get_strategy("bestfit")
+        try:
+            get_strategy("bestfit")
+        except CompilerError as exc:
+            for name in ALLOCATOR_STRATEGIES:
+                assert name in str(exc)
+
+    def test_anonymous_strategy_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_strategy
+            class Nameless(AllocatorStrategy):  # noqa: F841
+                def assign(self, alloc, model, config):
+                    raise NotImplementedError
+
+    def test_lazy_is_the_default_and_skips_the_model(self):
+        lazy = get_strategy("lazy")
+        assert ALLOCATOR_STRATEGIES[0] == "lazy"
+        assert lazy.needs_model is False
+        for rival in ALLOCATOR_STRATEGIES[1:]:
+            assert get_strategy(rival).needs_model is True
+            assert get_strategy(rival).verify is True
+
+
+# ---------------------------------------------------------------------------
+# Shared model
+# ---------------------------------------------------------------------------
+
+
+class TestModel:
+    def _models(self, source, **overrides):
+        # The model is built from the liveness-annotated tree *before*
+        # save placement rewrites it, so run only the front half of the
+        # pipeline here and stop after liveness + assignment.
+        from repro.core.liveness import analyze_liveness, assign_bindings
+        from repro.core.registers import RegisterFile
+        from repro.frontend.analyze import check_scopes, mark_tail_calls
+        from repro.frontend.assignconvert import assignment_convert
+        from repro.frontend.closure import closure_convert
+        from repro.frontend.expand import expand_program
+        from repro.sexp.reader import read_all
+
+        config = CompilerConfig(**overrides)
+        expr = assignment_convert(expand_program(read_all(source)))
+        mark_tail_calls(expr)
+        check_scopes(expr)
+        program = closure_convert(expr)
+        regfile = RegisterFile(config.num_arg_regs, config.num_temp_regs)
+        for code in program.codes:
+            alloc = analyze_liveness(code, regfile)
+            assign_bindings(alloc)
+            yield alloc, build_model(alloc)
+
+    def test_sites_cover_every_binding_candidate(self):
+        compiled = compile_source(PRESSURE, CompilerConfig(), prelude=False)
+        total = sum(len(m.sites) for _, m in self._models(PRESSURE))
+        assert total > 0
+        assert total == compiled.allocation.stats.candidates
+
+    def test_intervals_are_well_formed(self):
+        for alloc, model in self._models(PRESSURE):
+            positions = set()
+            for site in model.sites:
+                assert 1 <= site.start <= site.end <= model.length
+                assert site.refs >= 0
+                assert site.var in site.group
+                positions.add(site.start)
+            # Fix siblings share a binding position; let sites do not.
+            assert len(positions) <= len(model.sites)
+
+    def test_overlap_subsumes_busy_interference(self):
+        # Any pair the busy sets call interfering must also overlap as
+        # intervals — the soundness condition linear scan relies on.
+        for alloc, model in self._models(PRESSURE):
+            by_var = {s.var: s for s in model.sites}
+            for site in model.sites:
+                for other in site.busy:
+                    rival = by_var.get(other)
+                    if rival is None:
+                        continue
+                    assert (
+                        site.start <= rival.end and rival.start <= site.end
+                    ), f"busy pair {site.var}/{other} has disjoint intervals"
+
+    def test_verify_assignment_catches_busy_sharing(self):
+        a, b = Var("a"), Var("b")
+        reg = Register("t0", 0, "temp")
+        a.location = reg
+        b.location = reg
+        site = BindingSite(
+            var=a, busy=frozenset([b]), group=(a,), start=1, end=3, refs=1
+        )
+        model = AllocationModel(
+            sites=[site], param_end={}, affinity={}, length=4
+        )
+        with pytest.raises(CompilerError, match="share"):
+            verify_assignment(model)
+
+    def test_verify_assignment_catches_unplaced_variable(self):
+        a = Var("a")
+        site = BindingSite(
+            var=a, busy=frozenset(), group=(a,), start=1, end=1, refs=0
+        )
+        model = AllocationModel(
+            sites=[site], param_end={}, affinity={}, length=2
+        )
+        with pytest.raises(CompilerError, match="never placed"):
+            verify_assignment(model)
+
+    def test_verify_assignment_catches_fix_sibling_sharing(self):
+        a, b = Var("f"), Var("g")
+        reg = Register("t1", 1, "temp")
+        a.location = reg
+        b.location = reg
+        group = (a, b)
+        sites = [
+            BindingSite(
+                var=v, busy=frozenset(), group=group, start=1, end=5, refs=2
+            )
+            for v in group
+        ]
+        model = AllocationModel(
+            sites=sites, param_end={}, affinity={}, length=6
+        )
+        with pytest.raises(CompilerError, match="siblings"):
+            verify_assignment(model)
+
+
+# ---------------------------------------------------------------------------
+# Strategies, end to end
+# ---------------------------------------------------------------------------
+
+
+class TestStrategiesEndToEnd:
+    @pytest.mark.parametrize("allocator", ALLOCATOR_STRATEGIES)
+    @pytest.mark.parametrize("arg_regs,temp_regs", REG_POINTS)
+    def test_same_value_as_lazy_everywhere(self, allocator, arg_regs, temp_regs):
+        want, want_out, _ = run_value(
+            PRESSURE, num_arg_regs=arg_regs, num_temp_regs=temp_regs
+        )
+        got, got_out, _ = run_value(
+            PRESSURE,
+            allocator=allocator,
+            num_arg_regs=arg_regs,
+            num_temp_regs=temp_regs,
+        )
+        assert (got, got_out) == (want, want_out)
+
+    @pytest.mark.parametrize("allocator", ALLOCATOR_STRATEGIES)
+    def test_fib_agrees(self, allocator):
+        want, _, _ = run_value(FIB)
+        got, _, _ = run_value(FIB, allocator=allocator, num_arg_regs=2,
+                              num_temp_regs=1)
+        assert got == want
+
+    @pytest.mark.parametrize("allocator", ALLOCATOR_STRATEGIES)
+    def test_stats_account_for_every_candidate(self, allocator):
+        _, _, compiled = run_value(
+            PRESSURE, allocator=allocator, num_arg_regs=2, num_temp_regs=1
+        )
+        stats = compiled.allocation.stats
+        assert stats.candidates == stats.assigned + stats.spilled
+        assert compiled.allocation.strategy == allocator
+
+    def test_rivals_spill_under_pressure(self):
+        for allocator in ALLOCATOR_STRATEGIES[1:]:
+            _, _, compiled = run_value(
+                PRESSURE, allocator=allocator, num_arg_regs=1, num_temp_regs=1
+            )
+            assert compiled.allocation.stats.spilled > 0
+
+    def test_zero_registers_spills_everything(self):
+        for allocator in ALLOCATOR_STRATEGIES:
+            _, _, compiled = run_value(
+                PRESSURE, allocator=allocator, num_arg_regs=0, num_temp_regs=0
+            )
+            stats = compiled.allocation.stats
+            assert stats.assigned == 0
+            assert stats.spilled == stats.candidates
+
+    def test_pass_times_cover_the_five_phases(self):
+        _, _, compiled = run_value(PRESSURE, allocator="graphcolor")
+        assert sorted(compiled.allocation.pass_times) == [
+            "assign",
+            "liveness",
+            "restore-placement",
+            "save-placement",
+            "shuffle",
+        ]
+
+    def test_graphcolor_biases_moves_no_worse_than_naive_order(self):
+        # Move biasing can only reduce shuffle traffic relative to the
+        # same coloring without affinities; sanity-check the dynamic
+        # move count stays within lazy's at the default machine size.
+        _, _, lazy = run_value(PRESSURE)
+        _, _, gc = run_value(PRESSURE, allocator="graphcolor")
+        lazy_r = run_compiled(lazy)
+        gc_r = run_compiled(gc)
+        assert gc_r.counters.moves <= lazy_r.counters.moves * 2
+
+
+# ---------------------------------------------------------------------------
+# Metrics emission
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_driver_emits_strategy_metrics(self):
+        from repro.observe import REGISTRY
+
+        REGISTRY.enable()
+        REGISTRY.clear()
+        try:
+            run_value(PRESSURE, allocator="linearscan", num_arg_regs=1,
+                      num_temp_regs=1)
+            snap = REGISTRY.snapshot()
+            counters = snap["counters"]
+            assert counters.get("repro_alloc_spills", 0) > 0
+            assert counters.get("repro_alloc_moves", 0) > 0
+            hists = snap["histograms"]
+            assert any(
+                key.startswith("repro_alloc_strategy_seconds")
+                and 'strategy="linearscan"' in key
+                for key in hists
+            )
+        finally:
+            REGISTRY.clear()
+            REGISTRY.enabled = False

@@ -84,6 +84,27 @@ class TestSweepAndRestores:
         assert rows[0]["revised-saves"] < rows[0]["simple-saves"]
 
 
+class TestAllocatorAblation:
+    def test_rows_cover_every_strategy(self):
+        rows = tables.allocator_ablation(["tak"])
+        assert [r["benchmark"] for r in rows] == ["tak", "TOTAL"]
+        for allocator in tables.ALLOCATORS:
+            for row in rows:
+                assert f"{allocator}-cycles" in row
+                assert f"{allocator}-spilled-vars" in row
+        # Every strategy computes the benchmark (run_benchmark validates
+        # the value), and lazy's counters are the paper's numbers.
+        assert rows[0]["lazy-cycles"] > 0
+
+    def test_format(self):
+        text = tables.format_allocator_ablation(
+            tables.allocator_ablation(["tak"])
+        )
+        assert "tak" in text
+        for allocator in tables.ALLOCATORS:
+            assert allocator in text
+
+
 class TestRunner:
     def test_expected_value_cached(self):
         bench = BENCHMARKS["tak"]

@@ -37,6 +37,22 @@ class TestRunFuzz:
         )
         assert seen == [1, 2]
 
+    def test_allocator_restricts_the_config_matrix(self):
+        from repro.config import ALLOCATOR_STRATEGIES, allocator_matrix
+
+        for allocator in ALLOCATOR_STRATEGIES:
+            report = run_fuzz(
+                seed=11, iterations=1, gen_config=SMALL, allocator=allocator
+            )
+            assert report.ok
+            assert report.configs_checked == len(allocator_matrix(allocator))
+
+    def test_full_matrix_covers_every_allocator(self):
+        from repro.config import ALLOCATOR_STRATEGIES, full_matrix
+
+        seen = {cfg.allocator for cfg in full_matrix()}
+        assert seen == set(ALLOCATOR_STRATEGIES)
+
     def test_keep_interesting_persists_corpus(self, tmp_path):
         # Permuted self-calls make broken shuffle cycles common; a short
         # run finds at least one and keeps it.

@@ -68,3 +68,18 @@ class TestShape:
         program = ProgramGenerator(5, config).generate(0)
         assert len(program.helper_arities) == 2
         assert max(program.helper_arities) <= 7
+
+    def test_pressure_shape_appears_and_interprets(self):
+        # The high-register-pressure bias: across a modest sample some
+        # program binds a cluster of q-temps that all stay live across
+        # a call, and those programs still terminate under the
+        # reference interpreter.
+        hits = [
+            i
+            for i in range(40)
+            if "(let ((q" in generate_program(11, i).source
+        ]
+        assert hits, "pressure shape never sampled in 40 programs"
+        for index in hits[:3]:
+            value, _ = interp_reference(generate_program(11, index).source)
+            assert value

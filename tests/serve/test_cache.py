@@ -80,6 +80,7 @@ def test_cache_key_distinguishes_programs():
 # below fails if a field is added without a mutation here, so a new
 # knob can never be silently left out of the cache key.
 FIELD_MUTATIONS = {
+    "allocator": "linearscan",
     "num_arg_regs": 4,
     "num_temp_regs": 3,
     "lambda_lift": True,

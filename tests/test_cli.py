@@ -170,6 +170,22 @@ class TestBenchAndTables:
         names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
         assert "bench" in names and "allocate" in names
 
+    def test_bench_allocator_sweep(self, capsys):
+        assert main(["bench", "tak", "--allocator", "all"]) == 0
+        out = capsys.readouterr().out
+        for allocator in ("lazy", "linearscan", "graphcolor"):
+            assert allocator in out
+
+    def test_bench_allocator_sweep_json(self, capsys):
+        assert main(["bench", "tak", "--allocator", "all", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["allocator"] for r in rows] == [
+            "lazy",
+            "linearscan",
+            "graphcolor",
+        ]
+        assert len({r["value"] for r in rows}) == 1
+
     def test_table2_subset(self, capsys):
         assert main(["table", "2", "--names", "tak"]) == 0
         out = capsys.readouterr().out
@@ -183,3 +199,41 @@ class TestBenchAndTables:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "tak" in out and "boyer" in out
+
+
+class TestAlloc:
+    def test_static_summary(self, tak_file, capsys):
+        assert main(["alloc", tak_file, "--allocator", "linearscan"]) == 0
+        out = capsys.readouterr().out
+        assert "allocator    linearscan" in out
+        assert "candidates" in out
+        assert "pass shuffle" in out
+
+    def test_compare_table(self, tak_file, capsys):
+        assert main(["alloc", tak_file, "--compare"]) == 0
+        out = capsys.readouterr().out
+        for allocator in ("lazy", "linearscan", "graphcolor"):
+            assert allocator in out
+        assert "value: 3" in out
+
+    def test_compare_json(self, tak_file, capsys):
+        assert (
+            main(
+                [
+                    "alloc",
+                    tak_file,
+                    "--compare",
+                    "--json",
+                    "--arg-regs",
+                    "2",
+                    "--temp-regs",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 3
+        assert len({r["value"] for r in rows}) == 1
+        for row in rows:
+            assert row["cycles"] > 0

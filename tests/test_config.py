@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import CompilerConfig, CostModel
+from repro.config import ALLOCATOR_STRATEGIES, CompilerConfig, CostModel
 
 
 class TestPresets:
@@ -63,3 +63,43 @@ class TestValidation:
         CompilerConfig(branch_prediction=None)
         CompilerConfig(branch_prediction="static-calls")
         CompilerConfig(branch_prediction="fallthrough")
+
+
+class TestAllocatorField:
+    def test_default_is_lazy(self):
+        assert CompilerConfig().allocator == "lazy"
+
+    def test_every_registered_strategy_is_accepted(self):
+        for name in ALLOCATOR_STRATEGIES:
+            assert CompilerConfig(allocator=name).allocator == name
+
+    def test_unknown_allocator_one_line_diagnostic(self):
+        with pytest.raises(ValueError) as exc:
+            CompilerConfig(allocator="firstfit")
+        message = str(exc.value)
+        assert "unknown allocator: 'firstfit'" in message
+        assert "\n" not in message
+        for name in ALLOCATOR_STRATEGIES:
+            assert name in message
+
+    def test_fingerprint_differs_per_strategy(self):
+        prints = {
+            CompilerConfig(allocator=name).fingerprint()
+            for name in ALLOCATOR_STRATEGIES
+        }
+        assert len(prints) == len(ALLOCATOR_STRATEGIES)
+
+    def test_round_trip_preserves_allocator(self):
+        cfg = CompilerConfig(allocator="graphcolor", num_arg_regs=2)
+        again = CompilerConfig.from_dict(cfg.as_dict())
+        assert again == cfg
+        assert again.allocator == "graphcolor"
+
+    def test_summary_omits_default_allocator(self):
+        # Golden corpus headers predate the allocator field; the default
+        # must not change their byte content.
+        assert "allocator" not in CompilerConfig().summary()
+        assert (
+            CompilerConfig(allocator="linearscan").summary()["allocator"]
+            == "linearscan"
+        )
