@@ -705,8 +705,42 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.stdio and args.tcp:
+        print("repro: serve: pick one of --stdio / --tcp", file=sys.stderr)
+        return 2
+    if args.tcp:
+        from repro.config import ServeConfig
+        from repro.serve.net import serve_tcp
+
+        try:
+            host, port = ServeConfig.parse_address(args.tcp)
+            serve_config = ServeConfig(
+                host=host,
+                port=port,
+                max_clients=args.max_clients,
+                max_pending_per_tenant=args.max_pending_per_tenant,
+                max_pending_total=args.max_pending,
+                drain_grace_s=args.drain_grace,
+                dedup=not args.no_dedup,
+                cache_shards=args.cache_shards,
+            )
+        except ValueError as exc:
+            print(f"repro: serve: {exc}", file=sys.stderr)
+            return 2
+        return serve_tcp(
+            host=host,
+            port=port,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            disk_cache=not args.memory_cache,
+            serve_config=serve_config,
+            metrics_out=_metrics_out_path(args),
+            flight_dir=args.flight_dir,
+        )
     if not args.stdio:
-        print("repro: serve: only --stdio transport is available", file=sys.stderr)
+        print("repro: serve: give a transport: --stdio or --tcp HOST:PORT",
+              file=sys.stderr)
         return 2
     from repro.serve.stdio import serve_stdio
 
@@ -718,6 +752,82 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics_out=_metrics_out_path(args),
         flight_dir=args.flight_dir,
     )
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.config import ServeConfig
+    from repro.serve.net import loadgen
+
+    if bool(args.connect) == bool(args.spawn):
+        print("repro: loadgen: give exactly one of --connect HOST:PORT / --spawn",
+              file=sys.stderr)
+        return 2
+    address = None
+    if args.connect:
+        try:
+            address = ServeConfig.parse_address(args.connect)
+        except ValueError as exc:
+            print(f"repro: loadgen: {exc}", file=sys.stderr)
+            return 2
+    try:
+        if args.corpus:
+            corpus = loadgen.corpus_from_dir(args.corpus)
+        elif args.requests_file:
+            corpus = loadgen.corpus_from_jsonl(args.requests_file)
+        else:
+            corpus = loadgen.corpus_from_bench(heavy=args.heavy)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro: loadgen: bad corpus: {exc}", file=sys.stderr)
+        return 2
+    report = loadgen.run_loadgen(
+        address=address,
+        corpus=corpus,
+        op="run" if args.run else "compile",
+        concurrency=args.concurrency,
+        duration=args.duration,
+        requests=args.requests,
+        seed=args.seed,
+        duplicate_fraction=args.duplicate_fraction,
+        tenants=tuple(args.tenants.split(",")) if args.tenants else ("default",),
+        timeout=args.timeout,
+        max_instructions=args.max_instructions,
+        spawn=bool(args.spawn),
+        spawn_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        check=args.check,
+        tolerance=args.tolerance,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if args.json or not sys.stdout.isatty():
+        print(json.dumps(report, indent=2))
+    else:
+        latency = report["latency_s"]
+
+        def ms(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value * 1000:.1f}ms"
+
+        print(
+            f"{report['completed']}/{report['requests']} completed, "
+            f"{report['errors']} errors, {report['rejected']} rejected, "
+            f"{report['deduped']} deduped, {report['cached']} cached "
+            f"in {report['elapsed_s']}s "
+            f"({report['throughput_rps']} req/s)"
+        )
+        print(
+            f"latency p50 {ms(latency['p50'])}  p90 {ms(latency['p90'])}  "
+            f"p99 {ms(latency['p99'])}  max {ms(latency['max'])}"
+        )
+    slo = report.get("slo")
+    if slo is not None and not slo["ok"]:
+        for violation in slo["violations"]:
+            print(f"repro: loadgen: SLO violation: {violation}", file=sys.stderr)
+        return 1
+    if report["vuser_failures"]:
+        return 1
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -1100,11 +1210,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="speak the JSON-lines protocol over stdin/stdout",
     )
     p_serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="listen on a TCP socket (port 0 = ephemeral; the bound "
+        "port is announced in the 'listening' event on stdout)",
+    )
+    p_serve.add_argument(
         "--jobs",
         type=int,
         default=1,
         metavar="N",
         help="worker processes (default: 1; requests still run out of process)",
+    )
+    farm = p_serve.add_argument_group("front door limits (--tcp)")
+    farm.add_argument(
+        "--max-clients", type=int, default=128, metavar="N",
+        help="concurrent TCP connections (default: 128)",
+    )
+    farm.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="admitted-but-unresolved requests across all tenants "
+        "(default: 1024)",
+    )
+    farm.add_argument(
+        "--max-pending-per-tenant", type=int, default=128, metavar="N",
+        help="admitted-but-unresolved requests per tenant (default: 128)",
+    )
+    farm.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-drain window for in-flight work on SIGTERM/shutdown "
+        "(default: 10)",
+    )
+    farm.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable single-flight dedup of identical in-flight requests",
+    )
+    farm.add_argument(
+        "--cache-shards", type=int, default=8, metavar="N",
+        help="compile-cache / flight-table shards by key prefix (default: 8)",
     )
     p_serve.add_argument(
         "--cache-dir",
@@ -1121,6 +1265,102 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observe_flags(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="replay a corpus against the TCP daemon and report latency "
+        "percentiles (the SLO gate)",
+    )
+    target = p_load.add_argument_group("target (pick one)")
+    target.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="load an already-running repro serve --tcp daemon",
+    )
+    target.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn an in-process server (cold cache) for the run",
+    )
+    shape = p_load.add_argument_group("load shape")
+    shape.add_argument(
+        "--concurrency", type=int, default=8, metavar="N",
+        help="virtual users, one connection each (default: 8)",
+    )
+    shape.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="run for a wall-clock window instead of a request count",
+    )
+    shape.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="requests per virtual user (default: 10 when no --duration)",
+    )
+    shape.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="schedule seed; same seed + corpus + shape replays the same "
+        "request sequence (default: 0)",
+    )
+    shape.add_argument(
+        "--duplicate-fraction", type=float, default=0.5, metavar="F",
+        help="fraction of picks drawn from the shared hot set — what "
+        "makes single-flight dedup observable (default: 0.5)",
+    )
+    shape.add_argument(
+        "--tenants", metavar="A,B,...",
+        help="comma-separated tenant names, assigned round-robin to "
+        "virtual users (default: one 'default' tenant)",
+    )
+    corpus = p_load.add_argument_group("corpus (default: the benchsuite)")
+    corpus.add_argument(
+        "--corpus", metavar="DIR",
+        help="directory of .sexp programs (e.g. a fuzz corpus)",
+    )
+    corpus.add_argument(
+        "--requests-file", metavar="PATH",
+        help="JSON-lines request file (the repro batch format)",
+    )
+    corpus.add_argument(
+        "--heavy", action="store_true",
+        help="with the benchsuite corpus, include heavy benchmarks",
+    )
+    p_load.add_argument(
+        "--run", action="store_true",
+        help="execute programs instead of compile-only",
+    )
+    p_load.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="--spawn: worker processes for the spawned server (default: 4)",
+    )
+    p_load.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="--spawn: on-disk cache root (default: memory-only cache)",
+    )
+    p_load.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request timeout",
+    )
+    p_load.add_argument(
+        "--max-instructions", type=int, default=None, metavar="N",
+        help="per-request VM instruction budget",
+    )
+    gate = p_load.add_argument_group("SLO gate")
+    gate.add_argument(
+        "--check", metavar="PATH",
+        help="gate the report against committed thresholds "
+        "(BENCH_serve.json); exit 1 on violation",
+    )
+    gate.add_argument(
+        "--tolerance", type=float, default=1.0, metavar="F",
+        help="multiplier applied to latency ceilings from --check, to "
+        "absorb shared-runner noise (default: 1.0)",
+    )
+    p_load.add_argument(
+        "--out", metavar="PATH", help="also write the report JSON to a file"
+    )
+    p_load.add_argument(
+        "--json", action="store_true",
+        help="print the full report JSON (default when not a tty)",
+    )
+    p_load.set_defaults(fn=cmd_loadgen)
 
     p_cache = sub.add_parser("cache", help="inspect or prune the compile cache")
     p_cache.add_argument(

@@ -281,6 +281,71 @@ class ObserveConfig:
         )
 
 
+@dataclass(frozen=True)
+class ServeConfig:
+    """Limits and behaviour of the networked front door
+    (``repro serve --tcp``, :mod:`repro.serve.net`).
+
+    ``max_clients`` bounds concurrent TCP connections; a connection
+    past the bound is greeted with an ``overloaded`` event and closed.
+    ``max_pending_per_tenant`` / ``max_pending_total`` bound
+    admitted-but-unresolved work requests (queued in the pool plus
+    in flight plus single-flight followers); a request past either
+    bound is answered immediately with ``error_kind: "overloaded"``
+    (the 429 of the JSON-lines protocol) instead of queueing without
+    bound.  ``drain_grace_s`` is how long a graceful drain (SIGTERM /
+    ``shutdown``) waits for in-flight work before cancelling what is
+    left.  ``dedup`` enables single-flight deduplication of identical
+    concurrent compiles; ``cache_shards`` splits each worker's compile
+    cache (and the front door's flight table) by key prefix.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_clients: int = 128
+    max_pending_per_tenant: int = 128
+    max_pending_total: int = 1024
+    drain_grace_s: float = 10.0
+    dedup: bool = True
+    cache_shards: int = 8
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ValueError(f"port out of range: {self.port}")
+        if self.max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        if self.max_pending_per_tenant < 1:
+            raise ValueError("max_pending_per_tenant must be >= 1")
+        if self.max_pending_total < 1:
+            raise ValueError("max_pending_total must be >= 1")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain_grace_s must be non-negative")
+        if self.cache_shards < 1:
+            raise ValueError("cache_shards must be >= 1")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return _field_dict(self)
+
+    def with_address(self, host: str, port: int) -> "ServeConfig":
+        return replace(self, host=host, port=port)
+
+    @staticmethod
+    def parse_address(text: str) -> Tuple[str, int]:
+        """``HOST:PORT`` → ``(host, port)``; port 0 asks the kernel for
+        an ephemeral port (the bound port is announced in the
+        ``listening`` event)."""
+        host, sep, port_text = text.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"address must be HOST:PORT, got {text!r}")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(f"bad port in address {text!r}") from None
+        if not (0 <= port <= 65535):
+            raise ValueError(f"port out of range in address {text!r}")
+        return host, port
+
+
 # The paper's register sweep: (c, l) points from "no registers" through
 # the headline six-and-six machine (§4's c ∈ {0, 2, 6} discussion).
 REGISTER_SWEEP: Tuple[Tuple[int, int], ...] = ((0, 0), (2, 1), (6, 6))

@@ -61,6 +61,20 @@ CATALOG: Tuple[Tuple[str, str, Tuple[str, ...], Optional[Sequence[float]], str],
      LATENCY_BUCKETS, "End-to-end seconds per request (queued + run)."),
     ("repro_flight_dumps", "counter", ("reason",),
      None, "Flight-recorder dumps written, by reason."),
+    # -- networked front door (repro.serve.net) ------------------------
+    ("repro_serve_clients", "gauge", (),
+     None, "TCP clients connected to the front door right now."),
+    ("repro_serve_rejects", "counter", ("reason",),
+     None, "Admission-control rejects by reason "
+           "(tenant-queue-full/queue-full/max-clients/draining)."),
+    ("repro_serve_inflight_dedup", "counter", (),
+     None, "Requests answered by joining an identical in-flight compile "
+           "(single-flight followers; each cost zero pool tasks)."),
+    ("repro_serve_tenant_queue_depth", "gauge", ("tenant",),
+     None, "Admitted-but-unresolved front-door requests per tenant."),
+    ("repro_serve_request_seconds", "histogram", ("op",),
+     LATENCY_BUCKETS, "Front-door seconds per request, intake to response "
+                      "write (the loadgen/SLO latency)."),
     # -- VM run distributions (repro.vm.machine) -----------------------
     ("repro_vm_runs", "counter", (),
      None, "Completed VM runs observed by the registry."),

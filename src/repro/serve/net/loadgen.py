@@ -1,0 +1,451 @@
+"""``repro loadgen`` — corpus replay against the TCP front door.
+
+A loadgen run is *N* virtual users, each a closed loop on its own TCP
+connection: pick a program from the corpus, send it, wait for the
+response, repeat — until a duration or per-vuser request budget runs
+out.  Latency is measured client-side (send to response line), so the
+reported percentiles are what a real client of the farm would see,
+queueing included.
+
+Schedules are deterministic: vuser *v* of a run with ``--seed s``
+draws from ``random.Random(f"{s}:{v}")``, so two runs with the same
+seed, corpus, and shape replay the same request sequence
+(:func:`request_indices` is the pure form the tests pin down).  A
+``duplicate_fraction`` of each vuser's picks comes from a small shared
+hot set, which is what makes single-flight dedup observable: on a cold
+cache, concurrent vusers stampede the same hot programs and all but
+one ride the leader's compile.
+
+The report is a JSON document (percentiles, error/reject counts, the
+server's own admission/single-flight/cache stats) and, with
+``--check``, is gated against committed thresholds
+(``BENCH_serve.json``) — the CI SLO gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Corpus entries are ``(name, source)`` pairs.
+Corpus = List[Tuple[str, str]]
+
+#: How many corpus entries form the shared hot set duplicates are
+#: drawn from (capped at the corpus size).
+HOT_SET = 4
+
+_CONNECT_TIMEOUT_S = 30.0
+_RESPONSE_TIMEOUT_S = 120.0
+
+
+# ---------------------------------------------------------------------------
+# Corpora
+# ---------------------------------------------------------------------------
+
+
+def corpus_from_bench(heavy: bool = False) -> Corpus:
+    """Every benchsuite program (the default corpus): real compiler
+    input with real register pressure, not synthetic no-ops."""
+    from repro.benchsuite import BENCHMARKS
+
+    return [
+        (name, bench.source)
+        for name, bench in sorted(BENCHMARKS.items())
+        if heavy or not bench.heavy
+    ]
+
+
+def corpus_from_dir(path: str) -> Corpus:
+    """A directory of ``.sexp`` programs — e.g. a fuzz corpus
+    (:mod:`repro.fuzz.corpus` files parse as-is: the reader treats the
+    ``;;`` header lines as comments)."""
+    root = Path(path)
+    entries = [
+        (p.name, p.read_text())
+        for p in sorted(root.glob("*.sexp"))
+        if p.is_file()
+    ]
+    if not entries:
+        raise ValueError(f"no .sexp programs under {path!r}")
+    return entries
+
+
+def corpus_from_jsonl(path: str) -> Corpus:
+    """A JSON-lines request file (the ``repro batch`` format); only
+    ``source`` (and optional ``id``) are used."""
+    entries: Corpus = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            doc = json.loads(line)
+            entries.append((str(doc.get("id", lineno)), doc["source"]))
+    if not entries:
+        raise ValueError(f"no requests in {path!r}")
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Deterministic schedules
+# ---------------------------------------------------------------------------
+
+
+def _vuser_rng(seed: int, vuser: int) -> random.Random:
+    return random.Random(f"{seed}:{vuser}")
+
+
+def _pick(rng: random.Random, corpus_size: int, duplicate_fraction: float) -> int:
+    hot = min(HOT_SET, corpus_size)
+    if rng.random() < duplicate_fraction:
+        return rng.randrange(hot)
+    return rng.randrange(corpus_size)
+
+
+def request_indices(
+    seed: int,
+    vuser: int,
+    count: int,
+    corpus_size: int,
+    duplicate_fraction: float = 0.5,
+) -> List[int]:
+    """The first *count* corpus indices vuser *vuser* will request —
+    the pure schedule, for determinism tests and offline analysis."""
+    rng = _vuser_rng(seed, vuser)
+    return [_pick(rng, corpus_size, duplicate_fraction) for _ in range(count)]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> Optional[float]:
+    """Exact (nearest-rank) percentile of an ascending sequence."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+# ---------------------------------------------------------------------------
+# The client loop
+# ---------------------------------------------------------------------------
+
+
+class _VUser(threading.Thread):
+    def __init__(
+        self,
+        vuser: int,
+        address: Tuple[str, int],
+        corpus: Corpus,
+        opts: Dict[str, Any],
+        stop_at: Optional[float],
+    ) -> None:
+        super().__init__(name=f"loadgen-vuser-{vuser}", daemon=True)
+        self.vuser = vuser
+        self.address = address
+        self.corpus = corpus
+        self.opts = opts
+        self.stop_at = stop_at
+        self.records: List[Dict[str, Any]] = []
+        self.failure: Optional[str] = None
+
+    def run(self) -> None:
+        try:
+            self._run()
+        except Exception as exc:  # noqa: BLE001 - reported in the summary
+            self.failure = f"{type(exc).__name__}: {exc}"
+
+    def _run(self) -> None:
+        opts = self.opts
+        rng = _vuser_rng(opts["seed"], self.vuser)
+        tenants = opts["tenants"]
+        tenant = tenants[self.vuser % len(tenants)]
+        sock = socket.create_connection(self.address, timeout=_CONNECT_TIMEOUT_S)
+        sock.settimeout(_RESPONSE_TIMEOUT_S)
+        try:
+            reader = sock.makefile("r", encoding="utf-8")
+            banner = json.loads(reader.readline())
+            if banner.get("event") == "overloaded":
+                self.records.append(
+                    {"ok": False, "rejected": True, "reason": banner.get("reason"),
+                     "latency_s": 0.0, "op": opts["op"], "deduped": False,
+                     "cached": False}
+                )
+                return
+            sent = 0
+            while opts["requests"] is None or sent < opts["requests"]:
+                if self.stop_at is not None and time.monotonic() >= self.stop_at:
+                    break
+                index = _pick(rng, len(self.corpus), opts["duplicate_fraction"])
+                name, source = self.corpus[index]
+                request = {
+                    "id": f"{self.vuser}-{sent}",
+                    "op": opts["op"],
+                    "source": source,
+                    "tenant": tenant,
+                }
+                if opts["timeout"] is not None:
+                    request["timeout"] = opts["timeout"]
+                if opts["max_instructions"] is not None:
+                    request["max_instructions"] = opts["max_instructions"]
+                started = time.perf_counter()
+                sock.sendall((json.dumps(request) + "\n").encode())
+                doc = self._next_response(reader)
+                if doc is None:  # server went away (drain) — stop cleanly
+                    break
+                latency = time.perf_counter() - started
+                rejected = doc.get("error_kind") == "overloaded"
+                self.records.append(
+                    {
+                        "ok": bool(doc.get("ok")),
+                        "rejected": rejected,
+                        "reason": doc.get("reason") if rejected else None,
+                        "error_kind": doc.get("error_kind"),
+                        "latency_s": latency,
+                        "op": opts["op"],
+                        "program": name,
+                        "deduped": bool(doc.get("deduped")),
+                        "cached": bool(doc.get("cached")),
+                    }
+                )
+                sent += 1
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _next_response(reader) -> Optional[Dict[str, Any]]:
+        while True:
+            line = reader.readline()
+            if not line:
+                return None
+            doc = json.loads(line)
+            if "event" in doc:
+                if doc["event"] == "bye":
+                    return None
+                continue  # informational event; keep waiting
+            return doc
+
+
+def _server_stats(address: Tuple[str, int]) -> Optional[Dict[str, Any]]:
+    """One control round-trip for the server's own view of the run."""
+    try:
+        with socket.create_connection(address, timeout=_CONNECT_TIMEOUT_S) as sock:
+            sock.settimeout(_CONNECT_TIMEOUT_S)
+            reader = sock.makefile("r", encoding="utf-8")
+            json.loads(reader.readline())  # ready banner
+            sock.sendall(b'{"id": "stats", "op": "stats"}\n')
+            doc = json.loads(reader.readline())
+            return doc.get("stats")
+    except (OSError, ValueError):  # pragma: no cover - server already gone
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The run + report
+# ---------------------------------------------------------------------------
+
+
+def run_loadgen(
+    address: Optional[Tuple[str, int]] = None,
+    corpus: Optional[Corpus] = None,
+    op: str = "compile",
+    concurrency: int = 8,
+    duration: Optional[float] = None,
+    requests: Optional[int] = None,
+    seed: int = 0,
+    duplicate_fraction: float = 0.5,
+    tenants: Sequence[str] = ("default",),
+    timeout: Optional[float] = None,
+    max_instructions: Optional[int] = None,
+    spawn: bool = False,
+    spawn_jobs: int = 4,
+    cache_dir: Optional[str] = None,
+    serve_config=None,
+    check: Optional[str] = None,
+    tolerance: float = 1.0,
+) -> Dict[str, Any]:
+    """Run the load and return the report document.
+
+    Either point it at a live daemon (*address*) or let it *spawn* an
+    in-process :class:`~repro.serve.net.server.BackgroundServer` for
+    the run (the CI and test path — a fresh server with a cold cache,
+    so dedup is exercised, not just the disk tier).  When neither
+    *duration* nor *requests* (per vuser) is given, each vuser sends
+    10 requests.
+    """
+    from repro.config import ServeConfig
+
+    if corpus is None:
+        corpus = corpus_from_bench()
+    if not corpus:
+        raise ValueError("empty corpus")
+    if duration is None and requests is None:
+        requests = 10
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+
+    server = None
+    if spawn:
+        from repro.serve.net.server import BackgroundServer
+
+        server = BackgroundServer(
+            config=serve_config or ServeConfig(),
+            jobs=spawn_jobs,
+            cache_dir=cache_dir,
+            disk_cache=cache_dir is not None,
+        ).start()
+        address = tuple(server.address)
+    elif address is None:
+        raise ValueError("give an address or spawn=True")
+
+    opts = {
+        "op": op,
+        "seed": seed,
+        "requests": requests,
+        "duplicate_fraction": duplicate_fraction,
+        "tenants": tuple(tenants) or ("default",),
+        "timeout": timeout,
+        "max_instructions": max_instructions,
+    }
+    started = time.monotonic()
+    stop_at = started + duration if duration is not None else None
+    vusers = [
+        _VUser(v, address, corpus, opts, stop_at) for v in range(concurrency)
+    ]
+    try:
+        for vuser in vusers:
+            vuser.start()
+        for vuser in vusers:
+            vuser.join()
+        elapsed = time.monotonic() - started
+        stats = _server_stats(address)
+    finally:
+        if server is not None:
+            server.stop()
+
+    records = [r for vuser in vusers for r in vuser.records]
+    failures = [v.failure for v in vusers if v.failure]
+    latencies = sorted(r["latency_s"] for r in records if not r["rejected"])
+    completed = [r for r in records if not r["rejected"]]
+    errors = [r for r in completed if not r["ok"]]
+    rejected = [r for r in records if r["rejected"]]
+    report: Dict[str, Any] = {
+        "kind": "repro-loadgen-report",
+        "params": {
+            "op": op,
+            "concurrency": concurrency,
+            "duration_s": duration,
+            "requests_per_vuser": requests,
+            "seed": seed,
+            "duplicate_fraction": duplicate_fraction,
+            "tenants": list(opts["tenants"]),
+            "corpus_size": len(corpus),
+            "spawned": spawn,
+        },
+        "elapsed_s": round(elapsed, 3),
+        "requests": len(records),
+        "completed": len(completed),
+        "errors": len(errors),
+        "error_rate": (len(errors) / len(completed)) if completed else 0.0,
+        "error_kinds": _count(r.get("error_kind") for r in errors),
+        "rejected": len(rejected),
+        "reject_reasons": _count(r.get("reason") for r in rejected),
+        "deduped": sum(1 for r in completed if r["deduped"]),
+        "cached": sum(1 for r in completed if r["cached"]),
+        "throughput_rps": round(len(completed) / elapsed, 3) if elapsed else 0.0,
+        "latency_s": {
+            "p50": percentile(latencies, 0.50),
+            "p90": percentile(latencies, 0.90),
+            "p99": percentile(latencies, 0.99),
+            "mean": (sum(latencies) / len(latencies)) if latencies else None,
+            "max": latencies[-1] if latencies else None,
+        },
+        "vuser_failures": failures,
+        "server": stats,
+    }
+    if check is not None:
+        report["slo"] = check_slo(report, json.loads(Path(check).read_text()),
+                                  tolerance=tolerance)
+    return report
+
+
+def _count(values) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for value in values:
+        key = str(value)
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The SLO gate
+# ---------------------------------------------------------------------------
+
+
+def check_slo(
+    report: Dict[str, Any],
+    thresholds: Dict[str, Any],
+    tolerance: float = 1.0,
+) -> Dict[str, Any]:
+    """Gate a report against committed thresholds (``BENCH_serve.json``).
+
+    Recognized threshold keys: ``p50_s``/``p90_s``/``p99_s`` (client
+    latency ceilings, scaled by *tolerance* to absorb shared-runner
+    noise), ``max_error_rate``, ``max_rejects``, ``min_dedup_hits``,
+    ``min_requests``.  Returns ``{"ok": bool, "violations": [...]}`` —
+    empty violations means the gate passes.
+    """
+    violations: List[str] = []
+    latency = report.get("latency_s", {})
+    for q in ("p50", "p90", "p99"):
+        ceiling = thresholds.get(f"{q}_s")
+        observed = latency.get(q)
+        if ceiling is None:
+            continue
+        limit = ceiling * tolerance
+        if observed is None:
+            violations.append(f"{q}: no latency samples")
+        elif observed > limit:
+            violations.append(
+                f"{q}: {observed:.4f}s exceeds {ceiling}s * {tolerance} = {limit:.4f}s"
+            )
+    max_error_rate = thresholds.get("max_error_rate")
+    if max_error_rate is not None and report["error_rate"] > max_error_rate:
+        violations.append(
+            f"error_rate: {report['error_rate']:.4f} exceeds {max_error_rate}"
+            f" ({report['errors']} errors: {report['error_kinds']})"
+        )
+    max_rejects = thresholds.get("max_rejects")
+    if max_rejects is not None and report["rejected"] > max_rejects:
+        violations.append(
+            f"rejected: {report['rejected']} exceeds {max_rejects}"
+        )
+    min_dedup = thresholds.get("min_dedup_hits")
+    if min_dedup is not None:
+        # Prefer the server's count (covers every client); fall back to
+        # the responses this run saw marked deduped.
+        server = report.get("server") or {}
+        hits = (
+            server.get("server", {}).get("singleflight", {}).get("dedup_hits")
+            if isinstance(server.get("server"), dict)
+            else None
+        )
+        if hits is None:
+            hits = report.get("deduped", 0)
+        if hits < min_dedup:
+            violations.append(f"dedup_hits: {hits} below {min_dedup}")
+    min_requests = thresholds.get("min_requests")
+    if min_requests is not None and report["completed"] < min_requests:
+        violations.append(
+            f"completed: {report['completed']} below {min_requests}"
+        )
+    if report.get("vuser_failures"):
+        violations.append(f"vuser failures: {report['vuser_failures']}")
+    return {"ok": not violations, "violations": violations,
+            "thresholds": thresholds, "tolerance": tolerance}

@@ -1,0 +1,876 @@
+"""``repro serve --tcp`` — the asyncio JSON-lines TCP front door.
+
+The protocol is the stdio daemon's (:mod:`repro.serve.stdio`) over a
+socket, one JSON document per line, with three front-door additions:
+
+* requests may carry ``"tenant": "name"`` — the admission-control key
+  (default ``"default"``);
+* a request past the tenant or global pending bound is answered
+  immediately with ``{"ok": false, "error_kind": "overloaded",
+  "reason": ...}`` — the protocol's 429; clients should back off and
+  retry (``retry_after_s`` is a hint);
+* follower responses produced by single-flight dedup carry
+  ``"deduped": true`` (and the leader's ``cached`` flag).
+
+Architecture — one event loop, one pool thread::
+
+    client ──┐  asyncio loop (intake, admission, single-flight, responses)
+    client ──┤        │ submit/cancel (command queue)   ▲ results
+    client ──┘        ▼                                 │ (call_soon_threadsafe)
+                 _PoolBridge thread ── owns the WorkerPool (poll/dispatch)
+                      │
+                 worker processes (crash isolation, per-task timeouts)
+
+Every :class:`~repro.serve.pool.WorkerPool` call happens on the bridge
+thread, preserving the pool's single-threaded scheduler invariants;
+the loop talks to it through a command queue and gets results back as
+resolved futures.  Backpressure is layered: per-connection response
+writes await ``drain()`` (a slow reader stalls only its own
+responses), admission bounds what the server will hold, and the pool
+bounds what actually runs.
+
+Graceful drain (SIGTERM, SIGINT, or the ``shutdown`` op): stop
+accepting connections, reject new work with ``reason: "draining"``,
+finish everything in flight (bounded by ``drain_grace_s``, then
+cancel), flush the metrics snapshot, send every client ``{"event":
+"bye"}``, and exit 0.  EOF on the stdio daemon now follows the same
+sequence (see ``stdio._Session.graceful_drain``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import signal
+import socket
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro import __version__
+from repro.config import CompilerConfig, ServeConfig
+from repro.observe.catalog import declare
+from repro.observe.metrics import get_registry, render_openmetrics
+from repro.observe.recorder import get_flight_recorder
+from repro.serve.cache import cache_key
+from repro.serve.net.admission import (
+    REASON_DRAINING,
+    REASON_MAX_CLIENTS,
+    AdmissionController,
+)
+from repro.serve.net.singleflight import FlightTable
+from repro.serve.pool import TaskResult, WorkerPool
+from repro.serve.service import Request, response_from_task
+from repro.serve.stdio import PROTOCOL_VERSION, _METRICS_DUMP_INTERVAL
+
+_CONTROL_OPS = ("ping", "stats", "cancel", "shutdown", "metrics", "health")
+
+#: Longest accepted request line (sources are small; a client that
+#: sends more is broken, not big).
+_LINE_LIMIT = 1 << 20
+
+#: The ``retry_after_s`` hint attached to overloaded rejects.
+_RETRY_AFTER_S = 0.05
+
+
+class _PoolBridge:
+    """The worker pool behind a thread boundary.
+
+    ``submit`` may be called from the event loop; the returned
+    ``asyncio.Future`` resolves (on the loop) with the task's
+    :class:`TaskResult`.  All pool mutation happens on the bridge
+    thread, fed by a command queue, so the pool's scheduler state is
+    never touched concurrently.
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        jobs: int = 1,
+        cache: bool = True,
+        cache_dir: Optional[str] = None,
+        disk_cache: bool = True,
+        cache_shards: int = 1,
+        registry=None,
+        recorder=None,
+        flight_dir: Optional[str] = None,
+    ) -> None:
+        self._loop = loop
+        self.jobs = max(1, jobs)
+        self._pool_kwargs = dict(
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            disk_cache=disk_cache,
+            cache_shards=cache_shards,
+            registry=registry,
+            recorder=recorder,
+            flight_dir=flight_dir,
+        )
+        self._commands: "queue.Queue" = queue.Queue()
+        self._futures: Dict[int, "asyncio.Future"] = {}  # task_id -> future
+        self._task_ids: Dict[int, int] = {}  # id(future) -> task_id
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-pool-bridge", daemon=True
+        )
+        self.flight_dumps: list = []
+
+    def start(self) -> None:
+        self._thread.start()
+        self._started.wait()
+
+    # -- loop-side API --------------------------------------------------
+
+    def submit(
+        self, op: str, payload: Dict[str, Any], timeout: Optional[float]
+    ) -> "asyncio.Future":
+        future = self._loop.create_future()
+        self._commands.put(("submit", op, payload, timeout, future))
+        return future
+
+    def cancel(self, future: "asyncio.Future") -> None:
+        """Best-effort cancel of a submitted task (queued: dropped;
+        running: worker terminated); the future still resolves, with
+        ``error_kind: "cancelled"``."""
+        self._commands.put(("cancel", future))
+
+    def cancel_pending(self) -> None:
+        """Drop every queued-but-unstarted task (drain-grace expiry)."""
+        self._commands.put(("cancel_pending",))
+
+    def stats(self) -> "asyncio.Future":
+        future = self._loop.create_future()
+        self._commands.put(("stats", future))
+        return future
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        self._commands.put(("stop",))
+        self._thread.join(timeout=join_timeout)
+
+    # -- bridge thread --------------------------------------------------
+
+    def _run(self) -> None:
+        with WorkerPool(**self._pool_kwargs) as pool:
+            self._pool = pool
+            self._started.set()
+            stopping = False
+            while True:
+                while True:
+                    try:
+                        command = self._commands.get_nowait()
+                    except queue.Empty:
+                        break
+                    if command[0] == "stop":
+                        stopping = True
+                    else:
+                        self._handle(pool, command)
+                if stopping and not self._futures:
+                    break
+                for result in pool.poll(0.02):
+                    self._deliver(result)
+                if stopping:
+                    # Nothing new arrives after stop; resolve what is
+                    # left (close() would abandon it silently).
+                    pool.cancel_pending()
+            self.flight_dumps.extend(pool.flight_dumps)
+        # Unresolvable futures (pool torn down mid-flight) fail loudly.
+        for future in list(self._futures.values()):
+            self._resolve_threadsafe(
+                future,
+                TaskResult(
+                    -1, "?", ok=False, error_kind="cancelled",
+                    error="server shut down",
+                ),
+            )
+        self._futures.clear()
+
+    def _handle(self, pool: WorkerPool, command) -> None:
+        kind = command[0]
+        if kind == "submit":
+            _, op, payload, timeout, future = command
+            task_id = pool.submit(op, payload, timeout=timeout)
+            self._futures[task_id] = future
+            self._task_ids[id(future)] = task_id
+        elif kind == "cancel":
+            _, future = command
+            task_id = self._task_ids.get(id(future))
+            if task_id is not None:
+                pool.cancel(task_id)
+        elif kind == "cancel_pending":
+            pool.cancel_pending()
+        elif kind == "stats":
+            _, future = command
+            self._resolve_threadsafe(future, pool.stats())
+
+    def _deliver(self, result: TaskResult) -> None:
+        future = self._futures.pop(result.task_id, None)
+        if future is None:
+            return
+        self._task_ids.pop(id(future), None)
+        self._resolve_threadsafe(future, result)
+
+    def _resolve_threadsafe(self, future: "asyncio.Future", value) -> None:
+        def resolve() -> None:
+            if not future.done():
+                future.set_result(value)
+
+        try:
+            self._loop.call_soon_threadsafe(resolve)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+
+class _Connection:
+    """One TCP client: a reader loop plus serialized response writes."""
+
+    def __init__(self, server: "NetServer", reader, writer, conn_id: int) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.conn_id = conn_id
+        self.peer = writer.get_extra_info("peername")
+        self.tasks: Set["asyncio.Task"] = set()
+        self.task_of_id: Dict[Any, "asyncio.Task"] = {}
+        self._write_lock = asyncio.Lock()
+        self.alive = True
+
+    async def send(self, doc: Dict[str, Any]) -> None:
+        if not self.alive:
+            return
+        data = (json.dumps(doc) + "\n").encode()
+        try:
+            async with self._write_lock:
+                self.writer.write(data)
+                # Backpressure: a slow reader stalls this connection's
+                # responses (and only this connection's).
+                await self.writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            self.alive = False
+
+    async def run(self) -> None:
+        await self.send(
+            {
+                "event": "ready",
+                "protocol": PROTOCOL_VERSION,
+                "version": __version__,
+                "transport": "tcp",
+                "jobs": self.server.bridge.jobs,
+                "dedup": self.server.config.dedup,
+            }
+        )
+        while True:
+            try:
+                line = await self.reader.readline()
+            except (ConnectionError, OSError, ValueError):
+                # ValueError: line past the limit — a broken client.
+                break
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if text:
+                await self.server.dispatch(self, text)
+        self.alive = False
+        # The client is gone: release what it was waiting on.  Leader
+        # pool tasks are server-owned and keep running (the result
+        # still warms the cache and resolves any followers).
+        for task in list(self.tasks):
+            task.cancel()
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.writer.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+
+
+class NetServer:
+    """The multi-client TCP compile server (see module docstring)."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        jobs: int = 1,
+        cache: bool = True,
+        cache_dir: Optional[str] = None,
+        disk_cache: bool = True,
+        registry=None,
+        recorder=None,
+        metrics_out: Optional[str] = None,
+        flight_dir: Optional[str] = None,
+        announce: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None else get_registry()
+        self.registry.enable()
+        self.recorder = recorder if recorder is not None else get_flight_recorder()
+        self.metrics_out = metrics_out
+        self.flight_dir = flight_dir
+        self.announce = announce or (lambda doc: None)
+        self.admission = AdmissionController(
+            max_pending_per_tenant=self.config.max_pending_per_tenant,
+            max_pending_total=self.config.max_pending_total,
+            registry=self.registry,
+        )
+        self.flights = FlightTable(shards=self.config.cache_shards)
+        self._jobs = jobs
+        self._cache = cache
+        self._cache_dir = cache_dir
+        self._disk_cache = disk_cache
+        self.clients: Set[_Connection] = set()
+        self.clients_peak = 0
+        self._next_conn_id = 0
+        self._outstanding: Set["asyncio.Task"] = set()
+        self._lead_tasks: Set["asyncio.Task"] = set()
+        self._draining = False
+        self._drain_started = False
+        self._drained = None  # asyncio.Event, created in start()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_task: Optional["asyncio.Task"] = None
+        self.started_at = time.monotonic()
+        self.requests = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._drained = asyncio.Event()
+        self.bridge = _PoolBridge(
+            loop,
+            jobs=self._jobs,
+            cache=self._cache,
+            cache_dir=self._cache_dir,
+            disk_cache=self._disk_cache,
+            cache_shards=self.config.cache_shards,
+            registry=self.registry,
+            recorder=self.recorder,
+            flight_dir=self.flight_dir,
+        )
+        self.bridge.start()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=_LINE_LIMIT,
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        if self.metrics_out:
+            self._metrics_task = asyncio.ensure_future(self._metrics_loop())
+        self.recorder.record(
+            "net.listening", host=self.address[0], port=self.address[1]
+        )
+        self.announce(
+            {
+                "event": "listening",
+                "host": self.address[0],
+                "port": self.address[1],
+                "jobs": self.bridge.jobs,
+                "pid": __import__("os").getpid(),
+                "limits": self.config.as_dict(),
+            }
+        )
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain.  Only possible on the main
+        thread (the background harness drains explicitly instead)."""
+        if threading.current_thread() is not threading.main_thread():
+            return
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig,
+                    lambda s=sig: asyncio.ensure_future(
+                        self.drain(reason=f"signal-{s.name}")
+                    ),
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                return
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def drain(self, reason: str = "shutdown") -> None:
+        """Stop accepting, finish in flight, flush metrics, say bye."""
+        if self._drain_started:
+            return
+        self._drain_started = True
+        self._draining = True
+        self.recorder.record("net.draining", reason=reason)
+        self.announce({"event": "draining", "reason": reason})
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Finish what was admitted, bounded by the grace window; after
+        # it, queued tasks are cancelled and we wait (briefly) for the
+        # cancellations to resolve so every response is still written.
+        if not await self._await_outstanding(self.config.drain_grace_s):
+            self.bridge.cancel_pending()
+            if not await self._await_outstanding(5.0):
+                # A handler can outlive even the cancellations when its
+                # client stopped reading; cut it loose rather than hang
+                # the drain on a dead peer.
+                for task in list(self._outstanding):
+                    task.cancel()
+                await self._await_outstanding(2.0)
+        for task in list(self._lead_tasks):
+            task.cancel()
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+        self._dump_metrics()
+        for conn in list(self.clients):
+            await conn.send({"event": "bye"})
+            conn.close()
+        self.bridge.stop()
+        self.announce({"event": "bye"})
+        self._drained.set()
+
+    async def _await_outstanding(self, grace: float) -> bool:
+        deadline = time.monotonic() + grace
+        while self._outstanding:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            await asyncio.wait(
+                list(self._outstanding),
+                timeout=remaining,
+                return_when=asyncio.ALL_COMPLETED,
+            )
+        return True
+
+    async def _metrics_loop(self) -> None:
+        while True:
+            await asyncio.sleep(_METRICS_DUMP_INTERVAL)
+            self._dump_metrics()
+
+    def _dump_metrics(self) -> None:
+        if self.metrics_out:
+            try:
+                self.registry.dump(self.metrics_out)
+            except OSError:  # pragma: no cover - unwritable path
+                pass
+
+    # -- connections ----------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        if self._draining or len(self.clients) >= self.config.max_clients:
+            reason = (
+                REASON_DRAINING if self._draining else REASON_MAX_CLIENTS
+            )
+            self.admission.count_reject(reason)
+            try:
+                writer.write(
+                    (json.dumps({"event": "overloaded", "reason": reason}) + "\n").encode()
+                )
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            return
+        conn = _Connection(self, reader, writer, self._next_conn_id)
+        self._next_conn_id += 1
+        self.clients.add(conn)
+        self.clients_peak = max(self.clients_peak, len(self.clients))
+        self._gauge_clients()
+        self.recorder.record("net.connect", conn=conn.conn_id, peer=str(conn.peer))
+        try:
+            await conn.run()
+        finally:
+            self.clients.discard(conn)
+            self._gauge_clients()
+            conn.close()
+            self.recorder.record("net.disconnect", conn=conn.conn_id)
+
+    def _gauge_clients(self) -> None:
+        if self.registry.enabled:
+            declare(self.registry, "repro_serve_clients").set(len(self.clients))
+
+    # -- request dispatch ----------------------------------------------
+
+    async def dispatch(self, conn: _Connection, line: str) -> None:
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            await self._protocol_error(conn, None, "?", f"unparseable request: {exc}")
+            return
+        op = doc.get("op")
+        if op in _CONTROL_OPS:
+            await self._handle_control(conn, doc)
+            return
+        try:
+            request = Request.from_dict(doc)
+        except (KeyError, ValueError, TypeError) as exc:
+            await self._protocol_error(
+                conn, doc.get("id"), str(op or "?"), f"bad request: {exc}"
+            )
+            return
+        tenant = str(doc.get("tenant", "default"))
+        if self._draining:
+            self.admission.count_reject(REASON_DRAINING)
+            await conn.send(self._overloaded(request, REASON_DRAINING))
+            return
+        reason = self.admission.try_admit(tenant)
+        if reason is not None:
+            self.recorder.record(
+                "net.reject", id=request.id, tenant=tenant, reason=reason
+            )
+            await conn.send(self._overloaded(request, reason))
+            return
+        task = asyncio.ensure_future(self._handle_work(conn, request, tenant))
+        self._outstanding.add(task)
+        conn.tasks.add(task)
+        if request.id is not None:
+            conn.task_of_id[request.id] = task
+
+        def cleanup(t: "asyncio.Task") -> None:
+            self._outstanding.discard(t)
+            conn.tasks.discard(t)
+            if request.id is not None and conn.task_of_id.get(request.id) is t:
+                del conn.task_of_id[request.id]
+
+        task.add_done_callback(cleanup)
+
+    @staticmethod
+    def _overloaded(request: Request, reason: str) -> Dict[str, Any]:
+        return {
+            "id": request.id,
+            "op": request.op,
+            "ok": False,
+            "error_kind": "overloaded",
+            "reason": reason,
+            "retry_after_s": _RETRY_AFTER_S,
+        }
+
+    async def _protocol_error(
+        self, conn: _Connection, rid, op: str, message: str
+    ) -> None:
+        self.recorder.record("net.protocol-error", id=rid, op=op, error=message)
+        if self.registry.enabled:
+            declare(self.registry, "repro_requests").labels(
+                op=op, status="protocol"
+            ).inc()
+        await conn.send(
+            {"id": rid, "ok": False, "error_kind": "protocol", "error": message}
+        )
+
+    # -- work requests --------------------------------------------------
+
+    def _flight_key(self, request: Request) -> Optional[str]:
+        """The single-flight identity of a request: the compile-cache
+        key (canonical source + config fingerprint + version) extended
+        with the op and budget, which also determine the answer.  None
+        when the source cannot even be canonicalized — those requests
+        go straight to a worker, which classifies the error properly."""
+        if not self.config.dedup:
+            return None
+        try:
+            key = cache_key(
+                request.source,
+                request.config or CompilerConfig(),
+                request.prelude,
+            )
+        except Exception:  # noqa: BLE001 - unparseable/odd source: no dedup
+            return None
+        return f"{key}:{request.op}:{request.max_instructions}"
+
+    async def _lead(self, flight_key: str, pool_future: "asyncio.Future") -> None:
+        """Server-owned leader body: resolve the flight when the pool
+        does.  Owned by the server, not the leader's connection, so a
+        leader disconnect can never strand the followers."""
+        try:
+            result = await pool_future
+        except asyncio.CancelledError:
+            self.flights.abort(flight_key, ConnectionError("server draining"))
+            raise
+        except BaseException as exc:  # pragma: no cover - bridge teardown
+            self.flights.abort(flight_key, exc)
+            return
+        self.flights.resolve(flight_key, result)
+
+    async def _handle_work(
+        self, conn: _Connection, request: Request, tenant: str
+    ) -> None:
+        started = time.monotonic()
+        self.requests += 1
+        deduped = False
+        try:
+            flight_key = self._flight_key(request)
+            if flight_key is None:
+                future = self.bridge.submit(
+                    request.op, request.payload(), request.timeout
+                )
+            else:
+                leader, future = self.flights.join(flight_key)
+                if leader:
+                    pool_future = self.bridge.submit(
+                        request.op, request.payload(), request.timeout
+                    )
+                    lead = asyncio.ensure_future(
+                        self._lead(flight_key, pool_future)
+                    )
+                    self._lead_tasks.add(lead)
+                    lead.add_done_callback(self._lead_tasks.discard)
+                else:
+                    deduped = True
+                    if self.registry.enabled:
+                        declare(self.registry, "repro_serve_inflight_dedup").inc()
+                    self.recorder.record(
+                        "net.dedup", id=request.id, tenant=tenant
+                    )
+            try:
+                # Shield: cancelling this handler (client disconnect,
+                # per-request cancel op) must not cancel the shared
+                # flight future other requests are awaiting.
+                result = await asyncio.shield(future)
+            except asyncio.CancelledError:
+                response = self._cancelled_response(request)
+                await conn.send(response.as_dict())
+                self._observe(request.op, response, started)
+                return
+            except ConnectionError as exc:
+                await conn.send(
+                    self._cancelled_response(request, str(exc)).as_dict()
+                )
+                return
+            response = response_from_task(request, 0, result)
+            doc = response.as_dict()
+            if deduped:
+                doc["deduped"] = True
+            await conn.send(doc)
+            self._observe(request.op, response, started)
+        finally:
+            self.admission.release(tenant)
+
+    @staticmethod
+    def _cancelled_response(request: Request, message: str = "cancelled"):
+        from repro.serve.service import Response
+
+        return Response(
+            id=request.id,
+            op=request.op,
+            ok=False,
+            error_kind="cancelled",
+            error=message,
+        )
+
+    def _observe(self, op: str, response, started: float) -> None:
+        status = "ok" if response.ok else (response.error_kind or "error")
+        if self.registry.enabled:
+            declare(self.registry, "repro_requests").labels(
+                op=op, status=status
+            ).inc()
+            declare(self.registry, "repro_serve_request_seconds").labels(
+                op=op
+            ).observe(max(0.0, time.monotonic() - started))
+        self.recorder.record(
+            "net.response", id=response.id, op=op, status=status
+        )
+
+    # -- control ops ----------------------------------------------------
+
+    async def _handle_control(self, conn: _Connection, doc: Dict[str, Any]) -> None:
+        op = doc["op"]
+        rid = doc.get("id")
+        if op == "ping":
+            await conn.send({"id": rid, "ok": True, "pong": True})
+        elif op == "stats":
+            pool_stats = await self.bridge.stats()
+            await conn.send(
+                {
+                    "id": rid,
+                    "ok": True,
+                    "stats": {"server": self.server_stats(), "pool": pool_stats},
+                }
+            )
+        elif op == "cancel":
+            target = doc.get("target")
+            task = conn.task_of_id.get(target)
+            cancelled = task is not None and task.cancel()
+            await conn.send(
+                {"id": rid, "ok": True, "cancelled": bool(cancelled),
+                 "target": target}
+            )
+        elif op == "shutdown":
+            # Stop admitting before even acknowledging: a request on
+            # the wire behind this one is deterministically rejected.
+            self._draining = True
+            await conn.send({"id": rid, "ok": True, "shutdown": True})
+            asyncio.ensure_future(self.drain(reason="shutdown-op"))
+        elif op == "metrics":
+            snapshot = self.registry.snapshot()
+            if doc.get("format") == "openmetrics":
+                await conn.send(
+                    {"id": rid, "ok": True,
+                     "openmetrics": render_openmetrics(snapshot)}
+                )
+            else:
+                await conn.send({"id": rid, "ok": True, "metrics": snapshot})
+        elif op == "health":
+            await conn.send(
+                {
+                    "id": rid,
+                    "ok": True,
+                    "health": {
+                        "status": "draining" if self._draining else "ok",
+                        "pid": __import__("os").getpid(),
+                        "version": __version__,
+                        "uptime_s": time.monotonic() - self.started_at,
+                        "jobs": self.bridge.jobs,
+                        "clients": len(self.clients),
+                        "pending": self.admission.total,
+                        "flight_events": len(self.recorder),
+                    },
+                }
+            )
+
+    def server_stats(self) -> Dict[str, Any]:
+        return {
+            "clients": len(self.clients),
+            "clients_peak": self.clients_peak,
+            "requests": self.requests,
+            "draining": self._draining,
+            "admission": self.admission.stats(),
+            "singleflight": self.flights.stats(),
+            "uptime_s": time.monotonic() - self.started_at,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def serve_tcp(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+    disk_cache: bool = True,
+    serve_config: Optional[ServeConfig] = None,
+    metrics_out: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    stdout=None,
+) -> int:
+    """Run the TCP daemon until SIGTERM/SIGINT or a ``shutdown`` op.
+
+    Lifecycle events (``listening``, ``draining``, ``bye``) go to
+    *stdout* as JSON lines so a supervisor can scrape the bound port
+    and confirm a clean drain.  Returns 0 after a graceful drain.
+    """
+    out = stdout if stdout is not None else sys.stdout
+
+    def announce(doc: Dict[str, Any]) -> None:
+        out.write(json.dumps(doc) + "\n")
+        out.flush()
+
+    config = serve_config or ServeConfig()
+    if (host, port) != (config.host, config.port):
+        config = config.with_address(host, port)
+    # Like the stdio daemon: the server's metrics cover its lifetime.
+    registry = get_registry()
+    registry.clear()
+    registry.enable()
+
+    async def main() -> None:
+        server = NetServer(
+            config=config,
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            disk_cache=disk_cache,
+            registry=registry,
+            metrics_out=metrics_out,
+            flight_dir=flight_dir,
+            announce=announce,
+        )
+        await server.start()
+        server.install_signal_handlers()
+        await server.wait_drained()
+
+    asyncio.run(main())
+    return 0
+
+
+class BackgroundServer:
+    """A :class:`NetServer` on its own thread and event loop — the
+    in-process harness ``repro loadgen --spawn`` and the test suite
+    use.  ``address`` is the bound ``(host, port)``; ``stop()`` runs a
+    graceful drain and joins the thread."""
+
+    def __init__(self, **kwargs: Any) -> None:
+        self.events: list = []
+        kwargs.setdefault("announce", self.events.append)
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self.server: Optional[NetServer] = None
+        self.address = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-net-server", daemon=True
+        )
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover - hang guard
+            raise RuntimeError("server thread did not start")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        return self
+
+    def _main(self) -> None:
+        async def body() -> None:
+            try:
+                self.server = NetServer(**self._kwargs)
+                await self.server.start()
+                self._loop = asyncio.get_running_loop()
+                self.address = self.server.address
+            except BaseException as exc:  # noqa: BLE001 - report to starter
+                self._error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.server.wait_drained()
+
+        try:
+            asyncio.run(body())
+        except BaseException:  # noqa: BLE001 - surfaced via self._error
+            if not self._ready.is_set():  # pragma: no cover
+                self._ready.set()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(
+                    lambda: asyncio.ensure_future(
+                        self.server.drain(reason="background-stop")
+                    )
+                )
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def wait_for_port(host: str, port: int, timeout: float = 10.0) -> bool:
+    """Poll until something accepts on (host, port) — CI readiness."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return True
+        except OSError:
+            time.sleep(0.05)
+    return False

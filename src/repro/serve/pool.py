@@ -130,6 +130,7 @@ class WorkerPool:
         cache: bool = True,
         cache_dir: Optional[str] = None,
         disk_cache: bool = True,
+        cache_shards: int = 1,
         mp_context: Optional[str] = None,
         trace: Optional[Dict[str, Any]] = None,
         registry=None,
@@ -142,6 +143,7 @@ class WorkerPool:
             "cache": cache,
             "cache_dir": cache_dir,
             "disk_cache": disk_cache,
+            "cache_shards": cache_shards,
             "trace": trace,
         }
         self.registry = registry if registry is not None else get_registry()

@@ -25,8 +25,11 @@ A worked request/response transcript lives in ``docs/serving.md``.
 
 Requests are dispatched to the worker pool immediately, so a slow
 request does not block later ones, and a worker crash or timeout fails
-only the request that caused it.  ``shutdown`` (or EOF on stdin)
-cancels queued requests, drains in-flight ones, and exits 0.
+only the request that caused it.  ``shutdown``, EOF on stdin, and a
+broken stdout pipe all end the session through the same graceful
+drain the TCP front door uses (finish in flight, flush metrics,
+``bye``, exit 0); ``shutdown`` and a dead client additionally cancel
+queued requests, plain EOF lets them finish.
 """
 
 from __future__ import annotations
@@ -83,12 +86,27 @@ class _Session:
         self.lines: "queue.Queue[Optional[str]]" = queue.Queue()
         self.eof = False
         self.shutting_down = False
+        self.client_gone = False
+        self.dropped_responses = 0
 
     # -- I/O ------------------------------------------------------------
 
     def write(self, doc: Dict[str, Any]) -> None:
-        self.stdout.write(json.dumps(doc) + "\n")
-        self.stdout.flush()
+        if self.client_gone:
+            self.dropped_responses += 1
+            return
+        try:
+            self.stdout.write(json.dumps(doc) + "\n")
+            self.stdout.flush()
+        except (BrokenPipeError, ConnectionResetError, ValueError, OSError):
+            # The client died mid-conversation (closed our stdout).
+            # That must not crash the daemon out of its drain: keep
+            # going — in-flight results still warm the shared cache and
+            # the final metrics snapshot still lands — there is just
+            # nobody left to write to.
+            self.client_gone = True
+            self.dropped_responses += 1
+            self.recorder.record("stdio.client-gone")
 
     def _reader(self) -> None:
         # Read the raw fd when there is one.  A thread blocked inside
@@ -296,17 +314,36 @@ class _Session:
                 self.handle_line(line)
             self.drain_results(block=False)
             self._maybe_dump_metrics()
-            if self.shutting_down or self.eof:
+            if self.shutting_down or self.eof or self.client_gone:
                 break
-        # Drain what is still in flight (queued tasks were cancelled on
-        # shutdown; on EOF we let them finish).
         if self.shutting_down:
+            reason = "shutdown-op"
+        elif self.client_gone:
+            reason = "client-gone"
+        else:
+            reason = "eof"
+        self.graceful_drain(reason)
+        return 0
+
+    def graceful_drain(self, reason: str) -> None:
+        """The drain sequence the TCP front door uses
+        (:meth:`repro.serve.net.server.NetServer.drain`), for the stdio
+        transport: intake has stopped (EOF, ``shutdown``, or a dead
+        client pipe); cancel queued work when nobody will read the
+        answers; finish what is in flight, writing every response a
+        reader is still there for; flush the final metrics snapshot;
+        say ``bye``.  On plain EOF queued tasks still run — closing
+        stdin after a burst and reading all responses is a supported
+        client pattern (see tests/serve/test_stdio.py)."""
+        self.recorder.record(
+            "stdio.draining", reason=reason, in_flight=len(self.tasks)
+        )
+        if self.shutting_down or self.client_gone:
             self.pool.cancel_pending()
         while self.tasks:
             self.drain_results(block=True)
         self._maybe_dump_metrics(force=True)
         self.write({"event": "bye"})
-        return 0
 
 
 def serve_stdio(

@@ -192,13 +192,24 @@ def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
     trace_ctx = init.get("trace")
     state: Dict[str, Any] = {}
     if init.get("cache", True):
-        from repro.serve.cache import CompileCache
+        shards = init.get("cache_shards", 1) or 1
+        if shards > 1:
+            from repro.serve.cache import ShardedCompileCache
 
-        state["cache"] = CompileCache(
-            root=init.get("cache_dir"),
-            disk=init.get("disk_cache", True),
-            registry=registry,
-        )
+            state["cache"] = ShardedCompileCache(
+                root=init.get("cache_dir"),
+                shards=shards,
+                disk=init.get("disk_cache", True),
+                registry=registry,
+            )
+        else:
+            from repro.serve.cache import CompileCache
+
+            state["cache"] = CompileCache(
+                root=init.get("cache_dir"),
+                disk=init.get("disk_cache", True),
+                registry=registry,
+            )
     while True:
         try:
             message = inbox.get()

@@ -1,0 +1,404 @@
+"""The TCP front door (``repro serve --tcp``): admission control,
+single-flight dedup, graceful drain, and the loadgen harness.
+
+Every test runs a real server (:class:`BackgroundServer` on its own
+event-loop thread) and talks to it over real sockets — the in-process
+StringIO harness of ``test_stdio.py`` cannot exercise multiplexing,
+disconnects, or backpressure.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.config import ServeConfig
+from repro.serve.net import BackgroundServer
+from repro.serve.net.admission import AdmissionController
+from repro.serve.net.loadgen import (
+    check_slo,
+    percentile,
+    request_indices,
+    run_loadgen,
+)
+from repro.serve.net.singleflight import FlightTable
+
+#: Takes a worker a few hundred ms — long enough that a request sent
+#: right after it is admitted while it is still unresolved, short
+#: enough to keep the suite fast.
+SLOW = "(define (spin n) (if (= n 0) 0 (spin (- n 1)))) (spin 2000000)"
+
+
+class _Client:
+    """A blocking JSON-lines client for one connection."""
+
+    def __init__(self, address, timeout=60.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+        self.banner = json.loads(self.reader.readline())
+
+    def send(self, doc):
+        self.sock.sendall((json.dumps(doc) + "\n").encode())
+
+    def recv(self):
+        line = self.reader.readline()
+        return json.loads(line) if line else None
+
+    def recv_response(self):
+        """Next non-event document (skips informational events)."""
+        while True:
+            doc = self.recv()
+            if doc is None or "event" not in doc:
+                return doc
+
+    def request(self, doc):
+        self.send(doc)
+        return self.recv_response()
+
+    def close(self):
+        # makefile() holds a dup of the fd: shut the socket down first
+        # so the server actually sees EOF, then close both handles.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        for handle in (self.reader, self.sock):
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+
+@pytest.fixture
+def server():
+    with BackgroundServer(jobs=1, disk_cache=False) as bg:
+        yield bg
+
+
+def test_ready_banner_and_round_trip(server):
+    client = _Client(server.address)
+    assert client.banner["event"] == "ready"
+    assert client.banner["transport"] == "tcp"
+    response = client.request({"id": 1, "op": "run", "source": "(+ 20 22)"})
+    assert response["ok"] and response["value"] == "42"
+    client.close()
+
+
+def test_multiple_clients_multiplex(server):
+    clients = [_Client(server.address) for _ in range(5)]
+    for i, client in enumerate(clients):
+        client.send({"id": i, "op": "run", "source": f"(* {i} 10)"})
+    for i, client in enumerate(clients):
+        response = client.recv_response()
+        assert response["id"] == i
+        assert response["value"] == str(i * 10)
+    stats = clients[0].request({"id": "s", "op": "stats"})["stats"]["server"]
+    assert stats["clients"] == 5
+    assert stats["clients_peak"] == 5
+    for client in clients:
+        client.close()
+
+
+def test_protocol_error_and_unknown_op(server):
+    client = _Client(server.address)
+    assert client.request({"id": 1, "op": "run"})["error_kind"] == "protocol"
+    assert (
+        client.request({"id": 2, "op": "nope", "source": "1"})["error_kind"]
+        == "protocol"
+    )
+    response = client.request("not a dict")
+    assert response["error_kind"] == "protocol"
+    client.close()
+
+
+def test_tenant_isolation_and_bounded_queue():
+    config = ServeConfig(max_pending_per_tenant=1, max_pending_total=10)
+    with BackgroundServer(jobs=1, disk_cache=False, config=config) as bg:
+        noisy = _Client(bg.address)
+        quiet = _Client(bg.address)
+        # Tenant A's one slot is taken by a slow request; its second
+        # request is rejected at intake.  Tenant B is not displaced.
+        noisy.send({"id": "a1", "op": "run", "source": SLOW, "tenant": "a"})
+        rejected = noisy.request(
+            {"id": "a2", "op": "run", "source": "(+ 1 1)", "tenant": "a"}
+        )
+        assert rejected["ok"] is False
+        assert rejected["error_kind"] == "overloaded"
+        assert rejected["reason"] == "tenant-queue-full"
+        assert rejected["retry_after_s"] > 0
+        response = quiet.request(
+            {"id": "b1", "op": "run", "source": "(+ 2 2)", "tenant": "b"}
+        )
+        assert response["ok"] and response["value"] == "4"
+        # The slow leader still completes.
+        assert noisy.recv_response()["id"] == "a1"
+        stats = quiet.request({"id": "s", "op": "stats"})["stats"]["server"]
+        assert stats["admission"]["rejects"] == {"tenant-queue-full": 1}
+        noisy.close()
+        quiet.close()
+
+
+def test_global_queue_bound():
+    config = ServeConfig(max_pending_per_tenant=10, max_pending_total=2)
+    with BackgroundServer(jobs=1, disk_cache=False, config=config) as bg:
+        client = _Client(bg.address)
+        client.send({"id": 1, "op": "run", "source": SLOW, "tenant": "a"})
+        client.send({"id": 2, "op": "run", "source": SLOW + " ", "tenant": "b"})
+        rejected = client.request(
+            {"id": 3, "op": "run", "source": "(+ 1 1)", "tenant": "c"}
+        )
+        assert rejected["error_kind"] == "overloaded"
+        assert rejected["reason"] == "queue-full"
+        assert client.recv_response()["ok"]
+        assert client.recv_response()["ok"]
+        client.close()
+
+
+def test_max_clients_connection_cap():
+    config = ServeConfig(max_clients=1)
+    with BackgroundServer(jobs=1, disk_cache=False, config=config) as bg:
+        first = _Client(bg.address)
+        assert first.banner["event"] == "ready"
+        second = _Client(bg.address)
+        assert second.banner == {"event": "overloaded", "reason": "max-clients"}
+        second.close()
+        first.close()
+
+
+def test_single_flight_dedup():
+    with BackgroundServer(jobs=1, disk_cache=False) as bg:
+        client = _Client(bg.address)
+        source = "(define (f x) (* x x)) (f 12)"
+        # Both lines land before the leader's compile finishes: the
+        # second request joins the first's flight.
+        client.send({"id": 1, "op": "compile", "source": source})
+        client.send({"id": 2, "op": "compile", "source": source})
+        responses = {r["id"]: r for r in (client.recv_response(),
+                                          client.recv_response())}
+        assert responses[1]["ok"] and responses[2]["ok"]
+        assert responses[1]["instructions"] == responses[2]["instructions"]
+        deduped = [r for r in responses.values() if r.get("deduped")]
+        assert len(deduped) == 1
+        stats = client.request({"id": "s", "op": "stats"})["stats"]["server"]
+        assert stats["singleflight"]["dedup_hits"] == 1
+        assert stats["singleflight"]["in_flight"] == 0
+        client.close()
+
+
+def test_dedup_across_connections_with_leader_disconnect():
+    # The leader's pool task is server-owned: killing the leader's
+    # connection mid-request must not strand the follower.
+    with BackgroundServer(jobs=1, disk_cache=False) as bg:
+        leader = _Client(bg.address)
+        follower = _Client(bg.address)
+        leader.send({"id": "L", "op": "run", "source": SLOW})
+        follower.send({"id": "F", "op": "run", "source": SLOW})
+        leader.close()
+        response = follower.recv_response()
+        assert response["id"] == "F"
+        assert response["ok"] and response["value"] == "0"
+        # And the server is still healthy for new clients.
+        probe = _Client(bg.address)
+        assert probe.request({"id": "p", "op": "ping"})["pong"]
+        probe.close()
+        follower.close()
+
+
+def test_client_disconnect_mid_request_leaves_server_healthy():
+    with BackgroundServer(jobs=1, disk_cache=False) as bg:
+        doomed = _Client(bg.address)
+        doomed.send({"id": 1, "op": "run", "source": SLOW})
+        doomed.close()
+        probe = _Client(bg.address)
+        response = probe.request({"id": 2, "op": "run", "source": "(+ 3 4)"})
+        assert response["ok"] and response["value"] == "7"
+        deadline = time.monotonic() + 10
+        while True:
+            health = probe.request({"id": "h", "op": "health"})["health"]
+            assert health["status"] == "ok"
+            if health["clients"] == 1 or time.monotonic() > deadline:
+                break
+            time.sleep(0.05)  # the server has not yet seen doomed's EOF
+        assert health["clients"] == 1
+        probe.close()
+
+
+def test_drain_under_load_answers_everything():
+    # shutdown with requests still in flight: every admitted request is
+    # answered (ok or cancelled) before the bye event.
+    with BackgroundServer(jobs=2, disk_cache=False) as bg:
+        client = _Client(bg.address)
+        for i in range(6):
+            client.send({"id": i, "op": "run", "source": f"(+ {i} 1)"})
+        client.send({"id": "down", "op": "shutdown"})
+        docs = []
+        while True:
+            doc = client.recv()
+            if doc is None or doc.get("event") == "bye":
+                break
+            docs.append(doc)
+        by_id = {d["id"]: d for d in docs if "event" not in d}
+        assert by_id["down"]["shutdown"] is True
+        for i in range(6):
+            assert i in by_id, f"request {i} unanswered at drain"
+            assert by_id[i]["ok"] or by_id[i]["error_kind"] == "cancelled"
+        client.close()
+    events = [e["event"] for e in bg.events]
+    assert events[0] == "listening"
+    assert "draining" in events and events[-1] == "bye"
+
+
+def test_requests_after_drain_are_rejected():
+    config = ServeConfig(drain_grace_s=5.0)
+    with BackgroundServer(jobs=1, disk_cache=False, config=config) as bg:
+        client = _Client(bg.address)
+        client.send({"id": "slow", "op": "run", "source": SLOW})
+        client.send({"id": "down", "op": "shutdown"})
+        client.send({"id": "late", "op": "run", "source": "(+ 1 1)"})
+        docs = {}
+        while True:
+            doc = client.recv()
+            if doc is None or doc.get("event") == "bye":
+                break
+            if "event" not in doc:
+                docs[doc["id"]] = doc
+        assert docs["slow"]["ok"] or docs["slow"]["error_kind"] == "cancelled"
+        late = docs["late"]
+        assert late["error_kind"] == "overloaded"
+        assert late["reason"] == "draining"
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# Units: admission and the flight table
+# ---------------------------------------------------------------------------
+
+
+def test_admission_controller_bounds():
+    admission = AdmissionController(max_pending_per_tenant=2, max_pending_total=3)
+    assert admission.try_admit("a") is None
+    assert admission.try_admit("a") is None
+    assert admission.try_admit("a") == "tenant-queue-full"
+    assert admission.try_admit("b") is None
+    assert admission.try_admit("b") == "queue-full"  # global before tenant cap
+    admission.release("a")
+    assert admission.try_admit("b") is None
+    stats = admission.stats()
+    assert stats["pending_total"] == 3
+    assert stats["rejects"] == {"tenant-queue-full": 1, "queue-full": 1}
+    for tenant in ("a", "b", "b"):
+        admission.release(tenant)
+    assert admission.total == 0
+    assert admission.stats()["per_tenant"] == {}
+
+
+def test_flight_table_join_resolve():
+    import asyncio
+
+    async def body():
+        table = FlightTable(shards=4)
+        leader, f1 = table.join("ab1234:compile:None")
+        follower, f2 = table.join("ab1234:compile:None")
+        assert leader and not follower
+        assert f1 is f2
+        assert table.in_flight == 1
+        table.resolve("ab1234:compile:None", "result")
+        assert await f1 == "result"
+        assert table.in_flight == 0
+        assert table.stats()["dedup_hits"] == 1
+
+    asyncio.run(body())
+
+
+# ---------------------------------------------------------------------------
+# Loadgen
+# ---------------------------------------------------------------------------
+
+
+def test_loadgen_schedule_determinism():
+    first = request_indices(seed=42, vuser=3, count=50, corpus_size=20)
+    again = request_indices(seed=42, vuser=3, count=50, corpus_size=20)
+    other_seed = request_indices(seed=43, vuser=3, count=50, corpus_size=20)
+    other_vuser = request_indices(seed=42, vuser=4, count=50, corpus_size=20)
+    assert first == again
+    assert first != other_seed
+    assert first != other_vuser
+    assert all(0 <= i < 20 for i in first)
+
+
+def test_loadgen_duplicate_fraction_hits_hot_set():
+    always = request_indices(
+        seed=1, vuser=0, count=100, corpus_size=50, duplicate_fraction=1.0
+    )
+    assert set(always) <= set(range(4))  # everything from the hot set
+    never = request_indices(
+        seed=1, vuser=0, count=200, corpus_size=50, duplicate_fraction=0.0
+    )
+    assert max(never) >= 4  # the cold tail is actually reachable
+
+
+def test_percentile_nearest_rank():
+    values = [float(v) for v in range(1, 101)]
+    assert percentile(values, 0.50) == 50.0
+    assert percentile(values, 0.99) == 99.0
+    assert percentile([7.0], 0.99) == 7.0
+    assert percentile([], 0.5) is None
+
+
+def test_check_slo_pass_and_violations():
+    report = {
+        "latency_s": {"p50": 0.1, "p90": 0.2, "p99": 0.5},
+        "error_rate": 0.0,
+        "errors": 0,
+        "error_kinds": {},
+        "rejected": 0,
+        "deduped": 3,
+        "completed": 100,
+        "vuser_failures": [],
+    }
+    thresholds = {
+        "p99_s": 1.0,
+        "max_error_rate": 0.0,
+        "max_rejects": 0,
+        "min_dedup_hits": 1,
+        "min_requests": 50,
+    }
+    assert check_slo(report, thresholds)["ok"]
+    tight = dict(thresholds, p99_s=0.1, min_requests=1000)
+    verdict = check_slo(report, tight, tolerance=2.0)
+    assert not verdict["ok"]
+    assert any("p99" in v for v in verdict["violations"])
+    assert any("completed" in v for v in verdict["violations"])
+
+
+def test_loadgen_end_to_end_spawn():
+    corpus = [
+        ("sq", "(define (sq x) (* x x)) (sq 9)"),
+        ("add", "(+ 1 2)"),
+        ("fib", "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)"),
+        ("let", "(let ((a 1) (b 2)) (+ a b))"),
+    ]
+    report = run_loadgen(
+        spawn=True,
+        spawn_jobs=2,
+        corpus=corpus,
+        op="run",
+        concurrency=8,
+        requests=4,
+        seed=11,
+        duplicate_fraction=0.8,
+    )
+    assert report["requests"] == 32
+    assert report["completed"] == 32
+    assert report["errors"] == 0
+    assert report["rejected"] == 0
+    assert report["vuser_failures"] == []
+    assert report["latency_s"]["p99"] >= report["latency_s"]["p50"] > 0
+    server = report["server"]["server"]
+    assert server["requests"] == 32
+    # 8 cold-cache vusers stampeding a 4-program hot set: single-flight
+    # must have collapsed some of them.
+    assert server["singleflight"]["dedup_hits"] > 0

@@ -152,6 +152,82 @@ def test_shutdown_cancels_queued_requests():
     assert by_id["queued"]["ok"] or by_id["queued"]["error_kind"] == "cancelled"
 
 
+def test_eof_mid_burst_drains_every_response():
+    # A burst of requests followed immediately by EOF (no shutdown):
+    # the daemon must answer every id before bye, not just the ones
+    # that finished while stdin was still open.
+    lines = [
+        {"id": i, "op": "run", "source": f"(+ {i} 100)"} for i in range(8)
+    ]
+    docs, code = _serve(lines, jobs=2)
+    assert code == 0
+    by_id = _by_id(docs)
+    for i in range(8):
+        assert by_id[i]["value"] == str(i + 100), f"request {i} lost at EOF"
+    assert docs[-1]["event"] == "bye"
+
+
+class _DyingPipe(io.StringIO):
+    """A stdout that dies (like a killed client's pipe) after N writes."""
+
+    def __init__(self, fail_after: int) -> None:
+        super().__init__()
+        self.fail_after = fail_after
+        self.writes = 0
+
+    def write(self, text: str) -> int:
+        self.writes += 1
+        if self.writes > self.fail_after:
+            raise BrokenPipeError("client went away")
+        return super().write(text)
+
+
+def test_client_death_mid_burst_exits_cleanly(tmp_path):
+    # Regression test: the client dies mid-burst (EOF on stdin AND a
+    # broken stdout pipe).  The daemon used to crash out of its drain
+    # on the first failed write — exiting nonzero with queued responses
+    # undelivered and no final metrics snapshot.  Now a dead pipe joins
+    # the same graceful-drain path as shutdown/EOF: exit 0, metrics
+    # flushed.
+    from repro.serve.stdio import serve_stdio
+
+    metrics_out = tmp_path / "metrics.json"
+    lines = "\n".join(
+        json.dumps({"id": i, "op": "run", "source": f"(* {i} 3)"})
+        for i in range(6)
+    )
+    stdout = _DyingPipe(fail_after=2)  # ready banner + one response
+    code = serve_stdio(
+        stdin=io.StringIO(lines + "\n"),
+        stdout=stdout,
+        jobs=1,
+        cache=False,
+        metrics_out=str(metrics_out),
+    )
+    assert code == 0
+    assert metrics_out.exists(), "final metrics snapshot not flushed"
+    # Whatever made it out before the pipe broke is intact JSON.
+    for line in stdout.getvalue().splitlines():
+        json.loads(line)
+
+
+def test_client_death_drops_queued_work(tmp_path):
+    # With the client gone nobody reads the answers: queued (not yet
+    # running) tasks are cancelled rather than computed for a dead
+    # peer, and the daemon still exits 0.
+    from repro.serve.stdio import serve_stdio
+
+    lines = "\n".join(
+        json.dumps({"id": i, "op": "run", "source": "(+ 1 1)"})
+        for i in range(10)
+    )
+    stdout = _DyingPipe(fail_after=1)  # dies right after the banner
+    code = serve_stdio(
+        stdin=io.StringIO(lines + "\n"), stdout=stdout, jobs=1, cache=False
+    )
+    assert code == 0
+
+
 def test_daemon_subprocess_round_trip():
     # Regression test: run the daemon as a real subprocess over real
     # pipes.  A worker forked while the reader thread held sys.stdin's

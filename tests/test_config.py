@@ -103,3 +103,48 @@ class TestAllocatorField:
             CompilerConfig(allocator="linearscan").summary()["allocator"]
             == "linearscan"
         )
+
+
+class TestServeConfig:
+    def test_defaults_and_round_trip(self):
+        from repro.config import ServeConfig
+
+        config = ServeConfig()
+        doc = config.as_dict()
+        assert doc["max_clients"] == 128
+        assert doc["dedup"] is True
+        assert ServeConfig(**doc) == config
+
+    def test_validation(self):
+        import pytest
+
+        from repro.config import ServeConfig
+
+        with pytest.raises(ValueError):
+            ServeConfig(port=70000)
+        with pytest.raises(ValueError):
+            ServeConfig(max_clients=0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_pending_per_tenant=0)
+        with pytest.raises(ValueError):
+            ServeConfig(drain_grace_s=-1)
+        with pytest.raises(ValueError):
+            ServeConfig(cache_shards=0)
+
+    def test_parse_address(self):
+        import pytest
+
+        from repro.config import ServeConfig
+
+        assert ServeConfig.parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert ServeConfig.parse_address("localhost:0") == ("localhost", 0)
+        for bad in ("8080", ":8080", "host:", "host:nan", "host:99999"):
+            with pytest.raises(ValueError):
+                ServeConfig.parse_address(bad)
+
+    def test_with_address(self):
+        from repro.config import ServeConfig
+
+        moved = ServeConfig().with_address("0.0.0.0", 9000)
+        assert (moved.host, moved.port) == ("0.0.0.0", 9000)
+        assert moved.max_clients == ServeConfig().max_clients
