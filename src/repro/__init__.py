@@ -14,35 +14,46 @@ Quick start::
     result = run_source("(define (f x) (* x x)) (f 21)")
     print(result.value)                       # 441
     print(result.counters.total_stack_refs)   # stack traffic
-"""
 
-from repro.config import CompilerConfig, CostModel
-from repro.errors import CompilerError
-from repro.pipeline import (
-    CompileTimes,
-    ExecutionResult,
-    compile_source,
-    expand_source,
-    run_compiled,
-    run_source,
-)
-from repro.runtime.values import SchemeError
-from repro.interp.interpreter import Interpreter, interpret_source
+The package root resolves its exports lazily (PEP 562): importing
+``repro`` — or any runtime submodule like ``repro.vm.aotrt`` — must
+not pull the compiler in, because AOT-emitted modules (see
+``docs/aot.md``) run with only the runtime slice of the package in
+the process.  ``from repro import compile_source`` still works; the
+import happens on first attribute access.
+"""
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "CompilerConfig",
-    "CostModel",
-    "CompilerError",
-    "SchemeError",
-    "CompileTimes",
-    "ExecutionResult",
-    "compile_source",
-    "expand_source",
-    "run_compiled",
-    "run_source",
-    "Interpreter",
-    "interpret_source",
-    "__version__",
-]
+#: Export name -> defining submodule, resolved on first access.
+_EXPORTS = {
+    "CompilerConfig": "repro.config",
+    "CostModel": "repro.config",
+    "CompilerError": "repro.errors",
+    "SchemeError": "repro.runtime.values",
+    "CompileTimes": "repro.pipeline",
+    "ExecutionResult": "repro.pipeline",
+    "compile_source": "repro.pipeline",
+    "expand_source": "repro.pipeline",
+    "run_compiled": "repro.pipeline",
+    "run_source": "repro.pipeline",
+    "Interpreter": "repro.interp.interpreter",
+    "interpret_source": "repro.interp.interpreter",
+}
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

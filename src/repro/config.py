@@ -114,6 +114,20 @@ class CompilerConfig:
         Enable the §6 future-work pass: known procedures' free
         variables become extra (register) arguments, bounded by
         ``lambda_lift_max_params``.
+    artifact_cache:
+        Let the compile cache store/load post-predecode,
+        post-blockcompile executable artifacts as a second tier
+        (``repro.vm.artifact``): warm processes skip straight to
+        execution.  Purely a serving-layer accelerator — results are
+        bit-identical — but it participates in the fingerprint so
+        artifact-tier entries are never shared with configs that
+        disable it.  Like ``vm_fast``, absent from :meth:`summary`.
+    aot_direct_calls:
+        Let the AOT emitter (``repro.vm.aotemit``) collapse call sites
+        whose callee ``vm/callgraph.py`` proves statically into direct
+        trampoline transfers (no closure type/arity test at run time).
+        Off: every call dispatches dynamically, as the fast loop does.
+        Also absent from :meth:`summary`.
     """
 
     num_arg_regs: int = 6
@@ -129,6 +143,8 @@ class CompilerConfig:
     branch_prediction: Optional[str] = None
     trace: str = "off"
     vm_fast: bool = True
+    artifact_cache: bool = True
+    aot_direct_calls: bool = True
     cost_model: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

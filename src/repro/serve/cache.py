@@ -19,6 +19,21 @@ or concurrent writer can never leave a half-written entry under a live
 key, and every entry carries a checksum so a corrupted or truncated
 file is detected and treated as a **miss**, never an error.
 
+**The artifact tier.**  Alongside the ISA objects the cache keeps a
+second content-addressed tier, ``artifacts/<k[:2]>/<k>.bin``
+(:mod:`repro.vm.artifact`): the same program with its pre-decoded
+instruction streams and marshal-serialized trace modules attached, so
+a warm process skips predecode + blockcompile entirely.  Same keys,
+same framing discipline, stricter validity (artifacts additionally
+stamp the artifact format, the Python bytecode magic, and the config
+fingerprint — any skew is a miss).  :meth:`CompileCache.compile`
+probes memory → artifact → ISA; an ISA hit with a missing or stale
+artifact re-promotes (rebuilds and rewrites the artifact), so the two
+tiers converge on any shared disk root, sharded or plain.  Artifact
+handling is gated by ``CompilerConfig.artifact_cache`` and the
+cache's ``artifacts`` flag, and only applies to ``vm_fast`` configs
+(the tier stores fast-path state).  See ``docs/aot.md``.
+
 The on-disk root defaults to ``~/.cache/repro`` (honouring
 ``REPRO_CACHE_DIR`` and ``XDG_CACHE_HOME``), deliberately outside the
 repository tree.
@@ -32,7 +47,7 @@ import pickle
 import tempfile
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterator, List, Optional, Tuple
 
 from repro import __version__
@@ -43,6 +58,13 @@ from repro.observe.metrics import get_registry
 from repro.pipeline import compile_source
 from repro.sexp.reader import read_all
 from repro.sexp.writer import write_datum
+from repro.vm.artifact import (
+    ArtifactCorrupt,
+    ArtifactError,
+    ArtifactStale,
+    build_artifact,
+    load_artifact,
+)
 
 #: On-disk entry header; bump when the payload layout changes.
 MAGIC = b"RPC1"
@@ -156,18 +178,18 @@ class CacheStats:
     evictions: int = 0
     corruptions: int = 0
     bytes_written: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_stores: int = 0
+    artifact_corruptions: int = 0
+    artifact_bytes_written: int = 0
 
     def as_dict(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "memory_hits": self.memory_hits,
-            "disk_hits": self.disk_hits,
-            "stores": self.stores,
-            "evictions": self.evictions,
-            "corruptions": self.corruptions,
-            "bytes_written": self.bytes_written,
-        }
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: The two on-disk tiers (also the subdirectory names under the root).
+TIERS = ("objects", "artifacts")
 
 
 @dataclass
@@ -178,6 +200,7 @@ class CacheEntry:
     path: str
     size: int
     mtime: float = field(repr=False, default=0.0)
+    tier: str = "objects"
 
 
 class CompileCache:
@@ -196,6 +219,7 @@ class CompileCache:
         root: Optional[str] = None,
         memory_entries: int = 256,
         disk: bool = True,
+        artifacts: bool = True,
         registry=None,
     ) -> None:
         self.disk = disk
@@ -203,6 +227,10 @@ class CompileCache:
             default_cache_dir() if disk else None
         )
         self.memory_entries = memory_entries
+        #: Whether compile() may read/write the executable-artifact
+        #: tier (still subject to the per-config ``artifact_cache``
+        #: knob; the tier needs a disk root).
+        self.artifacts = artifacts and disk
         self.stats = CacheStats()
         self.registry = registry if registry is not None else get_registry()
         self._memory: "OrderedDict[str, CompiledProgram]" = OrderedDict()
@@ -261,10 +289,93 @@ class CompileCache:
         self._remember(key, compiled)
         if not self.disk:
             return
-        path = self._path(key)
+        data = serialize_compiled(compiled)
+        self._write(self._path(key), data)
+        self.stats.stores += 1
+        self.stats.bytes_written += len(data)
+        if self.registry.enabled:
+            declare(self.registry, "repro_cache_stores").inc()
+            declare(self.registry, "repro_cache_bytes_written").inc(len(data))
+            declare(self.registry, "repro_cache_entry_bytes").observe(len(data))
+
+    # -- the artifact tier ----------------------------------------------
+
+    def get_artifact(
+        self, key: str, fingerprint: Optional[str] = None
+    ) -> Optional[CompiledProgram]:
+        """Load the executable artifact for *key*, or None.  Corrupt
+        entries are deleted and counted; stale ones (format/Python/
+        version/fingerprint skew) are left for re-promotion to
+        overwrite.  Either way: a miss, never an error."""
+        if not self.artifacts:
+            return None
+        path = self._artifact_path(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self._count_artifact_miss()
+            return None
+        try:
+            compiled = load_artifact(data, expected_fingerprint=fingerprint)
+        except ArtifactCorrupt:
+            self.stats.artifact_corruptions += 1
+            if self.registry.enabled:
+                declare(self.registry, "repro_artifact_corruptions").inc()
+            self._count_artifact_miss()
+            self._discard(path)
+            return None
+        except ArtifactStale:
+            self._count_artifact_miss()
+            return None
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - concurrent GC
+            pass
+        self.stats.artifact_hits += 1
+        if self.registry.enabled:
+            declare(self.registry, "repro_artifact_hits").inc()
+            declare(self.registry, "repro_cache_hits").labels(
+                tier="artifact"
+            ).inc()
+        return compiled
+
+    def put_artifact(self, key: str, compiled: CompiledProgram) -> bool:
+        """Build and store the executable artifact for *key*.  Build or
+        write failures are swallowed (the artifact tier is an
+        accelerator, never a correctness dependency); returns whether
+        the artifact was written."""
+        if not self.artifacts:
+            return False
+        started = time.perf_counter()
+        try:
+            data = build_artifact(compiled)
+            self._write(self._artifact_path(key), data)
+        except (ArtifactError, OSError, ValueError):
+            return False
+        self.stats.artifact_stores += 1
+        self.stats.artifact_bytes_written += len(data)
+        if self.registry.enabled:
+            declare(self.registry, "repro_artifact_stores").inc()
+            declare(self.registry, "repro_artifact_bytes_written").inc(len(data))
+            declare(self.registry, "repro_artifact_build_seconds").observe(
+                time.perf_counter() - started
+            )
+        return True
+
+    def _count_artifact_miss(self) -> None:
+        self.stats.artifact_misses += 1
+        if self.registry.enabled:
+            declare(self.registry, "repro_artifact_misses").inc()
+
+    def _artifact_enabled(self, config: CompilerConfig) -> bool:
+        # The tier stores fast-path state; legacy-loop configs have
+        # nothing to gain and nothing to store.
+        return self.artifacts and config.artifact_cache and config.vm_fast
+
+    def _write(self, path: str, data: bytes) -> None:
         parent = os.path.dirname(path)
         os.makedirs(parent, exist_ok=True)
-        data = serialize_compiled(compiled)
         fd, tmp = tempfile.mkstemp(dir=parent, prefix=".tmp-")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -273,12 +384,6 @@ class CompileCache:
         except BaseException:
             self._discard(tmp)
             raise
-        self.stats.stores += 1
-        self.stats.bytes_written += len(data)
-        if self.registry.enabled:
-            declare(self.registry, "repro_cache_stores").inc()
-            declare(self.registry, "repro_cache_bytes_written").inc(len(data))
-            declare(self.registry, "repro_cache_entry_bytes").observe(len(data))
 
     # -- the one-call compile front door --------------------------------
 
@@ -299,12 +404,39 @@ class CompileCache:
         cache).  ``key`` short-circuits the key derivation when the
         caller (the sharded front, the single-flight table) has already
         computed it.
+
+        Tier order: memory LRU, then the executable-artifact tier
+        (when enabled for this config — skips predecode/blockcompile
+        entirely), then the ISA tier.  An ISA hit whose artifact was
+        missing or stale re-promotes it; a full miss compiles and
+        writes both tiers.
         """
         config = config or CompilerConfig()
         if key is None:
             key = cache_key(source, config, prelude)
+        use_artifact = self._artifact_enabled(config)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            if self.registry.enabled:
+                declare(self.registry, "repro_cache_hits").labels(
+                    tier="memory"
+                ).inc()
+            return cached, True
+        if use_artifact:
+            compiled = self.get_artifact(key, fingerprint=config.fingerprint())
+            if compiled is not None:
+                self._remember(key, compiled)
+                self.stats.hits += 1
+                return compiled, True
         cached = self.get(key)
         if cached is not None:
+            if use_artifact:
+                # ISA hit, artifact miss: promote so the next warm
+                # process skips predecode + blockcompile.
+                self.put_artifact(key, cached)
             return cached, True
         started = time.perf_counter()
         compiled = compile_source(
@@ -315,32 +447,39 @@ class CompileCache:
                 time.perf_counter() - started
             )
         self.put(key, compiled)
+        if use_artifact:
+            self.put_artifact(key, compiled)
         return compiled, False
 
     # -- maintenance ----------------------------------------------------
 
-    def entries(self) -> List[CacheEntry]:
-        """Every on-disk entry, oldest (least recently used) first."""
+    def entries(self, tier: str = "all") -> List[CacheEntry]:
+        """On-disk entries, oldest (least recently used) first.  *tier*
+        selects ``"objects"`` (ISA), ``"artifacts"``, or ``"all"``
+        (the default — maintenance must see both tiers)."""
+        tiers = TIERS if tier == "all" else (tier,)
         found: List[CacheEntry] = []
-        objects = self._objects_dir()
-        if objects is None or not os.path.isdir(objects):
-            return found
-        for shard in sorted(os.listdir(objects)):
-            shard_dir = os.path.join(objects, shard)
-            if not os.path.isdir(shard_dir):
+        for tier_name in tiers:
+            tier_dir = self._tier_dir(tier_name)
+            if tier_dir is None or not os.path.isdir(tier_dir):
                 continue
-            for name in sorted(os.listdir(shard_dir)):
-                if not name.endswith(".bin"):
+            for shard in sorted(os.listdir(tier_dir)):
+                shard_dir = os.path.join(tier_dir, shard)
+                if not os.path.isdir(shard_dir):
                     continue
-                path = os.path.join(shard_dir, name)
-                try:
-                    st = os.stat(path)
-                except OSError:  # pragma: no cover - concurrent removal
-                    continue
-                found.append(
-                    CacheEntry(name[: -len(".bin")], path, st.st_size, st.st_mtime)
-                )
-        found.sort(key=lambda e: (e.mtime, e.key))
+                for name in sorted(os.listdir(shard_dir)):
+                    if not name.endswith(".bin"):
+                        continue
+                    path = os.path.join(shard_dir, name)
+                    try:
+                        st = os.stat(path)
+                    except OSError:  # pragma: no cover - concurrent removal
+                        continue
+                    found.append(CacheEntry(
+                        name[: -len(".bin")], path, st.st_size,
+                        st.st_mtime, tier_name,
+                    ))
+        found.sort(key=lambda e: (e.mtime, e.key, e.tier))
         return found
 
     def gc(
@@ -370,40 +509,60 @@ class CompileCache:
         return removed
 
     def verify(self, remove: bool = False) -> dict:
-        """Integrity-scan the on-disk store: re-validate every entry's
-        framing and checksum without deserializing the pickle bodies
-        into live objects that hit the memory tier.
+        """Integrity-scan the on-disk store — **both tiers**: ISA
+        entries re-validate framing and checksum; artifact entries
+        additionally check the version/fingerprint stamps (skew counts
+        as ``stale``, not ``corrupt`` — a stale artifact is simply
+        awaiting re-promotion, though ``remove=True`` deletes it too,
+        since it can never be read again by this build).
 
-        Corrupt entries are counted (``stats.corruptions`` and the
-        ``repro_cache_corruptions`` metric) and, with ``remove=True``,
-        deleted.  Returns ``{"scanned", "ok", "corrupt", "removed",
-        "bytes"}``.
+        Corrupt entries are counted (``stats.corruptions`` /
+        ``stats.artifact_corruptions`` and their metrics) and, with
+        ``remove=True``, deleted.  Returns ``{"scanned", "ok",
+        "corrupt", "stale", "removed", "bytes", "tiers"}`` where
+        ``tiers`` breaks the same counts down per tier.
         """
-        scanned = ok = corrupt = removed = total_bytes = 0
+        tiers = {
+            name: {"scanned": 0, "ok": 0, "corrupt": 0, "stale": 0,
+                   "removed": 0, "bytes": 0}
+            for name in TIERS
+        }
         for entry in self.entries():
-            scanned += 1
-            total_bytes += entry.size
+            t = tiers[entry.tier]
+            t["scanned"] += 1
+            t["bytes"] += entry.size
+            status = "ok"
             try:
                 with open(entry.path, "rb") as handle:
-                    deserialize_compiled(handle.read())
-            except (OSError, CacheCorrupt):
-                corrupt += 1
-                self.stats.corruptions += 1
-                if self.registry.enabled:
-                    declare(self.registry, "repro_cache_corruptions").inc()
-                if remove:
-                    self._discard(entry.path)
+                    data = handle.read()
+                if entry.tier == "artifacts":
+                    load_artifact(data)
+                else:
+                    deserialize_compiled(data)
+            except ArtifactStale:
+                status = "stale"
+            except (OSError, CacheCorrupt, ArtifactError):
+                status = "corrupt"
+                if entry.tier == "artifacts":
+                    self.stats.artifact_corruptions += 1
+                    if self.registry.enabled:
+                        declare(self.registry, "repro_artifact_corruptions").inc()
+                else:
+                    self.stats.corruptions += 1
+                    if self.registry.enabled:
+                        declare(self.registry, "repro_cache_corruptions").inc()
+            t[status] += 1
+            if status != "ok" and remove:
+                self._discard(entry.path)
+                if entry.tier == "objects":
                     self._memory.pop(entry.key, None)
-                    removed += 1
-            else:
-                ok += 1
-        return {
-            "scanned": scanned,
-            "ok": ok,
-            "corrupt": corrupt,
-            "removed": removed,
-            "bytes": total_bytes,
+                t["removed"] += 1
+        report = {
+            key: sum(t[key] for t in tiers.values())
+            for key in ("scanned", "ok", "corrupt", "stale", "removed", "bytes")
         }
+        report["tiers"] = tiers
+        return report
 
     def clear(self) -> int:
         """Drop every entry (memory and disk).  Returns the number of
@@ -426,8 +585,12 @@ class CompileCache:
         assert self.root is not None
         return os.path.join(self.root, "objects", key[:2], key + ".bin")
 
-    def _objects_dir(self) -> Optional[str]:
-        return os.path.join(self.root, "objects") if self.root else None
+    def _artifact_path(self, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, "artifacts", key[:2], key + ".bin")
+
+    def _tier_dir(self, tier: str) -> Optional[str]:
+        return os.path.join(self.root, tier) if self.root else None
 
     def _remember(self, key: str, compiled: CompiledProgram) -> None:
         self._memory[key] = compiled
@@ -481,6 +644,7 @@ class ShardedCompileCache:
         shards: int = 8,
         memory_entries: int = 256,
         disk: bool = True,
+        artifacts: bool = True,
         registry=None,
     ) -> None:
         if shards < 1:
@@ -491,6 +655,7 @@ class ShardedCompileCache:
                 root=root,
                 memory_entries=per_shard,
                 disk=disk,
+                artifacts=artifacts,
                 registry=registry,
             )
             for _ in range(shards)
@@ -532,14 +697,8 @@ class ShardedCompileCache:
         total = CacheStats()
         for shard in self.shards:
             s = shard.stats
-            total.hits += s.hits
-            total.misses += s.misses
-            total.memory_hits += s.memory_hits
-            total.disk_hits += s.disk_hits
-            total.stores += s.stores
-            total.evictions += s.evictions
-            total.corruptions += s.corruptions
-            total.bytes_written += s.bytes_written
+            for f in fields(CacheStats):
+                setattr(total, f.name, getattr(total, f.name) + getattr(s, f.name))
         return total
 
     def __repr__(self) -> str:

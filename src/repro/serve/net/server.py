@@ -92,6 +92,7 @@ class _PoolBridge:
         cache: bool = True,
         cache_dir: Optional[str] = None,
         disk_cache: bool = True,
+        artifacts: bool = True,
         cache_shards: int = 1,
         registry=None,
         recorder=None,
@@ -104,6 +105,7 @@ class _PoolBridge:
             cache=cache,
             cache_dir=cache_dir,
             disk_cache=disk_cache,
+            artifacts=artifacts,
             cache_shards=cache_shards,
             registry=registry,
             recorder=recorder,
@@ -297,6 +299,7 @@ class NetServer:
         cache: bool = True,
         cache_dir: Optional[str] = None,
         disk_cache: bool = True,
+        artifacts: bool = True,
         registry=None,
         recorder=None,
         metrics_out: Optional[str] = None,
@@ -320,6 +323,7 @@ class NetServer:
         self._cache = cache
         self._cache_dir = cache_dir
         self._disk_cache = disk_cache
+        self._artifacts = artifacts
         self.clients: Set[_Connection] = set()
         self.clients_peak = 0
         self._next_conn_id = 0
@@ -344,6 +348,7 @@ class NetServer:
             cache=self._cache,
             cache_dir=self._cache_dir,
             disk_cache=self._disk_cache,
+            artifacts=self._artifacts,
             cache_shards=self.config.cache_shards,
             registry=self.registry,
             recorder=self.recorder,
@@ -753,6 +758,7 @@ def serve_tcp(
     cache: bool = True,
     cache_dir: Optional[str] = None,
     disk_cache: bool = True,
+    artifacts: bool = True,
     serve_config: Optional[ServeConfig] = None,
     metrics_out: Optional[str] = None,
     flight_dir: Optional[str] = None,
@@ -785,6 +791,7 @@ def serve_tcp(
             cache=cache,
             cache_dir=cache_dir,
             disk_cache=disk_cache,
+            artifacts=artifacts,
             registry=registry,
             metrics_out=metrics_out,
             flight_dir=flight_dir,

@@ -130,6 +130,7 @@ class WorkerPool:
         cache: bool = True,
         cache_dir: Optional[str] = None,
         disk_cache: bool = True,
+        artifacts: bool = True,
         cache_shards: int = 1,
         mp_context: Optional[str] = None,
         trace: Optional[Dict[str, Any]] = None,
@@ -143,6 +144,7 @@ class WorkerPool:
             "cache": cache,
             "cache_dir": cache_dir,
             "disk_cache": disk_cache,
+            "artifacts": artifacts,
             "cache_shards": cache_shards,
             "trace": trace,
         }

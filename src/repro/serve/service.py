@@ -163,6 +163,7 @@ class BatchService:
         cache: bool = True,
         cache_dir: Optional[str] = None,
         disk_cache: bool = True,
+        artifacts: bool = True,
         tracer=None,
         registry=None,
         recorder=None,
@@ -184,10 +185,14 @@ class BatchService:
         self._cache_enabled = cache
         self._cache_dir = cache_dir
         self._disk_cache = disk_cache
+        self._artifacts = artifacts
         # Inline-mode cache; pool workers each open their own (same
         # disk root, process-local memory tier).
         self.cache: Optional[CompileCache] = (
-            CompileCache(root=cache_dir, disk=disk_cache, registry=self.registry)
+            CompileCache(
+                root=cache_dir, disk=disk_cache, artifacts=artifacts,
+                registry=self.registry,
+            )
             if cache and self.jobs <= 1
             else None
         )
@@ -240,6 +245,7 @@ class BatchService:
             cache=self._cache_enabled,
             cache_dir=self._cache_dir,
             disk_cache=self._disk_cache,
+            artifacts=self._artifacts,
             trace=self.tracer.context() if self.tracer.enabled else None,
             registry=self.registry,
             recorder=self.recorder,

@@ -353,6 +353,7 @@ def serve_stdio(
     cache: bool = True,
     cache_dir: Optional[str] = None,
     disk_cache: bool = True,
+    artifacts: bool = True,
     metrics_out: Optional[str] = None,
     flight_dir: Optional[str] = None,
 ) -> int:
@@ -377,6 +378,7 @@ def serve_stdio(
         cache=cache,
         cache_dir=cache_dir,
         disk_cache=disk_cache,
+        artifacts=artifacts,
         registry=registry,
         flight_dir=flight_dir,
     ) as pool:

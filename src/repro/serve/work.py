@@ -200,6 +200,7 @@ def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
                 root=init.get("cache_dir"),
                 shards=shards,
                 disk=init.get("disk_cache", True),
+                artifacts=init.get("artifacts", True),
                 registry=registry,
             )
         else:
@@ -208,6 +209,7 @@ def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
             state["cache"] = CompileCache(
                 root=init.get("cache_dir"),
                 disk=init.get("disk_cache", True),
+                artifacts=init.get("artifacts", True),
                 registry=registry,
             )
     while True:

@@ -1,16 +1,36 @@
 """The virtual machine: an instruction-level simulator with stack-
 reference accounting, a load-latency cycle model, and the dynamic
-call-graph classifier behind Table 2."""
+call-graph classifier behind Table 2.
 
-from repro.vm.counters import Counters
-from repro.vm.callgraph import ActivationClassifier, CATEGORIES
-from repro.vm.machine import Machine, VMClosure, VMContinuation
+Exports resolve lazily (PEP 562): ``Machine`` lives in
+``repro.vm.machine``, which imports the trace compiler — but the
+runtime slice (``repro.vm.aotrt``, ``counters``, ``callgraph``) must
+be importable without dragging the compiler in, because AOT-emitted
+modules execute with no compiler in-process (see ``docs/aot.md``).
+"""
 
-__all__ = [
-    "Counters",
-    "ActivationClassifier",
-    "CATEGORIES",
-    "Machine",
-    "VMClosure",
-    "VMContinuation",
-]
+_EXPORTS = {
+    "Counters": "repro.vm.counters",
+    "ActivationClassifier": "repro.vm.callgraph",
+    "CATEGORIES": "repro.vm.callgraph",
+    "Machine": "repro.vm.machine",
+    "VMClosure": "repro.vm.machine",
+    "VMContinuation": "repro.vm.machine",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.vm' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,565 @@
+"""The AOT runtime: everything an emitted module needs, compiler-free.
+
+``repro aot build`` (:mod:`repro.vm.aotemit`) turns a compiled program
+into one generated Python module: traces become top-level functions,
+code objects become :class:`AotCode` instances, and the whole thing is
+importable and runnable with **no compiler in-process** — importing an
+emitted module must pull in only the runtime slice of the package
+(primitives, datums, counters, the activation classifier, and this
+module).  That constraint is why the VM's *runtime* value types live
+here and not in :mod:`repro.vm.machine`:
+
+* :class:`VMClosure`, :class:`VMContinuation`, :data:`POISON`, and
+  :class:`VMError` are defined here and re-exported by ``machine`` (its
+  import path stays the public one);
+* the stack-release policy constants (:data:`STACK_SHRINK_TRIGGER`
+  etc.) are defined here and shared by both trampolines, so the legacy
+  loop, the fast loop, and AOT execution stay observationally
+  indistinguishable;
+* the exit-kind and counter-accumulator constants mirror
+  ``repro.vm.blockcompile`` (which cannot be imported from here — it
+  would drag the compiler in); ``tests/vm/test_aot.py`` asserts the
+  two sets agree.
+
+:func:`run_program` is the AOT trampoline: byte-for-byte the fast
+loop's control-transfer semantics (``Machine._run_fast``), minus the
+lazy block compilation (blocks are prebuilt at import time) and the
+profiler hook (AOT runs are unprofiled), plus two extra exit kinds the
+emitter produces when ``vm/callgraph.py`` proves a call site's callee
+statically: :data:`K_CALL_DIRECT` and :data:`K_TAIL_DIRECT` skip the
+closure type test and arity check because the emitter already
+performed them at build time.  Counters, cycles, values, and output
+are bit-identical to both interpreted loops; the AOT equivalence suite
+asserts that over the benchsuite and a fuzz corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.values import OutputPort, SchemeError
+from repro.vm.callgraph import ActivationClassifier
+from repro.vm.counters import Counters
+
+# ---------------------------------------------------------------------------
+# Stack-release policy (the low-water-mark fix): at a return, when the
+# live prefix is below a quarter of capacity and capacity exceeds the
+# trigger, truncate to the live prefix + headroom (but never below the
+# floor).  Single source of truth for every dispatch loop — machine.py
+# re-exports these.
+
+STACK_SHRINK_TRIGGER = 8192
+STACK_MIN_CAPACITY = 4096
+STACK_HEADROOM = 256
+
+# Exit kinds, mirroring repro.vm.blockcompile (K_FALL..K_HALT) plus the
+# two AOT-only direct-call kinds the emitter produces.
+K_FALL = 0      # continue at `arg` (fallthrough, jump, or taken branch)
+K_CALL = 1      # non-tail call: `arg` is (argc, return_pc)
+K_TAIL = 2      # tail call: `arg` is argc
+K_CALLCC = 3    # continuation capture: `arg` is return_pc
+K_RET = 4       # procedure return
+K_HALT = 5      # program end
+K_CALL_DIRECT = 6   # proven call: `arg` is (AotCode, return_pc)
+K_TAIL_DIRECT = 7   # proven tail call: `arg` is AotCode
+
+# Counter-accumulator slots, mirroring repro.vm.blockcompile.
+ACC_PRIM = 0
+ACC_MOV = 1
+ACC_BRANCH = 2
+ACC_MISS = 3
+ACC_CALL = 4
+ACC_TAIL = 5
+ACC_CLO = 6
+ACC_CC_CAP = 7
+ACC_CC_INV = 8
+ACC_READS = 9
+ACC_WRITES = 14
+ACC_SIZE = 19
+
+
+class VMClosure:
+    scheme_procedure = True
+    __slots__ = ("code", "slots")
+
+    def __init__(self, code: Any, slots: List[Any]) -> None:
+        self.code = code
+        self.slots = slots
+
+    def __repr__(self) -> str:
+        return f"#<procedure {self.code.name}>"
+
+
+class VMContinuation:
+    scheme_procedure = True
+    __slots__ = ("snapshot", "sp", "code", "pc", "class_depth")
+
+    def __init__(
+        self,
+        snapshot: List[Any],
+        sp: int,
+        code: Any,
+        pc: int,
+        class_depth: int,
+    ) -> None:
+        self.snapshot = snapshot
+        self.sp = sp
+        self.code = code
+        self.pc = pc
+        self.class_depth = class_depth
+
+    def __repr__(self) -> str:
+        return "#<continuation>"
+
+
+class _Poison:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "#<uninitialized-frame-slot>"
+
+
+POISON = _Poison()
+
+
+class VMError(Exception):
+    """Internal VM invariant violation (not a Scheme error)."""
+
+
+# ---------------------------------------------------------------------------
+# The emitted module's object model.
+
+
+class AotCode:
+    """A procedure in an emitted module: the runtime slice of a
+    ``CodeObject`` (name for error messages, arity, frame size, the
+    classifier's two static flags) plus its prebuilt trace table.
+    ``blocks`` maps trace-leader pc -> ``(fn, exits)`` exactly like a
+    code object's ``fast_blocks`` list, but as a dict (emitted modules
+    only spell the leaders)."""
+
+    __slots__ = (
+        "name", "label", "nparams", "frame_size",
+        "syntactic_leaf", "always_calls", "blocks",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        label: str,
+        nparams: int,
+        frame_size: int,
+        syntactic_leaf: bool,
+        always_calls: bool,
+    ) -> None:
+        self.name = name
+        self.label = label
+        self.nparams = nparams
+        self.frame_size = frame_size
+        self.syntactic_leaf = syntactic_leaf
+        self.always_calls = always_calls
+        self.blocks: Dict[int, Tuple[Any, Any]] = {}
+
+    def __repr__(self) -> str:
+        return f"<AotCode {self.label}>"
+
+
+class AotProgram:
+    """The whole emitted program: entry point, register-file geometry,
+    cost-model scalars, and provenance (source cache key, config
+    fingerprint, emitter version) — everything :func:`run_program`
+    needs, baked at build time."""
+
+    __slots__ = (
+        "entry", "codes", "nregs", "a0", "ret", "cp", "rv",
+        "call_overhead", "predict", "penalty", "kind_names",
+        "direct_calls", "call_sites", "source_key", "fingerprint",
+        "version",
+    )
+
+    def __init__(
+        self,
+        entry: AotCode,
+        codes: Tuple[AotCode, ...],
+        nregs: int,
+        a0: Optional[int],
+        ret: int,
+        cp: int,
+        rv: int,
+        call_overhead: int,
+        predict: bool,
+        penalty: int,
+        kind_names: Tuple[str, ...],
+        direct_calls: int = 0,
+        call_sites: int = 0,
+        source_key: str = "",
+        fingerprint: str = "",
+        version: str = "",
+    ) -> None:
+        self.entry = entry
+        self.codes = codes
+        self.nregs = nregs
+        self.a0 = a0
+        self.ret = ret
+        self.cp = cp
+        self.rv = rv
+        self.call_overhead = call_overhead
+        self.predict = predict
+        self.penalty = penalty
+        self.kind_names = kind_names
+        self.direct_calls = direct_calls
+        self.call_sites = call_sites
+        self.source_key = source_key
+        self.fingerprint = fingerprint
+        self.version = version
+
+
+class AotResult:
+    """What one AOT run produced (the runtime analogue of
+    ``repro.pipeline.ExecutionResult``)."""
+
+    __slots__ = (
+        "value", "output", "counters", "classifier",
+        "stack_capacity", "stack_shrinks",
+    )
+
+    def __init__(self, value, output, counters, classifier,
+                 stack_capacity, stack_shrinks) -> None:
+        self.value = value
+        self.output = output
+        self.counters = counters
+        self.classifier = classifier
+        self.stack_capacity = stack_capacity
+        self.stack_shrinks = stack_shrinks
+
+
+def datum(text: str) -> Any:
+    """Parse one datum literal baked into an emitted module's const
+    pool (the emitter spells non-trivial immediates as their written
+    form; ``write_datum``/``read`` round-trip exactly)."""
+    from repro.sexp.reader import read
+
+    return read(text)
+
+
+# ---------------------------------------------------------------------------
+# The trampoline.
+
+
+def run_program(
+    program: AotProgram, max_instructions: Optional[int] = None
+) -> AotResult:
+    """Execute an emitted program; same observable semantics as
+    ``Machine._run_fast`` (which see), with direct-call exits taking
+    the proven path.  The instruction budget is checked per trace,
+    exactly like the fast loop."""
+    call_overhead = program.call_overhead
+    predict = program.predict
+    penalty = program.penalty
+    counters = Counters()
+    classifier = ActivationClassifier()
+    port = OutputPort()
+    a0 = program.a0
+    RET = program.ret
+    CP = program.cp
+    RV = program.rv
+    kind_names = program.kind_names
+    shrink_trigger = STACK_SHRINK_TRIGGER
+    min_capacity = STACK_MIN_CAPACITY
+    headroom = STACK_HEADROOM
+
+    regs: List[Any] = [None] * program.nregs
+    ready = [0] * program.nregs
+    stack: List[Any] = [None] * 256
+    cycle = 0
+    executed = 0
+    shrinks = 0
+    budget = max_instructions
+    if budget is None:
+        budget = 1 << 62
+
+    # Counter accumulators, one slot per ACC_* index.  AOT runs are
+    # unprofiled, so a single flush at the end conserves totals.
+    acc = [0] * ACC_SIZE
+
+    code = program.entry
+    frame_size = code.frame_size
+    blocks = code.blocks
+    pc = 0
+    sp = 0
+    result: Any = None
+    classifier.on_call(code)
+
+    limit = frame_size + 64
+    if limit >= len(stack):
+        stack.extend([None] * (limit - len(stack) + 256))
+
+    while True:
+        fn, exits = blocks[pc]
+        cycle, ex = fn(regs, ready, stack, sp, cycle, port)
+        kind, barg, nexec, counts, taken = exits[ex]
+        executed += nexec
+        if executed > budget:
+            raise VMError("instruction budget exceeded")
+        if counts:
+            for slot, delta in counts:
+                acc[slot] += delta
+        if taken:
+            if predict:
+                # Static prediction: fall-through (not-taken) is the
+                # predicted path.
+                acc[3] += 1
+                cycle += penalty
+
+        if kind == K_FALL:
+            pc = barg
+        elif kind == K_CALL_DIRECT:
+            # Emitter-proven call: the callee closure's code and arity
+            # were checked at build time, so no dynamic dispatch.
+            cycle += call_overhead
+            target, ret_pc = barg
+            regs[RET] = (code, ret_pc)
+            new_sp = sp + frame_size
+            limit = new_sp + target.frame_size + 64
+            if limit >= len(stack):
+                stack.extend([None] * (limit - len(stack) + 256))
+            sp = new_sp
+            classifier.on_call(target)
+            code = target
+            frame_size = target.frame_size
+            blocks = target.blocks
+            pc = 0
+        elif kind == K_TAIL_DIRECT:
+            cycle += call_overhead
+            target = barg
+            limit = sp + target.frame_size + 64
+            if limit >= len(stack):
+                stack.extend([None] * (limit - len(stack) + 256))
+            classifier.on_tail_call(target)
+            code = target
+            frame_size = target.frame_size
+            blocks = target.blocks
+            pc = 0
+        elif kind == K_CALL:
+            cycle += call_overhead
+            callee = regs[CP]
+            if type(callee) is VMClosure:
+                target = callee.code
+                if target.nparams != barg[0]:
+                    raise SchemeError(
+                        f"{target.name}: expected {target.nparams} "
+                        f"argument(s), got {barg[0]}"
+                    )
+                regs[RET] = (code, barg[1])
+                new_sp = sp + frame_size
+                limit = new_sp + target.frame_size + 64
+                if limit >= len(stack):
+                    stack.extend([None] * (limit - len(stack) + 256))
+                sp = new_sp
+                classifier.on_call(target)
+                code = target
+                frame_size = target.frame_size
+                blocks = target.blocks
+                pc = 0
+            elif type(callee) is VMContinuation:
+                if barg[0] != 1:
+                    raise SchemeError("continuation expects exactly 1 value")
+                if a0 is not None:
+                    value = regs[a0]
+                else:
+                    value = stack[sp + frame_size]
+                acc[8] += 1
+                classifier.unwind_to(callee.class_depth)
+                stack = list(callee.snapshot)
+                stack.extend([None] * 320)
+                sp = callee.sp
+                regs[RV] = value
+                ready[RV] = cycle
+                code = callee.code
+                frame_size = code.frame_size
+                blocks = code.blocks
+                pc = callee.pc
+            else:
+                raise SchemeError("attempt to apply a non-procedure", callee)
+        elif kind == K_RET:
+            addr = regs[RET]
+            if addr is None:
+                result = regs[RV]
+                classifier.finish()
+                break
+            ret_code, ret_pc = addr
+            old_sp = sp
+            sp -= ret_code.frame_size
+            if len(stack) > shrink_trigger and old_sp < len(stack) >> 2:
+                # Low-water mark: the live prefix ends at old_sp (the
+                # returning frame's base); everything above is dead.
+                new_len = old_sp + headroom
+                if new_len < min_capacity:
+                    new_len = min_capacity
+                del stack[new_len:]
+                shrinks += 1
+            classifier.on_return()
+            code = ret_code
+            frame_size = ret_code.frame_size
+            blocks = ret_code.blocks
+            pc = ret_pc
+        elif kind == K_TAIL:
+            cycle += call_overhead
+            callee = regs[CP]
+            if type(callee) is VMClosure:
+                target = callee.code
+                if target.nparams != barg:
+                    raise SchemeError(
+                        f"{target.name}: expected {target.nparams} "
+                        f"argument(s), got {barg}"
+                    )
+                limit = sp + target.frame_size + 64
+                if limit >= len(stack):
+                    stack.extend([None] * (limit - len(stack) + 256))
+                classifier.on_tail_call(target)
+                code = target
+                frame_size = target.frame_size
+                blocks = target.blocks
+                pc = 0
+            elif type(callee) is VMContinuation:
+                if barg != 1:
+                    raise SchemeError("continuation expects exactly 1 value")
+                if a0 is not None:
+                    value = regs[a0]
+                else:
+                    value = stack[sp]
+                acc[8] += 1
+                classifier.unwind_to(callee.class_depth)
+                stack = list(callee.snapshot)
+                stack.extend([None] * 320)
+                sp = callee.sp
+                regs[RV] = value
+                ready[RV] = cycle
+                code = callee.code
+                frame_size = code.frame_size
+                blocks = code.blocks
+                pc = callee.pc
+            else:
+                raise SchemeError("attempt to apply a non-procedure", callee)
+        elif kind == K_CALLCC:
+            cycle += call_overhead
+            callee = regs[CP]
+            if not (type(callee) is VMClosure):
+                raise SchemeError("call/cc: not a procedure", callee)
+            target = callee.code
+            if target.nparams != 1:
+                raise SchemeError(
+                    f"call/cc receiver {target.name} must take 1 argument"
+                )
+            new_sp = sp + frame_size
+            k = VMContinuation(
+                stack[:new_sp], sp, code, barg, len(classifier.stack)
+            )
+            regs[RET] = (code, barg)
+            limit = new_sp + target.frame_size + 64
+            if limit >= len(stack):
+                stack.extend([None] * (limit - len(stack) + 256))
+            if a0 is not None:
+                regs[a0] = k
+                ready[a0] = cycle
+            else:
+                stack[new_sp] = k
+                acc[ACC_WRITES + kind_names.index("arg")] += 1
+            sp = new_sp
+            classifier.on_call(target)
+            code = target
+            frame_size = target.frame_size
+            blocks = target.blocks
+            pc = 0
+        else:  # K_HALT
+            result = regs[RV]
+            classifier.finish()
+            break
+
+    # Flush the accumulators (identical slot layout to the fast loop).
+    if acc[0]:
+        counters.prim_calls += acc[0]
+    if acc[1]:
+        counters.moves += acc[1]
+    if acc[2]:
+        counters.branches += acc[2]
+    if acc[3]:
+        counters.mispredicts += acc[3]
+    if acc[4]:
+        counters.calls += acc[4]
+    if acc[5]:
+        counters.tail_calls += acc[5]
+    if acc[6]:
+        counters.closure_allocs += acc[6]
+    if acc[7]:
+        counters.continuations_captured += acc[7]
+    if acc[8]:
+        counters.continuations_invoked += acc[8]
+    reads = counters.stack_reads
+    writes = counters.stack_writes
+    for i, kind_name in enumerate(kind_names):
+        n = acc[ACC_READS + i]
+        if n:
+            reads[kind_name] = reads.get(kind_name, 0) + n
+        n = acc[ACC_WRITES + i]
+        if n:
+            writes[kind_name] = writes.get(kind_name, 0) + n
+    counters.instructions = executed
+    counters.cycles = cycle
+    return AotResult(
+        result, port.contents(), counters, classifier, len(stack), shrinks
+    )
+
+
+# ---------------------------------------------------------------------------
+# The emitted module's __main__ entry.
+
+
+def main(program: AotProgram, argv: Optional[List[str]] = None) -> int:
+    """CLI for an emitted module (``python whatever_aot.py [--json]``).
+    ``--json`` reports value/output/counters plus the list of loaded
+    ``repro.*`` modules, which the AOT smoke checks to prove the
+    compiler stayed out of the process."""
+    from repro.sexp.writer import write_datum
+
+    parser = argparse.ArgumentParser(
+        description=f"AOT-compiled repro program (source {program.source_key[:12]})"
+    )
+    parser.add_argument("--json", action="store_true", help="JSON report")
+    parser.add_argument(
+        "--max-instructions", type=int, default=None, metavar="N",
+        help="instruction budget",
+    )
+    args = parser.parse_args(argv)
+    try:
+        result = run_program(program, max_instructions=args.max_instructions)
+    except SchemeError as exc:
+        print(f"scheme error: {exc}", file=sys.stderr)
+        return 2
+    except VMError as exc:
+        print(f"vm error: {exc}", file=sys.stderr)
+        return 3
+    if args.json:
+        doc = {
+            "value": write_datum(result.value),
+            "output": result.output,
+            "counters": result.counters.as_dict(),
+            "activations": result.classifier.counts,
+            "direct_calls": program.direct_calls,
+            "call_sites": program.call_sites,
+            "fingerprint": program.fingerprint,
+            "version": program.version,
+            "repro_modules": sorted(
+                name for name in sys.modules
+                if name == "repro" or name.startswith("repro.")
+            ),
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        if result.output:
+            sys.stdout.write(result.output)
+        print(write_datum(result.value))
+    return 0

@@ -1,0 +1,267 @@
+"""Pickle-safe compiled-executable artifacts — the cache's second tier.
+
+The ISA tier of :mod:`repro.serve.cache` stores symbolic instruction
+lists, so every warm process still pays predecode + blockcompile
+before the fast path can run.  An *artifact* packs the derived
+executable state alongside the program, so a warm worker (or the TCP
+daemon) deserializes straight to runnable traces:
+
+* the pre-decoded int-opcode streams (``code.fast_instructions``),
+  with embedded primitive callables — nested closures, unpicklable —
+  replaced by their :data:`~repro.runtime.primitives.PRIMITIVES`
+  names and re-resolved on load;
+* each code object's generated trace module, stored as
+  ``marshal``-serialized Python code plus the trace records and the
+  (primitive-named) const pool, so loading is ``marshal.loads`` +
+  ``exec`` — no re-parse, no re-generation;
+* the :class:`~repro.backend.codegen.CompiledProgram` itself, pickled
+  in the *same* payload so the instruction streams and the program
+  share one object graph (``closure`` operands reference the very
+  ``CodeObject`` instances in ``compiled.codes``).
+
+**Versioning / invalidation.**  An artifact is valid only for exactly
+the build that wrote it.  The payload is framed
+``MAGIC + sha256(body) + body`` (corruption ⇒
+:class:`ArtifactCorrupt`) and stamps four invariants, checked on load
+(mismatch ⇒ :class:`ArtifactStale`):
+
+1. :data:`ARTIFACT_VERSION` — this module's format number;
+2. ``importlib.util.MAGIC_NUMBER`` — ``marshal`` bytecode is
+   interpreter-specific, so artifacts never cross Python versions;
+3. the package ``__version__``;
+4. the compiler-config fingerprint (when the caller supplies the
+   expected one).
+
+Every failure mode is a cache *miss*, never an error: the cache falls
+back to the ISA tier or a fresh compile and rewrites the artifact.
+See ``docs/aot.md`` for the format specification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import marshal
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.backend.codegen import CompiledProgram
+from repro.runtime.primitives import PRIMITIVES
+from repro.vm.blockcompile import build_trace_module, instantiate_blocks
+from repro.vm.predecode import (
+    OP_PRIM0,
+    OP_PRIM1,
+    OP_PRIM2,
+    OP_PRIM3,
+    OP_PRIMN,
+    OP_PRIMX,
+    predecode_code,
+)
+
+#: Artifact format number; bump on any layout change.
+ARTIFACT_VERSION = 1
+
+#: Artifact framing magic (the ISA tier uses ``RPC1``).
+MAGIC = b"RPA1"
+
+_DIGEST_LEN = hashlib.sha256(b"").digest_size
+
+_PRIM_OPS = frozenset((OP_PRIM0, OP_PRIM1, OP_PRIM2, OP_PRIM3, OP_PRIMN, OP_PRIMX))
+
+
+class ArtifactError(Exception):
+    """Base: this artifact cannot be used (always treated as a miss)."""
+
+
+class ArtifactCorrupt(ArtifactError):
+    """Framing, checksum, or decode damage — the entry is garbage."""
+
+
+class ArtifactStale(ArtifactError):
+    """A well-formed artifact from a different build (format, Python,
+    package version, or config fingerprint)."""
+
+
+def _prim_names() -> Dict[Any, str]:
+    """Reverse map: resolved primitive callable -> catalog name.
+    Primitive callables are per-process nested closures; the name is
+    the only stable cross-process identity."""
+    return {spec.fn: name for name, spec in PRIMITIVES.items()}
+
+
+def _pack_instrs(instrs, by_fn: Dict[Any, str]):
+    """Replace embedded primitive callables (operand 2 of every
+    ``prim*`` opcode) with their names; everything else in the coded
+    stream is picklable as-is."""
+    out: List[Tuple[Any, ...]] = []
+    for ins in instrs:
+        if ins[0] in _PRIM_OPS:
+            name = by_fn.get(ins[2])
+            if name is None:  # pragma: no cover - closed primitive set
+                raise ArtifactError(f"unregistered primitive in {ins!r}")
+            out.append((ins[0], ins[1], ("prim", name)) + tuple(ins[3:]))
+        else:
+            out.append(ins)
+    return tuple(out)
+
+
+def _unpack_instrs(packed):
+    prims = PRIMITIVES
+    out: List[Tuple[Any, ...]] = []
+    for ins in packed:
+        if ins[0] in _PRIM_OPS:
+            tag = ins[2]
+            if not (type(tag) is tuple and len(tag) == 2 and tag[0] == "prim"):
+                raise ArtifactCorrupt(f"malformed packed prim operand {tag!r}")
+            spec = prims.get(tag[1])
+            if spec is None:
+                raise ArtifactCorrupt(f"unknown primitive {tag[1]!r}")
+            out.append((ins[0], ins[1], spec.fn) + tuple(ins[3:]))
+        else:
+            out.append(ins)
+    return tuple(out)
+
+
+def _pack_consts(values: Dict[str, Any], by_fn: Dict[Any, str]):
+    """Const-pool bindings with primitive callables named; code
+    objects and datum immediates ride the shared pickle."""
+    packed = []
+    for name, value in values.items():
+        prim = by_fn.get(value) if callable(value) else None
+        if prim is not None:
+            packed.append((name, "prim", prim))
+        else:
+            packed.append((name, "obj", value))
+    return tuple(packed)
+
+
+def _unpack_consts(packed) -> Dict[str, Any]:
+    values: Dict[str, Any] = {}
+    for name, kind, payload in packed:
+        if kind == "prim":
+            spec = PRIMITIVES.get(payload)
+            if spec is None:
+                raise ArtifactCorrupt(f"unknown primitive {payload!r}")
+            values[name] = spec.fn
+        elif kind == "obj":
+            values[name] = payload
+        else:
+            raise ArtifactCorrupt(f"unknown const kind {kind!r}")
+    return values
+
+
+def build_artifact(compiled: CompiledProgram) -> bytes:
+    """Serialize *compiled* together with its derived executable state.
+
+    Builds (and, as a side effect, warms on the live program) every
+    code object's decoded stream and trace module.  The result is
+    self-contained: :func:`load_artifact` needs no compiler modules
+    beyond this one's imports.
+    """
+    cost_model = compiled.config.cost_model
+    cp_index = compiled.regfile.cp.index
+    by_fn = _prim_names()
+
+    payloads = []
+    for code in compiled.codes:
+        instrs = predecode_code(code)
+        tm = build_trace_module(code, cost_model, cp_index)
+        module_code = compile(tm.source, f"<blocks:{code.label}>", "exec")
+        if code.fast_blocks is None:
+            instantiate_blocks(code, module_code, tm.records, tm.const_values, tm.n)
+        payloads.append((
+            _pack_instrs(instrs, by_fn),
+            marshal.dumps(module_code),
+            tm.records,
+            _pack_consts(tm.const_values, by_fn),
+            tm.n,
+        ))
+
+    doc = {
+        "format": ARTIFACT_VERSION,
+        "py_magic": importlib.util.MAGIC_NUMBER,
+        "version": __version__,
+        "fingerprint": compiled.config.fingerprint(),
+        "program": compiled,
+        "codes": tuple(payloads),
+    }
+    # Strip the per-code caches for the pickle (they hold exec-compiled
+    # functions); the packed payloads above carry the same state in
+    # serializable form.
+    stashed = [
+        (code.fast_instructions, code.fast_blocks) for code in compiled.codes
+    ]
+    for code in compiled.codes:
+        code.fast_instructions = None
+        code.fast_blocks = None
+    try:
+        body = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        for code, (fast, blocks) in zip(compiled.codes, stashed):
+            code.fast_instructions = fast
+            code.fast_blocks = blocks
+    return MAGIC + hashlib.sha256(body).digest() + body
+
+
+def load_artifact(
+    data: bytes, expected_fingerprint: Optional[str] = None
+) -> CompiledProgram:
+    """Inverse of :func:`build_artifact`: validate, unpickle, and
+    attach the executable state.  Raises :class:`ArtifactCorrupt` on
+    damage and :class:`ArtifactStale` on any version/fingerprint skew;
+    callers treat both as a miss."""
+    header = len(MAGIC) + _DIGEST_LEN
+    if len(data) < header or data[: len(MAGIC)] != MAGIC:
+        raise ArtifactCorrupt("bad artifact header")
+    digest = data[len(MAGIC) : header]
+    body = data[header:]
+    if hashlib.sha256(body).digest() != digest:
+        raise ArtifactCorrupt("checksum mismatch")
+    try:
+        doc = pickle.loads(body)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure is corruption
+        raise ArtifactCorrupt(f"unpicklable body: {exc}") from exc
+    if not isinstance(doc, dict) or "program" not in doc:
+        raise ArtifactCorrupt("unexpected payload shape")
+    if doc.get("format") != ARTIFACT_VERSION:
+        raise ArtifactStale(
+            f"artifact format {doc.get('format')!r} != {ARTIFACT_VERSION}"
+        )
+    if doc.get("py_magic") != importlib.util.MAGIC_NUMBER:
+        raise ArtifactStale("bytecode magic mismatch (different Python)")
+    if doc.get("version") != __version__:
+        raise ArtifactStale(
+            f"package version {doc.get('version')!r} != {__version__!r}"
+        )
+    if (
+        expected_fingerprint is not None
+        and doc.get("fingerprint") != expected_fingerprint
+    ):
+        raise ArtifactStale("config fingerprint mismatch")
+
+    compiled = doc["program"]
+    if not isinstance(compiled, CompiledProgram):
+        raise ArtifactCorrupt(
+            f"unexpected program type {type(compiled).__name__}"
+        )
+    payloads = doc.get("codes")
+    if not isinstance(payloads, tuple) or len(payloads) != len(compiled.codes):
+        raise ArtifactCorrupt("code payload count mismatch")
+    try:
+        for code, (packed, module_bytes, records, consts, n) in zip(
+            compiled.codes, payloads
+        ):
+            code.fast_instructions = _unpack_instrs(packed)
+            try:
+                module_code = marshal.loads(module_bytes)
+            except Exception as exc:  # noqa: BLE001 - marshal damage
+                raise ArtifactCorrupt(f"bad trace bytecode: {exc}") from exc
+            instantiate_blocks(
+                code, module_code, records, _unpack_consts(consts), n
+            )
+    except ArtifactError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - malformed payload shapes
+        raise ArtifactCorrupt(f"malformed artifact payload: {exc}") from exc
+    return compiled

@@ -557,17 +557,42 @@ class _TraceWriter:
         return "\n".join(self.lines)
 
 
-def _build_trace(start, instrs, n, leader_set, pending, wtr):
+#: Register-writing opcodes whose destination is operand 1 — the set
+#: the static-callee tracker must watch for CP clobbers.
+_DST_OPS = frozenset((
+    OP_LD, OP_MOV, OP_LI, OP_PRIM0, OP_PRIM1, OP_PRIM2, OP_PRIM3,
+    OP_PRIMN, OP_PRIMX, OP_CLO_REF, OP_CLOSURE, OP_CLO_ALLOC, OP_LD_OUT,
+))
+
+
+def _build_trace(
+    start, instrs, n, leader_set, pending, wtr, callees=None, slot_env=None
+):
     """Emit one trace into *wtr*; returns its exit table.
 
     Exits are ``(kind, arg, nexec, counts, taken)``: the trampoline
     action, its argument, the exact number of instructions executed
     when leaving through this exit, the counter deltas accumulated by
     then, and whether the exit is a taken conditional branch (for
-    mispredict accounting)."""
+    mispredict accounting).
+
+    When *callees* (a dict) is given, the builder additionally tracks
+    which registers provably hold a closure of a statically-known
+    ``CodeObject`` along the trace's fall-through path:
+    ``closure``/``clo_alloc`` establish one, ``mov`` propagates,
+    ``clo_ref`` consults *slot_env* (this code's proven closure-slot
+    contents from :func:`repro.vm.callgraph.closure_slot_callees`),
+    and every other register write clobbers.  Each call/tail-call exit
+    records the proven callee of the closure-pointer register (or
+    None) under ``(start, exit_index)`` — the AOT emitter collapses
+    those sites into direct calls (see :mod:`repro.vm.aotemit`); the
+    in-process trampoline ignores them.
+    """
     exits: List[Tuple[int, Any, int, Tuple[Tuple[int, int], ...], bool]] = []
     ninstr = 0
     pc = start
+    cp = wtr.cp
+    defs: Dict[int, Any] = {}  # register -> statically proven CodeObject
     while True:
         if pc >= n:
             # Run off the end: exit to pc n, where the trampoline's
@@ -586,6 +611,7 @@ def _build_trace(start, instrs, n, leader_set, pending, wtr):
             if op == OP_LDBRF or op == OP_LDBRT:
                 wtr.emit((OP_LD, ins[1], ins[2], ins[3]))
                 ninstr += 1
+                defs.pop(ins[1], None)
                 src, target = ins[1], ins[4]
                 negate = op == OP_LDBRT
             else:
@@ -622,6 +648,8 @@ def _build_trace(start, instrs, n, leader_set, pending, wtr):
             wtr.count(ACC_CALL)
             exits.append((K_CALL, (ins[1], pc + 1), ninstr, wtr.snapshot(), False))
             wtr.return_exit(len(exits) - 1)
+            if callees is not None:
+                callees[(start, len(exits) - 1)] = defs.get(cp)
             break
         elif op == OP_TAILCALL:
             ninstr += 1
@@ -629,6 +657,8 @@ def _build_trace(start, instrs, n, leader_set, pending, wtr):
             wtr.count(ACC_TAIL)
             exits.append((K_TAIL, ins[1], ninstr, wtr.snapshot(), False))
             wtr.return_exit(len(exits) - 1)
+            if callees is not None:
+                callees[(start, len(exits) - 1)] = defs.get(cp)
             break
         elif op == OP_CALLCC:
             ninstr += 1
@@ -654,8 +684,123 @@ def _build_trace(start, instrs, n, leader_set, pending, wtr):
             for comp in _expand(ins):
                 wtr.emit(comp)
                 ninstr += 1
+                cop = comp[0]
+                if cop == OP_CLOSURE or cop == OP_CLO_ALLOC:
+                    defs[comp[1]] = comp[2]
+                elif cop == OP_MOV:
+                    value = defs.get(comp[2])
+                    if value is None:
+                        defs.pop(comp[1], None)
+                    else:
+                        defs[comp[1]] = value
+                elif cop == OP_CLO_REF:
+                    value = slot_env.get(comp[2]) if slot_env else None
+                    if value is None:
+                        defs.pop(comp[1], None)
+                    else:
+                        defs[comp[1]] = value
+                elif cop in _DST_OPS:
+                    defs.pop(comp[1], None)
             pc += 1
     return exits
+
+
+class TraceModule:
+    """One code object's generated trace module, before instantiation:
+    the source text, the trace records (``(start, fn_name, exits)``),
+    the const-pool bindings the source references, and — when built
+    with ``track_callees`` — the statically-proven callee map.  This
+    is the unit the artifact cache persists (source is re-``compile``-
+    able, consts are picklable once primitives are named; see
+    :mod:`repro.vm.artifact`) and the AOT emitter splices into a
+    whole-program module (:mod:`repro.vm.aotemit`)."""
+
+    __slots__ = ("n", "records", "source", "const_values", "callees")
+
+    def __init__(self, n, records, source, const_values, callees) -> None:
+        self.n = n
+        self.records = records
+        self.source = source
+        self.const_values = const_values
+        self.callees = callees
+
+
+def build_trace_module(
+    code,
+    cost_model,
+    cp_index: int,
+    name_prefix: str = "_b",
+    consts: Optional[_ConstPool] = None,
+    track_callees: bool = False,
+    slot_env: Optional[Dict[int, Any]] = None,
+) -> TraceModule:
+    """Generate (without executing) one code object's trace module.
+
+    *name_prefix* namespaces the trace function names (the AOT emitter
+    packs every code object's traces into one module); *consts* lets
+    callers share a const pool across code objects the same way.
+    *slot_env* (with ``track_callees``) is this code's proven
+    closure-slot contents — see
+    :func:`repro.vm.callgraph.closure_slot_callees`.
+    """
+    instrs = predecode_code(code)
+    n = len(instrs)
+    leaders = _find_leaders(instrs)
+    leader_set = set(leaders)
+    pending = list(leaders)
+    if consts is None:
+        consts = _ConstPool()
+    load_latency = cost_model.load_latency
+    store_extra = cost_model.store_cost - 1
+    callees: Optional[Dict[Tuple[int, int], Any]] = (
+        {} if track_callees else None
+    )
+
+    sources: List[str] = []
+    records: List[Tuple[int, str, Any]] = []
+    built = set()
+    while pending:
+        start = pending.pop()
+        if start in built:
+            continue
+        built.add(start)
+        name = f"{name_prefix}{start}"
+        wtr = _TraceWriter(name, consts, cp_index, load_latency, store_extra)
+        exits = _build_trace(
+            start, instrs, n, leader_set, pending, wtr, callees, slot_env
+        )
+        sources.append(wtr.source())
+        records.append((start, name, tuple(exits)))
+
+    return TraceModule(
+        n, tuple(records), "\n\n".join(sources), consts.values, callees
+    )
+
+
+def base_namespace() -> Dict[str, Any]:
+    """The names every generated trace references beyond its consts."""
+    from repro.vm.aotrt import VMClosure
+
+    return {
+        "VMClosure": VMClosure,
+        "Pair": Pair,
+        "NIL": NIL,
+        "UNSPECIFIED": UNSPECIFIED,
+    }
+
+
+def instantiate_blocks(code, module_code, records, const_values, n):
+    """Execute a compiled trace module and assemble (and cache on
+    ``code.fast_blocks``) the pc-indexed block table."""
+    namespace = base_namespace()
+    namespace.update(const_values)
+    exec(module_code, namespace)  # noqa: S102 - trusted generated code
+
+    blocks: List[Optional[Tuple[Any, Any]]] = [None] * n
+    for start, name, exits in records:
+        blocks[start] = (namespace[name], exits)
+    code.fast_blocks = blocks
+    return blocks
 
 
 def compile_blocks(code, cost_model, cp_index: int, dump=None):
@@ -667,47 +812,8 @@ def compile_blocks(code, cost_model, cp_index: int, dump=None):
     called with the full generated module source (for debugging and
     documentation; nothing else keeps it).
     """
-    from repro.vm.machine import VMClosure  # deferred: machine imports us
-
-    instrs = predecode_code(code)
-    n = len(instrs)
-    leaders = _find_leaders(instrs)
-    leader_set = set(leaders)
-    pending = list(leaders)
-    consts = _ConstPool()
-    load_latency = cost_model.load_latency
-    store_extra = cost_model.store_cost - 1
-
-    sources: List[str] = []
-    records: List[Tuple[int, str, Any]] = []
-    built = set()
-    while pending:
-        start = pending.pop()
-        if start in built:
-            continue
-        built.add(start)
-        name = f"_b{start}"
-        wtr = _TraceWriter(name, consts, cp_index, load_latency, store_extra)
-        exits = _build_trace(start, instrs, n, leader_set, pending, wtr)
-        sources.append(wtr.source())
-        records.append((start, name, tuple(exits)))
-
-    module_source = "\n\n".join(sources)
+    tm = build_trace_module(code, cost_model, cp_index)
     if dump is not None:
-        dump(module_source)
-    namespace: Dict[str, Any] = {
-        "VMClosure": VMClosure,
-        "Pair": Pair,
-        "NIL": NIL,
-        "UNSPECIFIED": UNSPECIFIED,
-    }
-    namespace.update(consts.values)
-    exec(  # noqa: S102 - generated from the trusted coded stream
-        compile(module_source, f"<blocks:{code.label}>", "exec"), namespace
-    )
-
-    blocks: List[Optional[Tuple[Any, Any]]] = [None] * n
-    for start, name, exits in records:
-        blocks[start] = (namespace[name], exits)
-    code.fast_blocks = blocks
-    return blocks
+        dump(tm.source)
+    module_code = compile(tm.source, f"<blocks:{code.label}>", "exec")
+    return instantiate_blocks(code, module_code, tm.records, tm.const_values, tm.n)

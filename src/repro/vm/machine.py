@@ -48,10 +48,22 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
-from repro.astnodes import CodeObject
 from repro.backend.codegen import CompiledProgram
 from repro.runtime.primitives import PRIMITIVES
 from repro.runtime.values import OutputPort, SchemeError
+
+# The VM's runtime value types and the stack-release policy constants
+# live in repro.vm.aotrt (the compiler-free runtime slice shared with
+# AOT-emitted modules); this module remains their public import path.
+from repro.vm.aotrt import (  # noqa: F401 - re-exported public API
+    POISON,
+    STACK_HEADROOM,
+    STACK_MIN_CAPACITY,
+    STACK_SHRINK_TRIGGER,
+    VMClosure,
+    VMContinuation,
+    VMError,
+)
 from repro.vm.blockcompile import (
     ACC_READS,
     ACC_SIZE,
@@ -66,63 +78,6 @@ from repro.vm.blockcompile import (
 from repro.vm.callgraph import ActivationClassifier
 from repro.vm.counters import Counters
 from repro.vm.predecode import KIND_INDEX, KIND_NAMES
-
-# Stack-release policy (the low-water-mark fix): at a return, when the
-# live prefix is below a quarter of capacity and capacity exceeds the
-# trigger, truncate to the live prefix + headroom (but never below the
-# floor).  Thresholds are deliberately identical in both loops so the
-# two modes stay observationally indistinguishable.
-STACK_SHRINK_TRIGGER = 8192
-STACK_MIN_CAPACITY = 4096
-STACK_HEADROOM = 256
-
-
-class VMClosure:
-    scheme_procedure = True
-    __slots__ = ("code", "slots")
-
-    def __init__(self, code: CodeObject, slots: List[Any]) -> None:
-        self.code = code
-        self.slots = slots
-
-    def __repr__(self) -> str:
-        return f"#<procedure {self.code.name}>"
-
-
-class VMContinuation:
-    scheme_procedure = True
-    __slots__ = ("snapshot", "sp", "code", "pc", "class_depth")
-
-    def __init__(
-        self,
-        snapshot: List[Any],
-        sp: int,
-        code: CodeObject,
-        pc: int,
-        class_depth: int,
-    ) -> None:
-        self.snapshot = snapshot
-        self.sp = sp
-        self.code = code
-        self.pc = pc
-        self.class_depth = class_depth
-
-    def __repr__(self) -> str:
-        return "#<continuation>"
-
-
-class _Poison:
-    __slots__ = ()
-
-    def __repr__(self) -> str:
-        return "#<uninitialized-frame-slot>"
-
-
-POISON = _Poison()
-
-
-class VMError(Exception):
-    """Internal VM invariant violation (not a Scheme error)."""
 
 
 class Machine:

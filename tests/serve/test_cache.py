@@ -93,6 +93,8 @@ FIELD_MUTATIONS = {
     "branch_prediction": "static-calls",
     "trace": "all",
     "vm_fast": False,
+    "artifact_cache": False,
+    "aot_direct_calls": False,
     "cost_model": CostModel(load_latency=5),
 }
 
@@ -218,8 +220,10 @@ def test_hit_matches_fresh_compile(tmp_path):
 
 
 def test_disk_hit_survives_new_process_object(tmp_path):
-    CompileCache(root=str(tmp_path)).compile(TAK, CompilerConfig())
-    fresh_cache = CompileCache(root=str(tmp_path))
+    # artifacts=False pins this to the ISA tier; the artifact tier's
+    # process-survival behaviour is tested in tests/vm/test_artifact.py.
+    CompileCache(root=str(tmp_path), artifacts=False).compile(TAK, CompilerConfig())
+    fresh_cache = CompileCache(root=str(tmp_path), artifacts=False)
     compiled, hit = fresh_cache.compile(TAK, CompilerConfig())
     assert hit
     assert fresh_cache.stats.disk_hits == 1
@@ -233,41 +237,46 @@ def test_config_spread_gets_distinct_entries(tmp_path):
     for param in CONFIG_SPREAD:
         _, hit = cache.compile(TAK, param.values[0])
         assert not hit
-    assert cache.disk_usage()[0] == len(CONFIG_SPREAD)
+    assert len(cache.entries(tier="objects")) == len(CONFIG_SPREAD)
+    # Every vm_fast config also wrote an executable artifact.
+    fast = sum(1 for p in CONFIG_SPREAD if p.values[0].vm_fast)
+    assert len(cache.entries(tier="artifacts")) == fast
 
 
 def test_corrupted_entry_is_a_miss_not_a_crash(tmp_path):
-    cache = CompileCache(root=str(tmp_path))
+    cache = CompileCache(root=str(tmp_path), artifacts=False)
     cache.compile(TAK, CompilerConfig())
     (entry,) = cache.entries()
     with open(entry.path, "wb") as handle:
         handle.write(b"garbage")
-    fresh = CompileCache(root=str(tmp_path))
+    fresh = CompileCache(root=str(tmp_path), artifacts=False)
     compiled, hit = fresh.compile(TAK, CompilerConfig())
     assert not hit
     assert fresh.stats.corruptions == 1
     # The bad entry was discarded and rewritten; next time hits.
-    _, hit2 = CompileCache(root=str(tmp_path)).compile(TAK, CompilerConfig())
+    _, hit2 = CompileCache(root=str(tmp_path), artifacts=False).compile(
+        TAK, CompilerConfig()
+    )
     assert hit2
     assert compiled.total_instructions() > 0
 
 
 def test_truncated_entry_is_a_miss(tmp_path):
-    cache = CompileCache(root=str(tmp_path))
+    cache = CompileCache(root=str(tmp_path), artifacts=False)
     cache.compile(TAK, CompilerConfig())
     (entry,) = cache.entries()
     with open(entry.path, "rb") as handle:
         data = handle.read()
     with open(entry.path, "wb") as handle:
         handle.write(data[: len(data) // 3])
-    fresh = CompileCache(root=str(tmp_path))
+    fresh = CompileCache(root=str(tmp_path), artifacts=False)
     _, hit = fresh.compile(TAK, CompilerConfig())
     assert not hit
     assert fresh.stats.corruptions == 1
 
 
 def test_memory_lru_evicts_oldest(tmp_path):
-    cache = CompileCache(root=str(tmp_path), memory_entries=2)
+    cache = CompileCache(root=str(tmp_path), memory_entries=2, artifacts=False)
     sources = ["(+ 1 1)", "(+ 2 2)", "(+ 3 3)"]
     for source in sources:
         cache.compile(source, CompilerConfig())
@@ -288,7 +297,7 @@ def test_memory_only_mode_touches_no_disk(tmp_path, monkeypatch):
 
 
 def test_gc_evicts_lru_first(tmp_path):
-    cache = CompileCache(root=str(tmp_path))
+    cache = CompileCache(root=str(tmp_path), artifacts=False)
     sources = ["(+ 1 1)", "(+ 2 2)", "(+ 3 3)"]
     for source in sources:
         cache.compile(source, CompilerConfig())
@@ -311,7 +320,8 @@ def test_gc_max_bytes(tmp_path):
 def test_clear_invalidates_everything(tmp_path):
     cache = CompileCache(root=str(tmp_path))
     cache.compile("(+ 1 2)", CompilerConfig())
-    assert cache.clear() == 1
+    # clear drops both tiers: the ISA entry and its artifact.
+    assert cache.clear() == 2
     assert cache.disk_usage() == (0, 0)
     _, hit = cache.compile("(+ 1 2)", CompilerConfig())
     assert not hit
@@ -329,14 +339,14 @@ def test_default_cache_dir_honours_env(monkeypatch):
 
 
 def test_verify_scans_and_removes_corrupt_entries(tmp_path):
-    cache = CompileCache(root=str(tmp_path))
+    cache = CompileCache(root=str(tmp_path), artifacts=False)
     cache.compile(TAK, CompilerConfig())
     cache.compile("(+ 1 2)", CompilerConfig())
     entries = cache.entries()
     with open(entries[0].path, "wb") as handle:
         handle.write(b"garbage")
 
-    fresh = CompileCache(root=str(tmp_path))
+    fresh = CompileCache(root=str(tmp_path), artifacts=False)
     report = fresh.verify()
     assert report["scanned"] == 2
     assert report["ok"] == 1

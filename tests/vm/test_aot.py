@@ -1,0 +1,163 @@
+"""The AOT emitter: equivalence, direct-call collapse, and purity.
+
+An emitted module's whole claim is *exact conservation*: value, output,
+instruction/cycle counters, and activation classification must be
+bit-identical to both in-process loops, while the executing process
+never imports the compiler.  The equivalence half mirrors
+``test_predecode_equiv`` (benchsuite + fuzz programs); the purity half
+runs an emitted module in a subprocess and inspects which ``repro``
+modules actually loaded.
+"""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.vm.aotrt as aotrt
+import repro.vm.blockcompile as blockcompile
+from repro.benchsuite.programs import BENCHMARKS
+from repro.config import CompilerConfig
+from repro.errors import CompilerError
+from repro.fuzz.genprog import generate_program
+from repro.pipeline import compile_source, run_compiled
+from repro.runtime.values import SchemeError
+from repro.sexp.writer import write_datum
+from repro.vm.machine import VMError
+from repro.vm.aotemit import EmitInfo, emit_module, emit_module_info
+from repro.vm.predecode import KIND_NAMES
+
+BENCH_NAMES = sorted(n for n, b in BENCHMARKS.items() if not b.heavy)
+
+FUZZ_SEED = 20260808
+FUZZ_COUNT = 25
+
+#: Modules whose presence in an emitted module's process would mean
+#: the compiler leaked into the runtime slice.
+COMPILER_MODULES = (
+    "repro.pipeline",
+    "repro.frontend",
+    "repro.alloc",
+    "repro.backend",
+    "repro.vm.predecode",
+    "repro.vm.blockcompile",
+    "repro.vm.machine",
+    "repro.vm.aotemit",
+    "repro.serve",
+)
+
+
+def _import_emitted(source: str, tmp_path, name: str):
+    path = os.path.join(str(tmp_path), f"{name}.py")
+    with open(path, "w") as handle:
+        handle.write(source)
+    spec = importlib.util.spec_from_file_location(f"aot_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def assert_aot_equivalent(compiled, tmp_path, name):
+    reference = run_compiled(compiled)
+    module = _import_emitted(emit_module(compiled, name), tmp_path, name)
+    result = module.run()
+    assert write_datum(result.value) == write_datum(reference.value)
+    assert result.output == reference.output
+    assert result.counters.as_dict() == reference.counters.as_dict()
+    assert result.classifier.counts == reference.classifier.counts
+
+
+@pytest.mark.parametrize("name", BENCH_NAMES)
+def test_benchmark_aot_equivalence(name, tmp_path):
+    compiled = compile_source(BENCHMARKS[name].source)
+    assert_aot_equivalent(compiled, tmp_path, name.replace("-", "_"))
+
+
+@pytest.mark.parametrize("index", range(FUZZ_COUNT))
+def test_fuzz_aot_equivalence(index, tmp_path):
+    program = generate_program(FUZZ_SEED, index)
+    try:
+        compiled = compile_source(program.source)
+        reference = run_compiled(compiled)
+    except (CompilerError, SchemeError, VMError) as exc:
+        pytest.skip(f"generated program does not run cleanly: {exc}")
+    module = _import_emitted(
+        emit_module(compiled, f"fuzz-{index}"), tmp_path, f"fuzz_{index}"
+    )
+    result = module.run()
+    assert write_datum(result.value) == write_datum(reference.value)
+    assert result.output == reference.output
+    assert result.counters.as_dict() == reference.counters.as_dict()
+
+
+def test_direct_call_collapse_fires_for_tak(tmp_path):
+    compiled = compile_source(BENCHMARKS["tak"].source)
+    info = EmitInfo(0, 0, 0, 0)
+    emit_module_info(compiled, "tak", info)
+    assert info.call_sites > 0
+    assert 0 < info.direct_calls <= info.call_sites
+    # And collapsing must not change behaviour (the no-collapse module
+    # is the control).
+    plain = compile_source(
+        BENCHMARKS["tak"].source, CompilerConfig(aot_direct_calls=False)
+    )
+    control = EmitInfo(0, 0, 0, 0)
+    source = emit_module_info(plain, "tak", control)
+    assert control.direct_calls == 0
+    module = _import_emitted(source, tmp_path, "tak_dynamic")
+    result = module.run()
+    reference = run_compiled(compiled)
+    assert write_datum(result.value) == write_datum(reference.value)
+    assert result.counters.as_dict() == reference.counters.as_dict()
+
+
+def test_emitted_module_runs_without_compiler(tmp_path):
+    """The purity claim, checked end to end: a fresh interpreter runs
+    the emitted module and reports which repro modules were loaded."""
+    compiled = compile_source(BENCHMARKS["tak"].source)
+    path = os.path.join(str(tmp_path), "tak_aot.py")
+    with open(path, "w") as handle:
+        handle.write(emit_module(compiled, "tak"))
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(aotrt.__file__)))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, path, "--json"],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    doc = json.loads(proc.stdout)
+    reference = run_compiled(compiled)
+    assert doc["value"] == write_datum(reference.value)
+    assert doc["counters"] == reference.counters.as_dict()
+    loaded = doc["repro_modules"]
+    assert "repro.vm.aotrt" in loaded
+    for banned in COMPILER_MODULES:
+        hits = [m for m in loaded if m == banned or m.startswith(banned + ".")]
+        assert not hits, f"compiler module leaked into the AOT runtime: {hits}"
+
+
+def test_runtime_constants_stay_in_sync():
+    """``aotrt`` duplicates the trace-protocol constants so emitted
+    modules never import the compiler; this pins the two copies (and
+    the kind-name table the counters use) together."""
+    for name in (
+        "K_FALL", "K_CALL", "K_TAIL", "K_CALLCC", "K_RET", "K_HALT",
+        "ACC_PRIM", "ACC_MOV", "ACC_BRANCH", "ACC_MISS", "ACC_CALL",
+        "ACC_TAIL", "ACC_CLO", "ACC_CC_CAP", "ACC_CC_INV",
+        "ACC_READS", "ACC_WRITES", "ACC_SIZE",
+    ):
+        assert getattr(aotrt, name) == getattr(blockcompile, name), name
+    # The direct kinds exist only on the AOT side, above the shared ones.
+    assert aotrt.K_CALL_DIRECT == aotrt.K_HALT + 1
+    assert aotrt.K_TAIL_DIRECT == aotrt.K_HALT + 2
+    assert tuple(KIND_NAMES) == ("save", "restore", "spill", "arg", "temp")
