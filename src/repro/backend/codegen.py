@@ -37,6 +37,7 @@ from repro.astnodes import (
     Seq,
     Var,
 )
+from repro.backend.isa import PERMI_MAX
 from repro.config import CompilerConfig
 from repro.core.allocator import ProgramAllocation
 from repro.core.liveness import CodeAllocation
@@ -806,6 +807,28 @@ class _CodeGenerator:
                 self.emit("ld", item.target.index, slots[item.index].index, "temp")
                 self.temp_slots.release(slots.pop(item.index))
                 mark_written(item.target)
+            elif kind == "permute":
+                # item is the tuple of cycle items in chain order: each
+                # one's value is the old content of the next one's
+                # target, so listing the targets in this order makes
+                # the whole cycle one left-rotation (permopt only).
+                self.reserved = outer_reserved | targets
+                for it in item:
+                    # Reload any stale participant into its home
+                    # register: the permutation rearranges current
+                    # register contents.
+                    self.use_var(it.expr.var)
+                cycle_regs = [it.target.index for it in item]
+                i = 0
+                while i < len(cycle_regs) - 1:
+                    group = cycle_regs[i : i + PERMI_MAX]
+                    if len(group) == 2:
+                        self.emit("swap", group[0], group[1])
+                    else:
+                        self.emit("permi", list(group))
+                    i += len(group) - 1
+                for it in item:
+                    mark_written(it.target)
             else:  # pragma: no cover - plan kinds are closed
                 raise CompilerError(f"unknown shuffle step {kind}")
         self.reserved = outer_reserved

@@ -14,6 +14,8 @@ op            operands                                   effect
 ============  =========================================  =============
 ``li``        dst, value                                 dst <- constant
 ``mov``       dst, src                                   dst <- src
+``swap``      ra, rb                                     ra <-> rb
+``permi``     (r0, ..., rk-1)                            left-rotate registers
 ``ld``        dst, slot, kind                            dst <- stack[sp+slot]
 ``st``        slot, src, kind                            stack[sp+slot] <- src
 ``st_out``    offset, src, kind                          stack[sp+frame+offset] <- src
@@ -40,6 +42,8 @@ from typing import Any, List
 OPCODES = (
     "li",
     "mov",
+    "swap",
+    "permi",
     "ld",
     "st",
     "st_out",
@@ -57,6 +61,11 @@ OPCODES = (
     "return",
     "halt",
 )
+
+#: Widest register list one ``permi`` accepts.  Longer cycles are
+#: decomposed into overlap-by-one rotations (a k-cycle needs
+#: ceil((k-1)/(PERMI_MAX-1)) permutation instructions).
+PERMI_MAX = 4
 
 # Stack-reference kinds, for the Table 3 accounting.
 STACK_KINDS = (
@@ -94,6 +103,22 @@ ISA_SPEC = (
         "cycles": "1",
         "counters": "moves +1",
         "fused": "movm (move chain)",
+    },
+    {
+        "op": "swap",
+        "operands": "ra, rb",
+        "effect": "ra ↔ rb",
+        "cycles": "1",
+        "counters": "swaps +1",
+        "fused": "—",
+    },
+    {
+        "op": "permi",
+        "operands": "(r0, ..., rk-1)",
+        "effect": "left-rotate: r_i ← old r_(i+1), r_(k-1) ← old r_0",
+        "cycles": "1",
+        "counters": "swaps +1",
+        "fused": "—",
     },
     {
         "op": "ld",
@@ -342,6 +367,10 @@ def format_instruction(instr: List[Any], regnames: List[str]) -> str:
         return f"li {reg(instr[1])}, {instr[2]!r}"
     if op == "mov":
         return f"mov {reg(instr[1])}, {reg(instr[2])}"
+    if op == "swap":
+        return f"swap {reg(instr[1])}, {reg(instr[2])}"
+    if op == "permi":
+        return "permi (" + ", ".join(reg(r) for r in instr[1]) + ")"
     if op == "ld":
         return f"ld {reg(instr[1])}, fv{instr[2]}  ; {instr[3]}"
     if op == "st":

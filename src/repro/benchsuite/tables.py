@@ -21,6 +21,9 @@ Experiment index (see DESIGN.md §3):
 * :func:`save_placement_ablation`      — §2.1 simple vs revised algorithm
 * :func:`allocator_ablation`           — lazy vs linear scan vs graph
   coloring under the shared save/restore/shuffle machinery
+* :func:`shuffle_study`                — greedy vs exhaustive-optimal vs
+  permutation-instruction (``permopt``) shuffle codegen over the
+  benchsuite and a shuffle-heavy fuzz corpus
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from repro.benchsuite.programs import BENCHMARKS, get_benchmark
 from repro.benchsuite.runner import run_benchmark
 from repro.config import CompilerConfig, CostModel
 from repro.core.shuffle import dependency_edges, minimum_evictions
-from repro.pipeline import CompileTimes, compile_source
+from repro.pipeline import CompileTimes, compile_source, run_compiled
 from repro.vm.callgraph import CATEGORIES
 
 # The paper's table rows: the Gabriel suite plus the application-scale
@@ -475,6 +478,7 @@ def allocator_ablation(
             row[f"{allocator}-saves"] = counters.saves
             row[f"{allocator}-restores"] = counters.restores
             row[f"{allocator}-moves"] = counters.moves
+            row[f"{allocator}-swaps"] = counters.swaps
             row[f"{allocator}-spill-refs"] = spill_refs
             row[f"{allocator}-spilled-vars"] = allocation.stats.spilled
             row[f"{allocator}-stack-refs"] = run.stack_refs
@@ -487,6 +491,7 @@ def allocator_ablation(
                 "saves",
                 "restores",
                 "moves",
+                "swaps",
                 "spill-refs",
                 "spilled-vars",
                 "stack-refs",
@@ -506,7 +511,7 @@ def format_allocator_ablation(
     for allocator in allocators:
         header += (
             f" | {allocator + ' saves':>12s} {'restores':>9s} {'moves':>9s}"
-            f" {'spills':>7s} {'cycles':>10s}"
+            f" {'swaps':>7s} {'spills':>7s} {'cycles':>10s}"
         )
     lines = [header, "-" * len(header)]
     for r in rows:
@@ -516,10 +521,167 @@ def format_allocator_ablation(
                 f" | {r[f'{allocator}-saves']:>12d}"
                 f" {r[f'{allocator}-restores']:>9d}"
                 f" {r[f'{allocator}-moves']:>9d}"
+                f" {r[f'{allocator}-swaps']:>7d}"
                 f" {r[f'{allocator}-spilled-vars']:>7d}"
                 f" {r[f'{allocator}-cycles']:>10d}"
             )
         lines.append(line)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shuffle-codegen study: greedy vs optimal vs permutation instructions
+# ---------------------------------------------------------------------------
+
+SHUFFLE_STUDY_STRATEGIES: Tuple[str, ...] = ("greedy", "optimal", "permopt")
+
+
+def _static_shuffle_stats(compiled) -> Dict[str, int]:
+    """Static shuffle-plan totals for one compiled program: call sites,
+    cyclic sites, evictions (extra temporaries), and permutation steps."""
+    sites = cyclic = evictions = permutations = 0
+    for code in compiled.codes:
+        for node in walk(code.body):
+            if not isinstance(node, Call):
+                continue
+            plan = node.shuffle_plan
+            sites += 1
+            if plan.had_cycle:
+                cyclic += 1
+            evictions += plan.evictions
+            permutations += plan.permutations
+    return {
+        "call-sites": sites,
+        "cyclic-sites": cyclic,
+        "evictions": evictions,
+        "permutations": permutations,
+    }
+
+
+def shuffle_corpus(
+    seed: int = 2025, count: int = 3, scan_limit: int = 64
+) -> List[Tuple[str, str]]:
+    """A deterministic shuffle-heavy corpus: scan the fuzz generator's
+    programs for *seed* in index order and keep the first *count* whose
+    greedy compile contains at least one shuffle cycle.  Both the
+    generator and the selection are seed-determined, so the corpus (and
+    every table built on it) is reproducible."""
+    from repro.errors import CompilerError
+    from repro.fuzz.genprog import ProgramGenerator
+
+    generator = ProgramGenerator(seed)
+    picked: List[Tuple[str, str]] = []
+    for index in range(scan_limit):
+        if len(picked) >= count:
+            break
+        program = generator.generate(index)
+        try:
+            compiled = compile_source(program.source, CompilerConfig())
+        except CompilerError:  # pragma: no cover - generator emits valid code
+            continue
+        if _static_shuffle_stats(compiled)["cyclic-sites"]:
+            picked.append((f"fuzz-{seed}-{index}", program.source))
+    return picked
+
+
+def shuffle_study(
+    names: Optional[Iterable[str]] = None,
+    strategies: Sequence[str] = SHUFFLE_STUDY_STRATEGIES,
+    fuzz_count: int = 3,
+) -> List[Dict[str, object]]:
+    """Per program and shuffle strategy: dynamic moves, permutation
+    instructions (swap/permi), static evictions, and cycles — the
+    greedy-vs-optimal study over the paper benchmarks plus a
+    shuffle-heavy fuzz corpus (see :func:`shuffle_corpus`).
+
+    ``permopt`` replaces every pure register cycle's eviction with
+    permutation instructions, so its eviction column is the count of
+    cycles the other strategies had to break with a temporary.  All
+    numbers are simulator counters: fully deterministic, no wall clock.
+    """
+    programs: List[Tuple[str, str]] = [
+        (name, get_benchmark(name).source) for name in _names(names)
+    ]
+    if fuzz_count:
+        programs.extend(shuffle_corpus(count=fuzz_count))
+    rows: List[Dict[str, object]] = []
+    for name, source in programs:
+        row: Dict[str, object] = {"program": name}
+        for strategy in strategies:
+            cfg = CompilerConfig(shuffle_strategy=strategy)
+            compiled = compile_source(source, cfg)
+            result = run_compiled(compiled)
+            counters = result.counters
+            static = _static_shuffle_stats(compiled)
+            row[f"{strategy}-moves"] = counters.moves
+            row[f"{strategy}-swaps"] = counters.swaps
+            row[f"{strategy}-evictions"] = static["evictions"]
+            row[f"{strategy}-permutations"] = static["permutations"]
+            row[f"{strategy}-cycles"] = counters.cycles
+        rows.append(row)
+    if rows:
+        total: Dict[str, object] = {"program": "TOTAL"}
+        for strategy in strategies:
+            for metric in ("moves", "swaps", "evictions", "permutations", "cycles"):
+                key = f"{strategy}-{metric}"
+                total[key] = sum(r[key] for r in rows)
+        rows.append(total)
+    return rows
+
+
+def format_shuffle_study(
+    rows: Sequence[Dict[str, object]],
+    strategies: Sequence[str] = SHUFFLE_STUDY_STRATEGIES,
+) -> str:
+    header = f"{'Program':15s}"
+    for strategy in strategies:
+        header += (
+            f" | {strategy + ' moves':>14s} {'swaps':>6s}"
+            f" {'evict':>6s} {'cycles':>11s}"
+        )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        line = f"{r['program']:15s}"
+        for strategy in strategies:
+            line += (
+                f" | {r[f'{strategy}-moves']:>14d}"
+                f" {r[f'{strategy}-swaps']:>6d}"
+                f" {r[f'{strategy}-evictions']:>6d}"
+                f" {r[f'{strategy}-cycles']:>11d}"
+            )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def markdown_shuffle_study(
+    rows: Sequence[Dict[str, object]],
+    strategies: Sequence[str] = SHUFFLE_STUDY_STRATEGIES,
+) -> str:
+    """The :func:`shuffle_study` rows as a GitHub-flavoured markdown
+    table — the exact text embedded in ``docs/shuffle.md`` and checked
+    for drift by CI (``repro table shuffle-study --check``)."""
+    cols = ["Program"]
+    for strategy in strategies:
+        cols += [
+            f"{strategy} moves",
+            f"{strategy} swaps",
+            f"{strategy} evictions",
+            f"{strategy} cycles",
+        ]
+    lines = [
+        "| " + " | ".join(cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for r in rows:
+        cells = [str(r["program"])]
+        for strategy in strategies:
+            cells += [
+                str(r[f"{strategy}-moves"]),
+                str(r[f"{strategy}-swaps"]),
+                str(r[f"{strategy}-evictions"]),
+                str(r[f"{strategy}-cycles"]),
+            ]
+        lines.append("| " + " | ".join(cells) + " |")
     return "\n".join(lines)
 
 

@@ -7,8 +7,10 @@
     python -m repro expand program.scm
     python -m repro bench tak deriv --baseline
     python -m repro bench tak --allocator all
+    python -m repro bench tak --shuffle all
     python -m repro alloc program.scm --compare
     python -m repro table 3
+    python -m repro table shuffle-study
     python -m repro list
 
 Every subcommand accepts the configuration flags, so any point in the
@@ -45,7 +47,9 @@ from repro.vm.machine import VMError
 
 
 def _add_config_flags(
-    parser: argparse.ArgumentParser, allocator_all: bool = False
+    parser: argparse.ArgumentParser,
+    allocator_all: bool = False,
+    shuffle_all: bool = False,
 ) -> None:
     group = parser.add_argument_group("allocator configuration")
     allocator_choices = list(ALLOCATOR_STRATEGIES)
@@ -64,8 +68,15 @@ def _add_config_flags(
     group.add_argument(
         "--restore-strategy", choices=RESTORE_STRATEGIES, default="eager"
     )
+    shuffle_choices = list(SHUFFLE_STRATEGIES)
+    if shuffle_all:
+        shuffle_choices.append("all")
     group.add_argument(
-        "--shuffle", choices=SHUFFLE_STRATEGIES, default="greedy"
+        "--shuffle",
+        choices=shuffle_choices,
+        default="greedy",
+        help="argument-shuffle codegen strategy"
+        + (" ('all' sweeps every strategy)" if shuffle_all else ""),
     )
     group.add_argument(
         "--convention", choices=SAVE_CONVENTIONS, default="caller"
@@ -125,13 +136,16 @@ def _config_from(args: argparse.Namespace) -> CompilerConfig:
     allocator = getattr(args, "allocator", "lazy")
     if allocator == "all":  # sweeping callers expand it themselves
         allocator = "lazy"
+    shuffle = getattr(args, "shuffle", "greedy")
+    if shuffle == "all":  # sweeping callers expand it themselves
+        shuffle = "greedy"
     return CompilerConfig(
         allocator=allocator,
         num_arg_regs=arg_regs,
         num_temp_regs=temp_regs,
         save_strategy=args.save_strategy,
         restore_strategy=args.restore_strategy,
-        shuffle_strategy=args.shuffle,
+        shuffle_strategy=shuffle,
         save_convention=args.convention,
         branch_prediction=args.predict,
         lambda_lift=args.lift,
@@ -311,6 +325,7 @@ def cmd_alloc(args: argparse.Namespace) -> int:
                 "saves": c.saves,
                 "restores": c.restores,
                 "moves": c.moves,
+                "swaps": c.swaps,
                 "spill-refs": c.stack_reads.get("spill", 0)
                 + c.stack_writes.get("spill", 0),
                 "spilled-vars": compiled.allocation.stats.spilled,
@@ -323,6 +338,7 @@ def cmd_alloc(args: argparse.Namespace) -> int:
     else:
         header = (
             f"{'allocator':11s} {'saves':>9s} {'restores':>9s} {'moves':>9s} "
+            f"{'swaps':>7s} "
             f"{'spill-refs':>10s} {'spilled':>8s} {'stack-refs':>10s} "
             f"{'cycles':>11s}"
         )
@@ -332,6 +348,7 @@ def cmd_alloc(args: argparse.Namespace) -> int:
             print(
                 f"{row['allocator']:11s} {row['saves']:>9,} "
                 f"{row['restores']:>9,} {row['moves']:>9,} "
+                f"{row['swaps']:>7,} "
                 f"{row['spill-refs']:>10,} {row['spilled-vars']:>8,} "
                 f"{row['stack-refs']:>10,} {row['cycles']:>11,}"
             )
@@ -355,13 +372,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     names = args.names or sorted(BENCHMARKS)
     config = _config_from(args)
     sweep = getattr(args, "allocator", "lazy") == "all"
+    shuffle_sweep = getattr(args, "shuffle", "greedy") == "all"
     allocators = ALLOCATOR_STRATEGIES if sweep else (config.allocator,)
+    shuffles = (
+        SHUFFLE_STRATEGIES if shuffle_sweep else (config.shuffle_strategy,)
+    )
     tracer = Tracer() if args.trace else None
     rows = []
     alloc_col = f"{'allocator':>11s} " if sweep else ""
+    shuffle_col = f"{'shuffle':>9s} " if shuffle_sweep else ""
+    move_cols = f"{'moves':>10s} {'swaps':>8s} " if shuffle_sweep else ""
     header = (
-        f"{'benchmark':16s} {alloc_col}{'value':>12s} {'instrs':>11s} "
-        f"{'cycles':>11s} {'stack refs':>11s} {'eff-leaf':>9s}"
+        f"{'benchmark':16s} {alloc_col}{shuffle_col}{'value':>12s} "
+        f"{'instrs':>11s} "
+        f"{'cycles':>11s} {move_cols}{'stack refs':>11s} {'eff-leaf':>9s}"
     )
     if not args.json:
         print(header)
@@ -370,8 +394,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if name not in BENCHMARKS:
             print(f"unknown benchmark {name!r}", file=sys.stderr)
             return 1
-        for allocator in allocators:
-            run_config = config.with_(allocator=allocator)
+        points = [(a, s) for a in allocators for s in shuffles]
+        for allocator, shuffle in points:
+            run_config = config.with_(
+                allocator=allocator, shuffle_strategy=shuffle
+            )
             span = tracer.span("bench", benchmark=name) if tracer else None
             if span:
                 with span:
@@ -392,13 +419,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 }
                 if sweep:
                     row["allocator"] = allocator
+                if shuffle_sweep:
+                    row["shuffle"] = shuffle
                 rows.append(row)
             else:
                 alloc_cell = f"{allocator:>11s} " if sweep else ""
+                shuffle_cell = f"{shuffle:>9s} " if shuffle_sweep else ""
+                move_cells = (
+                    f"{c.moves:>10,} {c.swaps:>8,} " if shuffle_sweep else ""
+                )
                 print(
-                    f"{name:16s} {alloc_cell}{run.value_text[:12]:>12s} "
+                    f"{name:16s} {alloc_cell}{shuffle_cell}"
+                    f"{run.value_text[:12]:>12s} "
                     f"{c.instructions:>11,} "
-                    f"{c.cycles:>11,} {c.total_stack_refs:>11,} "
+                    f"{c.cycles:>11,} {move_cells}{c.total_stack_refs:>11,} "
                     f"{run.classifier.effective_leaf_fraction:>9.1%}"
                 )
     if args.json:
@@ -544,6 +578,26 @@ def cmd_table(args: argparse.Namespace) -> int:
     elif which == "shuffle":
         for key, value in tables.shuffle_stats(names).items():
             print(f"{key:26s} {value}")
+    elif which == "shuffle-study":
+        rows = tables.shuffle_study(names)
+        if args.check:
+            table_md = tables.markdown_shuffle_study(rows)
+            with open(args.check) as handle:
+                doc = handle.read()
+            if table_md not in doc:
+                print(
+                    f"repro: table: shuffle-study table in {args.check} is "
+                    "stale; regenerate with "
+                    "'repro table shuffle-study --markdown' and paste it "
+                    "between the markers",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"; shuffle-study table in {args.check} is current")
+        elif args.markdown:
+            print(tables.markdown_shuffle_study(rows))
+        else:
+            print(tables.format_shuffle_study(rows))
     elif which == "sweep":
         rows = tables.register_sweep(names or tables.FAST_NAMES)
         print(tables.format_register_sweep(rows))
@@ -586,6 +640,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             on_progress=progress,
             flight_dir=args.corpus,
             allocator=args.allocator,
+            shuffle=args.shuffle,
         )
 
     if args.json:
@@ -1173,7 +1228,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append one timestamped JSON record of this run to PATH",
     )
-    _add_config_flags(p_bench, allocator_all=True)
+    _add_config_flags(p_bench, allocator_all=True, shuffle_all=True)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_alloc = sub.add_parser(
@@ -1205,9 +1260,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument(
-        "which", choices=["2", "3", "4", "5", "shuffle", "sweep", "restores"]
+        "which",
+        choices=[
+            "2", "3", "4", "5", "shuffle", "shuffle-study", "sweep", "restores",
+        ],
     )
     p_table.add_argument("--names", nargs="*", help="benchmark subset")
+    p_table.add_argument(
+        "--markdown",
+        action="store_true",
+        help="shuffle-study: emit the markdown table embedded in "
+        "docs/shuffle.md",
+    )
+    p_table.add_argument(
+        "--check",
+        metavar="PATH",
+        help="shuffle-study: fail unless PATH contains the regenerated "
+        "markdown table (the CI drift gate)",
+    )
     p_table.set_defaults(fn=cmd_table)
 
     p_fuzz = sub.add_parser(
@@ -1265,6 +1335,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict the oracle to one binding allocator's config "
         "matrix (default: sweep the full matrix)",
+    )
+    p_fuzz.add_argument(
+        "--shuffle",
+        choices=SHUFFLE_STRATEGIES,
+        default=None,
+        help="restrict the oracle to one shuffle strategy's config "
+        "matrix (ignored with --allocator; default: full matrix)",
     )
     p_fuzz.add_argument(
         "--json", action="store_true", help="emit the report as JSON"

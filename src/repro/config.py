@@ -17,7 +17,7 @@ from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 SAVE_STRATEGIES = ("lazy", "lazy-simple", "early", "late")
 RESTORE_STRATEGIES = ("eager", "lazy")
-SHUFFLE_STRATEGIES = ("greedy", "naive", "spill-all", "optimal", "none")
+SHUFFLE_STRATEGIES = ("greedy", "naive", "spill-all", "optimal", "permopt", "none")
 SAVE_CONVENTIONS = ("caller", "callee")
 # Allocator strategies (repro.alloc): which algorithm assigns variables
 # to registers.  The paper's allocator is "lazy"; the rivals exist for
@@ -84,6 +84,10 @@ class CompilerConfig:
         ``spill-all`` — Clinger/Hansen-style: any cycle spills every
         argument; ``optimal`` — exhaustive-search minimum temporaries
         (exponential; used for the §3.1 optimality statistics);
+        ``permopt`` — Buchwald–Mohr–Rutter-style decomposition of the
+        register-transfer graph into copies plus permutations, emitted
+        as ``swap``/``permi`` permutation instructions: pure shuffle
+        cycles execute with *no* temporary and no eviction at all;
         ``none`` — every register operand goes through a temporary
         (the paper's pre-shuffling compiler, whose performance
         *decreased* past two argument registers, §4).
@@ -449,6 +453,38 @@ def allocator_matrix(
             default.with_(restore_strategy="lazy"),
             default.with_(shuffle_strategy="naive"),
             default.with_(save_convention="callee"),
+        ):
+            config = strategy_point.with_(num_arg_regs=c, num_temp_regs=temps)
+            key = tuple(sorted(config.summary().items()))
+            if key not in seen:
+                seen.add(key)
+                configs.append(config)
+    return tuple(configs)
+
+
+def shuffle_matrix(
+    shuffle: str,
+    register_sweep: Sequence[Tuple[int, int]] = REGISTER_SWEEP,
+) -> Tuple[CompilerConfig, ...]:
+    """A focused differential matrix for one shuffle strategy: the
+    register sweep crossed with one variation along each of the other
+    strategy axes (``repro fuzz --shuffle``)."""
+    if shuffle not in SHUFFLE_STRATEGIES:
+        raise ValueError(
+            f"unknown shuffle strategy: {shuffle!r} "
+            f"(choose from {', '.join(SHUFFLE_STRATEGIES)})"
+        )
+    default = CompilerConfig(shuffle_strategy=shuffle)
+    configs: list = []
+    seen = set()
+    for c, temps in (*register_sweep, (2, 1)):
+        for strategy_point in (
+            default,
+            default.with_(save_strategy="late"),
+            default.with_(restore_strategy="lazy"),
+            default.with_(save_convention="callee"),
+            default.with_(allocator="linearscan"),
+            default.with_(allocator="graphcolor"),
         ):
             config = strategy_point.with_(num_arg_regs=c, num_temp_regs=temps)
             key = tuple(sorted(config.summary().items()))

@@ -29,6 +29,13 @@ Alternative strategies implemented for the paper's comparisons:
 * ``optimal``   — exhaustive minimum feedback vertex set (the problem
   the paper notes is NP-complete); used for the §3.1 optimality
   statistics.
+* ``permopt``   — Buchwald/Mohr/Rutter-style decomposition for an ISA
+  with permutation instructions: the placement order is greedy's, but a
+  *pure* cycle (every participant is a register-resident variable
+  reference) is realized by one ``swap``/``permi`` rotation over the
+  cycle's target registers — no temporary, no eviction.  Impure cycles
+  (a participant computes a value or reads the closure pointer) fall
+  back to greedy eviction.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.astnodes import (
     Expr,
     Fix,
     Let,
+    Ref,
     walk,
 )
 from repro.core.liveness import CodeAllocation, _referenced_vars
@@ -93,6 +101,9 @@ class ShufflePlan:
     * ``evict``            — simple operand into a temporary (cycle break)
     * ``flush-evict``      — move an evicted temporary to its register
     * ``flush-complex-temp`` — move a complex frame temp to its register
+    * ``permute``          — realize a pure cycle with one swap/permi
+      rotation; the step's item is the *tuple* of cycle items in chain
+      order (``permopt`` only)
     """
 
     __slots__ = (
@@ -100,6 +111,7 @@ class ShufflePlan:
         "steps",
         "had_cycle",
         "evictions",
+        "permutations",
         "free_temp_regs",
         "register_items",
     )
@@ -109,6 +121,7 @@ class ShufflePlan:
         self.steps: List[Tuple[str, ShuffleItem]] = []
         self.had_cycle = False
         self.evictions = 0
+        self.permutations = 0
         self.free_temp_regs: List[Register] = []
         self.register_items: List[ShuffleItem] = []
 
@@ -313,6 +326,9 @@ def _schedule_simple(
     if strategy == "optimal":
         _schedule_optimal(plan, simple)
         return
+    if strategy == "permopt":
+        _schedule_permopt(plan, simple)
+        return
     _schedule_greedy(plan, simple, spill_all=(strategy == "spill-all"))
 
 
@@ -364,6 +380,117 @@ def _schedule_greedy(
                 evicted.append(simple[j])
             remaining.clear()
             break
+        scores = {
+            j: sum(
+                1
+                for i in remaining
+                for pair in ((i, j), (j, i))
+                if i != j and pair in edges
+            )
+            for j in remaining
+        }
+        victim = max(remaining, key=lambda j: (scores[j], -j))
+        plan.steps.append(("evict", simple[victim]))
+        plan.evictions += 1
+        evicted.append(simple[victim])
+        remaining.remove(victim)
+    for it in evicted:
+        plan.steps.append(("flush-evict", it))
+
+
+def _is_pure_move(it: ShuffleItem) -> bool:
+    """True when the operand's value *is* the current content of a
+    register: a reference to a register-resident variable.  Only such
+    operands can ride a permutation instruction — the permutation
+    rearranges register contents, so the value must already live in a
+    register on the cycle."""
+    return isinstance(it.expr, Ref) and isinstance(
+        it.expr.var.location, Register
+    )
+
+
+def _find_pure_cycle(
+    simple: List[ShuffleItem], remaining: List[int]
+) -> Optional[List[int]]:
+    """A dependency cycle whose every participant is a pure register
+    move, as indices in chain order: item *m* reads item *m+1*'s target
+    (wrapping), so listing the targets in this order makes the cycle
+    exactly one left-rotation.  ``None`` when no such cycle exists among
+    *remaining* or when realizing one would destroy a register some
+    other remaining operand still reads."""
+    rem = set(remaining)
+    target_owner = {
+        simple[j].target: j
+        for j in remaining
+        if isinstance(simple[j].target, Register)
+    }
+    for start in remaining:
+        seen: dict = {}
+        chain: List[int] = []
+        i = start
+        while True:
+            if i in seen:
+                cycle = chain[seen[i]:]
+                break
+            it = simple[i]
+            if not _is_pure_move(it):
+                cycle = None
+                break
+            nxt = target_owner.get(it.expr.var.location)
+            if nxt is None or nxt == i:
+                cycle = None
+                break
+            seen[i] = len(chain)
+            chain.append(i)
+            i = nxt
+        if not cycle or len(cycle) < 2:
+            continue
+        # The rotation clobbers every cycle target at once; any
+        # remaining operand outside the cycle that still reads one
+        # would lose its source, so the cycle is only safe when no
+        # outsider depends on it.
+        members = set(cycle)
+        targets = {simple[j].target for j in cycle}
+        if any(
+            targets & simple[j].reads for j in rem if j not in members
+        ):
+            continue
+        return cycle
+    return None
+
+
+def _schedule_permopt(plan: ShufflePlan, simple: List[ShuffleItem]) -> None:
+    """Greedy placement order, but pure cycles become permutation
+    instructions (Buchwald/Mohr/Rutter): acyclic call sites produce a
+    schedule identical to greedy's, and a cycle of register-resident
+    variables costs one ``swap``/``permi`` instead of an eviction's
+    temporary traffic.  Impure cycles fall back to greedy eviction."""
+    edges = dependency_edges(simple)
+    plan.had_cycle = _graph_cyclic(set(range(len(simple))), edges)
+    remaining = list(range(len(simple)))
+    evicted: List[ShuffleItem] = []
+    while remaining:
+        placed = None
+        for j in remaining:
+            if not any(
+                i != j and (i, j) in edges for i in remaining
+            ):
+                placed = j
+                break
+        if placed is not None:
+            plan.steps.append(("direct", simple[placed]))
+            remaining.remove(placed)
+            continue
+        cycle = _find_pure_cycle(simple, remaining)
+        if cycle is not None:
+            plan.steps.append(
+                ("permute", tuple(simple[j] for j in cycle))
+            )
+            plan.permutations += 1
+            for j in cycle:
+                remaining.remove(j)
+            continue
+        # Impure cycle: greedy's eviction, identical victim choice.
         scores = {
             j: sum(
                 1

@@ -22,7 +22,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.config import CompilerConfig, allocator_matrix, full_matrix
+from repro.config import (
+    CompilerConfig,
+    allocator_matrix,
+    full_matrix,
+    shuffle_matrix,
+)
 from repro.fuzz.corpus import CorpusEntry, save_entry
 from repro.fuzz.genprog import GenConfig, ProgramGenerator
 from repro.fuzz.oracle import InvalidProgram, check_program
@@ -105,11 +110,16 @@ def _init_worker(
     seed: int,
     gen_config: Optional[GenConfig],
     allocator: Optional[str] = None,
+    shuffle: Optional[str] = None,
 ) -> None:
     _WORKER_STATE["generator"] = ProgramGenerator(seed, gen_config)
-    _WORKER_STATE["configs"] = (
-        allocator_matrix(allocator) if allocator else full_matrix()
-    )
+    if allocator:
+        configs = allocator_matrix(allocator)
+    elif shuffle:
+        configs = shuffle_matrix(shuffle)
+    else:
+        configs = full_matrix()
+    _WORKER_STATE["configs"] = configs
 
 
 def _check_iteration(iteration: int) -> _IterationResult:
@@ -141,6 +151,7 @@ def run_fuzz(
     on_progress: Optional[Callable[[int, FuzzReport], None]] = None,
     flight_dir: Optional[str] = None,
     allocator: Optional[str] = None,
+    shuffle: Optional[str] = None,
 ) -> FuzzReport:
     """Run the fuzzing loop.
 
@@ -151,8 +162,11 @@ def run_fuzz(
     divergence or worker crash) writes the recent iteration timeline
     plus the failing program as a JSON artifact there.  ``allocator``
     restricts the configuration matrix to one binding strategy
-    (:func:`repro.config.allocator_matrix`); the default checks the
-    full matrix, which sweeps every strategy.
+    (:func:`repro.config.allocator_matrix`); ``shuffle`` likewise
+    restricts it to one shuffle strategy
+    (:func:`repro.config.shuffle_matrix`) and is ignored when
+    ``allocator`` is given; the default checks the full matrix, which
+    sweeps every strategy.
     """
     start = time.monotonic()
     report = FuzzReport(seed=seed)
@@ -220,7 +234,7 @@ def run_fuzz(
             on_progress(report.iterations, report)
 
     if jobs <= 1:
-        _init_worker(seed, gen_config, allocator)
+        _init_worker(seed, gen_config, allocator, shuffle)
         for i in range(iterations):
             if out_of_time():
                 break
@@ -235,6 +249,7 @@ def run_fuzz(
             out_of_time,
             flight_dir,
             allocator,
+            shuffle,
         )
 
     report.failures.sort(key=lambda f: f.iteration)
@@ -251,6 +266,7 @@ def _run_pooled(
     out_of_time: Callable[[], bool],
     flight_dir: Optional[str] = None,
     allocator: Optional[str] = None,
+    shuffle: Optional[str] = None,
 ) -> None:
     """Distribute iterations over the serve worker pool.
 
@@ -272,6 +288,7 @@ def _run_pooled(
                     "gen_config": gen_config,
                     "iteration": i,
                     "allocator": allocator,
+                    "shuffle": shuffle,
                 },
             )
             iteration_of[task_id] = i

@@ -30,6 +30,7 @@ _SCALARS = (
     "branches",
     "mispredicts",
     "moves",
+    "swaps",
 )
 
 
@@ -51,6 +52,7 @@ class ProcProfile:
         "branches",
         "mispredicts",
         "moves",
+        "swaps",
     )
 
     def __init__(self, name: str, label: str) -> None:
@@ -68,6 +70,7 @@ class ProcProfile:
         self.branches = 0
         self.mispredicts = 0
         self.moves = 0
+        self.swaps = 0
 
     @property
     def saves(self) -> int:
@@ -100,6 +103,7 @@ class ProcProfile:
             "branches": self.branches,
             "mispredicts": self.mispredicts,
             "moves": self.moves,
+            "swaps": self.swaps,
         }
 
     def __repr__(self) -> str:

@@ -108,19 +108,23 @@ def task_fuzz(payload: Dict[str, Any], state: Dict[str, Any]) -> Dict[str, Any]:
     """One fuzzing iteration: generate program (seed, i), run the full
     differential oracle.  Mirrors ``repro.fuzz.engine._check_iteration``
     but returns plain data for the result queue."""
-    from repro.config import allocator_matrix, full_matrix
+    from repro.config import allocator_matrix, full_matrix, shuffle_matrix
     from repro.fuzz.genprog import ProgramGenerator
     from repro.fuzz.oracle import InvalidProgram, check_program
 
     seed = payload["seed"]
     gen_config = payload.get("gen_config")
     allocator = payload.get("allocator")
-    if state.get("fuzz_key") != (seed, gen_config, allocator):
+    shuffle = payload.get("shuffle")
+    if state.get("fuzz_key") != (seed, gen_config, allocator, shuffle):
         state["fuzz_generator"] = ProgramGenerator(seed, gen_config)
-        state["fuzz_key"] = (seed, gen_config, allocator)
-        state["fuzz_configs"] = (
-            allocator_matrix(allocator) if allocator else full_matrix()
-        )
+        state["fuzz_key"] = (seed, gen_config, allocator, shuffle)
+        if allocator:
+            state["fuzz_configs"] = allocator_matrix(allocator)
+        elif shuffle:
+            state["fuzz_configs"] = shuffle_matrix(shuffle)
+        else:
+            state["fuzz_configs"] = full_matrix()
     program = state["fuzz_generator"].generate(payload["iteration"])
     out: Dict[str, Any] = {
         "source": program.source,

@@ -78,7 +78,8 @@ ACC_CC_CAP = 7
 ACC_CC_INV = 8
 ACC_READS = 9
 ACC_WRITES = 14
-ACC_SIZE = 19
+ACC_SWAP = 19
+ACC_SIZE = 20
 
 
 class VMClosure:
@@ -498,6 +499,8 @@ def run_program(
         counters.continuations_captured += acc[7]
     if acc[8]:
         counters.continuations_invoked += acc[8]
+    if acc[ACC_SWAP]:
+        counters.swaps += acc[ACC_SWAP]
     reads = counters.stack_reads
     writes = counters.stack_writes
     for i, kind_name in enumerate(kind_names):

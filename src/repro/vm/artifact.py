@@ -59,8 +59,11 @@ from repro.vm.predecode import (
     predecode_code,
 )
 
-#: Artifact format number; bump on any layout change.
-ARTIFACT_VERSION = 1
+#: Artifact format number; bump on any layout change.  2: the decoded
+#: stream may carry the permutation opcodes (swap/permi) and the trace
+#: accumulator layout grew an ACC_SWAP slot — version-1 artifacts
+#: degrade to misses.
+ARTIFACT_VERSION = 2
 
 #: Artifact framing magic (the ISA tier uses ``RPC1``).
 MAGIC = b"RPA1"

@@ -101,11 +101,13 @@ from repro.vm.predecode import (
     OP_PRIM2,
     OP_PRIM3,
     OP_PRIMN,
+    OP_PERMI,
     OP_PRIMX,
     OP_RETURN,
     OP_ST,
     OP_ST_OUT,
     OP_STM,
+    OP_SWAP,
     OP_TAILCALL,
     predecode_code,
 )
@@ -121,9 +123,9 @@ K_RET = 4     # procedure return
 K_HALT = 5    # program end
 
 # Accumulator slots shared between exit `counts` tuples and the
-# trampoline's 19-element `acc` list.  0-8 are scalar counters, 9-13
+# trampoline's 20-element `acc` list.  0-8 are scalar counters, 9-13
 # stack reads by kind, 14-18 stack writes by kind (kind order is
-# repro.vm.predecode.KIND_NAMES).
+# repro.vm.predecode.KIND_NAMES), 19 permutation instructions.
 ACC_PRIM = 0
 ACC_MOV = 1
 ACC_BRANCH = 2
@@ -135,7 +137,8 @@ ACC_CC_CAP = 7
 ACC_CC_INV = 8
 ACC_READS = 9
 ACC_WRITES = 14
-ACC_SIZE = 19
+ACC_SWAP = 19
+ACC_SIZE = 20
 
 #: Soft cap on instructions inlined per trace.  Once exceeded, the
 #: trace ends at the next natural boundary (leader, branch, or jump)
@@ -457,6 +460,26 @@ class _TraceWriter:
             self.w(f"regs[{ins[1]}] = regs[{ins[2]}]")
             self.w(f"ready[{ins[1]}] = {self.cyc()}")
             self.count(ACC_MOV)
+        elif op == OP_SWAP:
+            self.stall(ins[1])
+            self.stall(ins[2])
+            self.w(f"regs[{ins[1]}], regs[{ins[2]}] = "
+                   f"regs[{ins[2]}], regs[{ins[1]}]")
+            self.w(f"ready[{ins[1]}] = {self.cyc()}")
+            self.w(f"ready[{ins[2]}] = {self.cyc()}")
+            self.count(ACC_SWAP)
+        elif op == OP_PERMI:
+            rs = ins[1]
+            for r in rs:
+                self.stall(r)
+            lhs = ", ".join(f"regs[{r}]" for r in rs)
+            rhs = ", ".join(
+                f"regs[{rs[(i + 1) % len(rs)]}]" for i in range(len(rs))
+            )
+            self.w(f"{lhs} = {rhs}")
+            for r in rs:
+                self.w(f"ready[{r}] = {self.cyc()}")
+            self.count(ACC_SWAP)
         elif op == OP_LI:
             self.w(f"regs[{ins[1]}] = {self.imm(ins[2])}")
             self.w(f"ready[{ins[1]}] = {self.cyc()}")
@@ -699,6 +722,22 @@ def _build_trace(
                         defs.pop(comp[1], None)
                     else:
                         defs[comp[1]] = value
+                elif cop == OP_SWAP:
+                    # A permutation moves proven facts exactly as it
+                    # moves values.
+                    a, b = comp[1], comp[2]
+                    va, vb = defs.pop(a, None), defs.pop(b, None)
+                    if vb is not None:
+                        defs[a] = vb
+                    if va is not None:
+                        defs[b] = va
+                elif cop == OP_PERMI:
+                    rs = comp[1]
+                    olds = [defs.pop(r, None) for r in rs]
+                    for i, r in enumerate(rs):
+                        value = olds[(i + 1) % len(rs)]
+                        if value is not None:
+                            defs[r] = value
                 elif cop in _DST_OPS:
                     defs.pop(comp[1], None)
             pc += 1

@@ -24,6 +24,7 @@ class Counters:
         "branches",
         "mispredicts",
         "moves",
+        "swaps",
         "continuations_captured",
         "continuations_invoked",
     )
@@ -40,6 +41,7 @@ class Counters:
         self.branches = 0
         self.mispredicts = 0
         self.moves = 0
+        self.swaps = 0
         self.continuations_captured = 0
         self.continuations_invoked = 0
 
@@ -83,6 +85,7 @@ class Counters:
             "branches": self.branches,
             "mispredicts": self.mispredicts,
             "moves": self.moves,
+            "swaps": self.swaps,
             "continuations_captured": self.continuations_captured,
             "continuations_invoked": self.continuations_invoked,
         }

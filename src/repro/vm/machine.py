@@ -67,6 +67,7 @@ from repro.vm.aotrt import (  # noqa: F401 - re-exported public API
 from repro.vm.blockcompile import (
     ACC_READS,
     ACC_SIZE,
+    ACC_SWAP,
     ACC_WRITES,
     K_CALL,
     K_CALLCC,
@@ -242,6 +243,31 @@ class Machine:
                 regs[dst] = regs[src]
                 ready[dst] = cycle
                 counters.moves += 1
+            elif op == "swap":
+                ra = instr[1]
+                rb = instr[2]
+                t = ready[ra]
+                if t > cycle:
+                    cycle = t
+                t = ready[rb]
+                if t > cycle:
+                    cycle = t
+                regs[ra], regs[rb] = regs[rb], regs[ra]
+                ready[ra] = cycle
+                ready[rb] = cycle
+                counters.swaps += 1
+            elif op == "permi":
+                rs = instr[1]
+                for r in rs:
+                    t = ready[r]
+                    if t > cycle:
+                        cycle = t
+                vals = [regs[r] for r in rs]
+                k = len(rs)
+                for i, r in enumerate(rs):
+                    regs[r] = vals[(i + 1) % k]
+                    ready[r] = cycle
+                counters.swaps += 1
             elif op == "li":
                 dst = instr[1]
                 regs[dst] = instr[2]
@@ -571,6 +597,9 @@ class Machine:
             if acc[8]:
                 counters.continuations_invoked += acc[8]
                 acc[8] = 0
+            if acc[ACC_SWAP]:
+                counters.swaps += acc[ACC_SWAP]
+                acc[ACC_SWAP] = 0
             reads = counters.stack_reads
             for i in range(5):
                 n = acc[ACC_READS + i]

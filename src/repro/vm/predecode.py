@@ -82,6 +82,9 @@ OP_STM = 25
 OP_LDM = 26
 OP_LDBRF = 27
 OP_LDBRT = 28
+# Permutation instructions (permopt shuffle codegen).
+OP_SWAP = 29
+OP_PERMI = 30
 
 #: Stack-reference kind -> index into the fast loop's count arrays.
 KIND_INDEX = {kind: i for i, kind in enumerate(STACK_KINDS)}
@@ -123,6 +126,10 @@ def decode_instruction(instr: List[Any], frame_size: int) -> Tuple[Any, ...]:
         return (OP_ST, instr[1], instr[2], KIND_INDEX[instr[3]])
     if op == "mov":
         return (OP_MOV, instr[1], instr[2])
+    if op == "swap":
+        return (OP_SWAP, instr[1], instr[2])
+    if op == "permi":
+        return (OP_PERMI, tuple(instr[1]))
     if op == "li":
         return (OP_LI, instr[1], instr[2])
     if op == "prim":

@@ -105,6 +105,47 @@ class TestAllocatorField:
         )
 
 
+class TestShuffleStrategies:
+    def test_permopt_registered(self):
+        from repro.config import SHUFFLE_STRATEGIES
+
+        assert "permopt" in SHUFFLE_STRATEGIES
+        assert CompilerConfig(shuffle_strategy="permopt").shuffle_strategy == (
+            "permopt"
+        )
+
+    def test_fingerprint_differs_per_shuffle_strategy(self):
+        from repro.config import SHUFFLE_STRATEGIES
+
+        prints = {
+            CompilerConfig(shuffle_strategy=name).fingerprint()
+            for name in SHUFFLE_STRATEGIES
+        }
+        assert len(prints) == len(SHUFFLE_STRATEGIES)
+
+    def test_shuffle_matrix_pins_the_strategy(self):
+        from repro.config import shuffle_matrix
+
+        configs = shuffle_matrix("permopt")
+        assert configs
+        assert all(c.shuffle_strategy == "permopt" for c in configs)
+        # The matrix varies the orthogonal knobs, not just registers.
+        assert len({c.summary().get("allocator", "lazy") for c in configs}) > 1
+
+    def test_shuffle_matrix_rejects_unknown_strategy(self):
+        from repro.config import shuffle_matrix
+
+        with pytest.raises(ValueError):
+            shuffle_matrix("bogus")
+
+    def test_full_matrix_includes_permopt(self):
+        from repro.config import full_matrix
+
+        assert any(
+            c.shuffle_strategy == "permopt" for c in full_matrix()
+        )
+
+
 class TestServeConfig:
     def test_defaults_and_round_trip(self):
         from repro.config import ServeConfig

@@ -154,7 +154,7 @@ def test_runtime_constants_stay_in_sync():
         "K_FALL", "K_CALL", "K_TAIL", "K_CALLCC", "K_RET", "K_HALT",
         "ACC_PRIM", "ACC_MOV", "ACC_BRANCH", "ACC_MISS", "ACC_CALL",
         "ACC_TAIL", "ACC_CLO", "ACC_CC_CAP", "ACC_CC_INV",
-        "ACC_READS", "ACC_WRITES", "ACC_SIZE",
+        "ACC_READS", "ACC_WRITES", "ACC_SWAP", "ACC_SIZE",
     ):
         assert getattr(aotrt, name) == getattr(blockcompile, name), name
     # The direct kinds exist only on the AOT side, above the shared ones.

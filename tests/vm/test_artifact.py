@@ -90,6 +90,30 @@ def test_format_version_skew_is_stale(monkeypatch):
         load_artifact(data)
 
 
+def test_round_trip_preserves_permutation_opcodes():
+    """permopt output carries the swap/permi opcodes through the packed
+    instruction streams and the marshalled trace modules."""
+    rotation = """
+    (define (rot a b c n)
+      (if (= n 0) (+ a (* 2 b) (* 3 c)) (rot b c a (- n 1))))
+    (rot 1 2 3 50)
+    """
+    compiled = compile_source(
+        rotation, CompilerConfig(shuffle_strategy="permopt")
+    )
+    reference = _run_signature(compiled)
+    assert reference[2]["swaps"] > 0
+    loaded = load_artifact(build_artifact(compiled))
+    assert _run_signature(loaded) == reference
+
+
+def test_format_version_covers_permutation_isa():
+    """The swap/permi extension changed the decoded stream and the trace
+    accumulator layout, so the format number was bumped: artifacts from
+    a version-1 build must degrade to misses, never misexecute."""
+    assert artifact_mod.ARTIFACT_VERSION >= 2
+
+
 def test_py_magic_skew_is_stale(monkeypatch):
     data = build_artifact(compile_source(SOURCE))
     monkeypatch.setattr(importlib.util, "MAGIC_NUMBER", b"\x00\x00\x00\x00")
