@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -127,6 +128,21 @@ def _add_observe_flags(parser: argparse.ArgumentParser) -> None:
         default=ObserveConfig.from_env().flight_dir,
         help="where flight-recorder crash dumps go "
         "(default: $REPRO_FLIGHT_DIR, else disabled)",
+    )
+    group.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=ObserveConfig.from_env().trace_dir,
+        help="request-trace span store directory "
+        "(default: $REPRO_TRACE_DIR, else tracing disabled)",
+    )
+    group.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="tail-sampling keep rate for ok traces in [0,1] "
+        "(errors and the slowest requests are always kept; default 1.0)",
     )
 
 
@@ -754,6 +770,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
     from repro.observe.metrics import get_registry
 
     get_registry().clear()
+    from repro.observe.reqtrace import build_reqtracer
+
+    reqtracer = build_reqtracer(
+        args.trace_dir,
+        sample=args.trace_sample,
+        registry=get_registry(),
+        service="batch",
+    )
     service = BatchService(
         jobs=args.jobs,
         cache=not args.no_cache,
@@ -762,6 +786,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         artifacts=not args.no_artifacts,
         tracer=tracer,
         flight_dir=args.flight_dir,
+        reqtracer=reqtracer,
     )
 
     def progress(response) -> None:
@@ -838,6 +863,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             serve_config=serve_config,
             metrics_out=_metrics_out_path(args),
             flight_dir=args.flight_dir,
+            trace_dir=args.trace_dir,
+            trace_sample=args.trace_sample,
         )
     if not args.stdio:
         print("repro: serve: give a transport: --stdio or --tcp HOST:PORT",
@@ -853,6 +880,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         artifacts=not args.no_artifacts,
         metrics_out=_metrics_out_path(args),
         flight_dir=args.flight_dir,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
     )
 
 
@@ -898,6 +927,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         check=args.check,
         tolerance=args.tolerance,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
+        latencies_out=args.latencies_out,
     )
     if args.out:
         with open(args.out, "w") as handle:
@@ -920,12 +952,19 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         )
         print(
             f"latency p50 {ms(latency['p50'])}  p90 {ms(latency['p90'])}  "
-            f"p99 {ms(latency['p99'])}  max {ms(latency['max'])}"
+            f"p99 {ms(latency['p99'])}  max {ms(latency['max'])}  "
+            f"stddev {ms(latency['stddev'])}"
         )
     slo = report.get("slo")
     if slo is not None and not slo["ok"]:
         for violation in slo["violations"]:
             print(f"repro: loadgen: SLO violation: {violation}", file=sys.stderr)
+        for entry in report.get("slowest", []):
+            print(
+                f"repro: loadgen: slowest: {entry['latency_s'] * 1000:.1f}ms "
+                f"{entry.get('program')} trace {entry.get('trace')}",
+                file=sys.stderr,
+            )
         return 1
     if report["vuser_failures"]:
         return 1
@@ -1102,6 +1141,111 @@ def cmd_top(args: argparse.Namespace) -> int:
         iterations=iterations,
         clear=not args.once,
     )
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    from repro.observe import spanstore
+
+    directory = args.trace_dir or ObserveConfig.from_env().trace_dir
+    if not directory:
+        print(
+            "repro: spans: give --trace-dir DIR (or set $REPRO_TRACE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.isdir(directory):
+        print(f"repro: spans: no span store at {directory}", file=sys.stderr)
+        return 1
+
+    def load(trace_id: str):
+        try:
+            records = spanstore.load_trace(directory, trace_id)
+        except ValueError as exc:
+            print(f"repro: spans: {exc}", file=sys.stderr)
+            return None
+        if not records:
+            print(f"repro: spans: no trace {trace_id!r} in {directory}",
+                  file=sys.stderr)
+            return None
+        return records
+
+    def row_line(row) -> str:
+        dur_ms = row["dur_ns"] / 1e6
+        pids = ",".join(str(p) for p in row["pids"])
+        return (
+            f"{row['trace']}  {dur_ms:9.3f}ms  {row['spans']:3d} span(s)  "
+            f"op={row.get('op') or '-'} status={row.get('status') or '-'}  "
+            f"pids {pids}"
+        )
+
+    if args.action == "list":
+        rows = spanstore.trace_summaries(directory)
+        if args.limit:
+            rows = rows[: args.limit]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        if not rows:
+            print("(no traces)")
+            return 0
+        for row in rows:
+            print(row_line(row))
+        return 0
+
+    if args.action == "show":
+        records = load(args.trace)
+        if records is None:
+            return 1
+        if args.json:
+            print(json.dumps(records, indent=2))
+            return 0
+        sys.stdout.write(spanstore.render_tree(records))
+        return 0
+
+    if args.action == "slowest":
+        rows = spanstore.slowest_traces(directory, k=args.limit or 5)
+        if not rows:
+            print("(no traces)")
+            return 0
+        traces = []
+        for row in rows:
+            records = spanstore.load_trace(directory, row["trace"])
+            if records:
+                traces.append(records)
+        if args.json:
+            doc = {"slowest": rows}
+            if args.critical_path:
+                doc["critical_path_s"] = spanstore.critical_path_summary(traces)
+            print(json.dumps(doc, indent=2))
+            return 0
+        for row in rows:
+            print(row_line(row))
+        if args.critical_path:
+            summary = spanstore.critical_path_summary(traces)
+            total = sum(summary.values()) or 1.0
+            print(f"critical path across the {len(traces)} slowest trace(s):")
+            for category, seconds in sorted(
+                summary.items(), key=lambda kv: kv[1], reverse=True
+            ):
+                print(
+                    f"  {category:<10s} {seconds * 1000:9.3f}ms "
+                    f"({100 * seconds / total:5.1f}%)"
+                )
+        return 0
+
+    # export
+    records = load(args.trace)
+    if records is None:
+        return 1
+    doc = spanstore.chrome_trace_from_records(records)
+    payload = json.dumps(doc, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"; chrome trace written to {args.out}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -1582,8 +1726,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", help="also write the report JSON to a file"
     )
     p_load.add_argument(
+        "--latencies-out", metavar="PATH",
+        help="also write one JSON line per request "
+        "(latency, status, trace id) to a file",
+    )
+    p_load.add_argument(
         "--json", action="store_true",
         help="print the full report JSON (default when not a tty)",
+    )
+    trace = p_load.add_argument_group("tracing (--spawn only)")
+    trace.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="--spawn: span store directory for the spawned server",
+    )
+    trace.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="--spawn: tail-sampling keep rate for ok traces (default 1.0)",
     )
     p_load.set_defaults(fn=cmd_loadgen)
 
@@ -1713,6 +1871,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a single frame without clearing the screen",
     )
     p_top.set_defaults(fn=cmd_top)
+
+    p_spans = sub.add_parser(
+        "spans", help="inspect the request-trace span store"
+    )
+    span_sub = p_spans.add_subparsers(dest="action", required=True)
+
+    def _span_store_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--trace-dir",
+            metavar="DIR",
+            default=None,
+            help="span store directory (default: $REPRO_TRACE_DIR)",
+        )
+        sp.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+
+    sp_list = span_sub.add_parser("list", help="one row per stored trace")
+    sp_list.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show the N newest traces (default: 20; 0 = all)",
+    )
+    _span_store_flags(sp_list)
+    sp_show = span_sub.add_parser(
+        "show", help="render one trace's span tree (id may be a prefix)"
+    )
+    sp_show.add_argument("trace", help="trace id or unique prefix")
+    _span_store_flags(sp_show)
+    sp_slow = span_sub.add_parser(
+        "slowest", help="the slowest stored traces"
+    )
+    sp_slow.add_argument(
+        "--limit", type=int, default=5, metavar="K",
+        help="how many traces (default: 5)",
+    )
+    sp_slow.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="attribute their wall-clock to admission/queue/compile/"
+        "cache/write",
+    )
+    _span_store_flags(sp_slow)
+    sp_export = span_sub.add_parser(
+        "export", help="export one trace as Chrome trace_event JSON"
+    )
+    sp_export.add_argument("trace", help="trace id or unique prefix")
+    sp_export.add_argument(
+        "--chrome", action="store_true",
+        help="Chrome trace_event format (the only format; default)",
+    )
+    sp_export.add_argument(
+        "-o", "--out", metavar="PATH", help="output path (default: stdout)"
+    )
+    _span_store_flags(sp_export)
+    p_spans.set_defaults(fn=cmd_spans)
 
     p_list = sub.add_parser("list", help="list benchmarks")
     p_list.set_defaults(fn=cmd_list)

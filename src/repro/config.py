@@ -278,11 +278,14 @@ class ObserveConfig:
       ``$XDG_CACHE_HOME/repro/metrics.json``, else
       ``~/.cache/repro/metrics.json``);
     * ``REPRO_FLIGHT_DIR`` — flight-dump directory (no default: dumps
-      are opt-in outside the fuzzer, which uses its corpus directory).
+      are opt-in outside the fuzzer, which uses its corpus directory);
+    * ``REPRO_TRACE_DIR`` — request-trace span-store directory (no
+      default: tracing is opt-in, see ``repro serve --trace-dir``).
     """
 
     metrics_path: str = ""
     flight_dir: Optional[str] = None
+    trace_dir: Optional[str] = None
 
     @staticmethod
     def default_metrics_path() -> str:
@@ -298,6 +301,7 @@ class ObserveConfig:
         return cls(
             metrics_path=cls.default_metrics_path(),
             flight_dir=os.environ.get("REPRO_FLIGHT_DIR") or None,
+            trace_dir=os.environ.get("REPRO_TRACE_DIR") or None,
         )
 
 

@@ -32,7 +32,7 @@ from repro.fuzz.corpus import CorpusEntry, save_entry
 from repro.fuzz.genprog import GenConfig, ProgramGenerator
 from repro.fuzz.oracle import InvalidProgram, check_program
 from repro.fuzz.shrink import program_size, shrink_program
-from repro.observe.recorder import get_flight_recorder
+from repro.observe.recorder import active_trace, get_flight_recorder
 
 
 @dataclass
@@ -212,6 +212,7 @@ def run_fuzz(
                         "iteration": result.iteration,
                         "source": result.source,
                         "divergences": result.divergences,
+                        "trace": active_trace(),
                     },
                 )
             report.failures.append(failure)

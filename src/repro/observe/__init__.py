@@ -27,8 +27,19 @@ from repro.observe.profile import ProcProfile, VMProfiler
 from repro.observe.recorder import (
     FLIGHT_RECORDER,
     FlightRecorder,
+    active_trace,
     get_flight_recorder,
+    set_active_trace,
 )
+from repro.observe.reqtrace import (
+    ReqTracer,
+    RequestTrace,
+    TailSampler,
+    build_reqtracer,
+    format_traceparent,
+    parse_traceparent,
+)
+from repro.observe.spanstore import SpanStore
 from repro.observe.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -66,4 +77,13 @@ __all__ = [
     "FlightRecorder",
     "FLIGHT_RECORDER",
     "get_flight_recorder",
+    "active_trace",
+    "set_active_trace",
+    "ReqTracer",
+    "RequestTrace",
+    "TailSampler",
+    "SpanStore",
+    "build_reqtracer",
+    "format_traceparent",
+    "parse_traceparent",
 ]

@@ -92,6 +92,16 @@ CATALOG: Tuple[Tuple[str, str, Tuple[str, ...], Optional[Sequence[float]], str],
     ("repro_serve_request_seconds", "histogram", ("op",),
      LATENCY_BUCKETS, "Front-door seconds per request, intake to response "
                       "write (the loadgen/SLO latency)."),
+    # -- request tracing (repro.observe.reqtrace / spanstore) ----------
+    ("repro_trace_traces", "counter", ("decision",),
+     None, "Finished request traces by tail-sampling decision "
+           "(error/slow/sampled/dropped)."),
+    ("repro_trace_spans", "counter", (),
+     None, "Span records written to the span store."),
+    ("repro_trace_bytes_written", "counter", (),
+     None, "Bytes appended to span-store segments."),
+    ("repro_trace_segment_rotations", "counter", (),
+     None, "Span-store segment rotations (size cap reached)."),
     # -- VM run distributions (repro.vm.machine) -----------------------
     ("repro_vm_runs", "counter", (),
      None, "Completed VM runs observed by the registry."),

@@ -306,6 +306,11 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.families: Dict[str, MetricFamily] = {}
+        #: Latency exemplars: child key → bucket ``le`` → the last
+        #: ``{"trace": <id>, "value": <seconds>}`` observed in that
+        #: bucket.  Kept beside the histograms (whose ``__slots__`` are
+        #: fixed) so dashboards can name a concrete trace per bucket.
+        self.exemplars: Dict[str, Dict[str, Dict[str, Any]]] = {}
         self.created_s = time.time()
 
     # -- declaration ----------------------------------------------------
@@ -351,7 +356,38 @@ class MetricsRegistry:
     def clear(self) -> None:
         """Drop every family (tests, and worker startup hygiene)."""
         self.families.clear()
+        self.exemplars.clear()
         self.created_s = time.time()
+
+    # -- exemplars ------------------------------------------------------
+
+    def record_exemplar(
+        self,
+        name: str,
+        label_names: Tuple[str, ...],
+        label_values: Tuple[str, ...],
+        value: float,
+        trace: str,
+    ) -> None:
+        """Remember *trace* as the exemplar for the histogram bucket
+        *value* falls into (OpenMetrics exemplar semantics, last write
+        wins).  The histogram itself is observed separately — exemplars
+        are a parallel, bounded annotation (one per bucket per child)."""
+        family = self.families.get(name)
+        bounds = (
+            family.buckets
+            if family is not None and family.buckets
+            else LATENCY_BUCKETS
+        )
+        key = _child_key(
+            name, tuple(label_names), tuple(str(v) for v in label_values)
+        )
+        idx = bisect_left(bounds, value)
+        le = _format_value(bounds[idx]) if idx < len(bounds) else "+Inf"
+        self.exemplars.setdefault(key, {})[le] = {
+            "trace": trace,
+            "value": value,
+        }
 
     # -- snapshots ------------------------------------------------------
 
@@ -379,7 +415,7 @@ class MetricsRegistry:
                         "counts": list(child.counts),
                         "sum": child.sum,
                     }
-        return {
+        doc = {
             "version": SNAPSHOT_VERSION,
             "pid": os.getpid(),
             "created_s": self.created_s,
@@ -389,6 +425,12 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+        if self.exemplars:
+            doc["exemplars"] = {
+                key: dict(per_bucket)
+                for key, per_bucket in sorted(self.exemplars.items())
+            }
+        return doc
 
     def diff_snapshot(self, base: Dict[str, Any]) -> Dict[str, Any]:
         """The delta between now and an earlier :meth:`snapshot`.
@@ -463,6 +505,8 @@ class MetricsRegistry:
             if list(child.bounds) != [float(b) for b in doc["bounds"]]:
                 raise ValueError(f"histogram {key!r}: bucket bounds mismatch")
             child.merge(doc["counts"], doc["sum"])
+        for key, per_bucket in snap.get("exemplars", {}).items():
+            self.exemplars.setdefault(key, {}).update(per_bucket)
 
     # -- persistence ----------------------------------------------------
 

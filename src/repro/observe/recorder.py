@@ -16,14 +16,37 @@ daemon (error dumps), and ``repro fuzz --jobs`` (divergence dumps).
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
 import tempfile
+import threading
 import time
 from collections import deque
 from typing import Any, Dict, List, Optional
 
 DEFAULT_CAPACITY = 512
+
+#: The request trace currently being served on this execution context
+#: (a contextvar, so concurrent asyncio request handlers each see their
+#: own).  Set by :mod:`repro.observe.reqtrace` when a request trace
+#: starts; recorded events and dumps pick it up so a crash artifact
+#: links back to the request it interrupted.
+_ACTIVE_TRACE: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+def set_active_trace(trace_id: Optional[str]) -> None:
+    """Mark *trace_id* as the request trace of the current execution
+    context (``None`` clears it)."""
+    _ACTIVE_TRACE.set(trace_id)
+
+
+def active_trace() -> Optional[str]:
+    """The trace ID of the request currently in flight on this
+    execution context, if any."""
+    return _ACTIVE_TRACE.get()
 
 #: Cap on one recorded field's rendered size, so a pathological payload
 #: cannot bloat the ring (the ring holds references until overwritten).
@@ -58,8 +81,12 @@ class FlightRecorder:
         self._ring: deque = deque(maxlen=capacity)
         self._seq = 0
         self.dumps = 0
+        self._dump_lock = threading.Lock()
 
     def record(self, kind: str, /, **fields: Any) -> None:
+        trace = _ACTIVE_TRACE.get()
+        if trace is not None and "trace" not in fields:
+            fields["trace"] = trace
         self._seq += 1
         self._ring.append(
             (self._seq, time.time(), time.monotonic(), kind, fields)
@@ -105,6 +132,9 @@ class FlightRecorder:
             "dropped": max(0, self._seq - len(self._ring)),
             "events": self.events(),
         }
+        trace = _ACTIVE_TRACE.get()
+        if trace is not None:
+            doc["trace"] = trace
         if extra:
             doc["context"] = _jsonable(extra)
         return doc
@@ -116,25 +146,33 @@ class FlightRecorder:
         extra: Optional[Dict[str, Any]] = None,
     ) -> str:
         """Write the dump as ``flight-<reason>-<pid>-<n>.json`` under
-        *directory* (created if needed); returns the path."""
+        *directory* (created if needed); returns the path.
+
+        Thread-safe: two simultaneous failures (e.g. two daemon threads
+        erroring at once) serialize on a lock, so each gets a distinct
+        sequence number and file — never an interleaved or clobbered
+        artifact."""
         os.makedirs(directory, exist_ok=True)
-        self.dumps += 1
-        slug = "".join(ch if ch.isalnum() or ch == "-" else "-" for ch in reason)
-        path = os.path.join(
-            directory, f"flight-{slug}-{os.getpid()}-{self.dumps}.json"
-        )
-        payload = json.dumps(self.dump(reason, extra), indent=2)
-        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".flight-")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
+        with self._dump_lock:
+            self.dumps += 1
+            slug = "".join(
+                ch if ch.isalnum() or ch == "-" else "-" for ch in reason
+            )
+            path = os.path.join(
+                directory, f"flight-{slug}-{os.getpid()}-{self.dumps}.json"
+            )
+            payload = json.dumps(self.dump(reason, extra), indent=2)
+            fd, tmp = tempfile.mkstemp(dir=directory, prefix=".flight-")
             try:
-                os.remove(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
         return path
 
 

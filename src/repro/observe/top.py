@@ -122,6 +122,59 @@ def render_dashboard(snapshot: Dict[str, Any], now: Optional[float] = None) -> s
                 + "  ".join(f"{_labels_of(k)}={v:.0f}" for k, v in events)
             )
 
+    farm_clients = _family(snapshot, "repro_serve_clients")
+    farm_requests = _family(snapshot, "repro_serve_request_seconds")
+    farm_rejects = sorted(_family(snapshot, "repro_serve_rejects"))
+    farm_dedup = _total(snapshot, "repro_serve_inflight_dedup")
+    farm_tenants = sorted(
+        _family(snapshot, "repro_serve_tenant_queue_depth")
+    )
+    if farm_clients or farm_requests or farm_rejects or farm_dedup:
+        lines.append("farm")
+        for _, value in farm_clients:
+            lines.append(f"  clients connected      {value:>10.0f}")
+        if farm_dedup:
+            lines.append(f"  dedup hits             {farm_dedup:>10.0f}")
+        for key, value in farm_rejects:
+            lines.append(f"  reject {_labels_of(key):<15s} {value:>10.0f}")
+        inflight = sum(
+            v for _, v in farm_tenants if isinstance(v, (int, float))
+        )
+        if farm_tenants:
+            lines.append(
+                f"  inflight               {inflight:>10.0f}  ("
+                + "  ".join(
+                    f"{_labels_of(k)}={v:.0f}" for k, v in farm_tenants
+                )
+                + ")"
+            )
+        for key, doc in sorted(farm_requests):
+            lines.append(_hist_line(f"front-door {_labels_of(key)}", doc))
+
+    traces = sorted(_family(snapshot, "repro_trace_traces"))
+    if traces:
+        lines.append("tracing")
+        lines.append(
+            "  traces: "
+            + "  ".join(f"{_labels_of(k)}={v:.0f}" for k, v in traces)
+        )
+        spans = _total(snapshot, "repro_trace_spans")
+        if spans:
+            lines.append(f"  spans stored           {spans:>10.0f}")
+    exemplars = snapshot.get("exemplars") or {}
+    if exemplars:
+        worst: Optional[Tuple[float, str, str]] = None
+        for key, per_bucket in exemplars.items():
+            for doc in per_bucket.values():
+                value = float(doc.get("value", 0.0))
+                if worst is None or value > worst[0]:
+                    worst = (value, str(doc.get("trace", "?")), key)
+        if worst is not None:
+            lines.append(
+                f"  slowest exemplar       {_fmt_seconds(worst[0]):>10s}"
+                f"  trace {worst[1]}  ({worst[2]})"
+            )
+
     vm_runs = _total(snapshot, "repro_vm_runs")
     if vm_runs:
         lines.append("vm")

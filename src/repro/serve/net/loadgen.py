@@ -24,6 +24,7 @@ server's own admission/single-flight/cache stats) and, with
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import random
@@ -99,6 +100,15 @@ def corpus_from_jsonl(path: str) -> Corpus:
 
 def _vuser_rng(seed: int, vuser: int) -> random.Random:
     return random.Random(f"{seed}:{vuser}")
+
+
+def client_traceparent(seed: int, vuser: int, sent: int) -> str:
+    """The deterministic traceparent vuser *vuser* stamps on its
+    *sent*-th request: trace and span ids derived from the run seed, so
+    a rerun with the same seed produces the same trace ids and a report
+    can be cross-referenced against an archived span store."""
+    digest = hashlib.sha256(f"{seed}:{vuser}:{sent}".encode()).hexdigest()
+    return f"{digest[:16]}-{digest[16:32]}"
 
 
 def _pick(rng: random.Random, corpus_size: int, duplicate_fraction: float) -> int:
@@ -181,11 +191,15 @@ class _VUser(threading.Thread):
                     break
                 index = _pick(rng, len(self.corpus), opts["duplicate_fraction"])
                 name, source = self.corpus[index]
+                traceparent = client_traceparent(
+                    opts["seed"], self.vuser, sent
+                )
                 request = {
                     "id": f"{self.vuser}-{sent}",
                     "op": opts["op"],
                     "source": source,
                     "tenant": tenant,
+                    "traceparent": traceparent,
                 }
                 if opts["timeout"] is not None:
                     request["timeout"] = opts["timeout"]
@@ -209,6 +223,8 @@ class _VUser(threading.Thread):
                         "program": name,
                         "deduped": bool(doc.get("deduped")),
                         "cached": bool(doc.get("cached")),
+                        "trace": traceparent.split("-", 1)[0],
+                        "vuser": self.vuser,
                     }
                 )
                 sent += 1
@@ -269,6 +285,9 @@ def run_loadgen(
     serve_config=None,
     check: Optional[str] = None,
     tolerance: float = 1.0,
+    trace_dir: Optional[str] = None,
+    trace_sample: float = 1.0,
+    latencies_out: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the load and return the report document.
 
@@ -294,11 +313,19 @@ def run_loadgen(
     if spawn:
         from repro.serve.net.server import BackgroundServer
 
+        reqtracer = None
+        if trace_dir is not None:
+            from repro.observe.reqtrace import build_reqtracer
+
+            reqtracer = build_reqtracer(
+                trace_dir, sample=trace_sample, service="net", seed=seed
+            )
         server = BackgroundServer(
             config=serve_config or ServeConfig(),
             jobs=spawn_jobs,
             cache_dir=cache_dir,
             disk_cache=cache_dir is not None,
+            reqtracer=reqtracer,
         ).start()
         address = tuple(server.address)
     elif address is None:
@@ -364,15 +391,41 @@ def run_loadgen(
             "p90": percentile(latencies, 0.90),
             "p99": percentile(latencies, 0.99),
             "mean": (sum(latencies) / len(latencies)) if latencies else None,
+            "stddev": stddev(latencies),
             "max": latencies[-1] if latencies else None,
         },
+        "slowest": [
+            {
+                "latency_s": round(r["latency_s"], 6),
+                "trace": r.get("trace"),
+                "program": r.get("program"),
+                "op": r.get("op"),
+            }
+            for r in sorted(
+                completed, key=lambda r: r["latency_s"], reverse=True
+            )[:5]
+        ],
         "vuser_failures": failures,
         "server": stats,
     }
     if check is not None:
         report["slo"] = check_slo(report, json.loads(Path(check).read_text()),
                                   tolerance=tolerance)
+    if latencies_out is not None:
+        path = Path(latencies_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
     return report
+
+
+def stddev(values: Sequence[float]) -> Optional[float]:
+    """Population standard deviation (None for an empty sequence)."""
+    if not values:
+        return None
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
 
 
 def _count(values) -> Dict[str, int]:

@@ -127,10 +127,14 @@ class _PoolBridge:
     # -- loop-side API --------------------------------------------------
 
     def submit(
-        self, op: str, payload: Dict[str, Any], timeout: Optional[float]
+        self,
+        op: str,
+        payload: Dict[str, Any],
+        timeout: Optional[float],
+        trace: Optional[Dict[str, Any]] = None,
     ) -> "asyncio.Future":
         future = self._loop.create_future()
-        self._commands.put(("submit", op, payload, timeout, future))
+        self._commands.put(("submit", op, payload, timeout, trace, future))
         return future
 
     def cancel(self, future: "asyncio.Future") -> None:
@@ -192,8 +196,8 @@ class _PoolBridge:
     def _handle(self, pool: WorkerPool, command) -> None:
         kind = command[0]
         if kind == "submit":
-            _, op, payload, timeout, future = command
-            task_id = pool.submit(op, payload, timeout=timeout)
+            _, op, payload, timeout, trace, future = command
+            task_id = pool.submit(op, payload, timeout=timeout, trace=trace)
             self._futures[task_id] = future
             self._task_ids[id(future)] = task_id
         elif kind == "cancel":
@@ -261,6 +265,7 @@ class _Connection:
                 "transport": "tcp",
                 "jobs": self.server.bridge.jobs,
                 "dedup": self.server.config.dedup,
+                "tracing": self.server.reqtracer is not None,
             }
         )
         while True:
@@ -304,6 +309,7 @@ class NetServer:
         recorder=None,
         metrics_out: Optional[str] = None,
         flight_dir: Optional[str] = None,
+        reqtracer=None,
         announce: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         self.config = config or ServeConfig()
@@ -312,6 +318,9 @@ class NetServer:
         self.recorder = recorder if recorder is not None else get_flight_recorder()
         self.metrics_out = metrics_out
         self.flight_dir = flight_dir
+        #: Request tracer (repro.observe.reqtrace.ReqTracer) or None —
+        #: every touch below is guarded, so tracing off costs nothing.
+        self.reqtracer = reqtracer
         self.announce = announce or (lambda doc: None)
         self.admission = AdmissionController(
             max_pending_per_tenant=self.config.max_pending_per_tenant,
@@ -497,6 +506,7 @@ class NetServer:
     # -- request dispatch ----------------------------------------------
 
     async def dispatch(self, conn: _Connection, line: str) -> None:
+        intake_started = time.perf_counter_ns()
         try:
             doc = json.loads(line)
             if not isinstance(doc, dict):
@@ -516,18 +526,45 @@ class NetServer:
             )
             return
         tenant = str(doc.get("tenant", "default"))
+        trace = None
+        if self.reqtracer is not None:
+            trace = self.reqtracer.start(
+                traceparent=doc.get("traceparent"),
+                op=request.op,
+                id=request.id,
+                tenant=tenant,
+            )
+        if trace is not None:
+            # Intake/parse time: measured from line receipt, recorded
+            # retroactively now that the trace exists.
+            intake_ns = time.perf_counter_ns() - intake_started
+            trace.record(
+                "intake", trace.now_ns() - intake_ns, intake_ns,
+                bytes=len(line),
+            )
         if self._draining:
             self.admission.count_reject(REASON_DRAINING)
-            await conn.send(self._overloaded(request, REASON_DRAINING))
+            await conn.send(
+                self._overloaded(request, REASON_DRAINING, trace)
+            )
             return
+        admit_ns = time.perf_counter_ns()
         reason = self.admission.try_admit(tenant)
+        if trace is not None:
+            dur = time.perf_counter_ns() - admit_ns
+            trace.record(
+                "admission", trace.now_ns() - dur, dur,
+                admitted=reason is None,
+            )
         if reason is not None:
             self.recorder.record(
                 "net.reject", id=request.id, tenant=tenant, reason=reason
             )
-            await conn.send(self._overloaded(request, reason))
+            await conn.send(self._overloaded(request, reason, trace))
             return
-        task = asyncio.ensure_future(self._handle_work(conn, request, tenant))
+        task = asyncio.ensure_future(
+            self._handle_work(conn, request, tenant, trace)
+        )
         self._outstanding.add(task)
         conn.tasks.add(task)
         if request.id is not None:
@@ -542,8 +579,10 @@ class NetServer:
         task.add_done_callback(cleanup)
 
     @staticmethod
-    def _overloaded(request: Request, reason: str) -> Dict[str, Any]:
-        return {
+    def _overloaded(
+        request: Request, reason: str, trace=None
+    ) -> Dict[str, Any]:
+        doc = {
             "id": request.id,
             "op": request.op,
             "ok": False,
@@ -551,6 +590,12 @@ class NetServer:
             "reason": reason,
             "retry_after_s": _RETRY_AFTER_S,
         }
+        if trace is not None:
+            doc["traceparent"] = trace.traceparent()
+            # Overload rejects are always retained by the tail sampler
+            # (non-ok status), regardless of the sampling rate.
+            trace.finish("overloaded", reason=reason)
+        return doc
 
     async def _protocol_error(
         self, conn: _Connection, rid, op: str, message: str
@@ -599,22 +644,28 @@ class NetServer:
         self.flights.resolve(flight_key, result)
 
     async def _handle_work(
-        self, conn: _Connection, request: Request, tenant: str
+        self, conn: _Connection, request: Request, tenant: str, trace=None
     ) -> None:
         started = time.monotonic()
         self.requests += 1
         deduped = False
         try:
             flight_key = self._flight_key(request)
+            role = "nodedup" if flight_key is None else "leader"
+            dedup_ns = trace.now_ns() if trace is not None else 0
             if flight_key is None:
                 future = self.bridge.submit(
-                    request.op, request.payload(), request.timeout
+                    request.op, request.payload(), request.timeout,
+                    trace=trace.context() if trace is not None else None,
                 )
             else:
                 leader, future = self.flights.join(flight_key)
                 if leader:
+                    # Only the leader reaches the pool, so the worker's
+                    # compile spans belong to the leader's trace.
                     pool_future = self.bridge.submit(
-                        request.op, request.payload(), request.timeout
+                        request.op, request.payload(), request.timeout,
+                        trace=trace.context() if trace is not None else None,
                     )
                     lead = asyncio.ensure_future(
                         self._lead(flight_key, pool_future)
@@ -622,12 +673,17 @@ class NetServer:
                     self._lead_tasks.add(lead)
                     lead.add_done_callback(self._lead_tasks.discard)
                 else:
+                    role = "follower"
                     deduped = True
                     if self.registry.enabled:
                         declare(self.registry, "repro_serve_inflight_dedup").inc()
                     self.recorder.record(
                         "net.dedup", id=request.id, tenant=tenant
                     )
+            if trace is not None:
+                now = trace.now_ns()
+                trace.record("dedup", dedup_ns, now - dedup_ns, role=role)
+            wait_ns = trace.now_ns() if trace is not None else 0
             try:
                 # Shield: cancelling this handler (client disconnect,
                 # per-request cancel op) must not cancel the shared
@@ -636,19 +692,49 @@ class NetServer:
             except asyncio.CancelledError:
                 response = self._cancelled_response(request)
                 await conn.send(response.as_dict())
-                self._observe(request.op, response, started)
+                self._observe(request.op, response, started, trace)
                 return
             except ConnectionError as exc:
-                await conn.send(
-                    self._cancelled_response(request, str(exc)).as_dict()
-                )
+                response = self._cancelled_response(request, str(exc))
+                await conn.send(response.as_dict())
+                if trace is not None:
+                    trace.finish("cancelled", deduped=deduped)
                 return
+            if trace is not None:
+                wait_id = trace.record(
+                    "wait", wait_ns, trace.now_ns() - wait_ns, role=role
+                )
+                if not deduped:
+                    # The pool's latency split, re-timed onto the wall
+                    # clock: queue ends where the worker run began.
+                    queued_ns = int(result.queued_s * 1e9)
+                    run_ns = int(result.run_s * 1e9)
+                    run_start = trace.now_ns() - run_ns
+                    trace.record(
+                        "queue", run_start - queued_ns, queued_ns,
+                        parent=wait_id,
+                    )
+                    run_id = trace.record(
+                        "run", run_start, run_ns, parent=wait_id,
+                    )
+                    if result.meta:
+                        trace.absorb_payload(
+                            result.meta.get("spans"), parent=run_id
+                        )
             response = response_from_task(request, 0, result)
             doc = response.as_dict()
             if deduped:
                 doc["deduped"] = True
-            await conn.send(doc)
-            self._observe(request.op, response, started)
+            if trace is not None:
+                doc["traceparent"] = trace.traceparent()
+                respond_ns = trace.now_ns()
+                await conn.send(doc)
+                trace.record(
+                    "respond", respond_ns, trace.now_ns() - respond_ns
+                )
+            else:
+                await conn.send(doc)
+            self._observe(request.op, response, started, trace)
         finally:
             self.admission.release(tenant)
 
@@ -664,18 +750,27 @@ class NetServer:
             error=message,
         )
 
-    def _observe(self, op: str, response, started: float) -> None:
+    def _observe(self, op: str, response, started: float, trace=None) -> None:
         status = "ok" if response.ok else (response.error_kind or "error")
+        elapsed = max(0.0, time.monotonic() - started)
         if self.registry.enabled:
             declare(self.registry, "repro_requests").labels(
                 op=op, status=status
             ).inc()
             declare(self.registry, "repro_serve_request_seconds").labels(
                 op=op
-            ).observe(max(0.0, time.monotonic() - started))
+            ).observe(elapsed)
         self.recorder.record(
             "net.response", id=response.id, op=op, status=status
         )
+        if trace is not None:
+            cached = response.cached
+            keep, _ = trace.finish(status, cached=cached)
+            if keep and self.reqtracer is not None:
+                self.reqtracer.exemplar(
+                    "repro_serve_request_seconds", ("op",), (op,),
+                    elapsed, trace.trace_id,
+                )
 
     # -- control ops ----------------------------------------------------
 
@@ -762,6 +857,8 @@ def serve_tcp(
     serve_config: Optional[ServeConfig] = None,
     metrics_out: Optional[str] = None,
     flight_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    trace_sample: float = 1.0,
     stdout=None,
 ) -> int:
     """Run the TCP daemon until SIGTERM/SIGINT or a ``shutdown`` op.
@@ -783,6 +880,11 @@ def serve_tcp(
     registry = get_registry()
     registry.clear()
     registry.enable()
+    from repro.observe.reqtrace import build_reqtracer
+
+    reqtracer = build_reqtracer(
+        trace_dir, sample=trace_sample, registry=registry, service="net"
+    )
 
     async def main() -> None:
         server = NetServer(
@@ -795,6 +897,7 @@ def serve_tcp(
             registry=registry,
             metrics_out=metrics_out,
             flight_dir=flight_dir,
+            reqtracer=reqtracer,
             announce=announce,
         )
         await server.start()

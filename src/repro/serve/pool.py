@@ -69,6 +69,10 @@ class _Task:
     kind: str
     payload: Any
     timeout: Optional[float]
+    #: Per-task request-trace context (``RequestTrace.context()``); the
+    #: worker re-parents its compile spans under it.  ``None`` falls
+    #: back to the pool-static ``init["trace"]``.
+    trace: Optional[Dict[str, Any]] = None
     submitted_at: float = field(default_factory=time.monotonic)
 
 
@@ -94,7 +98,7 @@ class _Worker:
     def assign(self, task: _Task) -> None:
         self.task = task
         self.started_at = time.monotonic()
-        self.inbox.put((task.task_id, task.kind, task.payload))
+        self.inbox.put((task.task_id, task.kind, task.payload, task.trace))
 
     def stop(self) -> None:
         try:
@@ -184,11 +188,17 @@ class WorkerPool:
     # -- submission -----------------------------------------------------
 
     def submit(
-        self, kind: str, payload: Any, timeout: Optional[float] = None
+        self,
+        kind: str,
+        payload: Any,
+        timeout: Optional[float] = None,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> int:
         """Queue one task; returns its id.  Tasks start as workers free
-        up, in submission order."""
-        task = _Task(self._next_task_id, kind, payload, timeout)
+        up, in submission order.  *trace* is an optional per-request
+        trace context shipped with the task so the worker's compile
+        spans join the request's trace."""
+        task = _Task(self._next_task_id, kind, payload, timeout, trace)
         self._next_task_id += 1
         self._pending.append(task)
         self._outstanding += 1
@@ -467,6 +477,7 @@ class WorkerPool:
                         "task_kind": task.kind,
                         "payload": task.payload,
                         "error": message,
+                        "trace": (task.trace or {}).get("trace_id"),
                     },
                 )
             )

@@ -168,9 +168,14 @@ class BatchService:
         registry=None,
         recorder=None,
         flight_dir: Optional[str] = None,
+        reqtracer=None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.tracer = tracer or NULL_TRACER
+        #: Per-request tracer (repro.observe.reqtrace.ReqTracer) — when
+        #: set, every batch request gets its own trace in the span
+        #: store, exactly like a daemon request.
+        self.reqtracer = reqtracer
         # The service layer is where telemetry is *on*: per-request
         # counting happens at request granularity, so enabling the
         # registry here costs nothing measurable on the compile path.
@@ -220,6 +225,16 @@ class BatchService:
         state = {"cache": self.cache} if self.cache is not None else {}
         responses = []
         for index, request in enumerate(requests):
+            trace = None
+            if self.reqtracer is not None:
+                trace = self.reqtracer.start(op=request.op, id=request.id)
+            if trace is not None:
+                # An in-process tracer captures the compile passes; its
+                # spans are absorbed under the request trace below.
+                from repro.observe.tracer import Tracer, span_payload
+
+                pass_tracer = Tracer(trace_id=trace.trace_id)
+                state["tracer"] = pass_tracer
             started = time.perf_counter()
             try:
                 fn = work.HANDLERS[request.op]
@@ -232,6 +247,16 @@ class BatchService:
                 )
             response.run_s = time.perf_counter() - started
             self._record(response)
+            if trace is not None:
+                state.pop("tracer", None)
+                if pass_tracer.spans:
+                    trace.absorb_payload(
+                        span_payload(pass_tracer, trace.context())
+                    )
+                status = (
+                    "ok" if response.ok else (response.error_kind or "error")
+                )
+                trace.finish(status, cached=response.cached)
             if on_response is not None:
                 on_response(response)
             responses.append(response)
@@ -239,6 +264,7 @@ class BatchService:
 
     def _run_pool(self, requests, on_response) -> List[Response]:
         by_task: Dict[int, int] = {}
+        traces: Dict[int, Any] = {}
         responses: List[Optional[Response]] = [None] * len(requests)
         with WorkerPool(
             jobs=self.jobs,
@@ -253,14 +279,38 @@ class BatchService:
         ) as pool:
             self._pool = pool
             for index, request in enumerate(requests):
+                trace = None
+                if self.reqtracer is not None:
+                    trace = self.reqtracer.start(
+                        op=request.op, id=request.id
+                    )
                 task_id = pool.submit(
-                    request.op, request.payload(), timeout=request.timeout
+                    request.op, request.payload(), timeout=request.timeout,
+                    trace=trace.context() if trace is not None else None,
                 )
                 by_task[task_id] = index
+                if trace is not None:
+                    traces[task_id] = trace
             for result in pool.results():
                 index = by_task[result.task_id]
                 response = response_from_task(requests[index], index, result)
                 self._record(response)
+                trace = traces.pop(result.task_id, None)
+                if trace is not None:
+                    queued_ns = int(result.queued_s * 1e9)
+                    run_ns = int(result.run_s * 1e9)
+                    run_start = trace.now_ns() - run_ns
+                    trace.record("queue", run_start - queued_ns, queued_ns)
+                    run_id = trace.record("run", run_start, run_ns)
+                    if result.meta:
+                        trace.absorb_payload(
+                            result.meta.get("spans"), parent=run_id
+                        )
+                    status = (
+                        "ok" if response.ok
+                        else (response.error_kind or "error")
+                    )
+                    trace.finish(status, cached=response.cached)
                 if on_response is not None:
                     on_response(response)
                 responses[index] = response

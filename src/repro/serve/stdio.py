@@ -69,6 +69,7 @@ class _Session:
         recorder=None,
         flight_dir: Optional[str] = None,
         metrics_out: Optional[str] = None,
+        reqtracer=None,
     ) -> None:
         self.stdin = stdin
         self.stdout = stdout
@@ -78,10 +79,12 @@ class _Session:
         self.recorder = recorder if recorder is not None else get_flight_recorder()
         self.flight_dir = flight_dir
         self.metrics_out = metrics_out
+        self.reqtracer = reqtracer
         self.started_at = time.monotonic()
         self._last_dump = self.started_at
         self.tasks: Dict[int, Request] = {}  # task_id -> request
         self.received_at: Dict[int, float] = {}  # task_id -> monotonic intake
+        self.traces: Dict[int, Any] = {}  # task_id -> RequestTrace
         self.task_of_id: Dict[Any, int] = {}  # client id -> newest task_id
         self.lines: "queue.Queue[Optional[str]]" = queue.Queue()
         self.eof = False
@@ -144,6 +147,7 @@ class _Session:
     # -- request handling ----------------------------------------------
 
     def handle_line(self, line: str) -> None:
+        intake_started = time.perf_counter_ns()
         line = line.strip()
         if not line:
             return
@@ -165,11 +169,27 @@ class _Session:
                 doc.get("id"), str(op or "?"), f"bad request: {exc}"
             )
             return
+        trace = None
+        if self.reqtracer is not None:
+            trace = self.reqtracer.start(
+                traceparent=doc.get("traceparent"),
+                op=request.op,
+                id=request.id,
+            )
+        if trace is not None:
+            intake_ns = time.perf_counter_ns() - intake_started
+            trace.record(
+                "intake", trace.now_ns() - intake_ns, intake_ns,
+                bytes=len(line),
+            )
         task_id = self.pool.submit(
-            request.op, request.payload(), timeout=request.timeout
+            request.op, request.payload(), timeout=request.timeout,
+            trace=trace.context() if trace is not None else None,
         )
         self.tasks[task_id] = request
         self.received_at[task_id] = time.monotonic()
+        if trace is not None:
+            self.traces[task_id] = trace
         if request.id is not None:
             self.task_of_id[request.id] = task_id
 
@@ -238,18 +258,19 @@ class _Session:
                 continue
             if request.id is not None and self.task_of_id.get(request.id) == result.task_id:
                 del self.task_of_id[request.id]
+            trace = self.traces.pop(result.task_id, None)
             response = response_from_task(request, 0, result)
             status = "ok" if response.ok else (response.error_kind or "error")
+            # Daemon-side end-to-end latency: intake to response.
+            elapsed = (
+                time.monotonic() - received
+                if received is not None
+                else response.queued_s + response.run_s
+            )
             if self.registry.enabled:
                 declare(self.registry, "repro_requests").labels(
                     op=response.op, status=status
                 ).inc()
-                # Daemon-side end-to-end latency: intake to response.
-                elapsed = (
-                    time.monotonic() - received
-                    if received is not None
-                    else response.queued_s + response.run_s
-                )
                 declare(self.registry, "repro_request_seconds").labels(
                     op=response.op
                 ).observe(max(0.0, elapsed))
@@ -259,7 +280,34 @@ class _Session:
                 op=response.op,
                 status=status,
             )
-            self.write(response.as_dict())
+            doc = response.as_dict()
+            if trace is not None:
+                # Re-time the pool's latency split onto the wall clock
+                # (queue ends where the worker run began), then absorb
+                # the worker's compile spans under the run span.
+                queued_ns = int(result.queued_s * 1e9)
+                run_ns = int(result.run_s * 1e9)
+                run_start = trace.now_ns() - run_ns
+                trace.record("queue", run_start - queued_ns, queued_ns)
+                run_id = trace.record("run", run_start, run_ns)
+                if result.meta:
+                    trace.absorb_payload(
+                        result.meta.get("spans"), parent=run_id
+                    )
+                doc["traceparent"] = trace.traceparent()
+                respond_ns = trace.now_ns()
+                self.write(doc)
+                trace.record(
+                    "respond", respond_ns, trace.now_ns() - respond_ns
+                )
+                keep, _ = trace.finish(status, cached=response.cached)
+                if keep and self.reqtracer is not None:
+                    self.reqtracer.exemplar(
+                        "repro_request_seconds", ("op",), (response.op,),
+                        max(0.0, elapsed), trace.trace_id,
+                    )
+            else:
+                self.write(doc)
 
     def _maybe_dump_metrics(self, force: bool = False) -> None:
         if not self.metrics_out:
@@ -356,6 +404,8 @@ def serve_stdio(
     artifacts: bool = True,
     metrics_out: Optional[str] = None,
     flight_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    trace_sample: float = 1.0,
 ) -> int:
     """Run the daemon until ``shutdown`` or EOF; returns the exit code.
 
@@ -373,6 +423,11 @@ def serve_stdio(
     registry = get_registry()
     registry.clear()
     registry.enable()
+    from repro.observe.reqtrace import build_reqtracer
+
+    reqtracer = build_reqtracer(
+        trace_dir, sample=trace_sample, registry=registry, service="stdio"
+    )
     with WorkerPool(
         jobs=jobs,
         cache=cache,
@@ -389,4 +444,5 @@ def serve_stdio(
             registry=registry,
             flight_dir=flight_dir,
             metrics_out=metrics_out,
+            reqtracer=reqtracer,
         ).run()

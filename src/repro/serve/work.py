@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.config import CompilerConfig
 from repro.errors import CompilerError
 from repro.observe.metrics import get_registry
+from repro.observe.recorder import set_active_trace
 from repro.observe.tracer import Tracer, span_payload
 from repro.pipeline import compile_source, run_compiled
 from repro.runtime.values import SchemeError
@@ -223,12 +224,16 @@ def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
             return
         if message is None:
             return
-        task_id, kind, payload = message
+        task_id, kind, payload, task_trace = message
+        # Per-task request-trace context (front door / stdio daemon)
+        # wins over the pool-static one (repro batch --trace).
+        ctx = task_trace or trace_ctx
         base = registry.snapshot()
         tracer: Optional[Tracer] = None
-        if trace_ctx is not None:
-            tracer = Tracer(trace_id=trace_ctx.get("trace_id"))
+        if ctx is not None:
+            tracer = Tracer(trace_id=ctx.get("trace_id"))
             state["tracer"] = tracer
+            set_active_trace(ctx.get("trace_id"))
         started = time.perf_counter()
         try:
             fn = HANDLERS[kind]
@@ -236,7 +241,7 @@ def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
             outbox.put(
                 (worker_id, task_id, True, value, None, None,
                  time.perf_counter() - started,
-                 _task_meta(registry, base, tracer, trace_ctx))
+                 _task_meta(registry, base, tracer, ctx))
             )
         except KeyboardInterrupt:  # pragma: no cover - interactive abort
             return
@@ -250,8 +255,9 @@ def worker_main(worker_id: int, inbox, outbox, init: Dict[str, Any]) -> None:
                     error_kind(exc),
                     f"{type(exc).__name__}: {exc}",
                     time.perf_counter() - started,
-                    _task_meta(registry, base, tracer, trace_ctx),
+                    _task_meta(registry, base, tracer, ctx),
                 )
             )
         finally:
             state.pop("tracer", None)
+            set_active_trace(None)

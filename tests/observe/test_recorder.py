@@ -2,9 +2,15 @@
 sanitization."""
 
 import json
+import threading
 
 from repro import __version__
-from repro.observe.recorder import FlightRecorder, get_flight_recorder
+from repro.observe.recorder import (
+    FlightRecorder,
+    active_trace,
+    get_flight_recorder,
+    set_active_trace,
+)
 
 
 def test_ring_keeps_only_most_recent_events():
@@ -98,3 +104,66 @@ def test_clear_resets_ring_not_seq():
 
 def test_global_recorder_is_shared():
     assert get_flight_recorder() is get_flight_recorder()
+
+
+def test_events_and_dumps_carry_the_active_trace():
+    recorder = FlightRecorder(capacity=4)
+    set_active_trace("cafe0123deadbeef")
+    try:
+        recorder.record("request", op="compile")
+        (event,) = recorder.events()
+        assert event["args"]["trace"] == "cafe0123deadbeef"
+        doc = recorder.dump("boom")
+        assert doc["trace"] == "cafe0123deadbeef"
+    finally:
+        set_active_trace(None)
+    assert active_trace() is None
+    # With no active trace, events stay clean.
+    recorder.record("request", op="run")
+    assert "trace" not in recorder.events()[-1]["args"]
+
+
+def test_explicit_trace_field_wins_over_active_trace():
+    recorder = FlightRecorder(capacity=4)
+    set_active_trace("cafe0123deadbeef")
+    try:
+        recorder.record("request", trace="explicit")
+    finally:
+        set_active_trace(None)
+    assert recorder.events()[0]["args"]["trace"] == "explicit"
+
+
+def test_concurrent_dumps_get_distinct_intact_files(tmp_path):
+    """Two threads dumping at the same instant must produce two
+    distinct flight-*.json files, each valid JSON (satellite: the dump
+    counter + filename choice + write are one critical section)."""
+    recorder = FlightRecorder(capacity=8)
+    for i in range(6):
+        recorder.record("tick", i=i)
+    out = tmp_path / "flights"
+    paths = []
+    errors = []
+    gate = threading.Barrier(2)
+
+    def dump(tag):
+        try:
+            gate.wait(timeout=5)
+            paths.append(recorder.dump_to(str(out), f"crash-{tag}"))
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=dump, args=(tag,)) for tag in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert not errors
+    assert len(paths) == 2
+    assert len(set(paths)) == 2
+    for path in paths:
+        doc = json.loads(open(path).read())  # intact, not interleaved
+        assert doc["flight_recorder"] == 1
+        assert len(doc["events"]) == 6
+    assert recorder.dumps == 2

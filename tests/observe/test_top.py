@@ -30,6 +30,26 @@ def _service_registry():
     return registry
 
 
+def _farm_registry():
+    registry = _service_registry()
+    declare(registry, "repro_serve_clients").set(3)
+    declare(registry, "repro_serve_rejects").labels(reason="queue-full").inc(2)
+    declare(registry, "repro_serve_rejects").labels(reason="draining").inc(1)
+    declare(registry, "repro_serve_inflight_dedup").inc(5)
+    declare(registry, "repro_serve_tenant_queue_depth").labels(
+        tenant="default"
+    ).set(2)
+    declare(registry, "repro_serve_tenant_queue_depth").labels(
+        tenant="ci"
+    ).set(1)
+    serve_lat = declare(registry, "repro_serve_request_seconds").labels(
+        op="compile"
+    )
+    for _ in range(4):
+        serve_lat.observe(0.02)
+    return registry
+
+
 def test_render_dashboard_sections():
     text = render_dashboard(_service_registry().snapshot())
     assert "requests" in text
@@ -41,6 +61,43 @@ def test_render_dashboard_sections():
     assert "instructions/run" in text
     assert "shuffle moves/plan" in text
     assert 'flight dumps: reason="worker-crash"=1' in text
+
+
+def test_render_dashboard_farm_panel():
+    """Regression: the net-farm metrics (PR 7) must show up in repro
+    top — clients, dedup, per-reason rejects, per-tenant inflight, and
+    the front-door latency histogram."""
+    text = render_dashboard(_farm_registry().snapshot())
+    assert "farm" in text.splitlines()
+    assert "clients connected" in text
+    assert "dedup hits" in text
+    assert 'reject reason="queue-full"' in text
+    assert 'reject reason="draining"' in text
+    assert "inflight" in text
+    assert 'tenant="ci"=1' in text
+    assert 'front-door op="compile"' in text
+
+
+def test_render_dashboard_without_farm_metrics_has_no_farm_panel():
+    text = render_dashboard(_service_registry().snapshot())
+    assert "farm" not in text.splitlines()
+
+
+def test_render_dashboard_tracing_panel_and_exemplar():
+    registry = _farm_registry()
+    declare(registry, "repro_trace_traces").labels(decision="sampled").inc(7)
+    declare(registry, "repro_trace_traces").labels(decision="error").inc(1)
+    declare(registry, "repro_trace_spans").inc(42)
+    registry.record_exemplar(
+        "repro_serve_request_seconds", ("op",), ("compile",), 0.25,
+        "feedface01020304",
+    )
+    text = render_dashboard(registry.snapshot())
+    assert "tracing" in text.splitlines()
+    assert 'decision="sampled"=7' in text
+    assert "spans stored" in text
+    assert "slowest exemplar" in text
+    assert "trace feedface01020304" in text
 
 
 def test_render_dashboard_empty_snapshot():

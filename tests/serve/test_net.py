@@ -16,13 +16,22 @@ import time
 import pytest
 
 from repro.config import ServeConfig
+from repro.observe.reqtrace import ReqTracer, TailSampler
+from repro.observe.spanstore import (
+    SpanStore,
+    build_tree,
+    iter_records,
+    load_trace,
+)
 from repro.serve.net import BackgroundServer
 from repro.serve.net.admission import AdmissionController
 from repro.serve.net.loadgen import (
     check_slo,
+    client_traceparent,
     percentile,
     request_indices,
     run_loadgen,
+    stddev,
 )
 from repro.serve.net.singleflight import FlightTable
 
@@ -273,6 +282,174 @@ def test_requests_after_drain_are_rejected():
 
 
 # ---------------------------------------------------------------------------
+# Request tracing
+# ---------------------------------------------------------------------------
+
+
+def _tracer(tmp_path, rate=1.0, slowest_k=0):
+    return ReqTracer(
+        SpanStore(str(tmp_path / "spans")),
+        TailSampler(rate=rate, slowest_k=slowest_k, seed=0),
+    )
+
+
+def _wait_for_trace(directory, trace_id, deadline_s=10.0):
+    """finish() runs after the response is written, so poll briefly."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        records = load_trace(directory, trace_id)
+        if records:
+            return records
+        time.sleep(0.02)
+    return []
+
+
+def _assert_nested(records):
+    """Every child's interval lies inside its parent's."""
+
+    def walk(node):
+        record, kids = node
+        end = record["start_ns"] + record["dur_ns"]
+        for kid in kids:
+            assert kid[0]["start_ns"] >= record["start_ns"]
+            assert kid[0]["start_ns"] + kid[0]["dur_ns"] <= end
+            walk(kid)
+
+    for root in build_tree(records):
+        walk(root)
+
+
+def test_tracing_reconstructs_full_request_tree(tmp_path):
+    reqtracer = _tracer(tmp_path)
+    store_dir = str(tmp_path / "spans")
+    with BackgroundServer(jobs=1, disk_cache=False, reqtracer=reqtracer) as bg:
+        client = _Client(bg.address)
+        assert client.banner["tracing"] is True
+        parent = client_traceparent(seed=5, vuser=0, sent=0)
+        response = client.request(
+            {"id": 1, "op": "run", "source": "(+ 20 22)",
+             "traceparent": parent}
+        )
+        assert response["ok"] and response["value"] == "42"
+        trace_id, client_span = parent.split("-")
+        # The response echoes the trace so the client can log it.
+        assert response["traceparent"].startswith(trace_id + "-")
+        records = _wait_for_trace(store_dir, trace_id)
+        client.close()
+    names = {r["name"] for r in records}
+    assert {"request", "intake", "admission", "dedup", "wait", "queue",
+            "run", "respond"} <= names
+    # The worker's per-pass compile spans rode back through task meta.
+    assert {"compile", "read", "allocate", "codegen"} <= names
+    assert len({r["pid"] for r in records}) >= 2  # daemon + worker
+    by_name = {r["name"]: r for r in records}
+    root = by_name["request"]
+    assert root["parent"] == client_span  # child of the client's span
+    assert root["attrs"]["status"] == "ok"
+    assert root["attrs"]["tenant"] == "default"
+    assert by_name["queue"]["parent"] == by_name["wait"]["span"]
+    assert by_name["run"]["parent"] == by_name["wait"]["span"]
+    assert by_name["compile"]["parent"] == by_name["run"]["span"]
+    assert by_name["compile"]["service"] == "worker"
+    _assert_nested(records)
+
+
+def test_tracing_dedup_follower_has_no_worker_spans(tmp_path):
+    reqtracer = _tracer(tmp_path)
+    store_dir = str(tmp_path / "spans")
+    with BackgroundServer(jobs=1, disk_cache=False, reqtracer=reqtracer) as bg:
+        client = _Client(bg.address)
+        lead_tp = client_traceparent(seed=1, vuser=1, sent=0)
+        follow_tp = client_traceparent(seed=1, vuser=2, sent=0)
+        client.send({"id": "L", "op": "run", "source": SLOW,
+                     "traceparent": lead_tp})
+        client.send({"id": "F", "op": "run", "source": SLOW,
+                     "traceparent": follow_tp})
+        responses = {r["id"]: r for r in (client.recv_response(),
+                                          client.recv_response())}
+        deduped_id = next(
+            rid for rid, r in responses.items() if r.get("deduped")
+        )
+        leader_id = "L" if deduped_id == "F" else "F"
+        leader_records = _wait_for_trace(
+            store_dir, responses[leader_id]["traceparent"].split("-")[0]
+        )
+        follower_records = _wait_for_trace(
+            store_dir, responses[deduped_id]["traceparent"].split("-")[0]
+        )
+        client.close()
+    leader_names = {r["name"] for r in leader_records}
+    follower_names = {r["name"] for r in follower_records}
+    # Only the leader reached the pool: worker spans are its alone.
+    assert "compile" in leader_names or "execute" in leader_names
+    assert "run" in leader_names
+    assert "run" not in follower_names
+    assert "compile" not in follower_names
+    follower_dedup = next(
+        r for r in follower_records if r["name"] == "dedup"
+    )
+    assert follower_dedup["attrs"]["role"] == "follower"
+    assert {"request", "wait", "respond"} <= follower_names
+
+
+def test_tail_sampling_keeps_errors_and_overloads_at_rate_zero(tmp_path):
+    reqtracer = _tracer(tmp_path, rate=0.0)
+    store_dir = str(tmp_path / "spans")
+    config = ServeConfig(max_pending_per_tenant=1, max_pending_total=10)
+    with BackgroundServer(
+        jobs=1, disk_cache=False, config=config, reqtracer=reqtracer
+    ) as bg:
+        client = _Client(bg.address)
+        ok_tp = client_traceparent(seed=2, vuser=0, sent=0)
+        ok = client.request(
+            {"id": 1, "op": "run", "source": "(+ 1 1)", "traceparent": ok_tp}
+        )
+        assert ok["ok"]
+        err_tp = client_traceparent(seed=2, vuser=0, sent=1)
+        err = client.request(
+            {"id": 2, "op": "run", "source": "(car 5)", "traceparent": err_tp}
+        )
+        assert not err["ok"]
+        err_records = _wait_for_trace(store_dir, err_tp.split("-")[0])
+        # Overload: fill the tenant slot, then get rejected.
+        slow_tp = client_traceparent(seed=2, vuser=0, sent=2)
+        over_tp = client_traceparent(seed=2, vuser=0, sent=3)
+        client.send({"id": 3, "op": "run", "source": SLOW,
+                     "traceparent": slow_tp})
+        rejected = client.request(
+            {"id": 4, "op": "run", "source": "(+ 2 2)", "traceparent": over_tp}
+        )
+        assert rejected["error_kind"] == "overloaded"
+        assert rejected["traceparent"].startswith(over_tp.split("-")[0])
+        over_records = _wait_for_trace(store_dir, over_tp.split("-")[0])
+        assert client.recv_response()["id"] == 3  # the slow one completes
+        client.close()
+    # Error and overloaded traces retained despite rate 0.0 …
+    assert err_records
+    err_root = next(r for r in err_records if r["name"] == "request")
+    assert err_root["attrs"]["status"] == "runtime-error"
+    assert over_records
+    over_root = next(r for r in over_records if r["name"] == "request")
+    assert over_root["attrs"]["status"] == "overloaded"
+    assert over_root["attrs"]["reason"] == "tenant-queue-full"
+    # … while the ok trace was dropped.
+    assert load_trace(store_dir, ok_tp.split("-")[0]) == []
+
+
+def test_tracing_off_is_the_default(tmp_path):
+    with BackgroundServer(jobs=1, disk_cache=False) as bg:
+        client = _Client(bg.address)
+        assert client.banner["tracing"] is False
+        response = client.request(
+            {"id": 1, "op": "run", "source": "(+ 1 2)",
+             "traceparent": client_traceparent(seed=0, vuser=0, sent=0)}
+        )
+        assert response["ok"]
+        assert "traceparent" not in response
+        client.close()
+
+
+# ---------------------------------------------------------------------------
 # Units: admission and the flight table
 # ---------------------------------------------------------------------------
 
@@ -372,6 +549,73 @@ def test_check_slo_pass_and_violations():
     assert not verdict["ok"]
     assert any("p99" in v for v in verdict["violations"])
     assert any("completed" in v for v in verdict["violations"])
+
+
+def test_stddev():
+    assert stddev([]) is None
+    assert stddev([3.0, 3.0, 3.0]) == 0.0
+    assert stddev([2.0, 4.0]) == pytest.approx(1.0)
+
+
+def test_client_traceparent_is_deterministic_and_wellformed():
+    from repro.observe.reqtrace import parse_traceparent
+
+    first = client_traceparent(seed=9, vuser=3, sent=7)
+    assert first == client_traceparent(seed=9, vuser=3, sent=7)
+    assert first != client_traceparent(seed=9, vuser=3, sent=8)
+    assert first != client_traceparent(seed=8, vuser=3, sent=7)
+    assert parse_traceparent(first) is not None
+
+
+def test_loadgen_latencies_out_and_tracing(tmp_path):
+    corpus = [("sq", "(define (sq x) (* x x)) (sq 9)"), ("add", "(+ 1 2)")]
+    latencies_path = tmp_path / "lat" / "latencies.jsonl"
+    trace_dir = tmp_path / "spans"
+    report = run_loadgen(
+        spawn=True,
+        spawn_jobs=1,
+        corpus=corpus,
+        op="run",
+        concurrency=4,
+        requests=3,
+        seed=17,
+        trace_dir=str(trace_dir),
+        trace_sample=1.0,
+        latencies_out=str(latencies_path),
+    )
+    assert report["completed"] == 12
+    latency = report["latency_s"]
+    assert latency["stddev"] is not None and latency["stddev"] >= 0.0
+    assert latency["max"] >= latency["p99"] >= latency["p50"]
+    # The slowest requests are named with their trace ids.
+    assert len(report["slowest"]) == 5
+    assert report["slowest"][0]["latency_s"] == pytest.approx(
+        latency["max"], rel=1e-3
+    )
+    for entry in report["slowest"]:
+        assert len(entry["trace"]) == 16
+    # One JSON line per request: latency, status, trace id.
+    lines = [
+        json.loads(line)
+        for line in latencies_path.read_text().splitlines()
+        if line.strip()
+    ]
+    assert len(lines) == 12
+    for line in lines:
+        assert line["ok"] is True
+        assert line["latency_s"] > 0
+        assert len(line["trace"]) == 16
+    # Per-vuser request order is the deterministic schedule, so the
+    # n-th record of vuser v carries client_traceparent(seed, v, n).
+    for vuser in range(4):
+        mine = [line for line in lines if line["vuser"] == vuser]
+        for sent, line in enumerate(mine):
+            expected = client_traceparent(17, vuser, sent).split("-")[0]
+            assert line["trace"] == expected
+    # The spawned server kept traces under the client-chosen ids.
+    stored = {r["trace"] for r in iter_records(str(trace_dir))}
+    client_ids = {line["trace"] for line in lines}
+    assert stored == client_ids
 
 
 def test_loadgen_end_to_end_spawn():

@@ -131,6 +131,85 @@ def test_tracer_records_batch_span_and_request_events():
     assert events[0].args["ok"] is True
 
 
+def _reqtracer(tmp_path, rate=1.0):
+    from repro.observe.reqtrace import ReqTracer, TailSampler
+    from repro.observe.spanstore import SpanStore
+
+    store = SpanStore(str(tmp_path / "spans"))
+    return ReqTracer(store, TailSampler(rate=rate, slowest_k=0, seed=0),
+                     service="batch")
+
+
+def _traces(tmp_path):
+    from repro.observe.spanstore import iter_records
+
+    by_trace = {}
+    for record in iter_records(str(tmp_path / "spans")):
+        by_trace.setdefault(record["trace"], []).append(record)
+    return by_trace
+
+
+def test_inline_requests_are_traced(tmp_path):
+    service = BatchService(jobs=1, cache=False, reqtracer=_reqtracer(tmp_path))
+    responses = service.run(
+        [
+            Request(op="run", source=GOOD, id="good"),
+            Request(op="run", source="(car 5)", id="bad"),
+        ]
+    )
+    assert [r.ok for r in responses] == [True, False]
+    by_trace = _traces(tmp_path)
+    assert len(by_trace) == 2
+    roots = {
+        r["attrs"]["id"]: r
+        for records in by_trace.values()
+        for r in records
+        if r["name"] == "request"
+    }
+    assert roots["good"]["attrs"]["status"] == "ok"
+    assert roots["bad"]["attrs"]["status"] == "runtime-error"
+    # The in-process pass tracer's compile spans were absorbed under
+    # the request trace.
+    good_names = {
+        r["name"] for r in by_trace[roots["good"]["trace"]]
+    }
+    assert "compile" in good_names
+    assert "allocate" in good_names
+
+
+def test_pooled_requests_are_traced(tmp_path):
+    service = BatchService(jobs=2, cache=False, reqtracer=_reqtracer(tmp_path))
+    responses = service.run(
+        [Request(op="run", source=GOOD, id=i) for i in range(3)]
+    )
+    assert all(r.ok for r in responses)
+    by_trace = _traces(tmp_path)
+    assert len(by_trace) == 3
+    for records in by_trace.values():
+        by_name = {r["name"]: r for r in records}
+        assert {"request", "queue", "run"} <= set(by_name)
+        # Worker pass spans rode home through the task meta, under run.
+        assert by_name["compile"]["parent"] == by_name["run"]["span"]
+        assert by_name["compile"]["service"] == "worker"
+        assert len({r["pid"] for r in records}) == 2
+        # Timestamps nest monotonically after clock normalization.
+        for record in records:
+            parent = next(
+                (p for p in records if p["span"] == record.get("parent")), None
+            )
+            if parent is not None:
+                assert parent["start_ns"] <= record["start_ns"]
+                assert (parent["start_ns"] + parent["dur_ns"]
+                        >= record["start_ns"] + record["dur_ns"])
+
+
+def test_untraced_service_unchanged(tmp_path):
+    service = BatchService(jobs=1, cache=False)
+    assert service.reqtracer is None
+    (response,) = service.run([Request(op="run", source=GOOD)])
+    assert response.ok
+
+
 def test_summarize():
     responses = [
         Response(id=0, op="run", ok=True, cached=True),

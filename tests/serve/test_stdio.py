@@ -9,7 +9,7 @@ import json
 from repro.serve.stdio import PROTOCOL_VERSION, serve_stdio
 
 
-def _serve(lines, jobs=1):
+def _serve(lines, jobs=1, **kwargs):
     """Feed *lines* (dicts or raw strings) to the daemon; return the
     parsed response documents in emission order and the exit code."""
     raw = "\n".join(
@@ -17,7 +17,8 @@ def _serve(lines, jobs=1):
     )
     stdout = io.StringIO()
     code = serve_stdio(
-        stdin=io.StringIO(raw + "\n"), stdout=stdout, jobs=jobs, cache=False
+        stdin=io.StringIO(raw + "\n"), stdout=stdout, jobs=jobs, cache=False,
+        **kwargs
     )
     docs = [json.loads(line) for line in stdout.getvalue().splitlines()]
     return docs, code
@@ -226,6 +227,47 @@ def test_client_death_drops_queued_work(tmp_path):
         stdin=io.StringIO(lines + "\n"), stdout=stdout, jobs=1, cache=False
     )
     assert code == 0
+
+
+def test_stdio_requests_are_traced(tmp_path):
+    trace_dir = tmp_path / "spans"
+    docs, code = _serve(
+        [
+            {"id": 1, "op": "run", "source": "(+ 20 22)",
+             "traceparent": "ab" * 8 + "-" + "cd" * 8},
+            {"id": 2, "op": "run", "source": "(car 5)"},
+            # No shutdown line: EOF drains, so neither request is
+            # cancelled out of the queue before it runs.
+        ],
+        trace_dir=str(trace_dir),
+        trace_sample=1.0,
+    )
+    assert code == 0
+    by_id = _by_id(docs)
+    assert by_id[1]["ok"]
+    # The response echoes the client's trace id.
+    assert by_id[1]["traceparent"].startswith("ab" * 8 + "-")
+    assert by_id[2]["error_kind"] == "runtime-error"
+
+    from repro.observe.spanstore import build_tree, load_trace
+
+    records = load_trace(str(trace_dir), "ab" * 8)
+    names = {r["name"] for r in records}
+    assert {"request", "intake", "queue", "run", "respond"} <= names
+    # Worker compile spans rode home through the task meta.
+    assert "compile" in names
+    assert len({r["pid"] for r in records}) >= 2
+    by_name = {r["name"]: r for r in records}
+    assert by_name["request"]["parent"] == "cd" * 8
+    assert by_name["request"]["attrs"]["status"] == "ok"
+    assert by_name["compile"]["parent"] == by_name["run"]["span"]
+    (root,) = build_tree(records)
+    assert root[0]["name"] == "request"
+    # The error request's trace is there too, status classified.
+    err_trace = by_id[2]["traceparent"].split("-")[0]
+    err_records = load_trace(str(trace_dir), err_trace)
+    err_root = next(r for r in err_records if r["name"] == "request")
+    assert err_root["attrs"]["status"] == "runtime-error"
 
 
 def test_daemon_subprocess_round_trip():
